@@ -1,0 +1,226 @@
+// Package chameleon is an update-efficient learned index for locally skewed
+// data, a from-scratch Go implementation of the Chameleon index (ICDE 2024).
+//
+// A Chameleon index maps uint64 keys to uint64 values through a shallow tree
+// whose inner nodes route with exact linear interpolation and whose leaves
+// are Error Bounded Hashing (EBH) nodes — hash tables whose capacity is
+// sized so the collision probability stays below a target τ, with the
+// maximum placement offset recorded so lookups probe a bounded window. The
+// structure is chosen by a multi-agent construction: a DARE agent shapes the
+// upper levels from the global distribution and a TSMDP agent refines each
+// lower subtree from its local distribution; both have deterministic
+// cost-model equivalents used by default. A background retraining goroutine,
+// synchronized through per-interval locks, keeps the structure healthy under
+// sustained inserts and deletes without blocking foreground operations.
+//
+// Quick start:
+//
+//	ix := chameleon.New(chameleon.Options{})
+//	if err := ix.BulkLoad(sortedKeys, nil); err != nil { ... }
+//	v, ok := ix.Lookup(k)
+//	_ = ix.Insert(k2, v2)
+//	ix.StartRetrainer(10 * time.Second)
+//	defer ix.Close()
+package chameleon
+
+import (
+	"io"
+	"os"
+	"time"
+
+	"chameleon/internal/core"
+	"chameleon/internal/index"
+	"chameleon/internal/rl"
+)
+
+// Options configures a Chameleon index. The zero value selects the paper's
+// defaults (τ = 0.45, α = 131, cost-model construction policies).
+type Options struct {
+	// Tau is the EBH collision-probability target τ of Theorem 1.
+	Tau float64
+	// Alpha is the hash factor α of Eq. (2).
+	Alpha float64
+	// Seed makes construction deterministic.
+	Seed uint64
+	// RetrainEvery, when positive, starts the background retrainer
+	// automatically after each BulkLoad with this period.
+	RetrainEvery time.Duration
+	// ReconstructThreshold triggers a full MARL reconstruction once
+	// cumulative updates exceed this multiple of the built size (the
+	// paper's complete-rebuild threshold). Zero selects the default of 4;
+	// a negative value disables reconstruction.
+	ReconstructThreshold float64
+	// UseTrainedAgents, when non-nil, replaces the deterministic cost-model
+	// policies with trained RL agents (see cmd/chameleon-train).
+	UseTrainedAgents *Agents
+}
+
+// Agents carries trained RL agents loaded from disk.
+type Agents struct {
+	TSMDP *rl.TSMDP
+	DARE  *rl.DARE
+}
+
+// LoadAgents restores agents saved by cmd/chameleon-train.
+func LoadAgents(tsmdpPath, darePath string) (*Agents, error) {
+	ts, err := rl.LoadTSMDP(rl.DefaultTSMDPConfig(), tsmdpPath)
+	if err != nil {
+		return nil, err
+	}
+	da, err := rl.LoadDARE(rl.DefaultDAREConfig(), darePath)
+	if err != nil {
+		return nil, err
+	}
+	return &Agents{TSMDP: ts, DARE: da}, nil
+}
+
+// Index is the public handle. Construct with New.
+type Index struct {
+	inner *core.Index
+	opts  Options
+}
+
+// Stats re-exports the structural metrics (Table V of the paper).
+type Stats = index.Stats
+
+// Error sentinels re-exported from the shared index contract.
+var (
+	ErrKeyNotFound  = index.ErrKeyNotFound
+	ErrDuplicateKey = index.ErrDuplicateKey
+)
+
+// New creates an empty index.
+func New(opts Options) *Index {
+	cfg := core.Config{
+		Tau:                  opts.Tau,
+		Alpha:                opts.Alpha,
+		Seed:                 opts.Seed,
+		RetrainEvery:         opts.RetrainEvery,
+		ReconstructThreshold: opts.ReconstructThreshold,
+	}
+	if a := opts.UseTrainedAgents; a != nil {
+		cfg.Dare = a.DARE
+		cfg.Policy = a.TSMDP
+	} else {
+		dcfg := rl.DefaultDAREConfig()
+		if opts.Seed != 0 {
+			dcfg.Seed = opts.Seed
+		}
+		env := dcfg.Env
+		if opts.Tau > 0 && opts.Tau < 1 {
+			env.Tau = opts.Tau
+			dcfg.Env = env
+		}
+		cfg.Dare = rl.NewCostDARE(dcfg)
+		cfg.Policy = rl.NewCostPolicy(env)
+	}
+	return &Index{inner: core.New(cfg), opts: opts}
+}
+
+// BulkLoad (re)builds the index from keys sorted ascending with no
+// duplicates; vals may be nil (value = key). If Options.RetrainEvery is set,
+// the background retrainer is (re)started.
+func (ix *Index) BulkLoad(keys, vals []uint64) error {
+	ix.inner.StopRetrainer()
+	if err := ix.inner.BulkLoad(keys, vals); err != nil {
+		return err
+	}
+	if ix.opts.RetrainEvery > 0 {
+		ix.inner.StartRetrainer(ix.opts.RetrainEvery)
+	}
+	return nil
+}
+
+// Lookup returns the value stored for key.
+func (ix *Index) Lookup(key uint64) (uint64, bool) { return ix.inner.Lookup(key) }
+
+// Insert adds key→val; it returns ErrDuplicateKey if key is present.
+func (ix *Index) Insert(key, val uint64) error { return ix.inner.Insert(key, val) }
+
+// Delete removes key; it returns ErrKeyNotFound if absent.
+func (ix *Index) Delete(key uint64) error { return ix.inner.Delete(key) }
+
+// Range calls fn for every key in [lo, hi] in ascending order until fn
+// returns false. EBH leaves are unordered, so a range scan materializes and
+// sorts the overlapping leaves; point workloads are the design target.
+func (ix *Index) Range(lo, hi uint64, fn func(key, val uint64) bool) {
+	ix.inner.Range(lo, hi, fn)
+}
+
+// Len reports the number of stored keys.
+func (ix *Index) Len() int { return ix.inner.Len() }
+
+// Bytes estimates resident size in bytes.
+func (ix *Index) Bytes() int { return ix.inner.Bytes() }
+
+// Stats reports the structural metrics of the paper's Table V.
+func (ix *Index) Stats() Stats { return ix.inner.Stats() }
+
+// Height reports the deepest root-to-leaf path length.
+func (ix *Index) Height() int { return ix.inner.Height() }
+
+// LocalSkewness computes the lsn statistic (Definition 3) over the current
+// contents.
+func (ix *Index) LocalSkewness() float64 { return ix.inner.LocalSkewness() }
+
+// StartRetrainer launches the background retraining goroutine with the given
+// period (Section V; the paper evaluates 10s). No-op if already running.
+func (ix *Index) StartRetrainer(period time.Duration) { ix.inner.StartRetrainer(period) }
+
+// StopRetrainer halts the background goroutine, waiting for any in-flight
+// subtree retrain to finish.
+func (ix *Index) StopRetrainer() { ix.inner.StopRetrainer() }
+
+// RetrainStats reports how many subtree retrains have run and the total time
+// spent retraining.
+func (ix *Index) RetrainStats() (count int64, total time.Duration) {
+	return ix.inner.RetrainStats()
+}
+
+// Reconstructions reports how many full MARL rebuilds the update-threshold
+// trigger has run (see Options.ReconstructThreshold).
+func (ix *Index) Reconstructions() int { return ix.inner.Reconstructions() }
+
+// Close stops the retrainer. The index remains usable for foreground
+// operations afterwards.
+func (ix *Index) Close() error {
+	ix.inner.StopRetrainer()
+	return nil
+}
+
+// WriteTo serializes the learned structure (tree shape, leaf slot layouts)
+// so a later ReadFrom restores it without retraining. Stop the retrainer
+// first (Close does).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.inner.WriteTo(w) }
+
+// ReadFrom replaces the index contents with a structure written by WriteTo.
+// The configured construction policies are kept for future retraining.
+func (ix *Index) ReadFrom(r io.Reader) (int64, error) { return ix.inner.ReadFrom(r) }
+
+// Save writes the index to a file; Load restores it.
+func (ix *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load restores an index saved with Save into a new Index with the given
+// options.
+func Load(path string, opts Options) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ix := New(opts)
+	if _, err := ix.ReadFrom(f); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}

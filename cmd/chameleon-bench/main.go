@@ -1,0 +1,70 @@
+// Command chameleon-bench regenerates the paper's evaluation (Section VI):
+// every figure and table has an experiment ID, and each run prints aligned
+// text tables whose rows correspond to the paper's plotted series.
+//
+// Usage:
+//
+//	chameleon-bench -exp all                 # everything (slow)
+//	chameleon-bench -exp fig8 -n 1000000     # one experiment at 1M keys
+//	chameleon-bench -list                    # enumerate experiment IDs
+//
+// The paper evaluates 50–200M keys on a 128 GB machine; defaults here are
+// laptop scale. Latency ratios between the indexes — not absolute numbers —
+// are the reproduced quantity (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chameleon/internal/harness"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment ID (fig1, fig8..fig15, table5) or 'all'")
+		n    = flag.Int("n", 400_000, "dataset cardinality")
+		ops  = flag.Int("ops", 200_000, "mixed-workload operation count")
+		seed = flag.Uint64("seed", 42, "generator seed")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.Experiments {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Descr)
+		}
+		if !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := harness.Config{N: *n, Ops: *ops, Seed: *seed, Out: os.Stdout}
+	ran := 0
+	for _, e := range harness.Experiments {
+		if *exp != "all" && !strings.EqualFold(e.ID, *exp) {
+			continue
+		}
+		fmt.Printf("\n### %s — %s (n=%d, ops=%d, seed=%d)\n", e.ID, e.Descr, *n, *ops, *seed)
+		start := time.Now()
+		for _, tb := range e.Run(cfg) {
+			if *csv {
+				tb.FprintCSV(os.Stdout)
+			} else {
+				tb.Fprint(os.Stdout)
+			}
+		}
+		fmt.Printf("\n[%s completed in %.1fs]\n", e.ID, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+}

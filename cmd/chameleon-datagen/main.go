@@ -1,0 +1,52 @@
+// Command chameleon-datagen emits the synthetic evaluation datasets in SOSD
+// binary format (little-endian uint64 count + keys), the interchange format
+// the paper's benchmark suite uses. The files can be fed to external tools
+// or read back with dataset.ReadSOSDFile.
+//
+// Usage:
+//
+//	chameleon-datagen -out ./data -n 1000000            # all four datasets
+//	chameleon-datagen -out ./data -n 1000000 -name FACE # one dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chameleon/internal/dataset"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "data", "output directory")
+		n    = flag.Int("n", 1_000_000, "keys per dataset")
+		name = flag.String("name", "", "single dataset (UDEN/OSMC/LOGN/FACE); empty = all")
+		seed = flag.Uint64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	names := dataset.Names
+	if *name != "" {
+		names = []string{strings.ToUpper(*name)}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, ds := range names {
+		keys := dataset.Generate(ds, *n, *seed)
+		lsn := dataset.LocalSkewness(keys)
+		path := filepath.Join(*out, fmt.Sprintf("%s_%d.sosd", strings.ToLower(ds), *n))
+		if err := dataset.WriteSOSDFile(path, keys); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d keys, lsn=%.4f → %s\n", ds, len(keys), lsn, path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chameleon-datagen:", err)
+	os.Exit(1)
+}

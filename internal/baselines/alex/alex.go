@@ -1,0 +1,621 @@
+// Package alex implements the ALEX baseline: an adaptive learned index with
+// linear-model inner nodes, gapped-array data nodes searched exponentially
+// around the model prediction, in-place model-based inserts, node expansion
+// on density, and node splits with parent pointer doubling (Table I: "LIM"
+// inner, "LRM+ES" leaf, in-place updates).
+//
+// The gapped array keeps the classic ALEX invariant set: values are
+// non-decreasing with every gap slot holding a copy of a neighboring key, so
+// plain lower-bound search works, and a present key's slot is the leftmost
+// slot holding its value.
+package alex
+
+import (
+	"sort"
+
+	"chameleon/internal/index"
+)
+
+const (
+	targetLeafKeys = 2048    // bulk-load keys per data node target
+	maxLeafKeys    = 1 << 14 // split threshold (matches the Table V error scale)
+	initialDensity = 0.7     // gapped-array fill at (re)build
+	upperDensity   = 0.85    // expansion trigger
+	maxInnerBits   = 10      // cap on one inner node's log2 fanout
+	maxDepth       = 24      // bulk-load recursion guard
+)
+
+// model is the per-node linear regression key → position.
+type model struct {
+	slope, bias float64
+}
+
+func (m model) predict(k uint64) int { return int(m.slope*float64(k) + m.bias) }
+
+// fitModel least-squares fits ranks 0..n−1 against the keys, then scales to
+// the gapped capacity.
+func fitModel(keys []uint64, capacity int) model {
+	n := len(keys)
+	if n == 0 {
+		return model{}
+	}
+	if n == 1 {
+		return model{0, 0}
+	}
+	// Work in offsets from the first key to keep float precision.
+	base := keys[0]
+	var sx, sy, sxx, sxy float64
+	for i, k := range keys {
+		x := float64(k - base)
+		y := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	denom := fn*sxx - sx*sx
+	var slope float64
+	if denom != 0 {
+		slope = (fn*sxy - sx*sy) / denom
+	}
+	inter := (sy - slope*sx) / fn
+	// Scale ranks to capacity and rebase to absolute keys.
+	scale := float64(capacity) / fn
+	slope *= scale
+	inter *= scale
+	return model{slope: slope, bias: inter - slope*float64(base)}
+}
+
+// dataNode is a gapped-array leaf.
+type dataNode struct {
+	m    model
+	keys []uint64
+	vals []uint64
+	occ  []uint64 // occupancy bitmap
+	n    int
+}
+
+func (d *dataNode) cap() int            { return len(d.keys) }
+func (d *dataNode) occupied(i int) bool { return d.occ[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (d *dataNode) setOcc(i int)        { d.occ[i>>6] |= 1 << (uint(i) & 63) }
+func (d *dataNode) clrOcc(i int)        { d.occ[i>>6] &^= 1 << (uint(i) & 63) }
+
+// newDataNode builds a leaf via model-based inserts: each key is placed at
+// its predicted slot (pushed right past earlier keys), and gaps copy their
+// left neighbor so the array stays searchable.
+func newDataNode(keys, vals []uint64) *dataNode {
+	capacity := int(float64(len(keys))/initialDensity) + 8
+	d := &dataNode{
+		keys: make([]uint64, capacity),
+		vals: make([]uint64, capacity),
+		occ:  make([]uint64, (capacity+63)/64),
+		n:    len(keys),
+	}
+	d.m = fitModel(keys, capacity)
+	last := -1
+	for i, k := range keys {
+		p := d.m.predict(k)
+		if p <= last {
+			p = last + 1
+		}
+		// Never run out of room for the remaining keys.
+		if room := capacity - (len(keys) - i); p > room {
+			p = room
+		}
+		if i == 0 && p > 0 {
+			// Leading gaps must hold a value strictly below the first key so
+			// lower-bound search lands on the real element; when that value
+			// does not exist (k == 0) the key goes to slot 0.
+			if k == 0 {
+				p = 0
+			} else {
+				for g := 0; g < p; g++ {
+					d.keys[g] = k - 1
+				}
+			}
+		}
+		d.keys[p] = k
+		if vals == nil {
+			d.vals[p] = k
+		} else {
+			d.vals[p] = vals[i]
+		}
+		d.setOcc(p)
+		// Fill the gap run between the previous key and this one.
+		for g := last + 1; g < p; g++ {
+			if last >= 0 {
+				d.keys[g] = d.keys[last]
+			}
+		}
+		last = p
+	}
+	for g := last + 1; g < capacity; g++ {
+		if last >= 0 {
+			d.keys[g] = d.keys[last]
+		}
+	}
+	return d
+}
+
+// lowerBound finds the leftmost slot with value ≥ k using the model
+// prediction plus exponential search — the "LRM+ES" path of Table I. The
+// search cost grows with model error, which is ALEX's weakness on locally
+// skewed data.
+func (d *dataNode) lowerBound(k uint64) int {
+	c := d.cap()
+	if c == 0 {
+		return 0
+	}
+	p := d.m.predict(k)
+	if p < 0 {
+		p = 0
+	}
+	if p >= c {
+		p = c - 1
+	}
+	var lo, hi int
+	if d.keys[p] >= k {
+		// Gallop left.
+		step := 1
+		lo = p
+		for lo > 0 && d.keys[lo-1] >= k {
+			lo -= step
+			step *= 2
+			if lo < 0 {
+				lo = 0
+			}
+		}
+		hi = p
+	} else {
+		// Gallop right.
+		step := 1
+		hi = p + 1
+		for hi < c && d.keys[hi] < k {
+			hi += step
+			step *= 2
+			if hi > c {
+				hi = c
+			}
+		}
+		lo = p
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return d.keys[lo+i] >= k })
+}
+
+func (d *dataNode) lookup(k uint64) (uint64, bool) {
+	p := d.lowerBound(k)
+	if p < d.cap() && d.keys[p] == k && d.occupied(p) {
+		return d.vals[p], true
+	}
+	return 0, false
+}
+
+// insert places k in sorted position, shifting toward the nearest gap. It
+// reports false on duplicate.
+func (d *dataNode) insert(k, v uint64) bool {
+	if float64(d.n+1) > upperDensity*float64(d.cap()) {
+		d.expand()
+	}
+	p := d.lowerBound(k)
+	c := d.cap()
+	if p < c && d.keys[p] == k {
+		if d.occupied(p) {
+			return false
+		}
+		// A gap already holding k: claim it.
+		d.vals[p] = v
+		d.setOcc(p)
+		d.n++
+		return true
+	}
+	// Nearest gap to the right.
+	g := p
+	for g < c && d.occupied(g) {
+		g++
+	}
+	if g < c {
+		copy(d.keys[p+1:g+1], d.keys[p:g])
+		copy(d.vals[p+1:g+1], d.vals[p:g])
+		for i := g; i > p; i-- {
+			d.setOcc(i) // [p, g) were occupied; g becomes occupied
+		}
+		d.keys[p], d.vals[p] = k, v
+		d.setOcc(p)
+		d.n++
+		return true
+	}
+	// Nearest gap to the left.
+	g = p - 1
+	for g >= 0 && d.occupied(g) {
+		g--
+	}
+	if g >= 0 {
+		copy(d.keys[g:p-1], d.keys[g+1:p])
+		copy(d.vals[g:p-1], d.vals[g+1:p])
+		for i := g; i < p-1; i++ {
+			d.setOcc(i)
+		}
+		d.keys[p-1], d.vals[p-1] = k, v
+		d.setOcc(p - 1)
+		d.n++
+		return true
+	}
+	// Completely full (cannot happen after expand, but stay safe).
+	d.expand()
+	return d.insert(k, v)
+}
+
+// remove clears k's slot, leaving its key value in place as a gap copy so
+// the array stays sorted and searchable.
+func (d *dataNode) remove(k uint64) bool {
+	p := d.lowerBound(k)
+	if p >= d.cap() || d.keys[p] != k || !d.occupied(p) {
+		return false
+	}
+	d.clrOcc(p)
+	d.n--
+	return true
+}
+
+// collect appends the live entries in key order.
+func (d *dataNode) collect(ks, vs []uint64) ([]uint64, []uint64) {
+	for i := 0; i < d.cap(); i++ {
+		if d.occupied(i) {
+			ks = append(ks, d.keys[i])
+			vs = append(vs, d.vals[i])
+		}
+	}
+	return ks, vs
+}
+
+// expand rebuilds the node at the initial density with a retrained model —
+// ALEX's in-place "retrain" step, the source of the latency spikes in
+// Fig. 1(b).
+func (d *dataNode) expand() {
+	ks, vs := d.collect(nil, nil)
+	*d = *newDataNode(ks, vs)
+}
+
+// innerNode routes keys with a linear model over 2^bits pointer slots;
+// consecutive slots may share a child (pointer duplication), which is what
+// lets a child split without rebuilding the parent.
+type innerNode struct {
+	lo, hi   uint64
+	bits     uint
+	children []anyNode
+}
+
+type anyNode interface{ isNode() }
+
+func (*innerNode) isNode() {}
+func (*dataNode) isNode()  {}
+
+func (in *innerNode) slot(k uint64) int {
+	if k <= in.lo {
+		return 0
+	}
+	if k >= in.hi {
+		return len(in.children) - 1
+	}
+	span := in.hi - in.lo
+	s := int(float64(uint64(1)<<in.bits) / float64(span) * float64(k-in.lo))
+	if s >= len(in.children) {
+		s = len(in.children) - 1
+	}
+	return s
+}
+
+// slotKey returns the lower key boundary of slot s.
+func (in *innerNode) slotKey(s int) uint64 {
+	span := in.hi - in.lo
+	return in.lo + uint64(float64(span)/float64(uint64(1)<<in.bits)*float64(s))
+}
+
+// Index is the ALEX tree. Construct with New.
+type Index struct {
+	root  anyNode
+	count int
+}
+
+var _ index.Index = (*Index)(nil)
+var _ index.StatsProvider = (*Index)(nil)
+
+// New creates an empty ALEX.
+func New() *Index { return &Index{root: newDataNode(nil, nil)} }
+
+// Name implements index.Index.
+func (t *Index) Name() string { return "ALEX" }
+
+// Len implements index.Index.
+func (t *Index) Len() int { return t.count }
+
+// BulkLoad implements index.Index with the top-down build: fanout chosen
+// from the key count, recursing while partitions stay oversized.
+func (t *Index) BulkLoad(keys, vals []uint64) error {
+	if vals == nil {
+		vals = keys
+	}
+	t.count = len(keys)
+	t.root = build(keys, vals, 0)
+	return nil
+}
+
+func build(keys, vals []uint64, depth int) anyNode {
+	if len(keys) <= targetLeafKeys || depth >= maxDepth {
+		return newDataNode(keys, vals)
+	}
+	lo, hi := keys[0], keys[len(keys)-1]
+	if hi == lo {
+		return newDataNode(keys, vals)
+	}
+	bits := uint(1)
+	for (uint64(1)<<bits) < uint64(len(keys)/targetLeafKeys) && bits < maxInnerBits {
+		bits++
+	}
+	in := &innerNode{lo: lo, hi: hi, bits: bits, children: make([]anyNode, 1<<bits)}
+	start := 0
+	for s := 0; s < len(in.children); s++ {
+		end := start
+		for end < len(keys) && in.slot(keys[end]) == s {
+			end++
+		}
+		if s == len(in.children)-1 {
+			end = len(keys)
+		}
+		child := build(keys[start:end], vals[start:end], depth+1)
+		in.children[s] = child
+		start = end
+	}
+	return in
+}
+
+// descend walks to the data node for k, recording the parent path.
+func (t *Index) descend(k uint64, path *[]parentSlot) *dataNode {
+	n := t.root
+	for {
+		in, ok := n.(*innerNode)
+		if !ok {
+			return n.(*dataNode)
+		}
+		s := in.slot(k)
+		if path != nil {
+			*path = append(*path, parentSlot{in, s})
+		}
+		n = in.children[s]
+	}
+}
+
+type parentSlot struct {
+	in   *innerNode
+	slot int
+}
+
+// Lookup implements index.Index.
+func (t *Index) Lookup(k uint64) (uint64, bool) {
+	return t.descend(k, nil).lookup(k)
+}
+
+// Insert implements index.Index, splitting data nodes that exceed the size
+// threshold (with parent pointer doubling when the node spans one slot).
+func (t *Index) Insert(k, v uint64) error {
+	var path []parentSlot
+	d := t.descend(k, &path)
+	if !d.insert(k, v) {
+		return index.ErrDuplicateKey
+	}
+	t.count++
+	if d.n > maxLeafKeys {
+		t.split(d, path)
+	}
+	return nil
+}
+
+// Delete implements index.Index.
+func (t *Index) Delete(k uint64) error {
+	d := t.descend(k, nil)
+	if !d.remove(k) {
+		return index.ErrKeyNotFound
+	}
+	t.count--
+	return nil
+}
+
+// split divides an oversized data node in two along its parent's slot
+// boundary. A root data node gains an inner node above it.
+func (t *Index) split(d *dataNode, path []parentSlot) {
+	ks, vs := d.collect(nil, nil)
+	if len(path) == 0 {
+		// Splitting the root: create a 2-way inner node over the key range.
+		lo, hi := ks[0], ks[len(ks)-1]
+		if hi == lo {
+			return
+		}
+		in := &innerNode{lo: lo, hi: hi, bits: 1, children: make([]anyNode, 2)}
+		mid := sort.Search(len(ks), func(i int) bool { return in.slot(ks[i]) >= 1 })
+		in.children[0] = newDataNode(ks[:mid], vs[:mid])
+		in.children[1] = newDataNode(ks[mid:], vs[mid:])
+		t.root = in
+		return
+	}
+	p := path[len(path)-1]
+	in, s := p.in, p.slot
+	// Width of the pointer range this child occupies.
+	a := s
+	for a > 0 && in.children[a-1] == d {
+		a--
+	}
+	b := s
+	for b+1 < len(in.children) && in.children[b+1] == d {
+		b++
+	}
+	if a == b {
+		if in.bits >= 16 {
+			// The parent cannot double further; substitute a subtree for
+			// the data node instead (ALEX's node-split-down path).
+			lo, hi := ks[0], ks[len(ks)-1]
+			if hi == lo {
+				return
+			}
+			sub := &innerNode{lo: lo, hi: hi, bits: 1, children: make([]anyNode, 2)}
+			cut := sort.Search(len(ks), func(i int) bool { return sub.slot(ks[i]) >= 1 })
+			sub.children[0] = newDataNode(ks[:cut], vs[:cut])
+			sub.children[1] = newDataNode(ks[cut:], vs[cut:])
+			in.children[a] = sub
+			return
+		}
+		// Double the pointer array so the child spans two slots.
+		dbl := make([]anyNode, 2*len(in.children))
+		for i, c := range in.children {
+			dbl[2*i], dbl[2*i+1] = c, c
+		}
+		in.children = dbl
+		in.bits++
+		a, b = 2*a, 2*a+1
+	}
+	mid := (a + b + 1) / 2
+	boundary := in.slotKey(mid)
+	cut := sort.Search(len(ks), func(i int) bool { return ks[i] >= boundary })
+	if cut == 0 || cut == len(ks) {
+		// Degenerate boundary (all keys on one side of the slot cut):
+		// substitute a subtree over the keys' own range so the split always
+		// makes progress.
+		lo, hi := ks[0], ks[len(ks)-1]
+		if hi == lo {
+			return
+		}
+		sub := &innerNode{lo: lo, hi: hi, bits: 1, children: make([]anyNode, 2)}
+		c2 := sort.Search(len(ks), func(i int) bool { return sub.slot(ks[i]) >= 1 })
+		sub.children[0] = newDataNode(ks[:c2], vs[:c2])
+		sub.children[1] = newDataNode(ks[c2:], vs[c2:])
+		for i := a; i <= b; i++ {
+			in.children[i] = sub
+		}
+		return
+	}
+	left := newDataNode(ks[:cut], vs[:cut])
+	right := newDataNode(ks[cut:], vs[cut:])
+	for i := a; i < mid; i++ {
+		in.children[i] = left
+	}
+	for i := mid; i <= b; i++ {
+		in.children[i] = right
+	}
+}
+
+// Bytes implements index.Index.
+func (t *Index) Bytes() int {
+	total := 0
+	seen := map[anyNode]bool{}
+	var visit func(n anyNode)
+	visit = func(n anyNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		switch x := n.(type) {
+		case *dataNode:
+			total += 16*x.cap() + 8*len(x.occ) + 64
+		case *innerNode:
+			total += 64 + 8*len(x.children)
+			for _, c := range x.children {
+				visit(c)
+			}
+		}
+	}
+	visit(t.root)
+	return total
+}
+
+// Stats implements index.StatsProvider: heights plus the model prediction
+// errors of the data nodes (the Table V "MaxError"/"AvgError" columns).
+func (t *Index) Stats() index.Stats {
+	var s index.Stats
+	var keySum int
+	var depthSum, errSum float64
+	seen := map[anyNode]bool{}
+	var visit func(n anyNode, depth int)
+	visit = func(n anyNode, depth int) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		s.Nodes++
+		switch x := n.(type) {
+		case *dataNode:
+			if depth > s.MaxHeight {
+				s.MaxHeight = depth
+			}
+			for i := 0; i < x.cap(); i++ {
+				if !x.occupied(i) {
+					continue
+				}
+				p := x.m.predict(x.keys[i])
+				d := p - i
+				if d < 0 {
+					d = -d
+				}
+				if d > s.MaxError {
+					s.MaxError = d
+				}
+				errSum += float64(d)
+			}
+			keySum += x.n
+			depthSum += float64(depth) * float64(x.n)
+		case *innerNode:
+			for _, c := range x.children {
+				visit(c, depth+1)
+			}
+		}
+	}
+	visit(t.root, 1)
+	if keySum > 0 {
+		s.AvgHeight = depthSum / float64(keySum)
+		s.AvgError = errSum / float64(keySum)
+	}
+	return s
+}
+
+// Range implements index.RangeIndex: data nodes are visited left to right
+// (deduplicating repeated pointers) and each gapped array is scanned in slot
+// order, which is key order.
+func (t *Index) Range(lo, hi uint64, fn func(key, val uint64) bool) {
+	if hi < lo {
+		return
+	}
+	var visit func(n anyNode) bool
+	var prev anyNode
+	visit = func(n anyNode) bool {
+		switch x := n.(type) {
+		case *dataNode:
+			if x == prev {
+				return true
+			}
+			prev = x
+			start := x.lowerBound(lo)
+			for i := start; i < x.cap(); i++ {
+				if !x.occupied(i) {
+					continue
+				}
+				k := x.keys[i]
+				if k > hi {
+					return false
+				}
+				if k >= lo && !fn(k, x.vals[i]) {
+					return false
+				}
+			}
+		case *innerNode:
+			a, b := x.slot(lo), x.slot(hi)
+			for s := a; s <= b; s++ {
+				if !visit(x.children[s]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	visit(t.root)
+}
+
+var _ index.RangeIndex = (*Index)(nil)

@@ -1,0 +1,113 @@
+package alex
+
+import (
+	"testing"
+
+	"chameleon/internal/dataset"
+	"chameleon/internal/index"
+	"chameleon/internal/index/indextest"
+)
+
+func TestBattery(t *testing.T) {
+	indextest.Run(t, func() index.Index { return New() }, indextest.Options{})
+}
+
+func TestGappedArrayInvariant(t *testing.T) {
+	// After heavy churn the gapped array must stay non-decreasing and every
+	// live key findable at its leftmost slot.
+	d := newDataNode(nil, nil)
+	live := map[uint64]uint64{}
+	for i := uint64(0); i < 3000; i++ {
+		k := (i * 2654435761) % 100_000
+		if _, ok := live[k]; ok {
+			if d.insert(k, i) {
+				t.Fatalf("duplicate insert of %d accepted", k)
+			}
+			continue
+		}
+		if !d.insert(k, i) {
+			t.Fatalf("insert %d rejected", k)
+		}
+		live[k] = i
+		if i%3 == 0 {
+			if !d.remove(k) {
+				t.Fatalf("remove %d failed", k)
+			}
+			delete(live, k)
+		}
+	}
+	for i := 1; i < d.cap(); i++ {
+		if d.keys[i] < d.keys[i-1] {
+			t.Fatalf("gapped array not sorted at %d: %d < %d", i, d.keys[i], d.keys[i-1])
+		}
+	}
+	for k, v := range live {
+		if got, ok := d.lookup(k); !ok || got != v {
+			t.Fatalf("lookup(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if d.n != len(live) {
+		t.Fatalf("n = %d, want %d", d.n, len(live))
+	}
+}
+
+func TestSplitsKeepTreeServing(t *testing.T) {
+	ix := New()
+	keys := dataset.Generate(dataset.FACE, 30_000, 5)
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Pour inserts into one hot region to force splits and pointer doubling.
+	base := keys[len(keys)/2]
+	for i := uint64(1); i <= 40_000; i++ {
+		ix.Insert(base+i*2+1, i) //nolint:errcheck // duplicates possible, fine
+	}
+	for i := 0; i < len(keys); i += 199 {
+		if _, ok := ix.Lookup(keys[i]); !ok {
+			t.Fatalf("bulk key %d lost after splits", keys[i])
+		}
+	}
+	s := ix.Stats()
+	if s.MaxHeight < 2 {
+		t.Fatalf("no splits happened: height %d", s.MaxHeight)
+	}
+}
+
+func TestModelErrorGrowsWithSkew(t *testing.T) {
+	// The Table V effect: ALEX's linear-regression leaves fit uniform data
+	// tightly but err badly on locally skewed data.
+	uni, skew := New(), New()
+	if err := uni.BulkLoad(dataset.Generate(dataset.UDEN, 100_000, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := skew.BulkLoad(dataset.Generate(dataset.FACE, 100_000, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	u, s := uni.Stats(), skew.Stats()
+	if s.AvgError <= u.AvgError {
+		t.Fatalf("skewed AvgError %.2f not above uniform %.2f", s.AvgError, u.AvgError)
+	}
+}
+
+func TestFitModelDegenerate(t *testing.T) {
+	m := fitModel(nil, 10)
+	if m.slope != 0 || m.bias != 0 {
+		t.Fatal("empty fit not zero")
+	}
+	m = fitModel([]uint64{7}, 10)
+	if p := m.predict(7); p != 0 {
+		t.Fatalf("single-key predict = %d", p)
+	}
+	// Linear keys: prediction within a slot of exact.
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = 1000 + uint64(i)*10
+	}
+	m = fitModel(keys, 1000)
+	for i, k := range keys {
+		p := m.predict(k)
+		if p < i-2 || p > i+2 {
+			t.Fatalf("linear fit predict(%d) = %d, want ≈ %d", k, p, i)
+		}
+	}
+}

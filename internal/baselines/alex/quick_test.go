@@ -1,0 +1,75 @@
+package alex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/dataset"
+)
+
+// TestGappedArrayProperty drives a data node with arbitrary operation
+// sequences and checks the two structural invariants binary search relies
+// on: non-decreasing values and leftmost-slot reality for present keys.
+func TestGappedArrayProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := newDataNode(nil, nil)
+		live := map[uint64]uint64{}
+		for i, raw := range ops {
+			k := uint64(raw % 512) // small space forces collisions and gaps
+			if i%3 == 2 {
+				if d.remove(k) {
+					delete(live, k)
+				} else if _, ok := live[k]; ok {
+					return false // present key failed to delete
+				}
+				continue
+			}
+			if d.insert(k, uint64(i)) {
+				if _, dup := live[k]; dup {
+					return false // duplicate accepted
+				}
+				live[k] = uint64(i)
+			} else if _, dup := live[k]; !dup {
+				return false // fresh key rejected
+			}
+		}
+		// Invariant 1: sorted.
+		for i := 1; i < d.cap(); i++ {
+			if d.keys[i] < d.keys[i-1] {
+				return false
+			}
+		}
+		// Invariant 2: every live key found with its latest value.
+		for k, v := range live {
+			got, ok := d.lookup(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return d.n == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBulkBuildPlacesAllKeys checks model-based placement never drops keys
+// regardless of distribution.
+func TestBulkBuildPlacesAllKeys(t *testing.T) {
+	f := func(raw []uint64) bool {
+		keys := dataset.SortDedup(raw)
+		d := newDataNode(keys, nil)
+		if d.n != len(keys) {
+			return false
+		}
+		for _, k := range keys {
+			if _, ok := d.lookup(k); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

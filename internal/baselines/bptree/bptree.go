@@ -1,0 +1,363 @@
+// Package bptree is an in-memory B+Tree over uint64 keys, the traditional
+// baseline of the paper's Table I (implemented there as STX B+Tree): binary
+// search in inner and leaf nodes, in-place updates with node splits, and
+// borrow/merge rebalancing on deletes. It supports bulk loading from sorted
+// input and ordered range scans.
+package bptree
+
+import (
+	"sort"
+
+	"chameleon/internal/index"
+)
+
+// DefaultOrder is the default maximum number of keys per node, sized so a
+// node fills a couple of cache lines (STX uses a similar byte budget).
+const DefaultOrder = 64
+
+type node struct {
+	// keys holds the search keys. For a leaf, vals runs parallel to keys;
+	// for an inner node, children has len(keys)+1 entries and keys[i] is the
+	// smallest key in children[i+1]'s subtree.
+	keys     []uint64
+	vals     []uint64
+	children []*node
+	next     *node // leaf chain for range scans
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// Tree is the B+Tree. Construct with New.
+type Tree struct {
+	root  *node
+	order int
+	count int
+}
+
+var _ index.RangeIndex = (*Tree)(nil)
+var _ index.StatsProvider = (*Tree)(nil)
+
+// New creates an empty tree with the given order (0 selects DefaultOrder).
+func New(order int) *Tree {
+	if order < 4 {
+		order = DefaultOrder
+	}
+	return &Tree{root: &node{}, order: order}
+}
+
+// Name implements index.Index.
+func (t *Tree) Name() string { return "B+Tree" }
+
+// Len implements index.Index.
+func (t *Tree) Len() int { return t.count }
+
+// BulkLoad implements index.Index with a bottom-up build: leaves packed to
+// ~85% fill, then parent levels stacked until a single root remains.
+func (t *Tree) BulkLoad(keys, vals []uint64) error {
+	t.root = &node{}
+	t.count = len(keys)
+	if len(keys) == 0 {
+		return nil
+	}
+	fill := t.order * 85 / 100
+	if fill < 2 {
+		fill = 2
+	}
+	var leaves []*node
+	for i := 0; i < len(keys); i += fill {
+		end := i + fill
+		if end > len(keys) {
+			end = len(keys)
+		}
+		lf := &node{keys: append([]uint64(nil), keys[i:end]...)}
+		if vals == nil {
+			lf.vals = append([]uint64(nil), keys[i:end]...)
+		} else {
+			lf.vals = append([]uint64(nil), vals[i:end]...)
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = lf
+		}
+		leaves = append(leaves, lf)
+	}
+	level := leaves
+	for len(level) > 1 {
+		var parents []*node
+		for i := 0; i < len(level); i += fill {
+			end := i + fill
+			if end > len(level) {
+				end = len(level)
+			}
+			p := &node{children: append([]*node(nil), level[i:end]...)}
+			for _, c := range p.children[1:] {
+				p.keys = append(p.keys, minKey(c))
+			}
+			parents = append(parents, p)
+		}
+		level = parents
+	}
+	t.root = level[0]
+	return nil
+}
+
+func minKey(n *node) uint64 {
+	for !n.isLeaf() {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// findLeaf descends to the leaf responsible for k, recording the path.
+func (t *Tree) findLeaf(k uint64, path *[]pathEntry) *node {
+	n := t.root
+	for !n.isLeaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > k })
+		if path != nil {
+			*path = append(*path, pathEntry{n, i})
+		}
+		n = n.children[i]
+	}
+	return n
+}
+
+type pathEntry struct {
+	n   *node
+	idx int
+}
+
+// Lookup implements index.Index.
+func (t *Tree) Lookup(k uint64) (uint64, bool) {
+	n := t.findLeaf(k, nil)
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= k })
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert implements index.Index.
+func (t *Tree) Insert(k, v uint64) error {
+	var path []pathEntry
+	leaf := t.findLeaf(k, &path)
+	i := sort.Search(len(leaf.keys), func(i int) bool { return leaf.keys[i] >= k })
+	if i < len(leaf.keys) && leaf.keys[i] == k {
+		return index.ErrDuplicateKey
+	}
+	leaf.keys = append(leaf.keys, 0)
+	leaf.vals = append(leaf.vals, 0)
+	copy(leaf.keys[i+1:], leaf.keys[i:])
+	copy(leaf.vals[i+1:], leaf.vals[i:])
+	leaf.keys[i], leaf.vals[i] = k, v
+	t.count++
+
+	// Split upward while overfull.
+	child := leaf
+	for len(child.keys) > t.order {
+		mid := len(child.keys) / 2
+		var sib *node
+		var sep uint64
+		if child.isLeaf() {
+			sib = &node{
+				keys: append([]uint64(nil), child.keys[mid:]...),
+				vals: append([]uint64(nil), child.vals[mid:]...),
+				next: child.next,
+			}
+			child.keys = child.keys[:mid]
+			child.vals = child.vals[:mid]
+			child.next = sib
+			sep = sib.keys[0]
+		} else {
+			sep = child.keys[mid]
+			sib = &node{
+				keys:     append([]uint64(nil), child.keys[mid+1:]...),
+				children: append([]*node(nil), child.children[mid+1:]...),
+			}
+			child.keys = child.keys[:mid]
+			child.children = child.children[:mid+1]
+		}
+		if len(path) == 0 {
+			t.root = &node{keys: []uint64{sep}, children: []*node{child, sib}}
+			return nil
+		}
+		p := path[len(path)-1]
+		path = path[:len(path)-1]
+		parent, at := p.n, p.idx
+		parent.keys = append(parent.keys, 0)
+		copy(parent.keys[at+1:], parent.keys[at:])
+		parent.keys[at] = sep
+		parent.children = append(parent.children, nil)
+		copy(parent.children[at+2:], parent.children[at+1:])
+		parent.children[at+1] = sib
+		child = parent
+	}
+	return nil
+}
+
+// Delete implements index.Index with borrow/merge rebalancing.
+func (t *Tree) Delete(k uint64) error {
+	var path []pathEntry
+	leaf := t.findLeaf(k, &path)
+	i := sort.Search(len(leaf.keys), func(i int) bool { return leaf.keys[i] >= k })
+	if i >= len(leaf.keys) || leaf.keys[i] != k {
+		return index.ErrKeyNotFound
+	}
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+	t.count--
+
+	min := t.order / 2
+	child := leaf
+	for len(path) > 0 && len(child.keys) < min {
+		p := path[len(path)-1]
+		path = path[:len(path)-1]
+		parent, at := p.n, p.idx
+		if !t.rebalance(parent, at) {
+			break
+		}
+		child = parent
+	}
+	// Collapse a root that lost all separators.
+	for !t.root.isLeaf() && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	return nil
+}
+
+// rebalance fixes parent.children[at] by borrowing from or merging with a
+// sibling. It reports whether the parent shrank (and may itself need fixing).
+func (t *Tree) rebalance(parent *node, at int) bool {
+	child := parent.children[at]
+	// Try borrowing from the left sibling.
+	if at > 0 {
+		left := parent.children[at-1]
+		if len(left.keys) > t.order/2 {
+			if child.isLeaf() {
+				last := len(left.keys) - 1
+				child.keys = append([]uint64{left.keys[last]}, child.keys...)
+				child.vals = append([]uint64{left.vals[last]}, child.vals...)
+				left.keys = left.keys[:last]
+				left.vals = left.vals[:last]
+				parent.keys[at-1] = child.keys[0]
+			} else {
+				child.keys = append([]uint64{parent.keys[at-1]}, child.keys...)
+				last := len(left.keys) - 1
+				parent.keys[at-1] = left.keys[last]
+				child.children = append([]*node{left.children[last+1]}, child.children...)
+				left.keys = left.keys[:last]
+				left.children = left.children[:last+1]
+			}
+			return false
+		}
+	}
+	// Try borrowing from the right sibling.
+	if at < len(parent.children)-1 {
+		right := parent.children[at+1]
+		if len(right.keys) > t.order/2 {
+			if child.isLeaf() {
+				child.keys = append(child.keys, right.keys[0])
+				child.vals = append(child.vals, right.vals[0])
+				right.keys = right.keys[1:]
+				right.vals = right.vals[1:]
+				parent.keys[at] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, parent.keys[at])
+				parent.keys[at] = right.keys[0]
+				child.children = append(child.children, right.children[0])
+				right.keys = right.keys[1:]
+				right.children = right.children[1:]
+			}
+			return false
+		}
+	}
+	// Merge with a sibling.
+	l := at
+	if at == len(parent.children)-1 {
+		l = at - 1
+	}
+	if l < 0 {
+		return false // root with a single child; handled by the caller
+	}
+	left, right := parent.children[l], parent.children[l+1]
+	if left.isLeaf() {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, parent.keys[l])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	parent.keys = append(parent.keys[:l], parent.keys[l+1:]...)
+	parent.children = append(parent.children[:l+1], parent.children[l+2:]...)
+	return true
+}
+
+// Range implements index.RangeIndex via the leaf chain.
+func (t *Tree) Range(lo, hi uint64, fn func(key, val uint64) bool) {
+	if hi < lo {
+		return
+	}
+	n := t.findLeaf(lo, nil)
+	for n != nil {
+		for i, k := range n.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(k, n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Bytes implements index.Index.
+func (t *Tree) Bytes() int {
+	total := 0
+	var visit func(n *node)
+	visit = func(n *node) {
+		total += 96 + 8*(len(n.keys)+len(n.vals)+len(n.children))
+		for _, c := range n.children {
+			visit(c)
+		}
+	}
+	visit(t.root)
+	return total
+}
+
+// Stats implements index.StatsProvider. A B+Tree's "model error" is the
+// binary-search width of its leaves; MaxError/AvgError report half the leaf
+// occupancy as the comparable probe distance.
+func (t *Tree) Stats() index.Stats {
+	var s index.Stats
+	var keySum int
+	var depthSum, errSum float64
+	var visit func(n *node, d int)
+	visit = func(n *node, d int) {
+		s.Nodes++
+		if n.isLeaf() {
+			if d > s.MaxHeight {
+				s.MaxHeight = d
+			}
+			if half := len(n.keys) / 2; half > s.MaxError {
+				s.MaxError = half
+			}
+			keySum += len(n.keys)
+			depthSum += float64(d) * float64(len(n.keys))
+			errSum += float64(len(n.keys)) * float64(len(n.keys)) / 2
+			return
+		}
+		for _, c := range n.children {
+			visit(c, d+1)
+		}
+	}
+	visit(t.root, 1)
+	if keySum > 0 {
+		s.AvgHeight = depthSum / float64(keySum)
+		s.AvgError = errSum / float64(keySum)
+	}
+	return s
+}

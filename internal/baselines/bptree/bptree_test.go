@@ -1,0 +1,66 @@
+package bptree
+
+import (
+	"testing"
+
+	"chameleon/internal/dataset"
+	"chameleon/internal/index"
+	"chameleon/internal/index/indextest"
+)
+
+func TestBattery(t *testing.T) {
+	indextest.Run(t, func() index.Index { return New(0) }, indextest.Options{})
+}
+
+func TestSmallOrderSplitsAndMerges(t *testing.T) {
+	// Order 4 forces deep trees and exercises every rebalance path.
+	indextest.Run(t, func() index.Index { return New(4) }, indextest.Options{N: 4000, Ops: 20000})
+}
+
+func TestLeafChainAfterChurn(t *testing.T) {
+	tr := New(8)
+	keys := dataset.Uniform(5000, 1)
+	if err := tr.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Delete every third key, then verify the leaf chain yields the exact
+	// survivor set in order.
+	want := make([]uint64, 0, len(keys))
+	for i, k := range keys {
+		if i%3 == 0 {
+			if err := tr.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			want = append(want, k)
+		}
+	}
+	got := make([]uint64, 0, len(want))
+	tr.Range(0, ^uint64(0), func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("survivors: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("survivor %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := New(16)
+	keys := dataset.Generate(dataset.FACE, 50_000, 3)
+	if err := tr.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.MaxHeight < 3 {
+		t.Fatalf("order-16 tree over 50k keys has height %d", s.MaxHeight)
+	}
+	if s.Nodes < 1000 {
+		t.Fatalf("Nodes = %d, implausibly few", s.Nodes)
+	}
+}

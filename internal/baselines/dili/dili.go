@@ -1,0 +1,208 @@
+// Package dili implements the DILI baseline: a distribution-driven learned
+// index built in two phases (Table I: "BU+TD"). Bottom-up, an ε-bounded PLA
+// over the keys decides the leaf boundaries (and thus the fanout); top-down,
+// a linear-interpolation root routes to one precise-position leaf per PLA
+// segment (DILI's leaves, like LIPP's, store exact positions — Table V
+// reports zero model error for both). Updates go to the leaves, which split
+// downward on conflicts.
+package dili
+
+import (
+	"sort"
+
+	"chameleon/internal/baselines/lipp"
+	"chameleon/internal/index"
+	"chameleon/internal/pla"
+)
+
+// DefaultEpsilon is the bottom-up PLA error bound controlling the fanout.
+const DefaultEpsilon = 128
+
+// Index is the DILI tree. Construct with New.
+type Index struct {
+	eps    int
+	firsts []uint64     // first key of each leaf
+	leaves []*lipp.Node // precise-position leaves
+	segs   []pla.Segment
+	root   pla.Segment // linear model over firsts
+	count  int
+}
+
+var _ index.Index = (*Index)(nil)
+var _ index.StatsProvider = (*Index)(nil)
+
+// New creates an empty DILI with the given ε (0 selects DefaultEpsilon).
+func New(eps int) *Index {
+	if eps < 1 {
+		eps = DefaultEpsilon
+	}
+	return &Index{eps: eps}
+}
+
+// Name implements index.Index.
+func (t *Index) Name() string { return "DILI" }
+
+// Len implements index.Index.
+func (t *Index) Len() int { return t.count }
+
+// BulkLoad implements index.Index: phase 1 (bottom-up) computes segments,
+// phase 2 (top-down) instantiates the root model and leaves.
+func (t *Index) BulkLoad(keys, vals []uint64) error {
+	t.count = len(keys)
+	t.firsts, t.leaves, t.segs = nil, nil, nil
+	if len(keys) == 0 {
+		return nil
+	}
+	t.segs = pla.Build(keys, t.eps)
+	for _, seg := range t.segs {
+		ks := keys[seg.Start : seg.Start+seg.N]
+		var vs []uint64
+		if vals != nil {
+			vs = vals[seg.Start : seg.Start+seg.N]
+		}
+		t.firsts = append(t.firsts, seg.FirstKey)
+		t.leaves = append(t.leaves, lipp.NewNode(ks, vs))
+	}
+	if root := pla.Build(t.firsts, t.eps); len(root) > 0 {
+		t.root = root[0]
+		if len(root) > 1 {
+			// Multiple root segments: fall back to a single interpolation
+			// over the whole span; the bounded search below corrects it.
+			t.root = pla.Segment{
+				FirstKey: t.firsts[0],
+				Slope:    float64(len(t.firsts)-1) / max1(float64(t.firsts[len(t.firsts)-1]-t.firsts[0])),
+			}
+		}
+	}
+	return nil
+}
+
+func max1(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// leafFor locates the leaf responsible for k: model prediction plus an
+// expanding bounded search over the first-key array.
+func (t *Index) leafFor(k uint64) int {
+	n := len(t.firsts)
+	if n == 0 {
+		return -1
+	}
+	pred := t.root.Predict(k)
+	if pred < 0 {
+		pred = 0
+	}
+	if pred >= n {
+		pred = n - 1
+	}
+	// Gallop to a window where firsts[lo] ≤ k < firsts[hi].
+	lo, hi := pred, pred+1
+	step := 1
+	for lo > 0 && t.firsts[lo] > k {
+		lo -= step
+		step *= 2
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	step = 1
+	for hi < n && t.firsts[hi] <= k {
+		hi += step
+		step *= 2
+	}
+	if hi > n {
+		hi = n
+	}
+	i := lo + sort.Search(hi-lo, func(i int) bool { return t.firsts[lo+i] > k })
+	if i > 0 {
+		i--
+	}
+	return i
+}
+
+// Lookup implements index.Index.
+func (t *Index) Lookup(k uint64) (uint64, bool) {
+	i := t.leafFor(k)
+	if i < 0 {
+		return 0, false
+	}
+	return t.leaves[i].Lookup(k)
+}
+
+// Insert implements index.Index.
+func (t *Index) Insert(k, v uint64) error {
+	i := t.leafFor(k)
+	if i < 0 {
+		// First key ever: create a single leaf.
+		t.firsts = []uint64{k}
+		t.leaves = []*lipp.Node{lipp.NewNode([]uint64{k}, []uint64{v})}
+		t.root = pla.Segment{FirstKey: k}
+		t.count = 1
+		return nil
+	}
+	if !t.leaves[i].Insert(k, v) {
+		return index.ErrDuplicateKey
+	}
+	t.count++
+	return nil
+}
+
+// Delete implements index.Index.
+func (t *Index) Delete(k uint64) error {
+	i := t.leafFor(k)
+	if i < 0 {
+		return index.ErrKeyNotFound
+	}
+	if !t.leaves[i].Delete(k) {
+		return index.ErrKeyNotFound
+	}
+	t.count--
+	return nil
+}
+
+// Bytes implements index.Index.
+func (t *Index) Bytes() int {
+	total := 96 + 8*len(t.firsts) + 32*len(t.segs)
+	for _, lf := range t.leaves {
+		total += lf.Bytes()
+	}
+	return total
+}
+
+// Stats implements index.StatsProvider: exact leaves mean zero model error;
+// heights count the root level plus each leaf's internal depth.
+func (t *Index) Stats() index.Stats {
+	var s index.Stats
+	var depthSum float64
+	var keySum int
+	s.Nodes = 1 // root
+	for _, lf := range t.leaves {
+		lf.DepthStats(2, &s.MaxHeight, &depthSum, &keySum, &s.Nodes)
+	}
+	if keySum > 0 {
+		s.AvgHeight = depthSum / float64(keySum)
+	}
+	return s
+}
+
+// Range implements index.RangeIndex: leaves are visited in first-key order
+// and each precise-position leaf yields its in-range entries sorted.
+func (t *Index) Range(lo, hi uint64, fn func(key, val uint64) bool) {
+	if hi < lo || len(t.leaves) == 0 {
+		return
+	}
+	i := t.leafFor(lo)
+	for ; i < len(t.leaves); i++ {
+		if t.firsts[i] > hi {
+			return
+		}
+		if !t.leaves[i].WalkRange(lo, hi, fn) {
+			return
+		}
+	}
+}
+
+var _ index.RangeIndex = (*Index)(nil)

@@ -1,0 +1,60 @@
+package dili
+
+import (
+	"testing"
+
+	"chameleon/internal/dataset"
+	"chameleon/internal/index"
+	"chameleon/internal/index/indextest"
+)
+
+func TestBattery(t *testing.T) {
+	indextest.Run(t, func() index.Index { return New(0) }, indextest.Options{})
+}
+
+func TestExactLeavesNoModelError(t *testing.T) {
+	ix := New(0)
+	if err := ix.BulkLoad(dataset.Generate(dataset.OSMC, 30_000, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	s := ix.Stats()
+	if s.MaxError != 0 || s.AvgError != 0 {
+		t.Fatalf("DILI leaves must be exact: %+v", s)
+	}
+	if s.MaxHeight < 2 {
+		t.Fatalf("MaxHeight = %d", s.MaxHeight)
+	}
+}
+
+func TestFanoutTracksDistribution(t *testing.T) {
+	// The bottom-up phase should cut more leaves for skewed data (more PLA
+	// segments) than for near-linear data.
+	uni, skew := New(64), New(64)
+	if err := uni.BulkLoad(dataset.Generate(dataset.UDEN, 50_000, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := skew.BulkLoad(dataset.Generate(dataset.FACE, 50_000, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(skew.leaves) <= len(uni.leaves) {
+		t.Fatalf("skewed leaves %d not above uniform %d", len(skew.leaves), len(uni.leaves))
+	}
+}
+
+func TestInsertBeyondLoadedRange(t *testing.T) {
+	ix := New(0)
+	keys := dataset.Uniform(5000, 5)
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	over := keys[len(keys)-1] + 1000
+	under := keys[0] / 2
+	for _, k := range []uint64{over, under} {
+		if err := ix.Insert(k, k*3); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+		if v, ok := ix.Lookup(k); !ok || v != k*3 {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}

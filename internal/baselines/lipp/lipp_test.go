@@ -1,0 +1,116 @@
+package lipp
+
+import (
+	"testing"
+	"time"
+
+	"chameleon/internal/dataset"
+	"chameleon/internal/index"
+	"chameleon/internal/index/indextest"
+)
+
+func TestBattery(t *testing.T) {
+	indextest.Run(t, func() index.Index { return New() }, indextest.Options{})
+}
+
+func TestExactPositionsNoError(t *testing.T) {
+	ix := New()
+	keys := dataset.Generate(dataset.FACE, 30_000, 1)
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := ix.Stats()
+	if s.MaxError != 0 || s.AvgError != 0 {
+		t.Fatalf("LIPP positions must be exact: %+v", s)
+	}
+}
+
+func TestHeightGrowsWithSkew(t *testing.T) {
+	// Table V: LIPP's downward splitting yields much taller trees on skewed
+	// data than on uniform data.
+	uni, skew := New(), New()
+	if err := uni.BulkLoad(dataset.Generate(dataset.UDEN, 50_000, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := skew.BulkLoad(dataset.Generate(dataset.FACE, 50_000, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	u, s := uni.Stats(), skew.Stats()
+	if s.MaxHeight < u.MaxHeight {
+		t.Fatalf("skewed height %d below uniform %d", s.MaxHeight, u.MaxHeight)
+	}
+	if s.AvgHeight <= u.AvgHeight {
+		t.Fatalf("skewed AvgHeight %.2f not above uniform %.2f", s.AvgHeight, u.AvgHeight)
+	}
+}
+
+func TestInsertConflictCreatesChildren(t *testing.T) {
+	ix := New()
+	if err := ix.BulkLoad(dataset.Uniform(10_000, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	before := ix.Stats().Nodes
+	// Dense sequential inserts into one region force conflicts.
+	base := uint64(1 << 40)
+	for i := uint64(0); i < 5000; i++ {
+		if err := ix.Insert(base+i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := ix.Stats().Nodes
+	if after <= before {
+		t.Fatalf("no child nodes created under conflicting inserts: %d → %d", before, after)
+	}
+	for i := uint64(0); i < 5000; i += 7 {
+		if v, ok := ix.Lookup(base + i); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", base+i, v, ok)
+		}
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	keys := dataset.Generate(dataset.LOGN, 5000, 9)
+	nd := NewNode(keys, nil)
+	seen := map[uint64]bool{}
+	nd.Walk(func(k, v uint64) {
+		if k != v {
+			t.Fatalf("value mismatch for %d", k)
+		}
+		seen[k] = true
+	})
+	if len(seen) != len(keys) {
+		t.Fatalf("Walk visited %d keys, want %d", len(seen), len(keys))
+	}
+}
+
+func TestMonotoneInsertsStayFast(t *testing.T) {
+	// Appending sorted keys used to build an O(n)-deep conflict chain; the
+	// subtree remodeling must keep both time and depth bounded.
+	ix := New()
+	if err := ix.BulkLoad(dataset.Uniform(1000, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	base := uint64(1) << 55
+	const n = 100_000
+	for i := uint64(0); i < n; i++ {
+		if err := ix.Insert(base+i*17, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("monotone inserts took %v; remodeling broken", d)
+	}
+	s := ix.Stats()
+	if s.MaxHeight > 24 {
+		t.Fatalf("MaxHeight %d after monotone inserts; remodeling not triggering", s.MaxHeight)
+	}
+	for i := uint64(0); i < n; i += 997 {
+		if v, ok := ix.Lookup(base + i*17); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", base+i*17, v, ok)
+		}
+	}
+	if ix.Len() != 1000+n {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}

@@ -1,0 +1,366 @@
+// Package pgm implements the PGM-index baseline: a bottom-up recursion of
+// ε-bounded piecewise linear models over the sorted key array (the static
+// index of Table I, "PLM+BS" at both inner and leaf levels), made dynamic
+// with the logarithmic method the original uses — an insert buffer plus
+// geometrically growing static runs merged on overflow, i.e. the
+// out-of-place update strategy the paper's Table I attributes to PGM.
+package pgm
+
+import (
+	"sort"
+
+	"chameleon/internal/index"
+	"chameleon/internal/pla"
+)
+
+// DefaultEpsilon is the PLA error bound at every level.
+const DefaultEpsilon = 64
+
+// DefaultBufferCap is the unsorted insert-buffer capacity before a merge.
+const DefaultBufferCap = 1024
+
+// static is one immutable PGM run: the data arrays plus the recursive
+// segment levels (levels[0] indexes the keys; levels[i+1] indexes the first
+// keys of levels[i]).
+type static struct {
+	keys, vals []uint64
+	dead       []bool
+	levels     [][]pla.Segment
+}
+
+func buildStatic(keys, vals []uint64, dead []bool, eps int) *static {
+	s := &static{keys: keys, vals: vals, dead: dead}
+	if len(keys) == 0 {
+		return s
+	}
+	level := pla.Build(keys, eps)
+	s.levels = append(s.levels, level)
+	for len(level) > 1 {
+		firsts := make([]uint64, len(level))
+		for i, seg := range level {
+			firsts[i] = seg.FirstKey
+		}
+		level = pla.Build(firsts, eps)
+		s.levels = append(s.levels, level)
+	}
+	return s
+}
+
+// find locates k's rank by descending the levels: at each level the model
+// predicts a position and a ±ε binary search pins it down.
+func (s *static) find(k uint64, eps int) (int, bool) {
+	if len(s.keys) == 0 {
+		return 0, false
+	}
+	// Descend from the top level to locate the level-0 segment.
+	segIdx := 0
+	for l := len(s.levels) - 1; l >= 1; l-- {
+		level := s.levels[l-1]
+		seg := s.levels[l][segIdx]
+		segIdx = boundedSearch(len(level), seg.Predict(k), eps, func(i int) bool {
+			return level[i].FirstKey > k
+		})
+		if segIdx > 0 {
+			segIdx--
+		}
+	}
+	var seg pla.Segment
+	if len(s.levels) > 0 {
+		seg = s.levels[0][segIdx]
+	}
+	pos := boundedSearch(len(s.keys), seg.Predict(k), eps, func(i int) bool {
+		return s.keys[i] >= k
+	})
+	if pos < len(s.keys) && s.keys[pos] == k {
+		return pos, true
+	}
+	return pos, false
+}
+
+// boundedSearch runs sort.Search restricted to [pred−eps, pred+eps+1],
+// falling back to the full range if the window misses (which cannot happen
+// for indexed keys, but keeps absent-key probes correct).
+func boundedSearch(n, pred, eps int, f func(int) bool) int {
+	lo, hi := pred-eps, pred+eps+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return sort.Search(n, f)
+	}
+	// The window is valid only if f is false before lo and true from hi on.
+	if (lo > 0 && f(lo-1)) || (hi < n && !f(hi)) {
+		return sort.Search(n, f)
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return f(lo + i) })
+}
+
+// Index is the dynamic PGM. Construct with New.
+type Index struct {
+	eps     int
+	bufCap  int
+	buffer  map[uint64]bufEntry
+	runs    []*static // geometric levels, smallest first; nil slots allowed
+	count   int
+	baseLen int
+}
+
+type bufEntry struct {
+	val  uint64
+	dead bool
+}
+
+var _ index.Index = (*Index)(nil)
+
+// New creates an empty PGM with error bound eps (0 selects DefaultEpsilon).
+func New(eps int) *Index {
+	if eps < 1 {
+		eps = DefaultEpsilon
+	}
+	return &Index{eps: eps, bufCap: DefaultBufferCap, buffer: map[uint64]bufEntry{}}
+}
+
+// Name implements index.Index.
+func (t *Index) Name() string { return "PGM" }
+
+// Len implements index.Index.
+func (t *Index) Len() int { return t.count }
+
+// BulkLoad implements index.Index.
+func (t *Index) BulkLoad(keys, vals []uint64) error {
+	t.buffer = map[uint64]bufEntry{}
+	t.runs = nil
+	t.count = len(keys)
+	if len(keys) == 0 {
+		return nil
+	}
+	ks := append([]uint64(nil), keys...)
+	var vs []uint64
+	if vals == nil {
+		vs = append([]uint64(nil), keys...)
+	} else {
+		vs = append([]uint64(nil), vals...)
+	}
+	t.runs = []*static{buildStatic(ks, vs, make([]bool, len(ks)), t.eps)}
+	return nil
+}
+
+// Lookup implements index.Index: newest-first — buffer, then runs small to
+// large.
+func (t *Index) Lookup(k uint64) (uint64, bool) {
+	if e, ok := t.buffer[k]; ok {
+		if e.dead {
+			return 0, false
+		}
+		return e.val, true
+	}
+	for _, r := range t.runs {
+		if r == nil {
+			continue
+		}
+		if pos, ok := r.find(k, t.eps); ok {
+			if r.dead[pos] {
+				return 0, false
+			}
+			return r.vals[pos], true
+		}
+	}
+	return 0, false
+}
+
+// Insert implements index.Index (out-of-place: into the buffer).
+func (t *Index) Insert(k, v uint64) error {
+	if _, ok := t.Lookup(k); ok {
+		return index.ErrDuplicateKey
+	}
+	t.buffer[k] = bufEntry{val: v}
+	t.count++
+	t.maybeFlush()
+	return nil
+}
+
+// Delete implements index.Index (a tombstone in the buffer).
+func (t *Index) Delete(k uint64) error {
+	if _, ok := t.Lookup(k); !ok {
+		return index.ErrKeyNotFound
+	}
+	t.buffer[k] = bufEntry{dead: true}
+	t.count--
+	t.maybeFlush()
+	return nil
+}
+
+// maybeFlush merges the buffer into the run hierarchy when full: the
+// logarithmic method — merge cascades through occupied slots, so each key is
+// rewritten O(log n) times overall.
+func (t *Index) maybeFlush() {
+	if len(t.buffer) < t.bufCap {
+		return
+	}
+	ks := make([]uint64, 0, len(t.buffer))
+	for k := range t.buffer {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	vs := make([]uint64, len(ks))
+	dd := make([]bool, len(ks))
+	for i, k := range ks {
+		e := t.buffer[k]
+		vs[i], dd[i] = e.val, e.dead
+	}
+	t.buffer = map[uint64]bufEntry{}
+
+	lvl := 0
+	for {
+		if lvl == len(t.runs) {
+			t.runs = append(t.runs, nil)
+		}
+		if t.runs[lvl] == nil {
+			break
+		}
+		r := t.runs[lvl]
+		ks, vs, dd = mergeRuns(ks, vs, dd, r.keys, r.vals, r.dead)
+		t.runs[lvl] = nil
+		lvl++
+	}
+	// Tombstones can be dropped once nothing older remains below.
+	older := false
+	for i := lvl + 1; i < len(t.runs); i++ {
+		if t.runs[i] != nil {
+			older = true
+			break
+		}
+	}
+	if !older {
+		w := 0
+		for i := range ks {
+			if !dd[i] {
+				ks[w], vs[w], dd[w] = ks[i], vs[i], false
+				w++
+			}
+		}
+		ks, vs, dd = ks[:w], vs[:w], dd[:w]
+	}
+	t.runs[lvl] = buildStatic(ks, vs, dd, t.eps)
+}
+
+// mergeRuns merges two sorted runs; entries from the newer (a) shadow the
+// older (b) on equal keys.
+func mergeRuns(ak, av []uint64, ad []bool, bk, bv []uint64, bd []bool) ([]uint64, []uint64, []bool) {
+	ks := make([]uint64, 0, len(ak)+len(bk))
+	vs := make([]uint64, 0, len(ak)+len(bk))
+	dd := make([]bool, 0, len(ak)+len(bk))
+	i, j := 0, 0
+	for i < len(ak) && j < len(bk) {
+		switch {
+		case ak[i] < bk[j]:
+			ks, vs, dd = append(ks, ak[i]), append(vs, av[i]), append(dd, ad[i])
+			i++
+		case ak[i] > bk[j]:
+			ks, vs, dd = append(ks, bk[j]), append(vs, bv[j]), append(dd, bd[j])
+			j++
+		default:
+			ks, vs, dd = append(ks, ak[i]), append(vs, av[i]), append(dd, ad[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(ak); i++ {
+		ks, vs, dd = append(ks, ak[i]), append(vs, av[i]), append(dd, ad[i])
+	}
+	for ; j < len(bk); j++ {
+		ks, vs, dd = append(ks, bk[j]), append(vs, bv[j]), append(dd, bd[j])
+	}
+	return ks, vs, dd
+}
+
+// Bytes implements index.Index.
+func (t *Index) Bytes() int {
+	total := 48 + len(t.buffer)*40
+	for _, r := range t.runs {
+		if r == nil {
+			continue
+		}
+		total += 17 * len(r.keys)
+		for _, lvl := range r.levels {
+			total += 32 * len(lvl)
+		}
+	}
+	return total
+}
+
+// Range implements index.RangeIndex: a k-way merge over the buffer and all
+// runs, with newer sources shadowing older ones on equal keys and tombstones
+// suppressing output.
+func (t *Index) Range(lo, hi uint64, fn func(key, val uint64) bool) {
+	if hi < lo {
+		return
+	}
+	// Cursor per source, newest first: buffer (materialized sorted), then
+	// runs small to large.
+	type cursor struct {
+		keys, vals []uint64
+		dead       []bool
+		pos        int
+	}
+	var cursors []*cursor
+	if len(t.buffer) > 0 {
+		ks := make([]uint64, 0, len(t.buffer))
+		for k := range t.buffer {
+			if k >= lo && k <= hi {
+				ks = append(ks, k)
+			}
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		vs := make([]uint64, len(ks))
+		dd := make([]bool, len(ks))
+		for i, k := range ks {
+			e := t.buffer[k]
+			vs[i], dd[i] = e.val, e.dead
+		}
+		cursors = append(cursors, &cursor{keys: ks, vals: vs, dead: dd})
+	}
+	for _, r := range t.runs {
+		if r == nil || len(r.keys) == 0 {
+			continue
+		}
+		start, _ := r.find(lo, t.eps)
+		cursors = append(cursors, &cursor{keys: r.keys, vals: r.vals, dead: r.dead, pos: start})
+	}
+	for {
+		// Pick the smallest head key; the earliest (newest) source wins ties.
+		best := -1
+		var bestKey uint64
+		for i, c := range cursors {
+			for c.pos < len(c.keys) && c.keys[c.pos] < lo {
+				c.pos++
+			}
+			if c.pos >= len(c.keys) || c.keys[c.pos] > hi {
+				continue
+			}
+			if best == -1 || c.keys[c.pos] < bestKey {
+				best, bestKey = i, c.keys[c.pos]
+			}
+		}
+		if best == -1 {
+			return
+		}
+		c := cursors[best]
+		emit := !c.dead[c.pos]
+		k, v := c.keys[c.pos], c.vals[c.pos]
+		// Advance every source past this key (shadowed duplicates skipped).
+		for _, cc := range cursors {
+			for cc.pos < len(cc.keys) && cc.keys[cc.pos] <= k {
+				cc.pos++
+			}
+		}
+		if emit && !fn(k, v) {
+			return
+		}
+	}
+}
+
+var _ index.RangeIndex = (*Index)(nil)

@@ -1,0 +1,137 @@
+package pgm
+
+import (
+	"sort"
+	"testing"
+
+	"chameleon/internal/dataset"
+	"chameleon/internal/index"
+	"chameleon/internal/index/indextest"
+)
+
+func TestBattery(t *testing.T) {
+	indextest.Run(t, func() index.Index { return New(0) }, indextest.Options{})
+}
+
+func TestTightEpsilon(t *testing.T) {
+	indextest.Run(t, func() index.Index { return New(4) }, indextest.Options{N: 5000, Ops: 15000})
+}
+
+func TestMergeCascade(t *testing.T) {
+	// Inserting far beyond the buffer capacity must cascade merges while
+	// keeping everything findable.
+	ix := New(16)
+	if err := ix.BulkLoad(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20_000
+	for i := uint64(0); i < n; i++ {
+		k := i*2 + 1
+		if err := ix.Insert(k, k*10); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	if ix.Len() != n {
+		t.Fatalf("Len = %d, want %d", ix.Len(), n)
+	}
+	occupied := 0
+	for _, r := range ix.runs {
+		if r != nil {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Fatalf("only %d runs after 20k buffered inserts; cascade missing", occupied)
+	}
+	for i := uint64(0); i < n; i += 17 {
+		k := i*2 + 1
+		if v, ok := ix.Lookup(k); !ok || v != k*10 {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+		if _, ok := ix.Lookup(k + 1); ok {
+			t.Fatalf("phantom even key %d", k+1)
+		}
+	}
+}
+
+func TestTombstonesDroppedAtBottom(t *testing.T) {
+	ix := New(16)
+	keys := dataset.Uniform(4096, 1)
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:2048] {
+		if err := ix.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force enough churn that the runs fully merge at least once.
+	for i := uint64(0); i < 8192; i++ {
+		ix.Insert(keys[len(keys)-1]+1+i, i) //nolint:errcheck // fresh keys
+	}
+	if ix.Len() != 2048+8192 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for _, k := range keys[:2048] {
+		if _, ok := ix.Lookup(k); ok {
+			t.Fatalf("deleted key %d resurfaced", k)
+		}
+	}
+	for _, k := range keys[2048:] {
+		if _, ok := ix.Lookup(k); !ok {
+			t.Fatalf("surviving key %d lost", k)
+		}
+	}
+}
+
+func TestRangeAcrossRunsAndBuffer(t *testing.T) {
+	// Range must merge the buffer, multiple runs, shadowed values, and
+	// tombstones into one ordered stream.
+	ix := New(16)
+	keys := dataset.Uniform(4000, 4)
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[uint64]uint64{}
+	for _, k := range keys {
+		oracle[k] = k
+	}
+	// Churn enough to create several runs plus a live buffer.
+	for i := uint64(0); i < 6000; i++ {
+		k := keys[len(keys)-1] + 1 + i*2
+		if err := ix.Insert(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+		oracle[k] = k * 3
+	}
+	for i := 0; i < len(keys); i += 3 {
+		if err := ix.Delete(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+		delete(oracle, keys[i])
+	}
+	lo, hi := keys[100], keys[len(keys)-1]+8000
+	want := make([]uint64, 0)
+	for k := range oracle {
+		if k >= lo && k <= hi {
+			want = append(want, k)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := make([]uint64, 0, len(want))
+	ix.Range(lo, hi, func(k, v uint64) bool {
+		if v != oracle[k] {
+			t.Fatalf("value for %d: %d, want %d", k, v, oracle[k])
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("range returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range order mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"chameleon/internal/costmodel"
+	"chameleon/internal/ebh"
+	"chameleon/internal/rl"
+)
+
+// BulkLoad implements index.Index: it (re)builds the structure over sorted
+// unique keys using the MARL construction of Fig. 6 — DARE emits the root
+// fanout p0 and parameter matrix M for the upper h−1 levels; the fanout
+// policy (TSMDP) refines each level-h node.
+func (ix *Index) BulkLoad(keys, vals []uint64) error {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return ErrUnsortedKeys
+		}
+	}
+	if vals != nil && len(vals) != len(keys) {
+		return ErrUnsortedKeys
+	}
+	ix.reset(keys, vals)
+	return nil
+}
+
+// build constructs the full tree and registers the level-h gates.
+func (ix *Index) build(keys, vals []uint64) *node {
+	mk, Mk := keys[0], keys[len(keys)-1]
+	dare := ix.cfg.Dare
+	if dare == nil {
+		cfg := rl.DefaultDAREConfig()
+		cfg.Env = ix.env
+		cfg.Seed = ix.cfg.Seed
+		dare = rl.NewCostDARE(cfg)
+	}
+	p0, m := dare.Parameters(keys, ix.h, ix.cfg.L)
+	upperFan := rl.UpperFanoutFn(p0, m, mk, Mk, ix.cfg.L)
+	return ix.buildUpper(keys, vals, mk, Mk, 1, upperFan)
+}
+
+// buildUpper builds levels 1..h−1 with the DARE fanouts; children at level h
+// are built by buildLower and registered as gates.
+func (ix *Index) buildUpper(keys, vals []uint64, lo, hi uint64, level int, fan costmodel.FanoutFn) *node {
+	f := fan(level, lo, hi, len(keys))
+	if f <= 1 || len(keys) <= 1 || level >= ix.h {
+		// Degenerate upper node: no partition at this level; fall through to
+		// the lower builder (no gate — nothing above will retrain it).
+		return ix.buildLower(keys, vals, lo, hi, ix.h)
+	}
+	n := newInner(lo, hi, f)
+	parts := costmodel.Partition(keys, lo, hi, f)
+	atGate := level+1 == ix.h
+	if atGate {
+		n.gateBase = uint64(len(ix.gates))
+	}
+	for j := 0; j < f; j++ {
+		clo, chi := costmodel.ChildInterval(lo, hi, f, j)
+		ck := keys[parts[j][0]:parts[j][1]]
+		var cv []uint64
+		if vals != nil {
+			cv = vals[parts[j][0]:parts[j][1]]
+		}
+		var child *node
+		if atGate {
+			child = ix.buildLower(ck, cv, clo, chi, ix.h)
+			g := &gate{id: n.gateBase + uint64(j), parent: n, slot: j, lo: clo, hi: chi}
+			g.keys.Store(int64(len(ck)))
+			ix.gates = append(ix.gates, g)
+		} else {
+			child = ix.buildUpper(ck, cv, clo, chi, level+1, fan)
+		}
+		n.children[j] = child
+	}
+	return n
+}
+
+// buildLower builds a level-h subtree: the fanout policy (TSMDP) decides
+// recursively whether to keep partitioning; fanout 1 terminates in an EBH
+// leaf.
+func (ix *Index) buildLower(keys, vals []uint64, lo, hi uint64, level int) *node {
+	f := 1
+	if ix.cfg.Policy != nil && level < ix.h+ix.cfg.MaxLowerDepth && len(keys) > 1 {
+		f = ix.cfg.Policy.Fanout(keys, lo, hi, level)
+	}
+	if f <= 1 || len(keys) <= 1 {
+		leaf := ebh.NewFromSorted(lo, hi, keys, vals, ix.cfg.Tau, ix.cfg.Alpha)
+		return &node{lo: lo, hi: hi, fanout: 1, gateBase: noGate, leaf: leaf}
+	}
+	n := newInner(lo, hi, f)
+	parts := costmodel.Partition(keys, lo, hi, f)
+	for j := 0; j < f; j++ {
+		clo, chi := costmodel.ChildInterval(lo, hi, f, j)
+		ck := keys[parts[j][0]:parts[j][1]]
+		var cv []uint64
+		if vals != nil {
+			cv = vals[parts[j][0]:parts[j][1]]
+		}
+		n.children[j] = ix.buildLower(ck, cv, clo, chi, level+1)
+	}
+	return n
+}
+
+// route computes the child index for a key via the cached Eq. (1) scale,
+// clamping keys outside the node's interval to the edge children so inserts
+// beyond the bulk-loaded range stay routable.
+func route(k uint64, n *node) int {
+	if k <= n.lo {
+		return 0
+	}
+	if k >= n.hi {
+		return n.fanout - 1
+	}
+	j := int(n.scale * float64(k-n.lo))
+	if j >= n.fanout {
+		j = n.fanout - 1
+	}
+	return j
+}

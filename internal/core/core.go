@@ -1,0 +1,283 @@
+// Package core implements the Chameleon index (Section III): a tree of
+// precise linear inner nodes (Eq. 1) over Error Bounded Hashing leaves, bulk
+// loaded by the MARL construction of Section IV (DARE shapes the upper h−1
+// levels, TSMDP refines below) and kept healthy under updates by the
+// Interval-Lock-guarded background retraining of Section V.
+//
+// Concurrency model (matching the paper's): one foreground thread issues
+// queries and updates sequentially; one background goroutine retrains
+// level-h subtrees. The two synchronize only through per-interval locks, so
+// retraining never blocks operations on other intervals.
+package core
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"chameleon/internal/ebh"
+	"chameleon/internal/ilock"
+	"chameleon/internal/index"
+	"chameleon/internal/rl"
+)
+
+// noGate marks inner nodes whose children are not level-h retraining units.
+const noGate = ^uint64(0)
+
+// Config controls construction and retraining. The zero value is usable:
+// Defaults fills in the paper's Table IV settings with the deterministic
+// cost-model policies.
+type Config struct {
+	// Name overrides the display name (defaults to "Chameleon").
+	Name string
+	// Tau is the EBH collision target τ (default 0.45).
+	Tau float64
+	// Alpha is the EBH hash factor α (default 131).
+	Alpha float64
+	// L is the DARE parameter-matrix row width (default 64).
+	L int
+	// MaxLowerDepth bounds the TSMDP refinement recursion below level h
+	// (default 3).
+	MaxLowerDepth int
+	// Dare chooses the upper-level parameters. Nil selects the analytic
+	// CostDARE policy.
+	Dare rl.DAREPolicy
+	// ReconstructDare is the policy used for runtime full reconstructions.
+	// The paper's online DARE invocation is cheap trained-critic inference;
+	// the deterministic default here is a reduced-budget CostDARE so
+	// in-path rebuilds stay bounded. Nil selects that default; set it to a
+	// trained agent for the paper-faithful variant.
+	ReconstructDare rl.DAREPolicy
+	// Policy decides lower-level fanouts (TSMDP's role). Nil means level-h
+	// nodes become leaves directly (the ChaDA ablation).
+	Policy rl.FanoutPolicy
+	// RetrainEvery is the background retraining period (the paper evaluates
+	// 10s). Zero disables the retrainer; it can still be started manually.
+	RetrainEvery time.Duration
+	// LightThreshold is the updates/keys ratio that triggers a leaf-level
+	// retrain of a subtree (capacity restore, no sorting). Default 0.25.
+	LightThreshold float64
+	// StructThreshold is the ratio that triggers a structural rebuild of the
+	// subtree via the fanout policy. Default 1.0.
+	StructThreshold float64
+	// ReconstructThreshold triggers a full DARE reconstruction once
+	// cumulative updates since the last build exceed this multiple of the
+	// built size (Section V, Limitation 1: "when the number of updated data
+	// reaches a certain threshold, ... DARE is triggered to reconstruct the
+	// overall index structure"). Zero selects the default of 4 (geometric
+	// rebuilds, amortized O(1) per update); a negative value disables it.
+	ReconstructThreshold float64
+	// Seed feeds the analytic policies' genetic algorithm.
+	Seed uint64
+}
+
+// Defaults returns cfg with unset fields filled in.
+func (cfg Config) Defaults() Config {
+	if cfg.Name == "" {
+		cfg.Name = "Chameleon"
+	}
+	if cfg.Tau <= 0 || cfg.Tau >= 1 {
+		cfg.Tau = ebh.DefaultTau
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = ebh.DefaultAlpha
+	}
+	if cfg.L <= 0 {
+		cfg.L = 64
+	}
+	if cfg.MaxLowerDepth <= 0 {
+		cfg.MaxLowerDepth = 3
+	}
+	if cfg.LightThreshold <= 0 {
+		cfg.LightThreshold = 0.25
+	}
+	if cfg.StructThreshold <= 0 {
+		cfg.StructThreshold = 1.0
+	}
+	if cfg.ReconstructThreshold == 0 {
+		cfg.ReconstructThreshold = 4.0
+	}
+	if cfg.ReconstructDare == nil {
+		dcfg := rl.DefaultDAREConfig()
+		dcfg.Seed = cfg.Seed
+		dcfg.GA.Generations = 8
+		dcfg.GA.Pop = 10
+		dcfg.SampleCap = 1 << 14
+		cfg.ReconstructDare = rl.NewCostDARE(dcfg)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// node is one tree node: an EBH leaf when leaf is non-nil, otherwise an
+// inner node with the interpolation model of Eq. (1).
+type node struct {
+	lo, hi   uint64
+	fanout   int
+	scale    float64 // cached Eq. (1) factor: fanout/(hi−lo)
+	children []*node
+	leaf     *ebh.Node
+	// gateBase is the first interval-lock ID of this node's children when
+	// they are level-h retraining units; noGate otherwise.
+	gateBase uint64
+}
+
+// newInner builds an inner node with its routing scale cached. The scale
+// reproduces costmodel.ChildIndex exactly (same float expression), so
+// construction-time partitioning and lookup-time routing always agree.
+func newInner(lo, hi uint64, fanout int) *node {
+	n := &node{lo: lo, hi: hi, fanout: fanout, gateBase: noGate, children: make([]*node, fanout)}
+	if span := hi - lo; span > 0 {
+		n.scale = float64(fanout) / float64(span)
+	}
+	return n
+}
+
+// gate is the retraining bookkeeping for one level-h subtree.
+type gate struct {
+	id      uint64
+	parent  *node
+	slot    int
+	lo, hi  uint64
+	updates atomic.Int64 // inserts+deletes since the last retrain
+	keys    atomic.Int64 // key count at the last (re)build
+}
+
+// Index is the Chameleon index. Construct with New; it implements the
+// index.Index, index.RangeIndex, and index.StatsProvider interfaces.
+type Index struct {
+	cfg   Config
+	env   rl.Env
+	root  *node
+	h     int
+	gates []*gate
+	locks *ilock.Table
+	count int
+
+	// Full-reconstruction bookkeeping (foreground only).
+	baseN           int // key count at the last full (re)build
+	updatesSince    int // inserts+deletes since the last full (re)build
+	reconstructions int
+	lastPeriod      time.Duration // retrainer period to restore after a rebuild
+
+	// Retrainer lifecycle and accounting (Fig. 14 / Fig. 15). active gates
+	// the foreground interval locking: with no retrainer goroutine there is
+	// no concurrency, so the query path skips the lock CAS entirely.
+	active       atomic.Bool
+	stop         chan struct{}
+	done         chan struct{}
+	retrains     atomic.Int64
+	retrainNanos atomic.Int64
+}
+
+var _ index.RangeIndex = (*Index)(nil)
+var _ index.StatsProvider = (*Index)(nil)
+
+// New creates an empty index.
+func New(cfg Config) *Index {
+	cfg = cfg.Defaults()
+	env := rl.DefaultEnv()
+	env.Tau, env.Alpha = cfg.Tau, cfg.Alpha
+	ix := &Index{cfg: cfg, env: env}
+	ix.reset(nil, nil)
+	return ix
+}
+
+// NewChaDATS is the full system of Table V: DARE plus TSMDP refinement. A
+// nil policy selects the analytic equivalents (DESIGN.md §4).
+func NewChaDATS(dare rl.DAREPolicy, policy rl.FanoutPolicy) *Index {
+	cfg := Config{Name: "ChaDATS", Dare: dare, Policy: policy}
+	if cfg.Dare == nil {
+		cfg.Dare = rl.NewCostDARE(rl.DefaultDAREConfig())
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = rl.NewCostPolicy(rl.DefaultEnv())
+	}
+	return New(cfg)
+}
+
+// NewChaDA is the Table V ablation with DARE but no TSMDP: level-h nodes
+// become EBH leaves directly.
+func NewChaDA(dare rl.DAREPolicy) *Index {
+	cfg := Config{Name: "ChaDA", Dare: dare}
+	if cfg.Dare == nil {
+		cfg.Dare = rl.NewCostDARE(rl.DefaultDAREConfig())
+	}
+	return New(cfg)
+}
+
+// NewChaB is the Table V ablation with EBH only (no DARE, no TSMDP): a fixed
+// upper structure over hash leaves.
+func NewChaB() *Index {
+	return New(Config{
+		Name:   "ChaB",
+		Dare:   rl.FixedDARE{Root: 1 << 10},
+		Policy: rl.FixedFanout{F: 32, MinSplit: 4096},
+	})
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return ix.cfg.Name }
+
+// Len implements index.Index.
+func (ix *Index) Len() int { return ix.count }
+
+// Height reports the number of levels on the deepest path (root = 1).
+func (ix *Index) Height() int {
+	var depth func(n *node) int
+	depth = func(n *node) int {
+		if n.leaf != nil {
+			return 1
+		}
+		best := 0
+		for _, c := range n.children {
+			if d := depth(c); d > best {
+				best = d
+			}
+		}
+		return 1 + best
+	}
+	return depth(ix.root)
+}
+
+// reset replaces the structure with a fresh one over the given sorted keys.
+func (ix *Index) reset(keys, vals []uint64) {
+	ix.gates = nil
+	ix.baseN = len(keys)
+	ix.updatesSince = 0
+	if len(keys) == 0 {
+		ix.root = &node{
+			lo: 0, hi: math.MaxUint64, fanout: 1, gateBase: noGate,
+			leaf: ebh.New(0, math.MaxUint64, 16, ix.cfg.Tau, ix.cfg.Alpha),
+		}
+		ix.h = 2
+		ix.locks = ilock.New(1)
+		ix.count = 0
+		return
+	}
+	ix.count = len(keys)
+	ix.h = heightFor(len(keys))
+	ix.root = ix.build(keys, vals)
+	n := len(ix.gates)
+	if n == 0 {
+		n = 1
+	}
+	ix.locks = ilock.New(n)
+}
+
+// heightFor is the paper's lower bound on tree height,
+// ⌈log_{2^10}(|D|)⌉, floored at 2.
+func heightFor(n int) int {
+	h := int(math.Ceil(math.Log2(float64(n)) / 10))
+	if h < 2 {
+		h = 2
+	}
+	return h
+}
+
+// ErrUnsortedKeys is returned by BulkLoad when the key slice is not strictly
+// ascending.
+var ErrUnsortedKeys = errors.New("core: bulk-load keys must be sorted and unique")

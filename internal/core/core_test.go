@@ -1,0 +1,497 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"chameleon/internal/dataset"
+	"chameleon/internal/index"
+	"chameleon/internal/rl"
+)
+
+// fastIndex builds a Chameleon with cheap analytic policies for tests.
+func fastIndex(name string) *Index {
+	dcfg := rl.DefaultDAREConfig()
+	dcfg.GA = dcfg.GA.Defaults()
+	dcfg.GA.Generations = 5
+	dcfg.GA.Pop = 8
+	dcfg.SampleCap = 8192
+	return New(Config{
+		Name:   name,
+		Dare:   rl.NewCostDARE(dcfg),
+		Policy: rl.NewCostPolicy(rl.DefaultEnv()),
+	})
+}
+
+func TestBulkLoadAndLookupAllDatasets(t *testing.T) {
+	for _, name := range dataset.Names {
+		keys := dataset.Generate(name, 50_000, 11)
+		ix := fastIndex("Chameleon")
+		if err := ix.BulkLoad(keys, nil); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ix.Len() != len(keys) {
+			t.Fatalf("%s: Len = %d, want %d", name, ix.Len(), len(keys))
+		}
+		for i := 0; i < len(keys); i += 97 {
+			v, ok := ix.Lookup(keys[i])
+			if !ok || v != keys[i] {
+				t.Fatalf("%s: Lookup(%d) = %d,%v", name, keys[i], v, ok)
+			}
+		}
+		// Absent keys between real ones must miss.
+		misses := 0
+		for i := 1; i < len(keys); i += 1009 {
+			if keys[i]-keys[i-1] > 1 {
+				if _, ok := ix.Lookup(keys[i] - 1); !ok {
+					misses++
+				} else if keys[i]-1 != keys[i-1] {
+					t.Fatalf("%s: phantom hit on absent key %d", name, keys[i]-1)
+				}
+			}
+		}
+		if misses == 0 {
+			t.Fatalf("%s: no absent-key probes executed", name)
+		}
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	ix := fastIndex("Chameleon")
+	if err := ix.BulkLoad([]uint64{3, 2, 5}, nil); err != ErrUnsortedKeys {
+		t.Fatalf("unsorted keys: err = %v", err)
+	}
+	if err := ix.BulkLoad([]uint64{3, 3}, nil); err != ErrUnsortedKeys {
+		t.Fatalf("duplicate keys: err = %v", err)
+	}
+	if err := ix.BulkLoad([]uint64{1, 2}, []uint64{9}); err != ErrUnsortedKeys {
+		t.Fatalf("mismatched vals: err = %v", err)
+	}
+}
+
+func TestEmptyIndexUsable(t *testing.T) {
+	ix := fastIndex("Chameleon")
+	if _, ok := ix.Lookup(5); ok {
+		t.Fatal("lookup on empty index hit")
+	}
+	if err := ix.Insert(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ix.Lookup(5); !ok || v != 50 {
+		t.Fatalf("Lookup(5) = %d,%v", v, ok)
+	}
+	if err := ix.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(5); err != index.ErrKeyNotFound {
+		t.Fatalf("double delete: err = %v", err)
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestOracleDifferential(t *testing.T) {
+	// Random operation stream against a map oracle, including keys outside
+	// the bulk-loaded range.
+	keys := dataset.Generate(dataset.OSMC, 20_000, 3)
+	ix := fastIndex("Chameleon")
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[uint64]uint64{}
+	for _, k := range keys {
+		oracle[k] = k
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	span := keys[len(keys)-1] + 1<<20
+	for op := 0; op < 60_000; op++ {
+		k := rng.Uint64N(span)
+		switch rng.IntN(3) {
+		case 0: // lookup
+			want, wantOK := oracle[k]
+			got, ok := ix.Lookup(k)
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("op %d: Lookup(%d) = %d,%v, oracle %d,%v", op, k, got, ok, want, wantOK)
+			}
+		case 1: // insert
+			err := ix.Insert(k, k^0xff)
+			if _, dup := oracle[k]; dup {
+				if err != index.ErrDuplicateKey {
+					t.Fatalf("op %d: duplicate insert err = %v", op, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("op %d: insert err = %v", op, err)
+				}
+				oracle[k] = k ^ 0xff
+			}
+		case 2: // delete
+			err := ix.Delete(k)
+			if _, present := oracle[k]; present {
+				if err != nil {
+					t.Fatalf("op %d: delete err = %v", op, err)
+				}
+				delete(oracle, k)
+			} else if err != index.ErrKeyNotFound {
+				t.Fatalf("op %d: absent delete err = %v", op, err)
+			}
+		}
+		if ix.Len() != len(oracle) {
+			t.Fatalf("op %d: Len = %d, oracle %d", op, ix.Len(), len(oracle))
+		}
+	}
+}
+
+func TestRangeOrderedAndComplete(t *testing.T) {
+	keys := dataset.Generate(dataset.LOGN, 10_000, 7)
+	ix := fastIndex("Chameleon")
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := keys[1000], keys[3000]
+	var got []uint64
+	ix.Range(lo, hi, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2001 {
+		t.Fatalf("range returned %d keys, want 2001", len(got))
+	}
+	for i, k := range got {
+		if k != keys[1000+i] {
+			t.Fatalf("range out of order at %d: %d vs %d", i, k, keys[1000+i])
+		}
+	}
+	// Early stop.
+	n := 0
+	ix.Range(lo, hi, func(k, v uint64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early-stop range visited %d", n)
+	}
+	// Empty and inverted ranges.
+	ix.Range(hi, lo, func(k, v uint64) bool { t.Fatal("inverted range emitted"); return false })
+}
+
+func TestStatsShape(t *testing.T) {
+	keys := dataset.Generate(dataset.FACE, 100_000, 1)
+	ix := fastIndex("Chameleon")
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := ix.Stats()
+	if s.MaxHeight < 2 || s.MaxHeight > 6 {
+		t.Fatalf("MaxHeight = %d, want the paper's 2-4 band", s.MaxHeight)
+	}
+	if s.AvgHeight > float64(s.MaxHeight) || s.AvgHeight < 1 {
+		t.Fatalf("AvgHeight = %v inconsistent with MaxHeight %d", s.AvgHeight, s.MaxHeight)
+	}
+	if s.Nodes < 2 {
+		t.Fatalf("Nodes = %d", s.Nodes)
+	}
+	if s.AvgError > float64(s.MaxError) {
+		t.Fatalf("AvgError %v above MaxError %d", s.AvgError, s.MaxError)
+	}
+	if ix.Bytes() < 16*len(keys) {
+		t.Fatalf("Bytes = %d below raw key/value storage", ix.Bytes())
+	}
+	if h := ix.Height(); h != s.MaxHeight {
+		t.Fatalf("Height() = %d disagrees with Stats %d", h, s.MaxHeight)
+	}
+}
+
+func TestAblationsBuildAndServe(t *testing.T) {
+	keys := dataset.Generate(dataset.FACE, 30_000, 9)
+	for _, ix := range []*Index{NewChaB(), fastChaDA(), fastIndex("ChaDATS")} {
+		if err := ix.BulkLoad(keys, nil); err != nil {
+			t.Fatalf("%s: %v", ix.Name(), err)
+		}
+		for i := 0; i < len(keys); i += 501 {
+			if _, ok := ix.Lookup(keys[i]); !ok {
+				t.Fatalf("%s: lost key %d", ix.Name(), keys[i])
+			}
+		}
+	}
+}
+
+func fastChaDA() *Index {
+	dcfg := rl.DefaultDAREConfig()
+	dcfg.GA.Generations = 5
+	dcfg.GA.Pop = 8
+	dcfg.SampleCap = 8192
+	return New(Config{Name: "ChaDA", Dare: rl.NewCostDARE(dcfg)})
+}
+
+func TestRetrainPassLightAndStructural(t *testing.T) {
+	keys := dataset.Generate(dataset.UDEN, 50_000, 2)
+	ix := fastIndex("Chameleon")
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.RetrainPass(); got != 0 {
+		t.Fatalf("clean index retrained %d subtrees", got)
+	}
+	// Hammer one region with inserts to force drift past the structural
+	// threshold.
+	base := keys[100]
+	inserted := []uint64{}
+	for i := uint64(1); i <= 60_000; i++ {
+		k := base + i*3
+		if err := ix.Insert(k, k); err == nil {
+			inserted = append(inserted, k)
+		}
+	}
+	if ix.DriftedGates() == 0 {
+		t.Fatal("no gate registered drift after 60k localized inserts")
+	}
+	if got := ix.RetrainPass(); got == 0 {
+		t.Fatal("retrain pass skipped drifted gates")
+	}
+	count, total := ix.RetrainStats()
+	if count == 0 || total <= 0 {
+		t.Fatalf("RetrainStats = %d,%v", count, total)
+	}
+	// Every key must survive retraining.
+	for i := 0; i < len(keys); i += 199 {
+		if _, ok := ix.Lookup(keys[i]); !ok {
+			t.Fatalf("retrain lost bulk key %d", keys[i])
+		}
+	}
+	for i := 0; i < len(inserted); i += 97 {
+		if _, ok := ix.Lookup(inserted[i]); !ok {
+			t.Fatalf("retrain lost inserted key %d", inserted[i])
+		}
+	}
+}
+
+func TestConcurrentRetrainerWithForeground(t *testing.T) {
+	// The Section V model: one foreground thread + the retrainer goroutine,
+	// synchronized only by interval locks. Run under -race.
+	keys := dataset.Generate(dataset.FACE, 40_000, 4)
+	ix := fastIndex("Chameleon")
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix.StartRetrainer(2 * time.Millisecond)
+	defer ix.StopRetrainer()
+	rng := rand.New(rand.NewPCG(8, 8))
+	span := keys[len(keys)-1]
+	live := map[uint64]bool{}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 2000; i++ {
+			k := rng.Uint64N(span)
+			switch rng.IntN(4) {
+			case 0, 1:
+				if err := ix.Insert(k, k); err == nil {
+					live[k] = true
+				}
+			case 2:
+				if err := ix.Delete(k); err == nil {
+					delete(live, k)
+				}
+			default:
+				ix.Lookup(k)
+			}
+		}
+	}
+	ix.StopRetrainer()
+	for k := range live {
+		if _, ok := ix.Lookup(k); !ok {
+			t.Fatalf("key %d lost during concurrent retraining", k)
+		}
+	}
+	// Double Start/Stop are safe no-ops.
+	ix.StopRetrainer()
+	ix.StartRetrainer(time.Hour)
+	ix.StartRetrainer(time.Hour)
+	ix.StopRetrainer()
+}
+
+func TestHeightFor(t *testing.T) {
+	cases := map[int]int{10: 2, 1 << 10: 2, 1 << 20: 2, 1<<20 + 1: 3, 200_000_000: 3}
+	for n, want := range cases {
+		if got := heightFor(n); got != want {
+			t.Errorf("heightFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestValuesPreserved(t *testing.T) {
+	keys := dataset.Uniform(5000, 6)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i) * 7
+	}
+	ix := fastIndex("Chameleon")
+	if err := ix.BulkLoad(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if v, ok := ix.Lookup(k); !ok || v != vals[i] {
+			t.Fatalf("Lookup(%d) = %d,%v, want %d", k, v, ok, vals[i])
+		}
+	}
+}
+
+func TestFullReconstructionTrigger(t *testing.T) {
+	dcfg := rl.DefaultDAREConfig()
+	dcfg.GA.Generations = 4
+	dcfg.GA.Pop = 6
+	dcfg.SampleCap = 4096
+	ix := New(Config{
+		Name:                 "Chameleon",
+		Dare:                 rl.NewCostDARE(dcfg),
+		ReconstructThreshold: 0.5,
+	})
+	keys := dataset.Uniform(10_000, 3)
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Reconstructions() != 0 {
+		t.Fatal("fresh index already reconstructed")
+	}
+	// 0.5 × 10k = 5k updates trigger a rebuild.
+	base := keys[len(keys)-1]
+	for i := uint64(1); i <= 6000; i++ {
+		if err := ix.Insert(base+i*7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Reconstructions() == 0 {
+		t.Fatal("threshold crossed but no reconstruction ran")
+	}
+	if ix.Len() != 16_000 {
+		t.Fatalf("Len = %d after reconstruction", ix.Len())
+	}
+	for i := 0; i < len(keys); i += 97 {
+		if _, ok := ix.Lookup(keys[i]); !ok {
+			t.Fatalf("reconstruction lost bulk key %d", keys[i])
+		}
+	}
+	for i := uint64(1); i <= 6000; i += 53 {
+		if v, ok := ix.Lookup(base + i*7); !ok || v != i {
+			t.Fatalf("reconstruction lost inserted key %d", base+i*7)
+		}
+	}
+	// The retrainer (if any) must survive a reconstruction.
+	ix.StartRetrainer(time.Hour)
+	for i := uint64(1); i <= 9000; i++ {
+		ix.Insert(base+1_000_000+i*3, i) //nolint:errcheck
+	}
+	if ix.Reconstructions() < 2 {
+		t.Fatalf("second reconstruction missing: %d", ix.Reconstructions())
+	}
+	ix.StopRetrainer()
+}
+
+func TestConcurrentRangeAndStatsWithRetrainer(t *testing.T) {
+	// Range and Stats take per-gate Query-Locks, so they must be safe to
+	// run from the foreground while the retrainer goroutine works.
+	keys := dataset.Generate(dataset.LOGN, 30_000, 6)
+	ix := fastIndex("Chameleon")
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix.StartRetrainer(time.Millisecond)
+	defer ix.StopRetrainer()
+	base := keys[len(keys)-1]
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			base += 3
+			ix.Insert(base, base) //nolint:errcheck
+		}
+		n := 0
+		ix.Range(keys[100], keys[5000], func(k, v uint64) bool {
+			n++
+			return true
+		})
+		if n != 4901 {
+			t.Fatalf("range under retraining returned %d keys, want 4901", n)
+		}
+		if s := ix.Stats(); s.Nodes < 1 {
+			t.Fatalf("stats under retraining: %+v", s)
+		}
+	}
+}
+
+func TestTinyBulkLoads(t *testing.T) {
+	for _, keys := range [][]uint64{{42}, {1, 2}, {5, 1 << 60}} {
+		ix := fastIndex("Chameleon")
+		if err := ix.BulkLoad(keys, nil); err != nil {
+			t.Fatalf("%v: %v", keys, err)
+		}
+		for _, k := range keys {
+			if v, ok := ix.Lookup(k); !ok || v != k {
+				t.Fatalf("%v: Lookup(%d) = %d,%v", keys, k, v, ok)
+			}
+		}
+		if _, ok := ix.Lookup(3); ok && keys[0] != 3 {
+			t.Fatalf("%v: phantom hit", keys)
+		}
+		if ix.Height() < 1 {
+			t.Fatalf("%v: height %d", keys, ix.Height())
+		}
+	}
+}
+
+func TestRootLeafNoGates(t *testing.T) {
+	// A root fanout of 1 degenerates to a single leaf: no gates, no locks,
+	// but everything must still work, including the retrainer no-op.
+	ix := New(Config{
+		Name: "Chameleon",
+		Dare: rl.FixedDARE{Root: 1},
+	})
+	keys := dataset.Uniform(1000, 2)
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.gates) != 0 {
+		t.Fatalf("degenerate tree registered %d gates", len(ix.gates))
+	}
+	ix.StartRetrainer(time.Millisecond) // must be a no-op without gates
+	if ix.stop != nil {
+		t.Fatal("retrainer started without gates")
+	}
+	for _, k := range keys[:100] {
+		if _, ok := ix.Lookup(k); !ok {
+			t.Fatalf("lost %d", k)
+		}
+	}
+	if err := ix.Insert(keys[len(keys)-1]+7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.RetrainPass(); got != 0 {
+		t.Fatalf("RetrainPass on gateless index retrained %d", got)
+	}
+}
+
+func TestBulkLoadReplacesContents(t *testing.T) {
+	ix := fastIndex("Chameleon")
+	first := dataset.Uniform(5000, 1)
+	if err := ix.BulkLoad(first, nil); err != nil {
+		t.Fatal(err)
+	}
+	second := dataset.Generate(dataset.FACE, 5000, 2)
+	if err := ix.BulkLoad(second, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(second) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	// Old keys must be gone unless they also exist in the new set.
+	newSet := map[uint64]bool{}
+	for _, k := range second {
+		newSet[k] = true
+	}
+	for i := 0; i < len(first); i += 53 {
+		if _, ok := ix.Lookup(first[i]); ok && !newSet[first[i]] {
+			t.Fatalf("stale key %d survived reload", first[i])
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"chameleon/internal/dataset"
+	"chameleon/internal/rl"
+)
+
+// FuzzIndexOps drives a small bulk-loaded Chameleon with an arbitrary
+// operation tape against a map oracle, exercising routing, EBH updates,
+// retraining passes, and reconstructions under adversarial key patterns.
+func FuzzIndexOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add(make([]byte, 48))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dcfg := rl.DefaultDAREConfig()
+		dcfg.GA.Generations = 2
+		dcfg.GA.Pop = 4
+		dcfg.SampleCap = 1024
+		ix := New(Config{
+			Name:                 "Chameleon",
+			Dare:                 rl.NewCostDARE(dcfg),
+			ReconstructThreshold: 0.5, // trip reconstructions quickly
+		})
+		keys := dataset.Uniform(512, 1)
+		if err := ix.BulkLoad(keys, nil); err != nil {
+			t.Fatal(err)
+		}
+		oracle := map[uint64]uint64{}
+		for _, k := range keys {
+			oracle[k] = k
+		}
+		steps := 0
+		for i := 0; i+4 <= len(data); i += 4 {
+			op := data[i] % 4
+			k := uint64(binary.LittleEndian.Uint16(data[i+1:i+3])) * uint64(data[i+3]+1)
+			switch op {
+			case 0:
+				err := ix.Insert(k, k^0xAA)
+				if _, dup := oracle[k]; dup != (err != nil) {
+					t.Fatalf("insert(%d) err=%v dup=%v", k, err, dup)
+				}
+				if err == nil {
+					oracle[k] = k ^ 0xAA
+				}
+			case 1:
+				v, ok := ix.Lookup(k)
+				want, wantOK := oracle[k]
+				if ok != wantOK || (ok && v != want) {
+					t.Fatalf("lookup(%d) = %d,%v, oracle %d,%v", k, v, ok, want, wantOK)
+				}
+			case 2:
+				err := ix.Delete(k)
+				if _, present := oracle[k]; present != (err == nil) {
+					t.Fatalf("delete(%d) err=%v present=%v", k, err, present)
+				}
+				delete(oracle, k)
+			case 3:
+				ix.RetrainPass()
+			}
+			steps++
+		}
+		if ix.Len() != len(oracle) {
+			t.Fatalf("after %d steps Len = %d, oracle %d", steps, ix.Len(), len(oracle))
+		}
+		for k, v := range oracle {
+			if got, ok := ix.Lookup(k); !ok || got != v {
+				t.Fatalf("final lookup(%d) = %d,%v, want %d", k, got, ok, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sort"
+
+	"chameleon/internal/index"
+)
+
+// descend walks from the root to the leaf responsible for k. While the
+// retraining goroutine is active it takes the Query-Lock of the level-h
+// interval it crosses; with no retrainer there is no concurrency (the
+// paper's foreground is a single thread) and locking is skipped. It returns
+// the leaf node, the gate guarding it (nil when the path never crosses a
+// gate), and whether a lock is held. The caller must release via
+// releaseGate.
+func (ix *Index) descend(k uint64) (*node, *gate, bool) {
+	n := ix.root
+	locked := ix.active.Load()
+	var g *gate
+	for n.leaf == nil {
+		j := route(k, n)
+		if n.gateBase != noGate {
+			id := n.gateBase + uint64(j)
+			if locked {
+				ix.locks.LockQuery(id)
+			}
+			g = ix.gates[id]
+		}
+		n = n.children[j]
+	}
+	return n, g, locked && g != nil
+}
+
+func (ix *Index) releaseGate(g *gate, locked bool) {
+	if locked {
+		ix.locks.UnlockQuery(g.id)
+	}
+}
+
+// Lookup implements index.Index with the paper's O(H_C + 1) path: exact
+// inner routing (Eq. 1), then a conflict-degree-bounded probe in the EBH
+// leaf.
+func (ix *Index) Lookup(k uint64) (uint64, bool) {
+	leaf, g, locked := ix.descend(k)
+	v, ok := leaf.leaf.Lookup(k)
+	ix.releaseGate(g, locked)
+	return v, ok
+}
+
+// Insert implements index.Index: an in-place EBH insert (expected O(m·τ)).
+func (ix *Index) Insert(k, v uint64) error {
+	leaf, g, locked := ix.descend(k)
+	ok := leaf.leaf.Insert(k, v)
+	if ok {
+		ix.count++
+		if g != nil {
+			g.updates.Add(1)
+		}
+	}
+	ix.releaseGate(g, locked)
+	if !ok {
+		return index.ErrDuplicateKey
+	}
+	ix.updatesSince++
+	ix.maybeReconstruct()
+	return nil
+}
+
+// Delete implements index.Index.
+func (ix *Index) Delete(k uint64) error {
+	leaf, g, locked := ix.descend(k)
+	ok := leaf.leaf.Delete(k)
+	if ok {
+		ix.count--
+		if g != nil {
+			g.updates.Add(1)
+		}
+	}
+	ix.releaseGate(g, locked)
+	if !ok {
+		return index.ErrKeyNotFound
+	}
+	ix.updatesSince++
+	ix.maybeReconstruct()
+	return nil
+}
+
+// Range implements index.RangeIndex. EBH leaves are unordered, so the scan
+// collects matching entries per leaf and sorts them; this is the documented
+// trade-off of hash leaves (the paper evaluates point workloads only).
+func (ix *Index) Range(lo, hi uint64, fn func(key, val uint64) bool) {
+	if hi < lo {
+		return
+	}
+	type kv struct{ k, v uint64 }
+	var out []kv
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf != nil {
+			ks, vs := n.leaf.AppendEntries(nil, nil)
+			for i, k := range ks {
+				if k >= lo && k <= hi {
+					out = append(out, kv{k, vs[i]})
+				}
+			}
+			return
+		}
+		jLo, jHi := route(lo, n), route(hi, n)
+		for j := jLo; j <= jHi; j++ {
+			if n.gateBase != noGate && ix.active.Load() {
+				id := n.gateBase + uint64(j)
+				ix.locks.LockQuery(id)
+				walk(n.children[j])
+				ix.locks.UnlockQuery(id)
+			} else {
+				walk(n.children[j])
+			}
+		}
+	}
+	walk(ix.root)
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	for _, e := range out {
+		if !fn(e.k, e.v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"chameleon/internal/ebh"
+	"chameleon/internal/ilock"
+)
+
+// Persistence: WriteTo serializes the learned structure verbatim (tree shape,
+// per-leaf slot layouts, gate positions) so a loaded index answers queries
+// with the exact structure the MARL construction produced — no retraining on
+// startup. Retraining state (drift counters) intentionally resets: a freshly
+// loaded index has nothing to retrain yet.
+
+// wireNode mirrors node for gob.
+type wireNode struct {
+	Lo, Hi   uint64
+	Fanout   int
+	GateBase uint64
+	Leaf     []byte // non-nil for leaves (ebh encoding)
+	Children []*wireNode
+}
+
+// wireIndex is the file form.
+type wireIndex struct {
+	Magic   string
+	Version int
+	Name    string
+	Tau     float64
+	Alpha   float64
+	H       int
+	Count   int
+	BaseN   int
+	Root    *wireNode
+}
+
+const (
+	persistMagic   = "chameleon-index"
+	persistVersion = 1
+)
+
+// WriteTo implements io.WriterTo: it serializes the index structure. Do not
+// call while the retrainer is running.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	root, err := encodeNode(ix.root)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: w}
+	err = gob.NewEncoder(cw).Encode(wireIndex{
+		Magic:   persistMagic,
+		Version: persistVersion,
+		Name:    ix.cfg.Name,
+		Tau:     ix.cfg.Tau,
+		Alpha:   ix.cfg.Alpha,
+		H:       ix.h,
+		Count:   ix.count,
+		BaseN:   ix.baseN,
+		Root:    root,
+	})
+	return cw.n, err
+}
+
+// ReadFrom implements io.ReaderFrom: it replaces the index contents with a
+// structure written by WriteTo. The receiver's construction policies are
+// kept for future retraining/reconstruction.
+func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	var w wireIndex
+	if err := gob.NewDecoder(cr).Decode(&w); err != nil {
+		return cr.n, err
+	}
+	if w.Magic != persistMagic {
+		return cr.n, fmt.Errorf("core: not a chameleon index file")
+	}
+	if w.Version != persistVersion {
+		return cr.n, fmt.Errorf("core: unsupported index file version %d", w.Version)
+	}
+	if w.Root == nil {
+		return cr.n, fmt.Errorf("core: index file has no root")
+	}
+	ix.StopRetrainer()
+	root, err := decodeNode(w.Root)
+	if err != nil {
+		return cr.n, err
+	}
+	ix.cfg.Name = w.Name
+	ix.cfg.Tau, ix.cfg.Alpha = w.Tau, w.Alpha
+	ix.h = w.H
+	ix.count = w.Count
+	ix.baseN = w.BaseN
+	ix.updatesSince = 0
+	ix.root = root
+	if err := ix.rebuildGates(); err != nil {
+		ix.reset(nil, nil)
+		return cr.n, err
+	}
+	return cr.n, nil
+}
+
+func encodeNode(n *node) (*wireNode, error) {
+	w := &wireNode{Lo: n.lo, Hi: n.hi, Fanout: n.fanout, GateBase: n.gateBase}
+	if n.leaf != nil {
+		blob, err := n.leaf.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.Leaf = blob
+		return w, nil
+	}
+	w.Children = make([]*wireNode, len(n.children))
+	for i, c := range n.children {
+		cw, err := encodeNode(c)
+		if err != nil {
+			return nil, err
+		}
+		w.Children[i] = cw
+	}
+	return w, nil
+}
+
+func decodeNode(w *wireNode) (*node, error) {
+	if w.Leaf != nil {
+		leaf := new(ebh.Node)
+		if err := leaf.UnmarshalBinary(w.Leaf); err != nil {
+			return nil, err
+		}
+		return &node{lo: w.Lo, hi: w.Hi, fanout: 1, gateBase: noGate, leaf: leaf}, nil
+	}
+	if len(w.Children) != w.Fanout || w.Fanout < 1 {
+		return nil, fmt.Errorf("core: corrupt inner node (fanout %d, %d children)",
+			w.Fanout, len(w.Children))
+	}
+	n := newInner(w.Lo, w.Hi, w.Fanout)
+	n.gateBase = w.GateBase
+	for i, cw := range w.Children {
+		c, err := decodeNode(cw)
+		if err != nil {
+			return nil, err
+		}
+		n.children[i] = c
+	}
+	return n, nil
+}
+
+// rebuildGates reconstructs the gate registry and lock table from the
+// persisted gateBase markers. Gate IDs must be dense (the builder assigns
+// them sequentially); a corrupt file with inflated IDs is rejected rather
+// than allocating an inflated registry.
+func (ix *Index) rebuildGates() error {
+	maxID := uint64(0)
+	totalChildren := 0
+	var scan func(n *node)
+	var collect []func(gates []*gate)
+	scan = func(n *node) {
+		if n.leaf != nil {
+			return
+		}
+		totalChildren += len(n.children)
+		if n.gateBase != noGate {
+			parent := n
+			base := n.gateBase
+			for j := range n.children {
+				j := j
+				child := n.children[j]
+				id := base + uint64(j)
+				if id+1 > maxID {
+					maxID = id + 1
+				}
+				collect = append(collect, func(gates []*gate) {
+					g := &gate{id: id, parent: parent, slot: j, lo: child.lo, hi: child.hi}
+					g.keys.Store(int64(subtreeKeys(child)))
+					gates[id] = g
+				})
+			}
+		}
+		for _, c := range n.children {
+			scan(c)
+		}
+	}
+	scan(ix.root)
+	if maxID > uint64(totalChildren) {
+		return fmt.Errorf("core: corrupt index file: gate ID %d exceeds %d child slots",
+			maxID, totalChildren)
+	}
+	gates := make([]*gate, maxID)
+	for _, fn := range collect {
+		fn(gates)
+	}
+	// A well-formed file has dense IDs; fill any hole with an inert gate so
+	// the hot path never nil-derefs.
+	for i, g := range gates {
+		if g == nil {
+			gates[i] = &gate{id: uint64(i)}
+		}
+	}
+	ix.gates = gates
+	n := len(gates)
+	if n == 0 {
+		n = 1
+	}
+	ix.locks = ilock.New(n)
+	return nil
+}
+
+func subtreeKeys(n *node) int {
+	if n.leaf != nil {
+		return n.leaf.Len()
+	}
+	total := 0
+	for _, c := range n.children {
+		total += subtreeKeys(c)
+	}
+	return total
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// gobEncode writes a wireIndex with the given root for nd; tests use it to
+// craft corrupted files.
+func gobEncode(w io.Writer, root *wireNode, ix *Index) error {
+	return gob.NewEncoder(w).Encode(wireIndex{
+		Magic:   persistMagic,
+		Version: persistVersion,
+		Name:    ix.cfg.Name,
+		Tau:     ix.cfg.Tau,
+		Alpha:   ix.cfg.Alpha,
+		H:       ix.h,
+		Count:   ix.count,
+		BaseN:   ix.baseN,
+		Root:    root,
+	})
+}

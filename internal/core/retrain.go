@@ -1,0 +1,283 @@
+package core
+
+import (
+	"time"
+
+	"chameleon/internal/dataset"
+)
+
+// StartRetrainer launches the background retraining goroutine of Section V.
+// It scans the level-h gates every period and retrains the subtrees whose
+// update ratio crossed the configured thresholds, holding only that
+// interval's Retraining-Lock while it works. Calling it twice or on an index
+// without gates is a no-op.
+func (ix *Index) StartRetrainer(period time.Duration) {
+	if ix.stop != nil || len(ix.gates) == 0 {
+		return
+	}
+	if period <= 0 {
+		period = 10 * time.Second // the paper's evaluation setting
+	}
+	ix.lastPeriod = period
+	ix.active.Store(true)
+	ix.stop = make(chan struct{})
+	ix.done = make(chan struct{})
+	go ix.retrainLoop(period)
+}
+
+// StopRetrainer halts the background goroutine and waits for it to finish
+// any in-flight subtree. It is safe to call when no retrainer runs.
+func (ix *Index) StopRetrainer() {
+	if ix.stop == nil {
+		return
+	}
+	close(ix.stop)
+	<-ix.done
+	ix.stop, ix.done = nil, nil
+	ix.active.Store(false)
+}
+
+// RetrainStats reports how many subtree retrains have run and the total time
+// spent inside Retraining-Locks (the quantity Fig. 14 charts).
+func (ix *Index) RetrainStats() (count int64, total time.Duration) {
+	return ix.retrains.Load(), time.Duration(ix.retrainNanos.Load())
+}
+
+func (ix *Index) retrainLoop(period time.Duration) {
+	defer close(ix.done)
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ix.stop:
+			return
+		case <-tick.C:
+			ix.RetrainPass()
+		}
+	}
+}
+
+// RetrainPass runs one scan over all gates, retraining the drifted subtrees.
+// It is exported so the harness can trigger retraining deterministically
+// (Fig. 14) in addition to the timer-driven mode (Fig. 15).
+func (ix *Index) RetrainPass() int {
+	retrained := 0
+	for _, g := range ix.gates {
+		upd := g.updates.Load()
+		if upd == 0 {
+			continue
+		}
+		keys := g.keys.Load()
+		if keys < 1 {
+			keys = 1
+		}
+		ratio := float64(upd) / float64(keys)
+		switch {
+		case ratio >= ix.cfg.StructThreshold:
+			ix.retrainStructural(g)
+			retrained++
+		case ratio >= ix.cfg.LightThreshold:
+			ix.retrainLight(g)
+			retrained++
+		}
+	}
+	return retrained
+}
+
+// retrainLight rebuilds every EBH leaf under the gate at the Theorem 1
+// capacity provisioned for the gate's observed drift rate, without touching
+// the subtree shape. No sorting is involved — the property the paper credits
+// for Chameleon's low retraining time (Fig. 14) — and the provisioning keeps
+// upcoming inserts off the inline-expansion path.
+func (ix *Index) retrainLight(g *gate) {
+	start := time.Now()
+	ix.locks.LockRetrain(g.id)
+	keys := g.keys.Load()
+	if keys < 1 {
+		keys = 1
+	}
+	growth := 1 + float64(g.updates.Load())/float64(keys)
+	n := 0
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.leaf != nil {
+			nd.leaf.RetrainFor(int(growth * float64(nd.leaf.Len())))
+			n += nd.leaf.Len()
+			return
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(g.parent.children[g.slot])
+	g.keys.Store(int64(n))
+	g.updates.Store(0)
+	ix.locks.UnlockRetrain(g.id)
+	ix.retrains.Add(1)
+	ix.retrainNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// retrainStructural gathers the subtree's entries, re-runs the fanout policy
+// (the paper invokes TSMDP here: "we retrain the local structure by
+// employing TSMDP as the background thread"), and swaps the rebuilt subtree
+// into the parent slot — all under the interval's Retraining-Lock, so
+// foreground operations on other intervals proceed untouched.
+func (ix *Index) retrainStructural(g *gate) {
+	start := time.Now()
+	ix.locks.LockRetrain(g.id)
+	old := g.parent.children[g.slot]
+	var ks, vs []uint64
+	var collect func(nd *node)
+	collect = func(nd *node) {
+		if nd.leaf != nil {
+			ks, vs = nd.leaf.AppendEntries(ks, vs)
+			return
+		}
+		for _, c := range nd.children {
+			collect(c)
+		}
+	}
+	collect(old)
+	sortPairs(ks, vs)
+	g.parent.children[g.slot] = ix.buildLower(ks, vs, g.lo, g.hi, ix.h)
+	g.keys.Store(int64(len(ks)))
+	g.updates.Store(0)
+	ix.locks.UnlockRetrain(g.id)
+	ix.retrains.Add(1)
+	ix.retrainNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// sortPairs sorts keys ascending carrying values along (simple quicksort on
+// parallel slices; subtrees are small).
+func sortPairs(ks, vs []uint64) {
+	if len(ks) < 2 {
+		return
+	}
+	// Insertion sort for small runs, quicksort otherwise.
+	if len(ks) <= 24 {
+		for i := 1; i < len(ks); i++ {
+			k, v := ks[i], vs[i]
+			j := i - 1
+			for j >= 0 && ks[j] > k {
+				ks[j+1], vs[j+1] = ks[j], vs[j]
+				j--
+			}
+			ks[j+1], vs[j+1] = k, v
+		}
+		return
+	}
+	p := ks[len(ks)/2]
+	l, r := 0, len(ks)-1
+	for l <= r {
+		for ks[l] < p {
+			l++
+		}
+		for ks[r] > p {
+			r--
+		}
+		if l <= r {
+			ks[l], ks[r] = ks[r], ks[l]
+			vs[l], vs[r] = vs[r], vs[l]
+			l++
+			r--
+		}
+	}
+	sortPairs(ks[:r+1], vs[:r+1])
+	sortPairs(ks[l:], vs[l:])
+}
+
+// maybeReconstruct runs a full DARE reconstruction when cumulative updates
+// crossed the configured threshold. Called from the foreground operation
+// path only, mirroring the paper's model: a complete rebuild is the one
+// operation every learned index eventually blocks for.
+func (ix *Index) maybeReconstruct() {
+	if ix.cfg.ReconstructThreshold <= 0 {
+		return
+	}
+	base := ix.baseN
+	if base < 1 {
+		base = 1
+	}
+	if float64(ix.updatesSince) >= ix.cfg.ReconstructThreshold*float64(base) {
+		ix.Reconstruct()
+	}
+}
+
+// Reconstruct gathers the index's entire contents and rebuilds the structure
+// from scratch through the full MARL construction (DARE shaping the upper
+// levels again). The retrainer is paused for the duration and restarted with
+// its previous period.
+func (ix *Index) Reconstruct() {
+	wasActive := ix.stop != nil
+	ix.StopRetrainer()
+	var ks, vs []uint64
+	var collect func(nd *node)
+	collect = func(nd *node) {
+		if nd.leaf != nil {
+			ks, vs = nd.leaf.AppendEntries(ks, vs)
+			return
+		}
+		for _, c := range nd.children {
+			collect(c)
+		}
+	}
+	collect(ix.root)
+	sortPairs(ks, vs)
+	// Runtime rebuilds use the (cheaper) reconstruction policy; bulk loads
+	// keep the full-budget one.
+	saved := ix.cfg.Dare
+	ix.cfg.Dare = ix.cfg.ReconstructDare
+	ix.reset(ks, vs)
+	ix.cfg.Dare = saved
+	ix.reconstructions++
+	if wasActive {
+		ix.StartRetrainer(ix.lastPeriod)
+	}
+}
+
+// Reconstructions reports how many full rebuilds have run.
+func (ix *Index) Reconstructions() int { return ix.reconstructions }
+
+// DriftedGates counts gates whose update ratio currently exceeds the light
+// threshold — an observability hook used by examples and tests.
+func (ix *Index) DriftedGates() int {
+	n := 0
+	for _, g := range ix.gates {
+		keys := g.keys.Load()
+		if keys < 1 {
+			keys = 1
+		}
+		if float64(g.updates.Load())/float64(keys) >= ix.cfg.LightThreshold {
+			n++
+		}
+	}
+	return n
+}
+
+// LocalSkewness recomputes the lsn statistic over the index's current
+// contents (Definition 3); exported for observability. Gate children are
+// read under their interval locks so the walk is safe while the retrainer
+// runs.
+func (ix *Index) LocalSkewness() float64 {
+	var ks []uint64
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.leaf != nil {
+			ks, _ = nd.leaf.AppendEntries(ks, nil)
+			return
+		}
+		for j := range nd.children {
+			if nd.gateBase != noGate {
+				id := nd.gateBase + uint64(j)
+				ix.locks.LockQuery(id)
+				walk(nd.children[j])
+				ix.locks.UnlockQuery(id)
+			} else {
+				walk(nd.children[j])
+			}
+		}
+	}
+	walk(ix.root)
+	ks = dataset.SortDedup(ks)
+	return dataset.LocalSkewness(ks)
+}

@@ -1,0 +1,75 @@
+package core
+
+import "chameleon/internal/index"
+
+// Stats implements index.StatsProvider, producing the Table V metrics. It
+// takes each gate's Query-Lock while visiting its subtree so it is safe to
+// call while the retrainer runs.
+func (ix *Index) Stats() index.Stats {
+	var s index.Stats
+	var keySum int
+	var depthSum, errSum float64
+	var visit func(n *node, depth int)
+	visit = func(n *node, depth int) {
+		s.Nodes++
+		if n.leaf != nil {
+			if depth > s.MaxHeight {
+				s.MaxHeight = depth
+			}
+			maxE, sumE := n.leaf.ErrorStats()
+			if maxE > s.MaxError {
+				s.MaxError = maxE
+			}
+			errSum += sumE
+			keySum += n.leaf.Len()
+			depthSum += float64(depth) * float64(n.leaf.Len())
+			return
+		}
+		for j := range n.children {
+			if n.gateBase != noGate {
+				// The child pointer must be read under the interval lock:
+				// the retrainer swaps it.
+				id := n.gateBase + uint64(j)
+				ix.locks.LockQuery(id)
+				visit(n.children[j], depth+1)
+				ix.locks.UnlockQuery(id)
+			} else {
+				visit(n.children[j], depth+1)
+			}
+		}
+	}
+	visit(ix.root, 1)
+	if keySum > 0 {
+		s.AvgHeight = depthSum / float64(keySum)
+		s.AvgError = errSum / float64(keySum)
+	}
+	return s
+}
+
+// Bytes implements index.Index: leaf slabs plus inner-node child arrays and
+// headers.
+func (ix *Index) Bytes() int {
+	total := 0
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n.leaf != nil {
+			total += n.leaf.Bytes() + 64
+			return
+		}
+		total += 64 + 8*len(n.children)
+		for j := range n.children {
+			if n.gateBase != noGate {
+				id := n.gateBase + uint64(j)
+				ix.locks.LockQuery(id)
+				visit(n.children[j])
+				ix.locks.UnlockQuery(id)
+			} else {
+				visit(n.children[j])
+			}
+		}
+	}
+	visit(ix.root)
+	// Gate bookkeeping and the lock table.
+	total += len(ix.gates)*64 + ix.locks.Len()*4
+	return total
+}

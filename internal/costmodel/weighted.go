@@ -1,0 +1,117 @@
+package costmodel
+
+import (
+	"math"
+
+	"chameleon/internal/ebh"
+)
+
+// This file implements the extension Section IV-B2 sketches: "other factors
+// such as the query distribution can be added to the reward function
+// according to application requirements." WeightedLeaf and WeightedTreeCost
+// mirror Leaf/TreeCost but weight each key's lookup cost by its query
+// frequency, so the construction policies can shape the tree for a known
+// (e.g. Zipfian) access pattern: hot regions get shallower, better-provisioned
+// subtrees.
+
+// WeightedLeaf is Leaf with per-key query weights (weights[i] belongs to
+// keys[i]; they need not be normalized). Memory is unweighted — it is paid
+// regardless of access pattern.
+func WeightedLeaf(keys []uint64, weights []float64, lo, hi uint64, tau, alpha float64) Cost {
+	n := len(keys)
+	if n == 0 {
+		return Cost{Query: 1, Memory: 0}
+	}
+	base := Leaf(keys, lo, hi, tau, alpha) // slot simulation for probe costs
+	if weights == nil {
+		return base
+	}
+	// Re-run the placement simulation accumulating weighted probes.
+	c := capFor(n, tau)
+	span := hi - lo
+	cf := float64(c)
+	invC := 1 / cf
+	var scale float64
+	if span > 0 {
+		if alpha == 0 {
+			alpha = 131
+		}
+		scale = alpha * cf / float64(span)
+	}
+	counts := make([]int32, c)
+	var probeSum, wSum float64
+	for i, k := range keys {
+		var home int
+		if span > 0 {
+			x := scale * float64(k-lo)
+			x -= math.Trunc(x*invC) * cf
+			home = int(x)
+			if home >= c {
+				home = c - 1
+			}
+			if home < 0 {
+				home = 0
+			}
+		}
+		probeSum += weights[i] * float64(counts[home]+1) / 2
+		counts[home]++
+		wSum += weights[i]
+	}
+	if wSum == 0 {
+		return base
+	}
+	return Cost{
+		Query:  1 + probeSum/wSum + CacheFactor*math.Log2(cf),
+		Memory: base.Memory,
+	}
+}
+
+// WeightedTreeCost is TreeCost with query weights: the per-leaf costs are
+// weighted by the query mass under each leaf instead of its key count.
+func WeightedTreeCost(keys []uint64, weights []float64, lo, hi uint64, maxLevels int, fan FanoutFn, tau, alpha float64) Cost {
+	if len(keys) == 0 {
+		return Cost{}
+	}
+	if weights == nil {
+		return TreeCost(keys, lo, hi, maxLevels, fan, tau, alpha)
+	}
+	var qSum, wTotal, mUnits float64
+	var walk func(ks []uint64, ws []float64, lo, hi uint64, level int)
+	walk = func(ks []uint64, ws []float64, lo, hi uint64, level int) {
+		f := 1
+		if level <= maxLevels {
+			f = fan(level, lo, hi, len(ks))
+		}
+		if f <= 1 || len(ks) <= 1 {
+			leaf := WeightedLeaf(ks, ws, lo, hi, tau, alpha)
+			var w float64
+			for _, x := range ws {
+				w += x
+			}
+			qSum += w * (float64(level-1) + leaf.Query)
+			wTotal += w
+			mUnits += leaf.Memory * float64(len(ks))
+			return
+		}
+		mUnits += innerNodeUnits * float64(f)
+		parts := Partition(ks, lo, hi, f)
+		for j, p := range parts {
+			clo, chi := ChildInterval(lo, hi, f, j)
+			walk(ks[p[0]:p[1]], ws[p[0]:p[1]], clo, chi, level+1)
+		}
+	}
+	walk(keys, weights, lo, hi, 1)
+	if wTotal == 0 {
+		return TreeCost(keys, lo, hi, maxLevels, fan, tau, alpha)
+	}
+	return Cost{Query: qSum / wTotal, Memory: mUnits / float64(len(keys))}
+}
+
+// capFor mirrors the capacity rule used by Leaf.
+func capFor(n int, tau float64) int {
+	c := ebh.CapacityFor(n, tau)
+	if c < 8 {
+		c = 8
+	}
+	return c
+}

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Names of the four evaluation datasets in the paper's order of increasing
+// local skewness (Fig. 8): UDEN π/4, OSMC 2π/5, LOGN 12π/25, FACE 99π/200.
+const (
+	UDEN = "UDEN"
+	OSMC = "OSMC"
+	LOGN = "LOGN"
+	FACE = "FACE"
+)
+
+// Names lists the evaluation datasets in the paper's plotting order.
+var Names = []string{UDEN, OSMC, LOGN, FACE}
+
+// Generate produces n sorted unique keys for the named dataset. It panics on
+// an unknown name; callers validate names via Names.
+func Generate(name string, n int, seed uint64) []uint64 {
+	switch name {
+	case UDEN:
+		return Uniform(n, seed)
+	case OSMC:
+		return clusteredTarget(n, seed, 3.08) // tan(2π/5)
+	case LOGN:
+		return Lognormal(n, seed, 0.75)
+	case FACE:
+		return clusteredTarget(n, seed, 63.7) // tan(99π/200)
+	default:
+		panic(fmt.Sprintf("dataset: unknown dataset %q", name))
+	}
+}
+
+// Uniform generates n evenly spread keys with small jitter, the UDEN dataset
+// (local skewness ≈ π/4).
+func Uniform(n int, seed uint64) []uint64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	const stride = 1 << 10
+	keys := make([]uint64, n)
+	var k uint64
+	for i := range keys {
+		// Jitter of ±stride/8 keeps gaps near-constant so lsn stays at π/4.
+		k += stride - stride/8 + rng.Uint64N(stride/4)
+		keys[i] = k
+	}
+	return keys
+}
+
+// Lognormal generates n sorted unique keys whose CDF follows a lognormal
+// distribution with the given sigma. At n around 10^6 a sigma of 0.75 lands
+// near the paper's reported lsn of 12π/25 for the LOGN dataset.
+func Lognormal(n int, seed uint64, sigma float64) []uint64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0x7f4a7c159e3779b9))
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = math.Exp(rng.NormFloat64() * sigma)
+	}
+	// Scale so the bulk of the distribution spans a wide integer range.
+	const scale = 1 << 40
+	keys := make([]uint64, 0, n)
+	for _, s := range samples {
+		keys = append(keys, uint64(s*scale))
+	}
+	keys = SortDedup(keys)
+	// Top up duplicates removed by SortDedup with fresh samples.
+	for len(keys) < n {
+		extra := make([]uint64, 0, n-len(keys))
+		for i := 0; i < n-len(keys); i++ {
+			extra = append(extra, uint64(math.Exp(rng.NormFloat64()*sigma)*scale))
+		}
+		keys = SortDedup(append(keys, extra...))
+	}
+	return keys[:n]
+}
+
+// clusteredTarget generates n keys alternating between dense runs (gap 1)
+// and sparse uniform stretches, with the sparse gap chosen so the expected
+// lsn argument (Definition 3, before the arctan) is approximately target.
+//
+// With half the gaps in-cluster at size 1 and half outside at size g, the
+// mean gap is (1+g)/2 and the lsn argument evaluates to
+// (1+g)/4 + (1+g)/(4g) ≈ 1/2 + g/4 for g ≫ 1, so g = 4·(target − 1/2).
+func clusteredTarget(n int, seed uint64, target float64) []uint64 {
+	g := 4 * (target - 0.5)
+	if g < 1 {
+		g = 1
+	}
+	return Clustered(n, seed, 0.5, 1, uint64(math.Round(g)))
+}
+
+// Clustered generates n sorted unique keys where a fraction inFrac of the
+// key gaps are dense (size inGap, jittered) and the rest are sparse (size
+// outGap, jittered). Dense runs are grouped into clusters of ~64 keys to
+// create the contiguous locally skewed regions of Fig. 1(a). It is the
+// synthetic substitute for the OSMC and FACE datasets.
+func Clustered(n int, seed uint64, inFrac float64, inGap, outGap uint64) []uint64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0xdeadbeefcafef00d))
+	if inGap == 0 {
+		inGap = 1
+	}
+	if outGap == 0 {
+		outGap = 1
+	}
+	const clusterLen = 64
+	keys := make([]uint64, n)
+	var k uint64
+	i := 0
+	for i < n {
+		if rng.Float64() < inFrac {
+			// A dense cluster: clusterLen keys with small gaps.
+			for j := 0; j < clusterLen && i < n; j++ {
+				k += jitter(rng, inGap)
+				keys[i] = k
+				i++
+			}
+		} else {
+			// A sparse stretch of the same length with large gaps.
+			for j := 0; j < clusterLen && i < n; j++ {
+				k += jitter(rng, outGap)
+				keys[i] = k
+				i++
+			}
+		}
+	}
+	return keys
+}
+
+// jitter returns a gap drawn uniformly from [max(1, g/2), 3g/2] so the mean
+// stays g while avoiding a perfectly periodic key pattern.
+func jitter(rng *rand.Rand, g uint64) uint64 {
+	if g <= 1 {
+		return 1
+	}
+	lo := g / 2
+	if lo < 1 {
+		lo = 1
+	}
+	return lo + rng.Uint64N(g+1)
+}
+
+// ClusterVariance generates the Fig. 9 sweep datasets: a uniform backbone
+// with normally distributed clusters added around random centers. Smaller
+// variance packs cluster keys tighter, raising the local skewness. The
+// returned dataset always has exactly n keys.
+func ClusterVariance(n int, seed uint64, sigma float64) []uint64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef0123456789))
+	if sigma < 1 {
+		sigma = 1
+	}
+	const stride = 1 << 12
+	half := n / 2
+	keys := make([]uint64, 0, n)
+	// Uniform backbone.
+	var k uint64
+	for i := 0; i < half; i++ {
+		k += jitter(rng, 2*stride)
+		keys = append(keys, k)
+	}
+	span := k
+	// Normal clusters around random centers within the backbone span. Keys
+	// inside a cluster are bumped to be strictly increasing so tight
+	// variances yield dense gap-1 runs rather than collapsing to duplicates.
+	const clusters = 64
+	perCluster := (n - half) / clusters
+	for c := 0; c < clusters; c++ {
+		center := rng.Uint64N(span)
+		offs := make([]float64, perCluster)
+		for i := range offs {
+			offs[i] = rng.NormFloat64() * sigma
+		}
+		sort.Float64s(offs)
+		var prev uint64
+		for i, o := range offs {
+			key := int64(center) + int64(o)
+			if key < 1 {
+				key = 1
+			}
+			ku := uint64(key)
+			if i > 0 && ku <= prev {
+				ku = prev + 1
+			}
+			keys = append(keys, ku)
+			prev = ku
+		}
+	}
+	keys = SortDedup(keys)
+	// Cross-cluster collisions are rare; top up with a dense run past the
+	// maximum so the requested cardinality is exact.
+	for len(keys) < n {
+		keys = append(keys, keys[len(keys)-1]+1)
+	}
+	return keys[:n]
+}

@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SOSD binary format (the benchmark the paper's evaluation follows): a
+// little-endian uint64 element count followed by that many little-endian
+// uint64 keys. WriteSOSD/ReadSOSD let the harness run against the real OSMC,
+// FACE, etc. dumps when available, and cmd/chameleon-datagen emits synthetic
+// files in the same format.
+
+// WriteSOSD writes keys to w in SOSD binary format.
+func WriteSOSD(w io.Writer, keys []uint64) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(keys)))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(buf[:], k)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSOSD reads a SOSD binary key file. limit > 0 caps the number of keys
+// read (a prefix), matching how SOSD workloads subsample large dumps.
+func ReadSOSD(r io.Reader, limit int) ([]uint64, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading SOSD header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(buf[:])
+	if n > 1<<33 {
+		return nil, fmt.Errorf("dataset: implausible SOSD element count %d", n)
+	}
+	count := int(n)
+	if limit > 0 && limit < count {
+		count = limit
+	}
+	keys := make([]uint64, count)
+	for i := range keys {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("dataset: reading SOSD key %d/%d: %w", i, count, err)
+		}
+		keys[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	return keys, nil
+}
+
+// WriteSOSDFile writes keys to path in SOSD format.
+func WriteSOSDFile(path string, keys []uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSOSD(f, keys); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSOSDFile reads up to limit keys from a SOSD file (0 = all) and returns
+// them sorted and deduplicated, ready for BulkLoad.
+func ReadSOSDFile(path string, limit int) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	keys, err := ReadSOSD(f, limit)
+	if err != nil {
+		return nil, err
+	}
+	return SortDedup(keys), nil
+}

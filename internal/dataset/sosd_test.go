@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSOSDRoundTrip(t *testing.T) {
+	keys := Generate(FACE, 10_000, 3)
+	var buf bytes.Buffer
+	if err := WriteSOSD(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8*(len(keys)+1) {
+		t.Fatalf("encoded size %d, want %d", buf.Len(), 8*(len(keys)+1))
+	}
+	got, err := ReadSOSD(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("decoded %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d changed: %d vs %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestSOSDLimit(t *testing.T) {
+	keys := Uniform(1000, 1)
+	var buf bytes.Buffer
+	if err := WriteSOSD(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSOSD(bytes.NewReader(buf.Bytes()), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 || got[99] != keys[99] {
+		t.Fatalf("limit read wrong: %d keys", len(got))
+	}
+}
+
+func TestSOSDFileHelpers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys.sosd")
+	// Unsorted with duplicates: the file helper must return a clean set.
+	if err := WriteSOSDFile(path, []uint64{5, 1, 5, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSOSDFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := ReadSOSDFile(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+func TestSOSDCorruptInputs(t *testing.T) {
+	if _, err := ReadSOSD(bytes.NewReader([]byte{1, 2, 3}), 0); err == nil {
+		t.Fatal("short header accepted")
+	}
+	// Header promises more keys than present.
+	var buf bytes.Buffer
+	if err := WriteSOSD(&buf, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadSOSD(bytes.NewReader(truncated), 0); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	// Implausible count.
+	var hdr bytes.Buffer
+	hdr.Write([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	if _, err := ReadSOSD(bytes.NewReader(hdr.Bytes()), 0); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package ebh
+
+import (
+	"testing"
+
+	"chameleon/internal/dataset"
+)
+
+func benchLeaf(b *testing.B, name string, n int) *Node {
+	b.Helper()
+	keys := dataset.Generate(name, n, 42)
+	return NewFromSorted(keys[0], keys[len(keys)-1], keys, nil, 0, 0)
+}
+
+func BenchmarkLookupUniform(b *testing.B) {
+	nd := benchLeaf(b, dataset.UDEN, 1<<14)
+	keys := dataset.Generate(dataset.UDEN, 1<<14, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nd.Lookup(keys[i&(1<<14-1)])
+	}
+}
+
+func BenchmarkLookupSkewed(b *testing.B) {
+	nd := benchLeaf(b, dataset.FACE, 1<<14)
+	keys := dataset.Generate(dataset.FACE, 1<<14, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nd.Lookup(keys[i&(1<<14-1)])
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	nd := New(0, 1<<40, 1024, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nd.Insert(uint64(i)*2654435761%(1<<40), uint64(i))
+	}
+}
+
+func BenchmarkRetrain(b *testing.B) {
+	nd := benchLeaf(b, dataset.FACE, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nd.Retrain()
+	}
+}

@@ -1,0 +1,387 @@
+// Package ebh implements the Error Bounded Hashing leaf node of Section III:
+// a slot array addressed by the hash function of Eq. (2), with the node's
+// conflict degree (Definition 2, the maximum placement offset) recorded so a
+// lookup never scans beyond [P̂−cd, P̂+cd]. Capacity is sized by Theorem 1 so
+// the collision probability stays below a target τ, which is what flattens
+// locally skewed key runs into near-uniform slot occupancy.
+//
+// Keys and values live in flat uint64 slabs with a bitmap for occupancy, so
+// a leaf costs the garbage collector two pointers regardless of how many
+// keys it holds — the Go-specific concern called out in DESIGN.md §4.
+package ebh
+
+import "math"
+
+// DefaultAlpha is the hash factor α of Eq. (2); the paper's worked example
+// uses 131.
+const DefaultAlpha = 131
+
+// DefaultTau is the target collision probability τ for Theorem 1 capacity
+// sizing; the paper's worked example uses 0.45.
+const DefaultTau = 0.45
+
+// maxConflictDegree triggers a rebuild at a larger capacity when probing has
+// pushed some key this far from its home slot; it bounds the lookup window.
+const maxConflictDegree = 128
+
+// CapacityFor returns the minimum slot count that keeps the collision
+// probability at or below tau for n keys (Theorem 1):
+//
+//	c ≥ (n − 1) / (−ln(1 − τ))
+func CapacityFor(n int, tau float64) int {
+	if n <= 1 {
+		return 1
+	}
+	if tau <= 0 || tau >= 1 {
+		tau = DefaultTau
+	}
+	c := int(math.Ceil(float64(n-1) / -math.Log(1-tau)))
+	if c < n {
+		// A capacity below n cannot hold the keys at all; Theorem 1 only
+		// binds for τ small enough that c ≥ n.
+		c = n
+	}
+	return c
+}
+
+// Node is one EBH leaf. The zero value is not usable; construct with New.
+type Node struct {
+	lo, hi uint64 // key interval [lo, hi] this leaf is responsible for
+	alpha  float64
+	tau    float64
+
+	c    int // capacity (number of slots)
+	n    int // stored keys
+	cd   int // conflict degree: max offset of any stored key (Definition 2)
+	keys []uint64
+	vals []uint64
+	occ  []uint64 // occupancy bitmap, 1 bit per slot
+
+	// Cached hash factors: scale = α·c/(hi−lo), cf = float64(c),
+	// invC = 1/cf. home() is the hottest path in the index; precomputing
+	// these and wrapping with Trunc instead of math.Mod is ~3× faster.
+	scale, cf, invC float64
+
+	// saturated marks a distribution the hash cannot flatten within the
+	// conflict-degree bound, suppressing futile re-scatter attempts until
+	// the next capacity growth.
+	saturated bool
+}
+
+// New creates a leaf covering the key interval [lo, hi] sized for expected
+// keys with collision target tau and hash factor alpha. Passing 0 for tau or
+// alpha selects the defaults.
+func New(lo, hi uint64, expected int, tau, alpha float64) *Node {
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	if tau <= 0 || tau >= 1 {
+		tau = DefaultTau
+	}
+	if expected < 1 {
+		expected = 1
+	}
+	c := CapacityFor(expected, tau)
+	if c < 8 {
+		c = 8
+	}
+	nd := &Node{
+		lo: lo, hi: hi,
+		alpha: alpha, tau: tau,
+		c:    c,
+		keys: make([]uint64, c),
+		vals: make([]uint64, c),
+		occ:  make([]uint64, (c+63)/64),
+	}
+	nd.refit()
+	return nd
+}
+
+// refit recomputes the cached hash factors after lo/hi/c change.
+func (nd *Node) refit() {
+	nd.cf = float64(nd.c)
+	nd.invC = 1 / nd.cf
+	if span := nd.hi - nd.lo; span > 0 {
+		nd.scale = nd.alpha * nd.cf / float64(span)
+	} else {
+		nd.scale = 0
+	}
+}
+
+// NewFromSorted builds a leaf and bulk-inserts the given sorted keys. The
+// hash interval is fit to the keys' min/max (Table II defines N.lk/N.uk as
+// the node's minimum and maximum key); [lo, hi] is only used when keys is
+// empty. vals may be nil, meaning value-equals-key.
+func NewFromSorted(lo, hi uint64, keys, vals []uint64, tau, alpha float64) *Node {
+	if len(keys) > 0 {
+		lo, hi = keys[0], keys[len(keys)-1]
+	}
+	n := New(lo, hi, len(keys), tau, alpha)
+	for i, k := range keys {
+		v := k
+		if vals != nil {
+			v = vals[i]
+		}
+		n.place(k, v)
+	}
+	// One re-scatter attempt if bulk placement blew the probe bound.
+	if n.cd > maxConflictDegree {
+		n.rebuild(2 * n.n)
+		if n.cd > maxConflictDegree {
+			n.saturated = true
+		}
+	}
+	return n
+}
+
+// Interval reports the key range [lo, hi] this leaf covers.
+func (nd *Node) Interval() (lo, hi uint64) { return nd.lo, nd.hi }
+
+// Len reports the number of stored keys.
+func (nd *Node) Len() int { return nd.n }
+
+// Cap reports the slot capacity.
+func (nd *Node) Cap() int { return nd.c }
+
+// ConflictDegree reports the recorded maximum offset cd.
+func (nd *Node) ConflictDegree() int { return nd.cd }
+
+// home computes P̂ via Eq. (2): α·(c/(uk−lk)·(k−lk)) mod c, using the cached
+// scale and a Trunc-based wrap (equivalent to math.Mod for the non-negative
+// operands here, and much cheaper).
+func (nd *Node) home(k uint64) int {
+	if nd.scale == 0 {
+		return 0
+	}
+	x := nd.scale * float64(k-nd.lo)
+	x -= math.Trunc(x*nd.invC) * nd.cf
+	i := int(x)
+	if i >= nd.c {
+		i = nd.c - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+func (nd *Node) occupied(i int) bool { return nd.occ[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (nd *Node) setOcc(i int)        { nd.occ[i>>6] |= 1 << (uint(i) & 63) }
+func (nd *Node) clrOcc(i int)        { nd.occ[i>>6] &^= 1 << (uint(i) & 63) }
+
+// slotAt wraps a signed slot index into [0, c).
+func (nd *Node) slotAt(i int) int {
+	i %= nd.c
+	if i < 0 {
+		i += nd.c
+	}
+	return i
+}
+
+// find returns the slot holding key, or −1. It scans outward from the home
+// slot up to the conflict degree, exactly the bounded search of Section III:
+// "if the linear scanning process exceeds [P̂−cd, P̂+cd], then k is not in
+// the node".
+func (nd *Node) find(k uint64) int {
+	if nd.n == 0 {
+		return -1
+	}
+	h := nd.home(k)
+	if nd.occupied(h) && nd.keys[h] == k {
+		return h
+	}
+	for d := 1; d <= nd.cd; d++ {
+		if i := nd.slotAt(h + d); nd.occupied(i) && nd.keys[i] == k {
+			return i
+		}
+		if i := nd.slotAt(h - d); nd.occupied(i) && nd.keys[i] == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup returns the value stored for k.
+func (nd *Node) Lookup(k uint64) (uint64, bool) {
+	if i := nd.find(k); i >= 0 {
+		return nd.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores k→v. It reports false if k is already present. The leaf
+// rebuilds per Theorem 1 when the capacity no longer satisfies the collision
+// target, and re-scatters once when probing exceeded the conflict-degree
+// bound; a distribution the hash cannot flatten at any reasonable capacity
+// (e.g. a dense cluster plus a far outlier) marks the node saturated and is
+// served with a wide probe window instead of unbounded growth.
+func (nd *Node) Insert(k, v uint64) bool {
+	if nd.find(k) >= 0 {
+		return false
+	}
+	if nd.c < CapacityFor(nd.n+1, nd.tau) {
+		nd.rebuild(2 * (nd.n + 1))
+	}
+	nd.place(k, v)
+	if nd.cd > maxConflictDegree && !nd.saturated {
+		nd.rebuild(2 * nd.n)
+		if nd.cd > maxConflictDegree {
+			nd.saturated = true
+		}
+	}
+	return true
+}
+
+// place stores a key assumed absent. It probes within the conflict-degree
+// bound first and falls back to an unbounded probe — capacity always exceeds
+// the population, so a free slot exists within c/2+1 steps. It never
+// rebuilds; Insert owns that policy.
+func (nd *Node) place(k, v uint64) {
+	h := nd.home(k)
+	limit := nd.c/2 + 1
+	for d := 0; d <= limit; d++ {
+		i := nd.slotAt(h + d)
+		if !nd.occupied(i) {
+			nd.put(i, k, v, d)
+			return
+		}
+		if d > 0 {
+			if j := nd.slotAt(h - d); !nd.occupied(j) {
+				nd.put(j, k, v, d)
+				return
+			}
+		}
+	}
+	panic("ebh: no free slot despite capacity > population")
+}
+
+func (nd *Node) put(i int, k, v uint64, d int) {
+	nd.keys[i] = k
+	nd.vals[i] = v
+	nd.setOcc(i)
+	nd.n++
+	if d > nd.cd {
+		nd.cd = d
+	}
+}
+
+// Delete removes k, reporting whether it was present. The conflict degree is
+// left as is (it remains a valid upper bound); rebuilds re-derive it.
+func (nd *Node) Delete(k uint64) bool {
+	i := nd.find(k)
+	if i < 0 {
+		return false
+	}
+	nd.clrOcc(i)
+	nd.n--
+	return true
+}
+
+// rebuild re-creates the slot array sized for the given expected key count
+// and re-places every key, re-deriving the conflict degree and refitting the
+// hash interval to the stored min/max key (Table II's N.lk/N.uk) so density
+// drift — e.g. inserts concentrated in a sliver of the old interval — never
+// degenerates the hash. The paper's Fig. 14 discussion notes EBH retraining
+// needs no sorting — this is that operation.
+func (nd *Node) rebuild(expected int) {
+	if expected < nd.n {
+		expected = nd.n
+	}
+	oldKeys, oldVals, oldOcc, oldC := nd.keys, nd.vals, nd.occ, nd.c
+	if nd.n > 0 {
+		first := true
+		var lo, hi uint64
+		for i := 0; i < oldC; i++ {
+			if oldOcc[i>>6]&(1<<(uint(i)&63)) == 0 {
+				continue
+			}
+			k := oldKeys[i]
+			if first {
+				lo, hi = k, k
+				first = false
+				continue
+			}
+			if k < lo {
+				lo = k
+			}
+			if k > hi {
+				hi = k
+			}
+		}
+		nd.lo, nd.hi = lo, hi
+	}
+	c := CapacityFor(expected, nd.tau)
+	if c < 8 {
+		c = 8
+	}
+	nd.c = c
+	nd.n = 0
+	nd.cd = 0
+	nd.saturated = false
+	nd.refit()
+	nd.keys = make([]uint64, c)
+	nd.vals = make([]uint64, c)
+	nd.occ = make([]uint64, (c+63)/64)
+	for i := 0; i < oldC; i++ {
+		if oldOcc[i>>6]&(1<<(uint(i)&63)) != 0 {
+			nd.place(oldKeys[i], oldVals[i])
+		}
+	}
+}
+
+// Retrain rebuilds the leaf at the Theorem 1 capacity for its current
+// population, restoring the collision target after heavy churn.
+func (nd *Node) Retrain() { nd.rebuild(nd.n) }
+
+// RetrainFor rebuilds the leaf provisioned for an expected future
+// population (at least the current one) — the background retrainer uses the
+// observed drift rate here so upcoming inserts land without inline
+// expansion spikes ("maintains a relatively stable leaf node density",
+// Section VI-C5).
+func (nd *Node) RetrainFor(expected int) {
+	if expected < nd.n {
+		expected = nd.n
+	}
+	nd.rebuild(expected)
+}
+
+// AppendEntries appends every stored (key, value) pair to dst in slot order
+// (unordered by key) and returns the extended slices.
+func (nd *Node) AppendEntries(dstK, dstV []uint64) ([]uint64, []uint64) {
+	for i := 0; i < nd.c; i++ {
+		if nd.occupied(i) {
+			dstK = append(dstK, nd.keys[i])
+			dstV = append(dstV, nd.vals[i])
+		}
+	}
+	return dstK, dstV
+}
+
+// Bytes estimates resident size: slot slabs, bitmap, and the struct header.
+func (nd *Node) Bytes() int {
+	return 16*nd.c + 8*len(nd.occ) + 96
+}
+
+// ErrorStats recomputes the true placement errors (|P̂ − P| per key) for
+// Table V: the maximum and mean offset over all stored keys.
+func (nd *Node) ErrorStats() (maxErr int, sumErr float64) {
+	for i := 0; i < nd.c; i++ {
+		if !nd.occupied(i) {
+			continue
+		}
+		h := nd.home(nd.keys[i])
+		d := i - h
+		if d < 0 {
+			d = -d
+		}
+		// Placement wraps modulo c; take the shorter circular distance.
+		if alt := nd.c - d; alt < d {
+			d = alt
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+		sumErr += float64(d)
+	}
+	return maxErr, sumErr
+}

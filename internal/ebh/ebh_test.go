@@ -1,0 +1,356 @@
+package ebh
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/dataset"
+)
+
+func TestCapacityForTheorem1(t *testing.T) {
+	// Paper's worked example: n=7, τ=0.45 needs capacity of about 10.
+	got := CapacityFor(7, 0.45)
+	if got < 10 || got > 11 {
+		t.Fatalf("CapacityFor(7, 0.45) = %d, want ≈ 10 (paper example)", got)
+	}
+	// Theorem 1 inequality holds for a spread of n and τ.
+	for _, n := range []int{2, 10, 1000, 1 << 20} {
+		for _, tau := range []float64{0.1, 0.45, 0.9} {
+			c := CapacityFor(n, tau)
+			if float64(c) < float64(n-1)/-math.Log(1-tau) {
+				t.Errorf("CapacityFor(%d, %v) = %d violates Theorem 1", n, tau, c)
+			}
+			if c < n {
+				t.Errorf("CapacityFor(%d, %v) = %d cannot hold the keys", n, tau, c)
+			}
+		}
+	}
+	if CapacityFor(0, 0.45) != 1 || CapacityFor(1, 0.45) != 1 {
+		t.Error("degenerate n should yield capacity 1")
+	}
+}
+
+func TestPaperHashExample(t *testing.T) {
+	// Section III worked example: D={3,4,5,6,7,9,11}, c=10, α=131, interval
+	// [3, 11]: predicted positions 0,3,7,1,5,2,7 and conflict degree 1.
+	nd := New(3, 11, 1, 0.45, 131)
+	nd.c = 10
+	nd.keys = make([]uint64, 10)
+	nd.vals = make([]uint64, 10)
+	nd.occ = make([]uint64, 1)
+	nd.refit()
+	// The paper lists 0,3,7,1,5,2,7; for k=11 its own formula evaluates to
+	// 131·(10/8·8) mod 10 = 1310 mod 10 = 0, so we check 0 there (the listed
+	// 7 appears to be a typo — the example's conflict degree of 1 holds
+	// either way because slot 0 then carries two keys).
+	want := []int{0, 3, 7, 1, 5, 2, 0}
+	keys := []uint64{3, 4, 5, 6, 7, 9, 11}
+	for i, k := range keys {
+		if got := nd.home(k); got != want[i] {
+			t.Errorf("home(%d) = %d, want %d", k, got, want[i])
+		}
+	}
+	for _, k := range keys {
+		if !nd.Insert(k, k) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if nd.ConflictDegree() != 1 {
+		t.Errorf("conflict degree = %d, want 1 (paper example)", nd.ConflictDegree())
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	nd := New(0, 1<<20, 16, 0, 0)
+	const n = 5000
+	rng := rand.New(rand.NewPCG(1, 2))
+	present := map[uint64]uint64{}
+	for len(present) < n {
+		k := rng.Uint64N(1 << 20)
+		if _, ok := present[k]; ok {
+			if nd.Insert(k, k) {
+				t.Fatalf("duplicate insert of %d succeeded", k)
+			}
+			continue
+		}
+		v := rng.Uint64()
+		if !nd.Insert(k, v) {
+			t.Fatalf("insert %d failed", k)
+		}
+		present[k] = v
+	}
+	if nd.Len() != n {
+		t.Fatalf("Len = %d, want %d", nd.Len(), n)
+	}
+	for k, v := range present {
+		got, ok := nd.Lookup(k)
+		if !ok || got != v {
+			t.Fatalf("Lookup(%d) = %d,%v, want %d,true", k, got, ok, v)
+		}
+	}
+	// Delete half, verify the survivors and the removed.
+	i := 0
+	for k := range present {
+		if i%2 == 0 {
+			if !nd.Delete(k) {
+				t.Fatalf("Delete(%d) failed", k)
+			}
+			if nd.Delete(k) {
+				t.Fatalf("double Delete(%d) succeeded", k)
+			}
+			delete(present, k)
+		}
+		i++
+	}
+	for k, v := range present {
+		if got, ok := nd.Lookup(k); !ok || got != v {
+			t.Fatalf("after deletes Lookup(%d) = %d,%v, want %d,true", k, got, ok, v)
+		}
+	}
+	if nd.Len() != len(present) {
+		t.Fatalf("Len = %d, want %d", nd.Len(), len(present))
+	}
+}
+
+func TestConflictDegreeIsValidBound(t *testing.T) {
+	// Property: after arbitrary inserts, ErrorStats' max error never exceeds
+	// the recorded conflict degree — cd really is an upper bound (Def. 2).
+	f := func(raw []uint64) bool {
+		keys := dataset.SortDedup(raw)
+		if len(keys) == 0 {
+			return true
+		}
+		nd := NewFromSorted(keys[0], keys[len(keys)-1], keys, nil, 0, 0)
+		maxErr, _ := nd.ErrorStats()
+		return maxErr <= nd.ConflictDegree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollisionRateUnderTau(t *testing.T) {
+	// Theorem 1: with capacity from CapacityFor, the fraction of keys that
+	// land on an occupied home slot stays near or below τ even on a densely
+	// skewed interval.
+	keys := dataset.Clustered(20000, 3, 0.8, 1, 64)
+	keys = dataset.SortDedup(keys)
+	nd := NewFromSorted(keys[0], keys[len(keys)-1], keys, nil, 0.45, 0)
+	_, sum := nd.ErrorStats()
+	avg := sum / float64(nd.Len())
+	// Offsets above zero mark collisions; mean offset ≤ 1 implies the vast
+	// majority of keys sit at or adjacent to their home slot.
+	if avg > 1.0 {
+		t.Fatalf("mean placement offset %.3f too high for τ=0.45", avg)
+	}
+}
+
+func TestLocallySkewedDataFlattened(t *testing.T) {
+	// The paper's core claim for EBH: densely clustered keys scatter across
+	// slots instead of piling up, keeping the conflict degree small.
+	keys := make([]uint64, 0, 4096)
+	for i := uint64(0); i < 4096; i++ {
+		keys = append(keys, 1<<30+i) // a contiguous run: maximal local skew
+	}
+	nd := NewFromSorted(keys[0], keys[len(keys)-1], keys, nil, 0, 0)
+	if cd := nd.ConflictDegree(); cd > 8 {
+		t.Fatalf("conflict degree %d on a contiguous run; EBH failed to flatten", cd)
+	}
+	for _, k := range keys {
+		if _, ok := nd.Lookup(k); !ok {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+func TestExpansionPreservesContents(t *testing.T) {
+	nd := New(0, 1<<40, 4, 0, 0) // deliberately undersized
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		k := i * 977
+		if !nd.Insert(k, i) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if nd.Len() != n {
+		t.Fatalf("Len = %d, want %d", nd.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := nd.Lookup(i * 977); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v after expansion", i*977, v, ok)
+		}
+	}
+	if nd.Cap() < CapacityFor(n, DefaultTau) {
+		t.Fatalf("capacity %d below Theorem 1 bound after growth", nd.Cap())
+	}
+}
+
+func TestRetrainRestoresBound(t *testing.T) {
+	nd := New(0, 1<<30, 1<<14, 0, 0)
+	rng := rand.New(rand.NewPCG(7, 7))
+	keys := map[uint64]bool{}
+	for len(keys) < 1<<14 {
+		k := rng.Uint64N(1 << 30)
+		if !keys[k] {
+			nd.Insert(k, k)
+			keys[k] = true
+		}
+	}
+	// Churn: delete 75%, creating holes and a stale conflict degree.
+	for k := range keys {
+		if len(keys) <= 1<<12 {
+			break
+		}
+		nd.Delete(k)
+		delete(keys, k)
+	}
+	nd.Retrain()
+	maxErr, _ := nd.ErrorStats()
+	if maxErr > nd.ConflictDegree() {
+		t.Fatalf("retrain broke the cd bound: maxErr %d > cd %d", maxErr, nd.ConflictDegree())
+	}
+	for k := range keys {
+		if _, ok := nd.Lookup(k); !ok {
+			t.Fatalf("retrain lost key %d", k)
+		}
+	}
+}
+
+func TestAppendEntries(t *testing.T) {
+	keys := []uint64{10, 20, 30, 40, 50}
+	nd := NewFromSorted(10, 50, keys, nil, 0, 0)
+	gotK, gotV := nd.AppendEntries(nil, nil)
+	if len(gotK) != len(keys) || len(gotV) != len(keys) {
+		t.Fatalf("AppendEntries returned %d/%d entries, want %d", len(gotK), len(gotV), len(keys))
+	}
+	seen := map[uint64]bool{}
+	for i, k := range gotK {
+		if gotV[i] != k {
+			t.Fatalf("value mismatch for %d", k)
+		}
+		seen[k] = true
+	}
+	for _, k := range keys {
+		if !seen[k] {
+			t.Fatalf("key %d missing from AppendEntries", k)
+		}
+	}
+}
+
+func TestBytesGrowsWithCapacity(t *testing.T) {
+	small := New(0, 100, 8, 0, 0)
+	big := New(0, 100, 1<<16, 0, 0)
+	if small.Bytes() >= big.Bytes() {
+		t.Fatalf("Bytes not monotone in capacity: %d vs %d", small.Bytes(), big.Bytes())
+	}
+}
+
+func TestLookupAbsentOnEmptyAndMiss(t *testing.T) {
+	nd := New(0, 1000, 8, 0, 0)
+	if _, ok := nd.Lookup(5); ok {
+		t.Fatal("lookup on empty leaf succeeded")
+	}
+	nd.Insert(5, 50)
+	if _, ok := nd.Lookup(6); ok {
+		t.Fatal("lookup of absent key succeeded")
+	}
+	if nd.Delete(6) {
+		t.Fatal("delete of absent key succeeded")
+	}
+}
+
+func TestSingleKeyIntervalDegenerate(t *testing.T) {
+	nd := New(42, 42, 1, 0, 0)
+	if !nd.Insert(42, 1) {
+		t.Fatal("insert into zero-span leaf failed")
+	}
+	if v, ok := nd.Lookup(42); !ok || v != 1 {
+		t.Fatal("lookup in zero-span leaf failed")
+	}
+}
+
+func TestPathologicalBimodalInsertsTerminate(t *testing.T) {
+	// A dense cluster plus a far outlier in one leaf: re-scattering cannot
+	// separate them, so the leaf must accept a large conflict degree instead
+	// of doubling forever (the OOM regression found via the Fig. 13
+	// workload).
+	nd := New(0, math.MaxUint64, 4, 0, 0)
+	if !nd.Insert(math.MaxUint64-7, 1) {
+		t.Fatal("outlier insert failed")
+	}
+	for i := uint64(0); i < 4096; i++ {
+		if !nd.Insert(7_500_000+i*1000, i) {
+			t.Fatalf("cluster insert %d failed", i)
+		}
+	}
+	if nd.Len() != 4097 {
+		t.Fatalf("Len = %d", nd.Len())
+	}
+	for i := uint64(0); i < 4096; i += 37 {
+		if _, ok := nd.Lookup(7_500_000 + i*1000); !ok {
+			t.Fatalf("cluster key %d lost", i)
+		}
+	}
+	if _, ok := nd.Lookup(math.MaxUint64 - 7); !ok {
+		t.Fatal("outlier lost")
+	}
+	// Capacity must stay proportional to the population, not explode.
+	if nd.Cap() > 64*nd.Len() {
+		t.Fatalf("capacity %d exploded for %d keys", nd.Cap(), nd.Len())
+	}
+}
+
+func TestRebuildRefitsInterval(t *testing.T) {
+	// Bulk interval fits the stored keys (Table II: lk/uk are the node's
+	// min/max keys), and rebuilds refit after churn.
+	keys := []uint64{100, 200, 300}
+	nd := NewFromSorted(0, 1<<60, keys, nil, 0, 0)
+	lo, hi := nd.Interval()
+	if lo != 100 || hi != 300 {
+		t.Fatalf("interval [%d,%d], want [100,300]", lo, hi)
+	}
+	nd.Delete(100)
+	nd.Insert(1<<50, 1)
+	nd.Retrain()
+	lo, hi = nd.Interval()
+	if lo != 200 || hi != 1<<50 {
+		t.Fatalf("refit interval [%d,%d], want [200,%d]", lo, hi, uint64(1)<<50)
+	}
+	for _, k := range []uint64{200, 300, 1 << 50} {
+		if _, ok := nd.Lookup(k); !ok {
+			t.Fatalf("key %d lost after refit", k)
+		}
+	}
+}
+
+func TestLeafPersistRoundTrip(t *testing.T) {
+	keys := dataset.Clustered(5000, 9, 0.6, 1, 128)
+	keys = dataset.SortDedup(keys)
+	nd := NewFromSorted(keys[0], keys[len(keys)-1], keys, nil, 0, 0)
+	blob, err := nd.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Node
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != nd.Len() || back.Cap() != nd.Cap() || back.ConflictDegree() != nd.ConflictDegree() {
+		t.Fatalf("shape changed: n %d/%d c %d/%d cd %d/%d",
+			back.Len(), nd.Len(), back.Cap(), nd.Cap(), back.ConflictDegree(), nd.ConflictDegree())
+	}
+	for i := 0; i < len(keys); i += 13 {
+		if v, ok := back.Lookup(keys[i]); !ok || v != keys[i] {
+			t.Fatalf("Lookup(%d) = %d,%v after decode", keys[i], v, ok)
+		}
+	}
+	// Decoded leaf must keep working for updates (refit factors restored).
+	if !back.Insert(keys[len(keys)-1]+77, 1) {
+		t.Fatal("insert into decoded leaf failed")
+	}
+	if err := new(Node).UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package ebh
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzLeafOps interprets the fuzz input as an operation tape (1 op byte + 2
+// key bytes per step, keys confined to a small space to force collisions)
+// and checks the leaf against a map oracle after every step. Run with
+// `go test -fuzz FuzzLeafOps ./internal/ebh` for continuous fuzzing; the
+// seed corpus runs as part of the normal test suite.
+func FuzzLeafOps(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1, 2, 0, 2, 1, 0, 0, 1, 0})
+	f.Add([]byte{0, 255, 255, 0, 255, 254, 2, 255, 255, 1, 255, 255})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nd := New(0, 1<<16, 4, 0, 0)
+		oracle := map[uint64]uint64{}
+		for i := 0; i+3 <= len(data); i += 3 {
+			op := data[i] % 3
+			k := uint64(binary.LittleEndian.Uint16(data[i+1 : i+3]))
+			switch op {
+			case 0:
+				ok := nd.Insert(k, k^0xF0)
+				_, dup := oracle[k]
+				if ok == dup {
+					t.Fatalf("insert(%d) = %v with dup=%v", k, ok, dup)
+				}
+				if ok {
+					oracle[k] = k ^ 0xF0
+				}
+			case 1:
+				v, ok := nd.Lookup(k)
+				want, wantOK := oracle[k]
+				if ok != wantOK || (ok && v != want) {
+					t.Fatalf("lookup(%d) = %d,%v, oracle %d,%v", k, v, ok, want, wantOK)
+				}
+			case 2:
+				ok := nd.Delete(k)
+				if _, present := oracle[k]; ok != present {
+					t.Fatalf("delete(%d) = %v with present=%v", k, ok, present)
+				}
+				delete(oracle, k)
+			}
+		}
+		if nd.Len() != len(oracle) {
+			t.Fatalf("Len = %d, oracle %d", nd.Len(), len(oracle))
+		}
+		maxErr, _ := nd.ErrorStats()
+		if maxErr > nd.ConflictDegree() {
+			t.Fatalf("cd bound violated: %d > %d", maxErr, nd.ConflictDegree())
+		}
+	})
+}

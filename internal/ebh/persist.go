@@ -1,0 +1,50 @@
+package ebh
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// wire is the gob form of a leaf. The slot arrays are stored verbatim so a
+// loaded leaf answers queries with the exact learned layout (no re-hashing).
+type wire struct {
+	Lo, Hi     uint64
+	Alpha, Tau float64
+	C, N, CD   int
+	Saturated  bool
+	Keys, Vals []uint64
+	Occ        []uint64
+}
+
+// MarshalBinary encodes the leaf for persistence.
+func (nd *Node) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(wire{
+		Lo: nd.lo, Hi: nd.hi,
+		Alpha: nd.alpha, Tau: nd.tau,
+		C: nd.c, N: nd.n, CD: nd.cd,
+		Saturated: nd.saturated,
+		Keys:      nd.keys, Vals: nd.vals, Occ: nd.occ,
+	})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary restores a leaf written by MarshalBinary.
+func (nd *Node) UnmarshalBinary(data []byte) error {
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if w.C != len(w.Keys) || w.C != len(w.Vals) || (w.C+63)/64 != len(w.Occ) {
+		return fmt.Errorf("ebh: corrupt leaf encoding (c=%d keys=%d vals=%d occ=%d)",
+			w.C, len(w.Keys), len(w.Vals), len(w.Occ))
+	}
+	nd.lo, nd.hi = w.Lo, w.Hi
+	nd.alpha, nd.tau = w.Alpha, w.Tau
+	nd.c, nd.n, nd.cd = w.C, w.N, w.CD
+	nd.saturated = w.Saturated
+	nd.keys, nd.vals, nd.occ = w.Keys, w.Vals, w.Occ
+	nd.refit()
+	return nil
+}

@@ -1,0 +1,24 @@
+package ga
+
+import "testing"
+
+func BenchmarkOptimize(b *testing.B) {
+	// The DARE genome shape at L=64, h=3: 65 genes.
+	bounds := make([]Bound, 65)
+	bounds[0] = Bound{0, 20}
+	for i := 1; i < len(bounds); i++ {
+		bounds[i] = Bound{0, 10}
+	}
+	fit := func(g []float64) float64 {
+		s := 0.0
+		for _, v := range g {
+			d := v - 5
+			s -= d * d
+		}
+		return s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimize(Config{Seed: uint64(i + 1), Pop: 20, Generations: 24, Patience: 8}, bounds, fit)
+	}
+}

@@ -1,0 +1,161 @@
+// Package ga implements the genetic algorithm of Algorithm 1
+// ("GetOptimizedParameters"), the actor half of the DARE agent. A genome is
+// the flat parameter vector [p0, M(0,0..L−1), M(1,0..L−1), ...] — one
+// chromosome per value, exactly as the paper describes ("we can intuitively
+// treat each value as a chromosome"). Fitness is supplied by the caller
+// (DARE uses its DQN critic Q_D(s_D, a_D); tests and the deterministic cost
+// policy use the analytic cost model directly).
+package ga
+
+import "math/rand/v2"
+
+// Bound is the inclusive value range of one chromosome.
+type Bound struct{ Lo, Hi float64 }
+
+// Fitness scores a genome; Optimize maximizes it.
+type Fitness func(genome []float64) float64
+
+// Config controls the search. Zero fields take the defaults in Defaults.
+type Config struct {
+	Pop         int     // X in Algorithm 1: survivors per generation
+	Generations int     // K in Algorithm 1: iteration budget
+	MutProb     float64 // per-chromosome probability of a slight mutation
+	MutScale    float64 // slight-mutation magnitude relative to the bound span
+	Patience    int     // generations without improvement before "converged"
+	Seed        uint64
+}
+
+// Defaults fills unset Config fields with workable values.
+func (c Config) Defaults() Config {
+	if c.Pop <= 0 {
+		c.Pop = 24
+	}
+	if c.Generations <= 0 {
+		c.Generations = 30
+	}
+	if c.MutProb <= 0 {
+		c.MutProb = 0.2
+	}
+	if c.MutScale <= 0 {
+		c.MutScale = 0.1
+	}
+	if c.Patience <= 0 {
+		c.Patience = 5
+	}
+	return c
+}
+
+type individual struct {
+	genome []float64
+	score  float64
+}
+
+// Optimize runs Algorithm 1: per generation it injects X random individuals
+// (the first mutation kind — "entirely new genotypes"), slight mutations of
+// existing members (the second kind), multi-point and numeric crossovers,
+// then evaluates, sorts, and keeps the top X. It returns the best genome
+// found and its fitness.
+func Optimize(cfg Config, bounds []Bound, fit Fitness) ([]float64, float64) {
+	cfg = cfg.Defaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5851f42d4c957f2d))
+	dim := len(bounds)
+	if dim == 0 {
+		return nil, fit(nil)
+	}
+
+	random := func() []float64 {
+		g := make([]float64, dim)
+		for i, b := range bounds {
+			g[i] = b.Lo + rng.Float64()*(b.Hi-b.Lo)
+		}
+		return g
+	}
+	clampAt := func(i int, v float64) float64 {
+		if v < bounds[i].Lo {
+			return bounds[i].Lo
+		}
+		if v > bounds[i].Hi {
+			return bounds[i].Hi
+		}
+		return v
+	}
+
+	pop := make([]individual, 0, 5*cfg.Pop)
+	for i := 0; i < cfg.Pop; i++ {
+		g := random()
+		pop = append(pop, individual{g, fit(g)})
+	}
+	sortPop(pop)
+
+	best := pop[0]
+	stale := 0
+	for gen := 0; gen < cfg.Generations && stale < cfg.Patience; gen++ {
+		next := pop[:cfg.Pop:cfg.Pop]
+
+		// Mutation kind 1: fresh random genotypes keep exploration alive.
+		for i := 0; i < cfg.Pop/2+1; i++ {
+			next = append(next, individual{genome: random()})
+		}
+		// Mutation kind 2: slight perturbations of existing good genes.
+		for i := 0; i < cfg.Pop; i++ {
+			src := pop[rng.IntN(len(pop))].genome
+			g := append([]float64(nil), src...)
+			for j := range g {
+				if rng.Float64() < cfg.MutProb {
+					span := bounds[j].Hi - bounds[j].Lo
+					g[j] = clampAt(j, g[j]+(rng.Float64()*2-1)*cfg.MutScale*span)
+				}
+			}
+			next = append(next, individual{genome: g})
+		}
+		// Crossover kind 1: multi-point — each chromosome from either parent.
+		// Crossover kind 2: numeric — blend within the same chromosome.
+		for i := 0; i < cfg.Pop; i++ {
+			a := pop[rng.IntN(len(pop))].genome
+			b := pop[rng.IntN(len(pop))].genome
+			g := make([]float64, dim)
+			numeric := rng.Float64() < 0.5
+			for j := range g {
+				switch {
+				case numeric:
+					t := rng.Float64()
+					g[j] = clampAt(j, t*a[j]+(1-t)*b[j])
+				case rng.Float64() < 0.5:
+					g[j] = a[j]
+				default:
+					g[j] = b[j]
+				}
+			}
+			next = append(next, individual{genome: g})
+		}
+
+		// Evaluate the newcomers (survivors keep their cached score).
+		for i := cfg.Pop; i < len(next); i++ {
+			next[i].score = fit(next[i].genome)
+		}
+		sortPop(next)
+		pop = next[:cfg.Pop]
+
+		if pop[0].score > best.score {
+			best = individual{append([]float64(nil), pop[0].genome...), pop[0].score}
+			stale = 0
+		} else {
+			stale++
+		}
+	}
+	return best.genome, best.score
+}
+
+// sortPop orders individuals by descending score (insertion sort: the
+// populations are tiny and this keeps the package dependency-free).
+func sortPop(pop []individual) {
+	for i := 1; i < len(pop); i++ {
+		x := pop[i]
+		j := i - 1
+		for j >= 0 && pop[j].score < x.score {
+			pop[j+1] = pop[j]
+			j--
+		}
+		pop[j+1] = x
+	}
+}

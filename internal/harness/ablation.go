@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"chameleon/internal/core"
+	"chameleon/internal/dataset"
+	"chameleon/internal/ebh"
+	"chameleon/internal/report"
+	"chameleon/internal/rl"
+)
+
+func init() {
+	Experiments = append(Experiments, struct {
+		ID    string
+		Descr string
+		Run   func(Config) []*report.Table
+	}{"ablation", "design-choice ablations: τ sweep, α sweep, interval-lock overhead", Ablations})
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out:
+//
+//  1. the Theorem 1 collision target τ trades leaf memory against probe
+//     length (Eq. capacity ≈ (n−1)/−ln(1−τ));
+//  2. the hash factor α must scatter dense runs — α=1 (pure interpolation)
+//     degrades to a clustered layout on skewed data;
+//  3. the Interval Lock costs two atomic operations per crossing, only paid
+//     while the retraining goroutine is active.
+func Ablations(cfg Config) []*report.Table {
+	cfg = cfg.Defaults()
+	keys := dataset.Generate(dataset.FACE, cfg.N, cfg.Seed)
+	probes := Probes(keys, min(cfg.Ops, 100_000), cfg.Seed^0xab)
+
+	tau := &report.Table{
+		Title: fmt.Sprintf("Ablation — EBH collision target τ (FACE, %d keys)", cfg.N),
+		Cols:  []string{"tau", "lookup", "bytes/key", "max cd"},
+	}
+	for _, t := range []float64{0.15, 0.30, 0.45, 0.60, 0.80} {
+		ix := core.New(core.Config{
+			Name: "Chameleon", Tau: t, Seed: cfg.Seed,
+			Dare:   rl.NewCostDARE(smallDARE(cfg.Seed, t)),
+			Policy: rl.NewCostPolicy(envWithTau(t)),
+		})
+		if err := ix.BulkLoad(keys, nil); err != nil {
+			panic(err)
+		}
+		ns, _ := MeasureLookupNs(ix, probes)
+		s := ix.Stats()
+		tau.AddRow(report.F2(t), report.NsF(ns),
+			report.F2(float64(ix.Bytes())/float64(len(keys))), itoa(s.MaxError))
+	}
+
+	alpha := &report.Table{
+		Title: "Ablation — hash factor α (FACE): α=1 is pure interpolation",
+		Cols:  []string{"alpha", "lookup", "max cd", "avg err"},
+	}
+	for _, a := range []float64{1, 7, 131, 1031} {
+		ix := core.New(core.Config{
+			Name: "Chameleon", Alpha: a, Seed: cfg.Seed,
+			Dare:   rl.NewCostDARE(smallDARE(cfg.Seed, ebh.DefaultTau)),
+			Policy: rl.NewCostPolicy(rl.DefaultEnv()),
+		})
+		if err := ix.BulkLoad(keys, nil); err != nil {
+			panic(err)
+		}
+		ns, _ := MeasureLookupNs(ix, probes)
+		s := ix.Stats()
+		alpha.AddRow(report.F2(a), report.NsF(ns), itoa(s.MaxError), report.F2(s.AvgError))
+	}
+
+	lock := &report.Table{
+		Title: "Ablation — Interval-Lock overhead on the query path",
+		Cols:  []string{"mode", "lookup"},
+	}
+	ix, _ := Build("Chameleon", keys, cfg.Seed)
+	ch := ix.(*core.Index)
+	nsOff, _ := MeasureLookupNs(ix, probes)
+	ch.StartRetrainer(time.Hour) // arms the locks without retraining work
+	nsOn, _ := MeasureLookupNs(ix, probes)
+	ch.StopRetrainer()
+	lock.AddRow("no retrainer (locks skipped)", report.NsF(nsOff))
+	lock.AddRow("retrainer armed (CAS per gate)", report.NsF(nsOn))
+
+	return []*report.Table{tau, alpha, lock}
+}
+
+func smallDARE(seed uint64, tau float64) rl.DAREConfig {
+	dcfg := rl.DefaultDAREConfig()
+	dcfg.Seed = seed
+	dcfg.Env = envWithTau(tau)
+	return dcfg
+}
+
+func envWithTau(tau float64) rl.Env {
+	env := rl.DefaultEnv()
+	env.Tau = tau
+	return env
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"chameleon/internal/dataset"
+	"chameleon/internal/workload"
+)
+
+func smallCfg() Config {
+	return Config{N: 20_000, Ops: 10_000, Seed: 7}
+}
+
+func TestBuildersCoverAllNames(t *testing.T) {
+	keys := dataset.Uniform(5000, 1)
+	names := append(append([]string{}, AllIndexes...), "ChaB", "ChaDA", "ChaDATS")
+	for _, name := range names {
+		ix, d := Build(name, keys, 1)
+		if ix.Name() == "" || d < 0 {
+			t.Fatalf("%s: bad build", name)
+		}
+		if ix.Len() != len(keys) {
+			t.Fatalf("%s: Len = %d", name, ix.Len())
+		}
+		ns, hits := MeasureLookupNs(ix, Probes(keys, 1000, 2))
+		if hits != 1000 {
+			t.Fatalf("%s: %d/1000 probe hits", name, hits)
+		}
+		if ns <= 0 {
+			t.Fatalf("%s: nonpositive latency", name)
+		}
+		stopRetraining(ix)
+	}
+}
+
+func TestUnknownBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown index name did not panic")
+		}
+	}()
+	Builder("NoSuchIndex", 1)
+}
+
+func TestThroughputPositive(t *testing.T) {
+	keys := dataset.Uniform(10_000, 3)
+	ix, _ := Build("B+Tree", keys, 1)
+	ops := workload.Mixed(keys, workload.MixedConfig{WriteFrac: 0.5, InsertFrac: 0.5, Ops: 5000, Seed: 4})
+	if tp := Throughput(ix, ops); tp <= 0 {
+		t.Fatalf("throughput %v", tp)
+	}
+}
+
+// TestEveryExperimentRuns smoke-tests each experiment at tiny scale and
+// checks the emitted tables are well formed.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	cfg := smallCfg()
+	for _, exp := range Experiments {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tables := exp.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if tb.Title == "" || len(tb.Cols) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("malformed table %q", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Cols) {
+						t.Fatalf("%s: row width %d, cols %d", tb.Title, len(row), len(tb.Cols))
+					}
+				}
+				var buf bytes.Buffer
+				tb.Fprint(&buf)
+				if !strings.Contains(buf.String(), tb.Cols[0]) {
+					t.Fatalf("%s: render missing header", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestSpikeTime(t *testing.T) {
+	samples := []time.Duration{10, 10, 10, 10, 10, 10, 10, 500, 10, 600}
+	// Median 10 → threshold 100 → spikes are 500 and 600.
+	if got := spikeTime(samples); got != 1100 {
+		t.Fatalf("spikeTime = %d, want 1100", got)
+	}
+	if spikeTime(nil) != 0 {
+		t.Fatal("empty samples must yield 0")
+	}
+}

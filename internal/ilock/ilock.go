@@ -1,0 +1,89 @@
+// Package ilock implements the Interval Lock of Definition 4: a lightweight
+// lock keyed by the path ID of a level-h node, ensuring that at any moment
+// only one thread — the foreground query/update thread or the background
+// retraining thread — accesses that node's key interval. Because Chameleon's
+// sibling intervals never overlap and inner-node routing is exact (Eq. 1),
+// comparing IDs replaces interval-overlap checks entirely, which is what
+// makes the lock cheap enough to sit on the query path.
+//
+// The table is a fixed array of atomic words indexed by ID. Lock acquisition
+// is a single CAS; contention (which in the paper's model only happens when
+// the retrainer touches the exact subtree a query is in) spins with
+// runtime.Gosched.
+package ilock
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Lock states.
+const (
+	free       int32 = 0
+	queryLock  int32 = 1
+	retrainMin int32 = 2 // retrain lock (any value ≥ 2 reserved for it)
+)
+
+// Table holds one lock per interval ID. IDs at or beyond the table length
+// share a slot by modulo — mutual exclusion still holds, with a small chance
+// of false conflict; size the table with New(n) for n distinct IDs to avoid
+// it.
+type Table struct {
+	slots []atomic.Int32
+}
+
+// New creates a table for n interval IDs (minimum 1).
+func New(n int) *Table {
+	if n < 1 {
+		n = 1
+	}
+	return &Table{slots: make([]atomic.Int32, n)}
+}
+
+// Len reports the number of distinct lock slots.
+func (t *Table) Len() int { return len(t.slots) }
+
+func (t *Table) slot(id uint64) *atomic.Int32 {
+	return &t.slots[id%uint64(len(t.slots))]
+}
+
+// LockQuery acquires the Query-Lock on the interval, waiting for any
+// in-progress retraining of the same interval to finish.
+func (t *Table) LockQuery(id uint64) {
+	s := t.slot(id)
+	for !s.CompareAndSwap(free, queryLock) {
+		runtime.Gosched()
+	}
+}
+
+// UnlockQuery releases a Query-Lock taken with LockQuery.
+func (t *Table) UnlockQuery(id uint64) {
+	t.slot(id).Store(free)
+}
+
+// TryLockRetrain attempts to acquire the Retraining-Lock without waiting.
+// It reports false when the interval is being accessed — the "access request
+// is denied" outcome of the Section V walkthrough; the retrainer then waits
+// for the query thread and retries.
+func (t *Table) TryLockRetrain(id uint64) bool {
+	return t.slot(id).CompareAndSwap(free, retrainMin)
+}
+
+// LockRetrain acquires the Retraining-Lock, yielding until the query thread
+// has left the interval.
+func (t *Table) LockRetrain(id uint64) {
+	for !t.TryLockRetrain(id) {
+		runtime.Gosched()
+	}
+}
+
+// UnlockRetrain releases a Retraining-Lock.
+func (t *Table) UnlockRetrain(id uint64) {
+	t.slot(id).Store(free)
+}
+
+// Held reports whether the interval is currently locked (either kind);
+// intended for tests and introspection only.
+func (t *Table) Held(id uint64) bool {
+	return t.slot(id).Load() != free
+}

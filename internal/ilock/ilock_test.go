@@ -1,0 +1,105 @@
+package ilock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMutualExclusionSameInterval(t *testing.T) {
+	tbl := New(8)
+	var inside atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if w%2 == 0 {
+					tbl.LockQuery(3)
+				} else {
+					tbl.LockRetrain(3)
+				}
+				if inside.Add(1) != 1 {
+					violations.Add(1)
+				}
+				inside.Add(-1)
+				if w%2 == 0 {
+					tbl.UnlockQuery(3)
+				} else {
+					tbl.UnlockRetrain(3)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d mutual-exclusion violations", v)
+	}
+}
+
+func TestIndependentIntervalsDoNotBlock(t *testing.T) {
+	// The Section V walkthrough: once the query thread moves to interval
+	// (n,1), retraining interval (0,0) proceeds — different IDs never
+	// conflict.
+	tbl := New(16)
+	tbl.LockQuery(1)
+	if !tbl.TryLockRetrain(2) {
+		t.Fatal("retrain lock on a different interval was blocked")
+	}
+	tbl.UnlockRetrain(2)
+	tbl.UnlockQuery(1)
+}
+
+func TestTryLockRetrainDeniedWhileQueried(t *testing.T) {
+	tbl := New(4)
+	tbl.LockQuery(0)
+	if tbl.TryLockRetrain(0) {
+		t.Fatal("retrain lock granted while query lock held")
+	}
+	tbl.UnlockQuery(0)
+	if !tbl.TryLockRetrain(0) {
+		t.Fatal("retrain lock denied on a free interval")
+	}
+	if tbl.TryLockRetrain(0) {
+		t.Fatal("retrain lock granted twice")
+	}
+	tbl.UnlockRetrain(0)
+}
+
+func TestHeld(t *testing.T) {
+	tbl := New(2)
+	if tbl.Held(0) {
+		t.Fatal("fresh table reports held")
+	}
+	tbl.LockQuery(0)
+	if !tbl.Held(0) {
+		t.Fatal("held lock not reported")
+	}
+	tbl.UnlockQuery(0)
+	if tbl.Held(0) {
+		t.Fatal("released lock still reported held")
+	}
+}
+
+func TestModuloSharingStillExcludes(t *testing.T) {
+	tbl := New(2)
+	tbl.LockQuery(1)
+	// ID 3 shares slot 1 in a 2-slot table: false conflict, but never a
+	// correctness violation.
+	if tbl.TryLockRetrain(3) {
+		t.Fatal("aliased interval acquired concurrently")
+	}
+	tbl.UnlockQuery(1)
+}
+
+func TestZeroSizeTable(t *testing.T) {
+	tbl := New(0)
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+	tbl.LockQuery(99)
+	tbl.UnlockQuery(99)
+}

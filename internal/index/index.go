@@ -1,0 +1,79 @@
+// Package index defines the common interface implemented by every index
+// structure in this repository — the Chameleon index and the eight baselines
+// the paper compares against — along with the structural statistics reported
+// in Table V and a small registry used by the benchmark harness.
+package index
+
+import "errors"
+
+// ErrKeyNotFound is returned by Delete when the key is absent. Lookup signals
+// absence through its boolean result instead, keeping the hot path
+// allocation-free.
+var ErrKeyNotFound = errors.New("index: key not found")
+
+// ErrDuplicateKey is returned by Insert for indexes that require unique keys
+// when the key is already present.
+var ErrDuplicateKey = errors.New("index: duplicate key")
+
+// ErrReadOnly is returned by Insert/Delete on static indexes (RadixSpline,
+// DIC) that the paper excludes from the update experiments.
+var ErrReadOnly = errors.New("index: structure is read-only")
+
+// Index is the operation surface shared by all ten structures. Keys are
+// unsigned 64-bit integers (the SOSD convention the paper follows) and values
+// are opaque 64-bit payloads.
+type Index interface {
+	// Name returns the short display name used in reports ("Chameleon",
+	// "ALEX", "B+Tree", ...).
+	Name() string
+
+	// BulkLoad (re)builds the index from keys sorted in ascending order with
+	// no duplicates. vals[i] is the payload for keys[i]; a nil vals means
+	// "value equals key". BulkLoad replaces any previous contents.
+	BulkLoad(keys []uint64, vals []uint64) error
+
+	// Lookup returns the value stored for key and whether it is present.
+	Lookup(key uint64) (uint64, bool)
+
+	// Insert adds key with value val. Indexes with unique keys return
+	// ErrDuplicateKey if key is present; static indexes return ErrReadOnly.
+	Insert(key, val uint64) error
+
+	// Delete removes key. It returns ErrKeyNotFound if absent and
+	// ErrReadOnly on static indexes.
+	Delete(key uint64) error
+
+	// Len reports the number of keys currently stored.
+	Len() int
+
+	// Bytes estimates the resident size of the index structure in bytes,
+	// including key/value storage (the quantity plotted in Fig. 8 bottom).
+	Bytes() int
+}
+
+// RangeIndex is implemented by structures that support ordered range scans.
+type RangeIndex interface {
+	Index
+	// Range calls fn for every key in [lo, hi] in ascending order until fn
+	// returns false.
+	Range(lo, hi uint64, fn func(key, val uint64) bool)
+}
+
+// StatsProvider is implemented by structures that can describe their shape,
+// feeding the Table V "Analysis of Index Structures" experiment.
+type StatsProvider interface {
+	Stats() Stats
+}
+
+// Stats captures the structural metrics of Table V.
+type Stats struct {
+	MaxHeight int     // deepest root-to-leaf path (root = level 1)
+	AvgHeight float64 // mean root-to-leaf depth weighted by key count
+	MaxError  int     // largest |predicted − actual| position error in any leaf
+	AvgError  float64 // mean position error over all keys
+	Nodes     int     // total node count (inner + leaf)
+}
+
+// Builder constructs a fresh, empty index. The harness uses builders so every
+// experiment trial starts from identical state.
+type Builder func() Index

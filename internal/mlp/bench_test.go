@@ -1,0 +1,32 @@
+package mlp
+
+import "testing"
+
+func BenchmarkForward(b *testing.B) {
+	n := New(1, 66, 64, 64, 11) // the TSMDP network shape at b_T=64
+	x := make([]float64, 66)
+	for i := range x {
+		x[i] = float64(i) / 66
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Forward(x)
+	}
+}
+
+func BenchmarkTrainBatch(b *testing.B) {
+	n := New(1, 66, 64, 64, 11)
+	xs := make([][]float64, 32)
+	ys := make([][]float64, 32)
+	for i := range xs {
+		xs[i] = make([]float64, 66)
+		ys[i] = make([]float64, 11)
+		for j := range xs[i] {
+			xs[i][j] = float64(i+j) / 100
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.TrainBatch(xs, ys, 1e-4, MAE)
+	}
+}

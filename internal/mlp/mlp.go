@@ -1,0 +1,268 @@
+// Package mlp is a small dense neural network with Adam optimization — the
+// substrate for the paper's Q-networks. The original system trains on a GPU
+// with PyTorch; this pure-Go, stdlib-only replacement implements exactly what
+// the paper's agents need: forward evaluation, backpropagation under MAE
+// (both loss functions, Eq. 3 and Eq. 5, are mean absolute error) or MSE,
+// parameter cloning for the target network, and gob serialization so trained
+// agents can be saved by cmd/chameleon-train.
+package mlp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Loss selects the training objective.
+type Loss int
+
+const (
+	// MAE is mean absolute error, the loss of Eq. (3) and Eq. (5).
+	MAE Loss = iota
+	// MSE is mean squared error, kept for ablations.
+	MSE
+)
+
+// Net is a fully connected network with ReLU hidden activations and a linear
+// output layer. Construct with New; the zero value is unusable.
+type Net struct {
+	Sizes []int       // layer widths, input first
+	W     [][]float64 // W[l][j*in+i]: weight from unit i to unit j in layer l+1
+	B     [][]float64
+
+	// Adam state.
+	mW, vW, mB, vB [][]float64
+	step           int
+}
+
+// New creates a network with the given layer sizes (at least input and
+// output) using He initialization from the seeded generator.
+func New(seed uint64, sizes ...int) *Net {
+	if len(sizes) < 2 {
+		panic("mlp: need at least input and output sizes")
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x6a09e667f3bcc908))
+	n := &Net{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2 / float64(in))
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		n.W = append(n.W, w)
+		n.B = append(n.B, make([]float64, out))
+		n.mW = append(n.mW, make([]float64, in*out))
+		n.vW = append(n.vW, make([]float64, in*out))
+		n.mB = append(n.mB, make([]float64, out))
+		n.vB = append(n.vB, make([]float64, out))
+	}
+	return n
+}
+
+// Forward evaluates the network on input x (length Sizes[0]) and returns the
+// output layer activations (length Sizes[last]).
+func (n *Net) Forward(x []float64) []float64 {
+	acts, _ := n.forward(x)
+	return acts[len(acts)-1]
+}
+
+// forward returns the activations of every layer (including input) and the
+// pre-activation sums of every non-input layer, for backprop.
+func (n *Net) forward(x []float64) (acts [][]float64, pre [][]float64) {
+	if len(x) != n.Sizes[0] {
+		panic(fmt.Sprintf("mlp: input size %d, want %d", len(x), n.Sizes[0]))
+	}
+	acts = make([][]float64, len(n.Sizes))
+	pre = make([][]float64, len(n.Sizes))
+	acts[0] = x
+	for l := 0; l+1 < len(n.Sizes); l++ {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		z := make([]float64, out)
+		w, a := n.W[l], acts[l]
+		for j := 0; j < out; j++ {
+			sum := n.B[l][j]
+			row := w[j*in : (j+1)*in]
+			for i, ai := range a {
+				sum += row[i] * ai
+			}
+			z[j] = sum
+		}
+		pre[l+1] = z
+		act := make([]float64, out)
+		if l+2 == len(n.Sizes) {
+			copy(act, z) // linear output
+		} else {
+			for j, v := range z {
+				if v > 0 {
+					act[j] = v
+				}
+			}
+		}
+		acts[l+1] = act
+	}
+	return acts, pre
+}
+
+// TrainBatch runs one Adam step on the batch (xs[i] → ys[i]) under the given
+// loss and returns the mean per-sample loss before the update. A ys entry
+// may contain NaN in positions that should not contribute gradient — the
+// DQN update only trains the Q-value of the action actually taken.
+func (n *Net) TrainBatch(xs, ys [][]float64, lr float64, loss Loss) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if len(xs) != len(ys) {
+		panic("mlp: batch size mismatch")
+	}
+	gW := make([][]float64, len(n.W))
+	gB := make([][]float64, len(n.B))
+	for l := range n.W {
+		gW[l] = make([]float64, len(n.W[l]))
+		gB[l] = make([]float64, len(n.B[l]))
+	}
+	total := 0.0
+	for s := range xs {
+		acts, pre := n.forward(xs[s])
+		out := acts[len(acts)-1]
+		delta := make([]float64, len(out))
+		counted := 0
+		for j, y := range ys[s] {
+			if math.IsNaN(y) {
+				continue
+			}
+			diff := out[j] - y
+			switch loss {
+			case MAE:
+				total += math.Abs(diff)
+				if diff > 0 {
+					delta[j] = 1
+				} else if diff < 0 {
+					delta[j] = -1
+				}
+			case MSE:
+				total += diff * diff
+				delta[j] = 2 * diff
+			}
+			counted++
+		}
+		if counted == 0 {
+			continue
+		}
+		// Backpropagate delta through the layers.
+		for l := len(n.W) - 1; l >= 0; l-- {
+			in, out := n.Sizes[l], n.Sizes[l+1]
+			a := acts[l]
+			for j := 0; j < out; j++ {
+				d := delta[j]
+				if d == 0 {
+					continue
+				}
+				gB[l][j] += d
+				row := gW[l][j*in : (j+1)*in]
+				for i, ai := range a {
+					row[i] += d * ai
+				}
+			}
+			if l == 0 {
+				break
+			}
+			prev := make([]float64, in)
+			w := n.W[l]
+			for j := 0; j < out; j++ {
+				d := delta[j]
+				if d == 0 {
+					continue
+				}
+				row := w[j*in : (j+1)*in]
+				for i := range prev {
+					prev[i] += d * row[i]
+				}
+			}
+			// ReLU derivative on the hidden layer.
+			for i := range prev {
+				if pre[l][i] <= 0 {
+					prev[i] = 0
+				}
+			}
+			delta = prev
+		}
+		total += 0 // per-sample accounting done above
+	}
+	n.adam(gW, gB, lr, float64(len(xs)))
+	return total / float64(len(xs))
+}
+
+// adam applies one Adam update with the accumulated (summed) gradients.
+func (n *Net) adam(gW, gB [][]float64, lr, batch float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	n.step++
+	bc1 := 1 - math.Pow(beta1, float64(n.step))
+	bc2 := 1 - math.Pow(beta2, float64(n.step))
+	upd := func(p, g, m, v []float64) {
+		for i := range p {
+			gi := g[i] / batch
+			m[i] = beta1*m[i] + (1-beta1)*gi
+			v[i] = beta2*v[i] + (1-beta2)*gi*gi
+			p[i] -= lr * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + eps)
+		}
+	}
+	for l := range n.W {
+		upd(n.W[l], gW[l], n.mW[l], n.vW[l])
+		upd(n.B[l], gB[l], n.mB[l], n.vB[l])
+	}
+}
+
+// Clone returns a deep copy sharing no state, used to spawn the DQN target
+// network Q̂ from the policy network Q.
+func (n *Net) Clone() *Net {
+	c := &Net{Sizes: append([]int(nil), n.Sizes...), step: n.step}
+	dup := func(src [][]float64) [][]float64 {
+		out := make([][]float64, len(src))
+		for i, s := range src {
+			out[i] = append([]float64(nil), s...)
+		}
+		return out
+	}
+	c.W, c.B = dup(n.W), dup(n.B)
+	c.mW, c.vW = dup(n.mW), dup(n.vW)
+	c.mB, c.vB = dup(n.mB), dup(n.vB)
+	return c
+}
+
+// CopyFrom overwrites this network's parameters with src's (θ⁻ ← θ, the
+// periodic target-network synchronization of Section IV-B3).
+func (n *Net) CopyFrom(src *Net) {
+	for l := range n.W {
+		copy(n.W[l], src.W[l])
+		copy(n.B[l], src.B[l])
+	}
+}
+
+// netWire is the gob wire form (unexported fields need explicit handling).
+type netWire struct {
+	Sizes []int
+	W, B  [][]float64
+}
+
+// MarshalBinary serializes the network parameters (optimizer state excluded:
+// saved agents are for inference).
+func (n *Net) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(netWire{Sizes: n.Sizes, W: n.W, B: n.B})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary restores a network saved with MarshalBinary.
+func (n *Net) UnmarshalBinary(data []byte) error {
+	var w netWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	fresh := New(1, w.Sizes...)
+	fresh.W, fresh.B = w.W, w.B
+	*n = *fresh
+	return nil
+}

@@ -1,0 +1,166 @@
+package mlp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestForwardShapes(t *testing.T) {
+	n := New(1, 4, 8, 3)
+	out := n.Forward([]float64{1, 2, 3, 4})
+	if len(out) != 3 {
+		t.Fatalf("output size %d, want 3", len(out))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input size did not panic")
+		}
+	}()
+	n.Forward([]float64{1})
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	// y = 2a − b + 0.5 should be learnable to small error.
+	n := New(7, 2, 16, 1)
+	rng := rand.New(rand.NewPCG(3, 3))
+	xs := make([][]float64, 64)
+	ys := make([][]float64, 64)
+	for epoch := 0; epoch < 400; epoch++ {
+		for i := range xs {
+			a, b := rng.Float64()*2-1, rng.Float64()*2-1
+			xs[i] = []float64{a, b}
+			ys[i] = []float64{2*a - b + 0.5}
+		}
+		n.TrainBatch(xs, ys, 0.01, MSE)
+	}
+	worst := 0.0
+	for i := 0; i < 100; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		got := n.Forward([]float64{a, b})[0]
+		if e := math.Abs(got - (2*a - b + 0.5)); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.25 {
+		t.Fatalf("worst-case error %.3f after training linear target", worst)
+	}
+}
+
+func TestLearnsNonlinearWithMAE(t *testing.T) {
+	// |a| is ReLU-representable; MAE training must reduce loss.
+	n := New(11, 1, 16, 1)
+	rng := rand.New(rand.NewPCG(5, 5))
+	batch := func() ([][]float64, [][]float64) {
+		xs := make([][]float64, 32)
+		ys := make([][]float64, 32)
+		for i := range xs {
+			a := rng.Float64()*4 - 2
+			xs[i] = []float64{a}
+			ys[i] = []float64{math.Abs(a)}
+		}
+		return xs, ys
+	}
+	xs, ys := batch()
+	first := n.TrainBatch(xs, ys, 0.01, MAE)
+	var last float64
+	for epoch := 0; epoch < 600; epoch++ {
+		xs, ys = batch()
+		last = n.TrainBatch(xs, ys, 0.01, MAE)
+	}
+	if last >= first/2 {
+		t.Fatalf("MAE loss did not halve: first %.4f, last %.4f", first, last)
+	}
+}
+
+func TestMaskedTargets(t *testing.T) {
+	// NaN-masked outputs must receive no direct gradient: train output 0
+	// only and verify the final-layer weights feeding output 1 stay put
+	// (shared hidden layers may move, as in a DQN's per-action update).
+	n := New(2, 1, 8, 2)
+	last := len(n.W) - 1
+	in := n.Sizes[len(n.Sizes)-2]
+	beforeW := append([]float64(nil), n.W[last][in:2*in]...)
+	beforeB := n.B[last][1]
+	xs := [][]float64{{0.5}}
+	ys := [][]float64{{3.0, math.NaN()}}
+	for i := 0; i < 200; i++ {
+		n.TrainBatch(xs, ys, 0.01, MSE)
+	}
+	if got := n.Forward([]float64{0.5})[0]; math.Abs(got-3.0) > 0.2 {
+		t.Fatalf("trained output = %.3f, want ≈ 3", got)
+	}
+	for i, w := range n.W[last][in : 2*in] {
+		if w != beforeW[i] {
+			t.Fatalf("masked output row weight %d moved: %v → %v", i, beforeW[i], w)
+		}
+	}
+	if n.B[last][1] != beforeB {
+		t.Fatal("masked output bias moved")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := New(9, 3, 8, 2)
+	c := n.Clone()
+	x := []float64{0.1, 0.2, 0.3}
+	a, b := n.Forward(x), c.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("clone differs before training")
+		}
+	}
+	xs := [][]float64{{1, 1, 1}}
+	ys := [][]float64{{5, -5}}
+	for i := 0; i < 50; i++ {
+		n.TrainBatch(xs, ys, 0.05, MSE)
+	}
+	a, b = n.Forward(x), c.Forward(x)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("training the original changed the clone")
+	}
+	c.CopyFrom(n)
+	a, b = n.Forward(x), c.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("CopyFrom did not synchronize parameters")
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	n := New(13, 4, 8, 3)
+	data, err := n.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Net
+	if err := m.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.4, -0.2, 0.9, 0.1}
+	a, b := n.Forward(x), m.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round trip changed output: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := New(21, 4, 8, 2)
+	b := New(21, 4, 8, 2)
+	x := []float64{1, 2, 3, 4}
+	oa, ob := a.Forward(x), b.Forward(x)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatal("same seed produced different networks")
+		}
+	}
+}

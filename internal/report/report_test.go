@@ -1,0 +1,64 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Cols: []string{"a", "longcol"}}
+	tb.AddRow("x", "y")
+	tb.AddRow("longervalue", "z")
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"T", "a", "longcol", "longervalue", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and both rows must start at the same column widths.
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[string]string{
+		Ns(1500 * time.Nanosecond): "1500ns",
+		NsF(123.4):                 "123ns",
+		MB(3 << 20):                "3.0MB",
+		Mops(2_500_000):            "2.50Mops",
+		F2(1.239):                  "1.24",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("formatter: got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestRowWiderThanCols(t *testing.T) {
+	tb := &Table{Title: "X", Cols: []string{"only"}}
+	tb.AddRow("a", "extra")
+	var buf bytes.Buffer
+	tb.Fprint(&buf) // must not panic
+	if !strings.Contains(buf.String(), "extra") {
+		t.Fatal("extra cell dropped")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	tb := &Table{Title: "X", Cols: []string{"a", "b"}}
+	tb.AddRow("1", "va,lue")
+	tb.AddRow("2", `qu"ote`)
+	var buf bytes.Buffer
+	tb.FprintCSV(&buf)
+	want := "# X\na,b\n1,\"va,lue\"\n2,\"qu\"\"ote\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", buf.String(), want)
+	}
+}

@@ -1,0 +1,66 @@
+package rl
+
+import (
+	"chameleon/internal/costmodel"
+	"chameleon/internal/dataset"
+)
+
+// Env is the construction environment the agents are trained against. It
+// turns (node keys, interval, fanout action) into the reward of Section
+// IV-B2, r = −(w_t·R_t + w_m·R_m), using the cost model as ground truth.
+type Env struct {
+	Tau   float64 // EBH collision target τ
+	Alpha float64 // EBH hash factor α
+	Wt    float64 // query-time weight w_t
+	Wm    float64 // memory weight w_m
+	BT    int     // PDF bucket count b_T for TSMDP states
+}
+
+// DefaultEnv returns the paper's Table IV weighting (w_t = w_m = 0.5) with a
+// laptop-scale b_T (the paper uses 256; 64 keeps tiny training runs fast —
+// it is a flag in cmd/chameleon-train).
+func DefaultEnv() Env {
+	return Env{Tau: 0.45, Alpha: 131, Wt: 0.5, Wm: 0.5, BT: 64}
+}
+
+// State extracts the TSMDP state vector for a node: bucketized PDF, key
+// count, and lsn (Section IV-B2).
+func (e Env) State(keys []uint64) []float64 {
+	return dataset.Extract(keys, e.BT).Vector()
+}
+
+// Child is one child partition produced by a non-terminal action.
+type Child struct {
+	Keys   []uint64
+	Lo, Hi uint64
+	Weight float64 // w_z of Eq. (3): child key share of the parent
+}
+
+// Step applies fanout to the node covering [lo, hi]. For fanout ≤ 1 it
+// returns the terminal leaf reward; otherwise it returns the per-level
+// traversal cost as immediate reward plus the child partitions whose values
+// the Bellman backup of Eq. (3) folds in.
+func (e Env) Step(keys []uint64, lo, hi uint64, fanout int) (reward float64, children []Child) {
+	if fanout <= 1 || len(keys) <= 1 {
+		c := costmodel.Leaf(keys, lo, hi, e.Tau, e.Alpha)
+		return costmodel.Reward(c, e.Wt, e.Wm), nil
+	}
+	// Non-terminal: every key below pays one more traversal step, and the
+	// child-pointer array costs fanout units spread over the keys.
+	n := float64(len(keys))
+	reward = costmodel.Reward(costmodel.Cost{Query: 1, Memory: float64(fanout) / n}, e.Wt, e.Wm)
+	parts := costmodel.Partition(keys, lo, hi, fanout)
+	for j, p := range parts {
+		if p[1] == p[0] {
+			continue
+		}
+		clo, chi := costmodel.ChildInterval(lo, hi, fanout, j)
+		children = append(children, Child{
+			Keys:   keys[p[0]:p[1]],
+			Lo:     clo,
+			Hi:     chi,
+			Weight: float64(p[1]-p[0]) / n,
+		})
+	}
+	return reward, children
+}

@@ -1,0 +1,97 @@
+package rl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"chameleon/internal/mlp"
+)
+
+// agentFile is the on-disk form written by cmd/chameleon-train.
+type agentFile struct {
+	Kind   string // "tsmdp" or "dare"
+	Height int    // DARE only
+	BT     int    // state bucket count
+	L      int    // DARE matrix width
+	Net    []byte
+}
+
+// SaveTSMDP writes the agent's policy network to path.
+func SaveTSMDP(a *TSMDP, path string) error {
+	blob, err := a.Net().MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return writeAgent(agentFile{Kind: "tsmdp", BT: a.cfg.Env.BT, Net: blob}, path)
+}
+
+// LoadTSMDP restores an agent saved by SaveTSMDP; cfg supplies the runtime
+// configuration (its BT must match the saved state size).
+func LoadTSMDP(cfg TSMDPConfig, path string) (*TSMDP, error) {
+	f, err := readAgent(path, "tsmdp")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Env.BT == 0 {
+		cfg.Env = DefaultEnv()
+	}
+	cfg.Env.BT = f.BT
+	a := NewTSMDP(cfg)
+	var n mlp.Net
+	if err := n.UnmarshalBinary(f.Net); err != nil {
+		return nil, err
+	}
+	a.SetNet(&n)
+	return a, nil
+}
+
+// SaveDARE writes the agent's critic network to path.
+func SaveDARE(d *DARE, path string) error {
+	blob, err := d.Net().MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return writeAgent(agentFile{Kind: "dare", Height: d.h, BT: d.cfg.BD, L: d.cfg.L, Net: blob}, path)
+}
+
+// LoadDARE restores an agent saved by SaveDARE.
+func LoadDARE(cfg DAREConfig, path string) (*DARE, error) {
+	f, err := readAgent(path, "dare")
+	if err != nil {
+		return nil, err
+	}
+	cfg.BD = f.BT
+	cfg.L = f.L
+	d := NewDARE(cfg, f.Height)
+	var n mlp.Net
+	if err := n.UnmarshalBinary(f.Net); err != nil {
+		return nil, err
+	}
+	d.SetNet(&n)
+	return d, nil
+}
+
+func writeAgent(f agentFile, path string) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+func readAgent(path, kind string) (agentFile, error) {
+	var f agentFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
+		return f, err
+	}
+	if f.Kind != kind {
+		return f, fmt.Errorf("rl: %s holds a %q agent, want %q", path, f.Kind, kind)
+	}
+	return f, nil
+}

@@ -1,0 +1,57 @@
+package rl
+
+import "math/rand/v2"
+
+// Transition is one TSMDP experience (s_t, a_t, r_t, s_{t+1}) of Section
+// IV-B3. Because the decision process is tree structured, the next state is
+// the set of child states, each carrying the weight w_z of Eq. (3) (the
+// ratio of the child's key count to the parent's).
+type Transition struct {
+	State        []float64
+	Action       int // index into the fanout action space
+	Reward       float64
+	Children     [][]float64 // empty for a terminal (leaf) transition
+	ChildWeights []float64
+}
+
+// Replay is a fixed-capacity experience-replay ring buffer.
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplay creates a buffer holding up to capacity transitions.
+func NewReplay(capacity int) *Replay {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Replay{buf: make([]Transition, 0, capacity)}
+}
+
+// Add records a transition, evicting the oldest when full.
+func (r *Replay) Add(t Transition) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Len reports the number of stored transitions.
+func (r *Replay) Len() int { return len(r.buf) }
+
+// Sample draws n transitions uniformly with replacement. It returns nil if
+// the buffer is empty.
+func (r *Replay) Sample(rng *rand.Rand, n int) []Transition {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[rng.IntN(len(r.buf))]
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+// Package rl implements the paper's two reinforcement-learning agents and
+// the machinery they share:
+//
+//   - TSMDP (Section IV-B): a tree-structured DQN that decides per-node
+//     fanouts for the lower index levels, trained with experience replay,
+//     Boltzmann exploration, a target network, and the child-weighted MAE
+//     loss of Eq. (3).
+//   - DARE (Section IV-C): a single-step agent whose actor is the genetic
+//     algorithm of Algorithm 1 and whose critic is a DQN projecting
+//     (state, action) to the low-dimensional cost space used by the dynamic
+//     reward function (DRF), so changing the DRF weights needs no retraining.
+//
+// Both agents expose policy interfaces the index constructor consumes, and a
+// deterministic cost-model policy (CostPolicy / CostDARE) is provided as
+// well: the paper's Q-networks approximate exactly the cost model in
+// internal/costmodel, so the analytic policies give reproducible structure
+// quality without a long stochastic training run (DESIGN.md §4).
+package rl
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// DefaultFanouts is the TSMDP action space {ξ_0..ξ_n} = {2^0, 2^1, ..., 2^10}
+// from Table IV. Index 0 (fanout 1) is the terminal "become a leaf" action.
+var DefaultFanouts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// FanoutPolicy decides the fanout of one node during index construction.
+// Returning 1 makes the node an EBH leaf. keys is the sorted key set the
+// node covers; [lo, hi] is its assigned interval.
+type FanoutPolicy interface {
+	Fanout(keys []uint64, lo, hi uint64, level int) int
+}
+
+// DAREPolicy emits the upper-level construction parameters: the root fanout
+// p0 ∈ [2^0, 2^20] and the parameter matrix M with h−2 rows of L entries,
+// each an inner fanout in [2^0, 2^10] (Section IV-C).
+type DAREPolicy interface {
+	Parameters(keys []uint64, h, L int) (p0 int, m [][]float64)
+}
+
+// boltzmann samples an action index from Q-values with the Boltzmann
+// exploration strategy of Section IV-B3: P(a) ∝ exp(Q(a)/temp). A zero or
+// negative temperature degenerates to argmax.
+func boltzmann(rng *rand.Rand, q []float64, temp float64) int {
+	if temp <= 0 {
+		return argmax(q)
+	}
+	maxQ := q[argmax(q)]
+	var sum float64
+	w := make([]float64, len(q))
+	for i, v := range q {
+		w[i] = math.Exp((v - maxQ) / temp)
+		sum += w[i]
+	}
+	r := rng.Float64() * sum
+	for i, v := range w {
+		r -= v
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(q) - 1
+}
+
+func argmax(q []float64) int {
+	best := 0
+	for i, v := range q {
+		if v > q[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// interpolateFanout applies Eq. (4): given a matrix row of decoded fanout
+// parameters and the node's normalized position x ∈ [0, L−1], it blends the
+// two enclosing entries and rounds.
+func interpolateFanout(row []float64, x float64) int {
+	if len(row) == 0 {
+		return 1
+	}
+	if x <= 0 {
+		return clampFanout(int(math.Round(row[0])))
+	}
+	last := float64(len(row) - 1)
+	if x >= last {
+		return clampFanout(int(math.Round(row[len(row)-1])))
+	}
+	l := int(x)
+	f := (x-float64(l))*row[l+1] + (float64(l)+1-x)*row[l]
+	return clampFanout(int(math.Round(f)))
+}
+
+func clampFanout(f int) int {
+	if f < 1 {
+		return 1
+	}
+	if f > 1<<10 {
+		return 1 << 10
+	}
+	return f
+}
+
+// NodePosition computes x, the mapping of a node's interval midpoint into
+// the parameter matrix of Section IV-C:
+// x = ((lk+uk)/2 − mk)/(Mk − mk) · (L−1).
+func NodePosition(lk, uk, mk, Mk uint64, L int) float64 {
+	if Mk == mk {
+		return 0
+	}
+	mid := lk/2 + uk/2
+	return float64(mid-mk) / float64(Mk-mk) * float64(L-1)
+}

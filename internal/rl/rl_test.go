@@ -1,0 +1,383 @@
+package rl
+
+import (
+	"math"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+
+	"chameleon/internal/costmodel"
+	"chameleon/internal/dataset"
+)
+
+func TestBoltzmannDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	q := []float64{0, 1, 5}
+	counts := [3]int{}
+	for i := 0; i < 10000; i++ {
+		counts[boltzmann(rng, q, 1.0)]++
+	}
+	if counts[2] <= counts[1] || counts[1] <= counts[0] {
+		t.Fatalf("Boltzmann ordering violated: %v", counts)
+	}
+	// Zero temperature: pure argmax.
+	for i := 0; i < 100; i++ {
+		if boltzmann(rng, q, 0) != 2 {
+			t.Fatal("argmax not selected at temp 0")
+		}
+	}
+}
+
+func TestInterpolateFanoutEq4(t *testing.T) {
+	// Paper's worked example under Eq. (4): x = 0.5 between p_0 = 5.1 and
+	// p_1 = 1.3 gives (0.5−0)·1.3 + (1−0.5)·5.1 = 3.2 → 3.
+	row := []float64{5.1, 1.3, 2.0, 4.0}
+	if got := interpolateFanout(row, 0.5); got != 3 {
+		t.Fatalf("interpolateFanout = %d, want 3 (paper example)", got)
+	}
+	if got := interpolateFanout(row, 0); got != 5 {
+		t.Fatalf("x=0: got %d, want 5", got)
+	}
+	if got := interpolateFanout(row, 99); got != 4 {
+		t.Fatalf("x beyond end: got %d, want last entry", got)
+	}
+	if got := interpolateFanout(nil, 1); got != 1 {
+		t.Fatalf("empty row: got %d, want 1", got)
+	}
+	if got := interpolateFanout([]float64{9999}, 0); got != 1<<10 {
+		t.Fatalf("clamp: got %d, want %d", got, 1<<10)
+	}
+}
+
+func TestReplayRing(t *testing.T) {
+	r := NewReplay(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Transition{Action: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, tr := range r.Sample(rng, 50) {
+		if tr.Action < 6 {
+			t.Fatalf("evicted transition %d sampled", tr.Action)
+		}
+	}
+	if NewReplay(0).Sample(rng, 1) != nil {
+		t.Fatal("empty replay should sample nil")
+	}
+}
+
+func TestEnvStepTerminalAndSplit(t *testing.T) {
+	env := DefaultEnv()
+	keys := dataset.Uniform(10_000, 1)
+	lo, hi := keys[0], keys[len(keys)-1]
+
+	r, children := env.Step(keys, lo, hi, 1)
+	if children != nil {
+		t.Fatal("terminal action produced children")
+	}
+	if r >= 0 {
+		t.Fatalf("leaf reward %v must be negative (it is a cost)", r)
+	}
+
+	r, children = env.Step(keys, lo, hi, 8)
+	if len(children) == 0 {
+		t.Fatal("split produced no children")
+	}
+	totalKeys, totalWeight := 0, 0.0
+	for _, c := range children {
+		totalKeys += len(c.Keys)
+		totalWeight += c.Weight
+		if len(c.Keys) == 0 {
+			t.Fatal("empty child emitted")
+		}
+		for _, k := range c.Keys {
+			if k < c.Lo || k > c.Hi {
+				t.Fatalf("key %d outside child interval [%d,%d]", k, c.Lo, c.Hi)
+			}
+		}
+	}
+	if totalKeys != len(keys) {
+		t.Fatalf("children cover %d keys, want %d", totalKeys, len(keys))
+	}
+	if math.Abs(totalWeight-1) > 1e-9 {
+		t.Fatalf("child weights sum to %v, want 1 (Eq. 3)", totalWeight)
+	}
+}
+
+func TestCostPolicySplitsSkewTerminatesSmall(t *testing.T) {
+	p := NewCostPolicy(DefaultEnv())
+	small := dataset.Uniform(100, 3)
+	if f := p.Fanout(small, small[0], small[len(small)-1], 1); f != 1 {
+		t.Fatalf("small node fanout %d, want 1", f)
+	}
+	big := dataset.Generate(dataset.FACE, 200_000, 3)
+	f := p.Fanout(big, big[0], big[len(big)-1], 1)
+	if f <= 1 {
+		t.Fatalf("200k-key node fanout %d; policy refused to partition", f)
+	}
+}
+
+func TestTSMDPLearnsToTerminateSmallNodes(t *testing.T) {
+	// A brief training run must leave the agent functional: Q-values finite,
+	// greedy action within the action space, and replay populated.
+	cfg := DefaultTSMDPConfig()
+	cfg.MinSplit = 64
+	cfg.BatchSize = 8
+	cfg.Env.BT = 16
+	a := NewTSMDP(cfg)
+	for ep := 0; ep < 6; ep++ {
+		keys := dataset.Clustered(4000, uint64(ep+1), 0.5, 1, 128)
+		a.Explore(keys, keys[0], keys[len(keys)-1], 3)
+	}
+	if a.replay.Len() == 0 {
+		t.Fatal("exploration stored no transitions")
+	}
+	keys := dataset.Uniform(4000, 9)
+	for _, q := range a.QValues(keys) {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Fatalf("non-finite Q-value after training: %v", a.QValues(keys))
+		}
+	}
+	f := a.Fanout(keys, keys[0], keys[len(keys)-1], 1)
+	found := false
+	for _, x := range cfg.Fanouts {
+		if x == f {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fanout %d outside action space", f)
+	}
+	if f := a.Fanout(keys[:10], keys[0], keys[9], 1); f != 1 {
+		t.Fatalf("tiny node fanout %d, want forced 1", f)
+	}
+}
+
+func TestDecodeGenomeBoundsAndShape(t *testing.T) {
+	h, L := 3, 8
+	bounds := genomeBounds(h, L)
+	if len(bounds) != 1+L {
+		t.Fatalf("genome length %d, want %d", len(bounds), 1+L)
+	}
+	genome := make([]float64, len(bounds))
+	genome[0] = 20 // log2 p0
+	for i := 1; i < len(genome); i++ {
+		genome[i] = 10
+	}
+	p0, m := DecodeGenome(genome, h, L)
+	if p0 != 1<<20 {
+		t.Fatalf("p0 = %d, want 2^20", p0)
+	}
+	if len(m) != 1 || len(m[0]) != L {
+		t.Fatalf("matrix shape %dx%d, want 1x%d", len(m), len(m[0]), L)
+	}
+	for _, v := range m[0] {
+		if v != 1<<10 {
+			t.Fatalf("matrix entry %v, want 2^10", v)
+		}
+	}
+	// h=2: no matrix rows.
+	if _, m := DecodeGenome([]float64{3}, 2, L); len(m) != 0 {
+		t.Fatalf("h=2 produced %d matrix rows", len(m))
+	}
+}
+
+func TestCostDAREProducesUsableParameters(t *testing.T) {
+	cfg := DefaultDAREConfig()
+	cfg.GA.Generations = 8
+	cfg.SampleCap = 4096
+	d := NewCostDARE(cfg)
+	keys := dataset.Generate(dataset.LOGN, 50_000, 5)
+	p0, m := d.Parameters(keys, 3, 16)
+	if p0 < 1 || p0 > 1<<20 {
+		t.Fatalf("p0 = %d out of range", p0)
+	}
+	if len(m) != 1 || len(m[0]) != 16 {
+		t.Fatalf("matrix shape wrong: %d rows", len(m))
+	}
+	// The chosen parameters must beat a degenerate single-leaf structure.
+	mk, Mk := keys[0], keys[len(keys)-1]
+	fan := UpperFanoutFn(p0, m, mk, Mk, 16)
+	chosen := costmodel.TreeCost(keys, mk, Mk, 2, fan, 0.45, 131)
+	single := costmodel.TreeCost(keys, mk, Mk, 2,
+		func(int, uint64, uint64, int) int { return 1 }, 0.45, 131)
+	env := cfg.Env
+	if costmodel.Reward(chosen, env.Wt, env.Wm) < costmodel.Reward(single, env.Wt, env.Wm)-0.5 {
+		t.Fatalf("GA-chosen parameters (%+v) clearly lose to a single leaf (%+v)", chosen, single)
+	}
+}
+
+func TestDARETrainEpisodeReducesCriticLoss(t *testing.T) {
+	cfg := DefaultDAREConfig()
+	cfg.BD = 16
+	cfg.L = 4
+	cfg.LR = 1e-2
+	cfg.GA.Generations = 3
+	cfg.GA.Pop = 6
+	cfg.SampleCap = 2048
+	d := NewDARE(cfg, 3)
+	keys := dataset.Uniform(5000, 11)
+	first := d.TrainEpisode(keys, 1)
+	var last float64
+	for i := 0; i < 60; i++ {
+		last = d.TrainEpisode(keys, 1)
+	}
+	if math.IsNaN(last) {
+		t.Fatal("critic loss became NaN")
+	}
+	if last > first*1.5+0.5 {
+		t.Fatalf("critic loss rose: first %.4f last %.4f", first, last)
+	}
+}
+
+func TestTrainAlgorithm2EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training loop")
+	}
+	cfg := DefaultTrainConfig()
+	cfg.DatasetSize = 3000
+	cfg.EpisodesPer = 2
+	cfg.Epsilon = 0.4
+	cfg.TSMDP.Env.BT = 16
+	cfg.TSMDP.BatchSize = 8
+	cfg.DARE.BD = 16
+	cfg.DARE.L = 4
+	cfg.DARE.GA.Generations = 3
+	cfg.DARE.GA.Pop = 6
+	ts, da := Train(cfg)
+	keys := dataset.Generate(dataset.FACE, 20_000, 1)
+	if f := ts.Fanout(keys, keys[0], keys[len(keys)-1], 1); f < 1 {
+		t.Fatalf("trained TSMDP fanout %d", f)
+	}
+	p0, _ := da.Parameters(keys, 3, 4)
+	if p0 < 1 {
+		t.Fatalf("trained DARE p0 %d", p0)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	tcfg := DefaultTSMDPConfig()
+	tcfg.Env.BT = 16
+	ts := NewTSMDP(tcfg)
+	keys := dataset.Uniform(2000, 1)
+	want := ts.QValues(keys)
+	tsPath := filepath.Join(dir, "tsmdp.gob")
+	if err := SaveTSMDP(ts, tsPath); err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := LoadTSMDP(tcfg, tsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ts2.QValues(keys)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("Q-values changed across save/load: %v vs %v", want, got)
+		}
+	}
+
+	dcfg := DefaultDAREConfig()
+	dcfg.BD = 16
+	dcfg.L = 4
+	da := NewDARE(dcfg, 3)
+	daPath := filepath.Join(dir, "dare.gob")
+	if err := SaveDARE(da, daPath); err != nil {
+		t.Fatal(err)
+	}
+	da2, err := LoadDARE(dcfg, daPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make([]float64, dcfg.BD+2)
+	genome := make([]float64, len(genomeBounds(3, 4)))
+	a, b := da.PredictCost(state, genome), da2.PredictCost(state, genome)
+	if a != b {
+		t.Fatalf("critic changed across save/load: %+v vs %+v", a, b)
+	}
+
+	if _, err := LoadTSMDP(tcfg, daPath); err == nil {
+		t.Fatal("loading a DARE file as TSMDP must fail")
+	}
+}
+
+func TestNodePosition(t *testing.T) {
+	// Paper's worked example: node [0,1] of dataset [0,3] with L=4:
+	// x = ((0+1)/2 − 0)/(3 − 0)·3 = 0.5.
+	// (Integer midpoint arithmetic floors 1/2 to 0 for such tiny spans; use
+	// a scaled-up version of the same proportions.)
+	x := NodePosition(0, 1_000_000, 0, 3_000_000, 4)
+	if math.Abs(x-0.5) > 0.01 {
+		t.Fatalf("NodePosition = %v, want 0.5 (paper example)", x)
+	}
+	if NodePosition(5, 5, 5, 5, 4) != 0 {
+		t.Fatal("degenerate span must map to 0")
+	}
+}
+
+func TestQueryWeightedConstruction(t *testing.T) {
+	// The Section IV-B2 extension: with a hot-head query distribution, the
+	// GA should pick parameters whose *weighted* cost is at least as good as
+	// the uniform-guided choice evaluated under the same weights.
+	keys := dataset.Generate(dataset.LOGN, 40_000, 8)
+	zipf := func(sample []uint64) []float64 {
+		w := make([]float64, len(sample))
+		for i := range w {
+			w[i] = 1 / float64(i+1) // hot head at low keys
+		}
+		return w
+	}
+
+	base := DefaultDAREConfig()
+	base.GA.Generations = 8
+	base.GA.Pop = 10
+	base.SampleCap = 8192
+
+	weighted := base
+	weighted.QueryWeights = zipf
+
+	score := func(cfg DAREConfig, p0 int, m [][]float64) float64 {
+		mk, Mk := keys[0], keys[len(keys)-1]
+		fan := UpperFanoutFn(p0, m, mk, Mk, cfg.L)
+		sample := keys
+		ws := zipf(sample)
+		c := costmodel.WeightedTreeCost(sample, ws, mk, Mk, 2, fan, cfg.Env.Tau, cfg.Env.Alpha)
+		return costmodel.Reward(c, cfg.Env.Wt, cfg.Env.Wm)
+	}
+
+	du := NewCostDARE(base)
+	p0u, mu := du.Parameters(keys, 3, 16)
+	dw := NewCostDARE(weighted)
+	p0w, mw := dw.Parameters(keys, 3, 16)
+
+	ru := score(base, p0u, mu)
+	rw := score(weighted, p0w, mw)
+	if rw < ru-0.5 {
+		t.Fatalf("weighted-guided construction clearly loses under its own metric: %v vs %v", rw, ru)
+	}
+}
+
+func TestDoubleDQNTrainsStably(t *testing.T) {
+	cfg := DefaultTSMDPConfig()
+	cfg.DoubleDQN = true
+	cfg.MinSplit = 64
+	cfg.BatchSize = 8
+	cfg.Env.BT = 16
+	a := NewTSMDP(cfg)
+	for ep := 0; ep < 5; ep++ {
+		keys := dataset.Generate(dataset.FACE, 4000, uint64(ep+1))
+		a.Explore(keys, keys[0], keys[len(keys)-1], 3)
+	}
+	keys := dataset.Uniform(4000, 3)
+	for _, q := range a.QValues(keys) {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Fatalf("double-DQN produced non-finite Q: %v", a.QValues(keys))
+		}
+	}
+	if f := a.Fanout(keys, keys[0], keys[len(keys)-1], 1); f < 1 || f > 1<<10 {
+		t.Fatalf("fanout %d out of range", f)
+	}
+}

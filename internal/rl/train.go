@@ -1,0 +1,81 @@
+package rl
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"chameleon/internal/dataset"
+)
+
+// TrainConfig drives Algorithm 2 ("Train Chameleon").
+type TrainConfig struct {
+	TSMDP       TSMDPConfig
+	DARE        DAREConfig
+	Height      int     // h the DARE critic is shaped for
+	DatasetSize int     // keys per training dataset
+	EpisodesPer int     // K: episodes per exploration-rate step
+	Epsilon     float64 // ε: exploration termination probability
+	ErDecay     float64 // multiplicative decay of er per outer iteration
+	Seed        uint64
+	Log         io.Writer // optional progress sink
+}
+
+// DefaultTrainConfig returns a laptop-scale training run (the paper trains
+// on a GPU over a large dataset collection; see DESIGN.md §4).
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		TSMDP:       DefaultTSMDPConfig(),
+		DARE:        DefaultDAREConfig(),
+		Height:      3,
+		DatasetSize: 50_000,
+		EpisodesPer: 4,
+		Epsilon:     0.2,
+		ErDecay:     0.5,
+		Seed:        7,
+	}
+}
+
+// Train runs Algorithm 2: starting from er = 1, each outer iteration runs K
+// episodes — sample a random dataset from the generator collection, extract
+// features, train DARE with the blended action a_D = (1−er)·a_best +
+// er·a_random, and roll TSMDP exploration over the dataset — then decays er
+// until it reaches ε. It returns the trained agents.
+func Train(cfg TrainConfig) (*TSMDP, *DARE) {
+	ts := NewTSMDP(cfg.TSMDP)
+	da := NewDARE(cfg.DARE, cfg.Height)
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xbf58476d1ce4e5b9))
+	er := 1.0
+	iter := 0
+	for er > cfg.Epsilon {
+		for i := 0; i < cfg.EpisodesPer; i++ {
+			keys := randomTrainingSet(rng, cfg.DatasetSize)
+			daLoss := da.TrainEpisode(keys, er)
+			ts.Explore(keys, keys[0], keys[len(keys)-1], cfg.Height+1)
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "iter %d ep %d er %.3f dare-loss %.4f replay %d\n",
+					iter, i, er, daLoss, ts.replay.Len())
+			}
+		}
+		er *= cfg.ErDecay
+		iter++
+	}
+	return ts, da
+}
+
+// randomTrainingSet draws a dataset from the "large collection of both real
+// and synthetic datasets" of Algorithm 2 — here, the four generator families
+// with randomized parameters.
+func randomTrainingSet(rng *rand.Rand, n int) []uint64 {
+	seed := rng.Uint64()
+	switch rng.IntN(4) {
+	case 0:
+		return dataset.Uniform(n, seed)
+	case 1:
+		return dataset.Lognormal(n, seed, 0.4+rng.Float64()*1.2)
+	case 2:
+		return dataset.Clustered(n, seed, rng.Float64(), 1, 1+rng.Uint64N(512))
+	default:
+		return dataset.ClusterVariance(n, seed, float64(uint64(1)<<(2+rng.IntN(18))))
+	}
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"testing"
+
+	"chameleon/internal/baselines/bptree"
+	"chameleon/internal/dataset"
+	"chameleon/internal/index"
+)
+
+func TestReadOnlyTargetsLoadedKeys(t *testing.T) {
+	keys := dataset.Uniform(1000, 1)
+	in := map[uint64]bool{}
+	for _, k := range keys {
+		in[k] = true
+	}
+	for _, op := range ReadOnly(keys, 5000, 2) {
+		if op.Kind != Lookup || !in[op.Key] {
+			t.Fatalf("bad read-only op %+v", op)
+		}
+	}
+}
+
+func TestFreshKeysAbsentAndUnique(t *testing.T) {
+	keys := dataset.Generate(dataset.FACE, 10_000, 3)
+	in := map[uint64]bool{}
+	for _, k := range keys {
+		in[k] = true
+	}
+	fresh := FreshKeys(keys, 5000, 4)
+	seen := map[uint64]bool{}
+	for _, k := range fresh {
+		if in[k] {
+			t.Fatalf("fresh key %d already in base", k)
+		}
+		if seen[k] {
+			t.Fatalf("fresh key %d duplicated", k)
+		}
+		seen[k] = true
+	}
+	if len(fresh) != 5000 {
+		t.Fatalf("got %d fresh keys", len(fresh))
+	}
+}
+
+// validStream replays a stream against a real index and fails on any
+// duplicate insert or missing delete — the contract Mixed promises.
+func validStream(t *testing.T, base []uint64, ops []Op) (reads, inserts, deletes int) {
+	t.Helper()
+	var ix index.Index = bptree.New(0)
+	if err := ix.BulkLoad(base, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case Lookup:
+			reads++
+		case Insert:
+			if err := ix.Insert(op.Key, op.Val); err != nil {
+				t.Fatalf("op %d: insert %d: %v", i, op.Key, err)
+			}
+			inserts++
+		case Delete:
+			if err := ix.Delete(op.Key); err != nil {
+				t.Fatalf("op %d: delete %d: %v", i, op.Key, err)
+			}
+			deletes++
+		}
+	}
+	return reads, inserts, deletes
+}
+
+func TestMixedRatios(t *testing.T) {
+	base := dataset.Uniform(20_000, 5)
+	for _, wf := range []float64{0, 0.25, 0.5, 1} {
+		ops := Mixed(base, MixedConfig{WriteFrac: wf, InsertFrac: 0.5, Ops: 10_000, Seed: 6})
+		if len(ops) != 10_000 {
+			t.Fatalf("stream length %d", len(ops))
+		}
+		reads, ins, del := validStream(t, base, ops)
+		writes := ins + del
+		got := float64(writes) / float64(reads+writes)
+		if got < wf-0.05 || got > wf+0.05 {
+			t.Fatalf("WriteFrac %v: measured %v", wf, got)
+		}
+		if wf > 0 {
+			insFrac := float64(ins) / float64(writes)
+			if insFrac < 0.4 || insFrac > 0.6 {
+				t.Fatalf("InsertFrac 0.5: measured %v", insFrac)
+			}
+		}
+	}
+}
+
+func TestMixedInsertOnlyAndDeleteHeavy(t *testing.T) {
+	base := dataset.Uniform(5000, 7)
+	ops := Mixed(base, MixedConfig{WriteFrac: 1, InsertFrac: 1, Ops: 3000, Seed: 8})
+	_, ins, del := validStream(t, base, ops)
+	if del != 0 || ins != 3000 {
+		t.Fatalf("insert-only stream: %d ins %d del", ins, del)
+	}
+	// Delete-heavy beyond the live set must degrade to reads, not fail.
+	ops = Mixed(base, MixedConfig{WriteFrac: 1, InsertFrac: 0, Ops: 8000, Seed: 9})
+	_, ins, del = validStream(t, base, ops)
+	if ins != 0 {
+		t.Fatalf("delete-only stream inserted %d", ins)
+	}
+	if del > 5000 {
+		t.Fatalf("deleted %d from a 5000-key base", del)
+	}
+}
+
+func TestBatchedSchedule(t *testing.T) {
+	keys := dataset.Uniform(8000, 10)
+	batches := Batched(keys, 4, 500, 11)
+	if len(batches) != 8 {
+		t.Fatalf("got %d batches, want 8 (4 insert + 4 delete)", len(batches))
+	}
+	var ix index.Index = bptree.New(0)
+	if err := ix.BulkLoad(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for bi, b := range batches {
+		for _, op := range b.Writes {
+			var err error
+			if op.Kind == Insert {
+				err = ix.Insert(op.Key, op.Val)
+			} else {
+				err = ix.Delete(op.Key)
+			}
+			if err != nil {
+				t.Fatalf("batch %d: %v on key %d", bi, err, op.Key)
+			}
+		}
+		for _, op := range b.Queries {
+			if _, ok := ix.Lookup(op.Key); !ok {
+				t.Fatalf("batch %d: query for absent key %d", bi, op.Key)
+			}
+		}
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("after all batches Len = %d, want 0", ix.Len())
+	}
+}
+
+func TestZipfReadsHotHead(t *testing.T) {
+	keys := dataset.Uniform(10_000, 1)
+	ops := ZipfReads(keys, 50_000, 1.5, 2)
+	if len(ops) != 50_000 {
+		t.Fatalf("stream length %d", len(ops))
+	}
+	in := map[uint64]int{}
+	for i, k := range keys {
+		in[k] = i
+	}
+	headHits := 0
+	for _, op := range ops {
+		rank, ok := in[op.Key]
+		if op.Kind != Lookup || !ok {
+			t.Fatalf("bad zipf op %+v", op)
+		}
+		if rank < len(keys)/100 {
+			headHits++
+		}
+	}
+	// Zipf s=1.5: the top 1% of ranks should absorb well over half the mass.
+	if frac := float64(headHits) / float64(len(ops)); frac < 0.5 {
+		t.Fatalf("head fraction %.3f, want a hot head", frac)
+	}
+}
+
+func TestZipfWeightsDecreasing(t *testing.T) {
+	w := ZipfWeights(100, 1.2)
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("weights not strictly decreasing at %d", i)
+		}
+	}
+	if w[0] != 1 {
+		t.Fatalf("w[0] = %v, want 1", w[0])
+	}
+}
