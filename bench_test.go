@@ -59,6 +59,7 @@ func BenchmarkFig14Retraining(b *testing.B)   { runExperiment(b, "fig14") }
 func BenchmarkFig15RetrainThread(b *testing.B) {
 	runExperiment(b, "fig15")
 }
+func BenchmarkConcThroughput(b *testing.B) { runExperiment(b, "conc") }
 
 // ---- per-operation micro-benchmarks ----
 

@@ -13,6 +13,12 @@
 // synchronized through per-interval locks, keeps the structure healthy under
 // sustained inserts and deletes without blocking foreground operations.
 //
+// An Index is safe for concurrent use by multiple goroutines. The interval
+// locks are reader-shared and writer-exclusive: any number of Lookup and
+// Range calls proceed in parallel on the same interval, while Insert, Delete,
+// and background retraining take their interval exclusively — concurrent
+// readers scale without ever observing a half-retrained subtree.
+//
 // Quick start:
 //
 //	ix := chameleon.New(chameleon.Options{})
@@ -189,13 +195,25 @@ func (ix *Index) Close() error {
 }
 
 // WriteTo serializes the learned structure (tree shape, leaf slot layouts)
-// so a later ReadFrom restores it without retraining. Stop the retrainer
-// first (Close does).
+// so a later ReadFrom restores it without retraining. Stop the retrainer and
+// quiesce writers first (Close stops the retrainer): the snapshot walk is not
+// taken under interval locks.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.inner.WriteTo(w) }
 
 // ReadFrom replaces the index contents with a structure written by WriteTo.
-// The configured construction policies are kept for future retraining.
-func (ix *Index) ReadFrom(r io.Reader) (int64, error) { return ix.inner.ReadFrom(r) }
+// The configured construction policies are kept for future retraining, and —
+// exactly as after BulkLoad — the background retrainer is (re)started when
+// Options.RetrainEvery is set. On error the index is left unchanged.
+func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
+	n, err := ix.inner.ReadFrom(r)
+	if err != nil {
+		return n, err
+	}
+	if ix.opts.RetrainEvery > 0 {
+		ix.inner.StartRetrainer(ix.opts.RetrainEvery)
+	}
+	return n, nil
+}
 
 // Save writes the index to a file; Load restores it.
 func (ix *Index) Save(path string) error {

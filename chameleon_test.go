@@ -3,6 +3,7 @@ package chameleon_test
 import (
 	"errors"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -117,6 +118,90 @@ func TestTrainedAgentsOption(t *testing.T) {
 		if _, ok := ix.Lookup(keys[i]); !ok {
 			t.Fatalf("agent-built index lost key %d", keys[i])
 		}
+	}
+}
+
+func TestLoadStartsRetrainer(t *testing.T) {
+	// Regression: Load (via ReadFrom) ignored Options.RetrainEvery, so an
+	// index restored from disk silently ran without background retraining
+	// even though BulkLoad with the same options would have started it.
+	keys := dataset.Generate(dataset.UDEN, 20_000, 5)
+	ix := chameleon.New(chameleon.Options{Seed: 3})
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.cham")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := chameleon.Load(path, chameleon.Options{Seed: 3, RetrainEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	// Drift the loaded index so the retrainer has work to do.
+	base := keys[len(keys)-1]
+	for i := uint64(1); i <= 40_000; i++ {
+		if err := loaded.Insert(base+i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n, _ := loaded.RetrainStats(); n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retrainer never ran after Load with RetrainEvery set")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestConcurrentStartStopClose(t *testing.T) {
+	// Start/Stop/Close from many goroutines must not race or deadlock.
+	keys := dataset.Uniform(10_000, 8)
+	ix := chameleon.New(chameleon.Options{})
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					ix.StartRetrainer(time.Millisecond)
+				case 1:
+					ix.StopRetrainer()
+				default:
+					if err := ix.Close(); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	// Foreground traffic while the lifecycle churns.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base := keys[len(keys)-1]
+		for i := uint64(1); i <= 500; i++ {
+			if err := ix.Insert(base+i, i); err != nil {
+				t.Error(err)
+			}
+			ix.Lookup(keys[int(i)%len(keys)])
+		}
+	}()
+	wg.Wait()
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ix.Lookup(keys[0]); !ok || v != keys[0] {
+		t.Fatalf("index unusable after lifecycle churn: %d,%v", v, ok)
 	}
 }
 

@@ -9,7 +9,9 @@ import (
 // BulkLoad implements index.Index: it (re)builds the structure over sorted
 // unique keys using the MARL construction of Fig. 6 — DARE emits the root
 // fanout p0 and parameter matrix M for the upper h−1 levels; the fanout
-// policy (TSMDP) refines each level-h node.
+// policy (TSMDP) refines each level-h node. The new structure is built
+// off-line and swapped in atomically, so concurrent readers are never
+// blocked; concurrent writers are excluded only for the swap itself.
 func (ix *Index) BulkLoad(keys, vals []uint64) error {
 	for i := 1; i < len(keys); i++ {
 		if keys[i] <= keys[i-1] {
@@ -19,12 +21,17 @@ func (ix *Index) BulkLoad(keys, vals []uint64) error {
 	if vals != nil && len(vals) != len(keys) {
 		return ErrUnsortedKeys
 	}
-	ix.reset(keys, vals)
+	ix.lifecycle.Lock()
+	defer ix.lifecycle.Unlock()
+	t := ix.buildTree(keys, vals)
+	ix.rebuildMu.Lock()
+	ix.installTree(t, len(keys))
+	ix.rebuildMu.Unlock()
 	return nil
 }
 
-// build constructs the full tree and registers the level-h gates.
-func (ix *Index) build(keys, vals []uint64) *node {
+// build constructs the full tree and registers the level-h gates on t.
+func (ix *Index) build(t *tree, keys, vals []uint64) *node {
 	mk, Mk := keys[0], keys[len(keys)-1]
 	dare := ix.cfg.Dare
 	if dare == nil {
@@ -33,25 +40,25 @@ func (ix *Index) build(keys, vals []uint64) *node {
 		cfg.Seed = ix.cfg.Seed
 		dare = rl.NewCostDARE(cfg)
 	}
-	p0, m := dare.Parameters(keys, ix.h, ix.cfg.L)
+	p0, m := dare.Parameters(keys, t.h, ix.cfg.L)
 	upperFan := rl.UpperFanoutFn(p0, m, mk, Mk, ix.cfg.L)
-	return ix.buildUpper(keys, vals, mk, Mk, 1, upperFan)
+	return ix.buildUpper(t, keys, vals, mk, Mk, 1, upperFan)
 }
 
 // buildUpper builds levels 1..h−1 with the DARE fanouts; children at level h
 // are built by buildLower and registered as gates.
-func (ix *Index) buildUpper(keys, vals []uint64, lo, hi uint64, level int, fan costmodel.FanoutFn) *node {
+func (ix *Index) buildUpper(t *tree, keys, vals []uint64, lo, hi uint64, level int, fan costmodel.FanoutFn) *node {
 	f := fan(level, lo, hi, len(keys))
-	if f <= 1 || len(keys) <= 1 || level >= ix.h {
+	if f <= 1 || len(keys) <= 1 || level >= t.h {
 		// Degenerate upper node: no partition at this level; fall through to
-		// the lower builder (no gate — nothing above will retrain it).
-		return ix.buildLower(keys, vals, lo, hi, ix.h)
+		// the lower builder (no gate — the fallback interval guards it).
+		return ix.buildLower(keys, vals, lo, hi, t.h, t.h)
 	}
 	n := newInner(lo, hi, f)
 	parts := costmodel.Partition(keys, lo, hi, f)
-	atGate := level+1 == ix.h
+	atGate := level+1 == t.h
 	if atGate {
-		n.gateBase = uint64(len(ix.gates))
+		n.gateBase = uint64(len(t.gates))
 	}
 	for j := 0; j < f; j++ {
 		clo, chi := costmodel.ChildInterval(lo, hi, f, j)
@@ -62,12 +69,12 @@ func (ix *Index) buildUpper(keys, vals []uint64, lo, hi uint64, level int, fan c
 		}
 		var child *node
 		if atGate {
-			child = ix.buildLower(ck, cv, clo, chi, ix.h)
+			child = ix.buildLower(ck, cv, clo, chi, t.h, t.h)
 			g := &gate{id: n.gateBase + uint64(j), parent: n, slot: j, lo: clo, hi: chi}
 			g.keys.Store(int64(len(ck)))
-			ix.gates = append(ix.gates, g)
+			t.gates = append(t.gates, g)
 		} else {
-			child = ix.buildUpper(ck, cv, clo, chi, level+1, fan)
+			child = ix.buildUpper(t, ck, cv, clo, chi, level+1, fan)
 		}
 		n.children[j] = child
 	}
@@ -76,10 +83,11 @@ func (ix *Index) buildUpper(keys, vals []uint64, lo, hi uint64, level int, fan c
 
 // buildLower builds a level-h subtree: the fanout policy (TSMDP) decides
 // recursively whether to keep partitioning; fanout 1 terminates in an EBH
-// leaf.
-func (ix *Index) buildLower(keys, vals []uint64, lo, hi uint64, level int) *node {
+// leaf. h is the gate level of the tree under construction (the recursion
+// depth budget is relative to it).
+func (ix *Index) buildLower(keys, vals []uint64, lo, hi uint64, level, h int) *node {
 	f := 1
-	if ix.cfg.Policy != nil && level < ix.h+ix.cfg.MaxLowerDepth && len(keys) > 1 {
+	if ix.cfg.Policy != nil && level < h+ix.cfg.MaxLowerDepth && len(keys) > 1 {
 		f = ix.cfg.Policy.Fanout(keys, lo, hi, level)
 	}
 	if f <= 1 || len(keys) <= 1 {
@@ -95,7 +103,7 @@ func (ix *Index) buildLower(keys, vals []uint64, lo, hi uint64, level int) *node
 		if vals != nil {
 			cv = vals[parts[j][0]:parts[j][1]]
 		}
-		n.children[j] = ix.buildLower(ck, cv, clo, chi, level+1)
+		n.children[j] = ix.buildLower(ck, cv, clo, chi, level+1, h)
 	}
 	return n
 }

@@ -4,15 +4,26 @@
 // levels, TSMDP refines below) and kept healthy under updates by the
 // Interval-Lock-guarded background retraining of Section V.
 //
-// Concurrency model (matching the paper's): one foreground thread issues
-// queries and updates sequentially; one background goroutine retrains
-// level-h subtrees. The two synchronize only through per-interval locks, so
-// retraining never blocks operations on other intervals.
+// Concurrency model (a deliberate departure from the paper's single
+// foreground thread): any number of goroutines may call Lookup, Range,
+// Insert, and Delete concurrently, alongside the background retraining
+// goroutine. Lookup/Range take shared read locks on the level-h intervals
+// they cross, Insert/Delete take exclusive write locks, and the retrainer
+// takes exclusive retrain locks — so readers share intervals, writers
+// serialize per interval, and retraining never blocks operations on other
+// intervals. The whole structure (root, gate registry, lock table) is an
+// atomically swapped snapshot, so full reconstructions build off-line and
+// publish with a single pointer store; paths that never cross a gate (an
+// empty index, degenerate upper levels) are guarded by a dedicated fallback
+// interval so no leaf access is ever unlocked. BulkLoad, Reconstruct, and
+// ReadFrom serialize through a lifecycle mutex and briefly exclude writers
+// while swapping; readers are never blocked by a swap.
 package core
 
 import (
 	"errors"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -113,7 +124,9 @@ func (cfg Config) Defaults() Config {
 }
 
 // node is one tree node: an EBH leaf when leaf is non-nil, otherwise an
-// inner node with the interpolation model of Eq. (1).
+// inner node with the interpolation model of Eq. (1). Node shape is
+// immutable after construction except for gate child slots, which the
+// retrainer swaps under that interval's exclusive Retraining-Lock.
 type node struct {
 	lo, hi   uint64
 	fanout   int
@@ -146,29 +159,55 @@ type gate struct {
 	keys    atomic.Int64 // key count at the last (re)build
 }
 
-// Index is the Chameleon index. Construct with New; it implements the
-// index.Index, index.RangeIndex, and index.StatsProvider interfaces.
-type Index struct {
-	cfg   Config
-	env   rl.Env
+// tree is one immutable-shape snapshot of the index structure: the root,
+// the gate registry, the interval-lock table sized for it, and the build
+// height. Everything that must stay mutually consistent across a full
+// rebuild swaps together behind one atomic pointer, so a concurrent reader
+// can never pair a new root with a stale lock table.
+type tree struct {
 	root  *node
-	h     int
 	gates []*gate
 	locks *ilock.Table
-	count int
+	h     int
+}
 
-	// Full-reconstruction bookkeeping (foreground only).
-	baseN           int // key count at the last full (re)build
-	updatesSince    int // inserts+deletes since the last full (re)build
-	reconstructions int
-	lastPeriod      time.Duration // retrainer period to restore after a rebuild
+// fallbackID is the interval-lock slot guarding every path that never
+// crosses a gate (empty index, degenerate upper levels). The lock table is
+// always sized len(gates)+1 so this slot is real and unshared.
+func (t *tree) fallbackID() uint64 { return uint64(len(t.gates)) }
 
-	// Retrainer lifecycle and accounting (Fig. 14 / Fig. 15). active gates
-	// the foreground interval locking: with no retrainer goroutine there is
-	// no concurrency, so the query path skips the lock CAS entirely.
-	active       atomic.Bool
+// Index is the Chameleon index. Construct with New; it implements the
+// index.Index, index.RangeIndex, and index.StatsProvider interfaces, and
+// every method on it is safe for concurrent use.
+type Index struct {
+	cfg  Config
+	env  rl.Env
+	tree atomic.Pointer[tree]
+
+	count atomic.Int64 // stored keys
+
+	// Full-reconstruction bookkeeping.
+	baseN           atomic.Int64 // key count at the last full (re)build
+	updatesSince    atomic.Int64 // inserts+deletes since the last full (re)build
+	reconstructions atomic.Int64
+	reconstructing  atomic.Bool // single in-flight threshold-triggered rebuild
+
+	// rebuildMu orders structure swaps against mutators: Insert/Delete and
+	// RetrainPass hold it shared, BulkLoad/Reconstruct/ReadFrom hold it
+	// exclusively while (collecting and) installing a new tree. Read-only
+	// operations never take it — a reader on the pre-swap snapshot sees
+	// identical contents, because writers are excluded for the whole
+	// collect-to-swap window.
+	rebuildMu sync.RWMutex
+
+	// lifecycle guards the retrainer goroutine state (stop/done/lastPeriod)
+	// and serializes StartRetrainer/StopRetrainer/BulkLoad/Reconstruct/
+	// ReadFrom against each other, so concurrent Start/Stop/Close calls and
+	// a Close racing a BulkLoad are safe.
+	lifecycle    sync.Mutex
 	stop         chan struct{}
 	done         chan struct{}
+	lastPeriod   time.Duration // retrainer period to restore after a rebuild
 	retrains     atomic.Int64
 	retrainNanos atomic.Int64
 }
@@ -182,7 +221,7 @@ func New(cfg Config) *Index {
 	env := rl.DefaultEnv()
 	env.Tau, env.Alpha = cfg.Tau, cfg.Alpha
 	ix := &Index{cfg: cfg, env: env}
-	ix.reset(nil, nil)
+	ix.installTree(ix.buildTree(nil, nil), 0)
 	return ix
 }
 
@@ -223,7 +262,7 @@ func NewChaB() *Index {
 func (ix *Index) Name() string { return ix.cfg.Name }
 
 // Len implements index.Index.
-func (ix *Index) Len() int { return ix.count }
+func (ix *Index) Len() int { return int(ix.count.Load()) }
 
 // Height reports the number of levels on the deepest path (root = 1).
 func (ix *Index) Height() int {
@@ -240,32 +279,37 @@ func (ix *Index) Height() int {
 		}
 		return 1 + best
 	}
-	return depth(ix.root)
+	return depth(ix.tree.Load().root)
 }
 
-// reset replaces the structure with a fresh one over the given sorted keys.
-func (ix *Index) reset(keys, vals []uint64) {
-	ix.gates = nil
-	ix.baseN = len(keys)
-	ix.updatesSince = 0
+// buildTree constructs a fresh snapshot over the given sorted keys. It does
+// not publish it; callers install via installTree under the appropriate
+// locks.
+func (ix *Index) buildTree(keys, vals []uint64) *tree {
 	if len(keys) == 0 {
-		ix.root = &node{
-			lo: 0, hi: math.MaxUint64, fanout: 1, gateBase: noGate,
-			leaf: ebh.New(0, math.MaxUint64, 16, ix.cfg.Tau, ix.cfg.Alpha),
+		return &tree{
+			root: &node{
+				lo: 0, hi: math.MaxUint64, fanout: 1, gateBase: noGate,
+				leaf: ebh.New(0, math.MaxUint64, 16, ix.cfg.Tau, ix.cfg.Alpha),
+			},
+			h:     2,
+			locks: ilock.New(1),
 		}
-		ix.h = 2
-		ix.locks = ilock.New(1)
-		ix.count = 0
-		return
 	}
-	ix.count = len(keys)
-	ix.h = heightFor(len(keys))
-	ix.root = ix.build(keys, vals)
-	n := len(ix.gates)
-	if n == 0 {
-		n = 1
-	}
-	ix.locks = ilock.New(n)
+	t := &tree{h: heightFor(len(keys))}
+	t.root = ix.build(t, keys, vals)
+	t.locks = ilock.New(len(t.gates) + 1)
+	return t
+}
+
+// installTree publishes a snapshot and resets the per-build counters. The
+// caller must hold rebuildMu exclusively (or be the constructor, before the
+// index is shared).
+func (ix *Index) installTree(t *tree, n int) {
+	ix.tree.Store(t)
+	ix.count.Store(int64(n))
+	ix.baseN.Store(int64(n))
+	ix.updatesSince.Store(0)
 }
 
 // heightFor is the paper's lower bound on tree height,

@@ -451,11 +451,11 @@ func TestRootLeafNoGates(t *testing.T) {
 	if err := ix.BulkLoad(keys, nil); err != nil {
 		t.Fatal(err)
 	}
-	if len(ix.gates) != 0 {
-		t.Fatalf("degenerate tree registered %d gates", len(ix.gates))
+	if n := len(ix.tree.Load().gates); n != 0 {
+		t.Fatalf("degenerate tree registered %d gates", n)
 	}
 	ix.StartRetrainer(time.Millisecond) // must be a no-op without gates
-	if ix.stop != nil {
+	if ix.RetrainerRunning() {
 		t.Fatal("retrainer started without gates")
 	}
 	for _, k := range keys[:100] {

@@ -6,118 +6,148 @@ import (
 	"chameleon/internal/index"
 )
 
-// descend walks from the root to the leaf responsible for k. While the
-// retraining goroutine is active it takes the Query-Lock of the level-h
-// interval it crosses; with no retrainer there is no concurrency (the
-// paper's foreground is a single thread) and locking is skipped. It returns
-// the leaf node, the gate guarding it (nil when the path never crosses a
-// gate), and whether a lock is held. The caller must release via
-// releaseGate.
-func (ix *Index) descend(k uint64) (*node, *gate, bool) {
-	n := ix.root
-	locked := ix.active.Load()
-	var g *gate
+// descend walks from the snapshot's root to the leaf responsible for k,
+// acquiring the interval lock that guards it: the shared read lock for
+// lookups, the exclusive write lock for updates. The first gate crossed on
+// the path owns the whole subtree below it, so the child pointer is re-read
+// after the lock is held (the retrainer swaps gate slots under the
+// Retraining-Lock) and no further locks are needed. A path that never
+// crosses a gate is guarded by the snapshot's fallback interval, so no leaf
+// access is ever unlocked. It returns the leaf, the gate crossed (nil on
+// the fallback path), and the held lock ID.
+func (t *tree) descend(k uint64, write bool) (*node, *gate, uint64) {
+	n := t.root
 	for n.leaf == nil {
 		j := route(k, n)
 		if n.gateBase != noGate {
 			id := n.gateBase + uint64(j)
-			if locked {
-				ix.locks.LockQuery(id)
+			if write {
+				t.locks.LockWrite(id)
+			} else {
+				t.locks.LockRead(id)
 			}
-			g = ix.gates[id]
+			n = n.children[j] // re-read under the lock: retrain swaps this slot
+			for n.leaf == nil {
+				n = n.children[route(k, n)]
+			}
+			return n, t.gates[id], id
 		}
 		n = n.children[j]
 	}
-	return n, g, locked && g != nil
-}
-
-func (ix *Index) releaseGate(g *gate, locked bool) {
-	if locked {
-		ix.locks.UnlockQuery(g.id)
+	id := t.fallbackID()
+	if write {
+		t.locks.LockWrite(id)
+	} else {
+		t.locks.LockRead(id)
 	}
+	return n, nil, id
 }
 
 // Lookup implements index.Index with the paper's O(H_C + 1) path: exact
 // inner routing (Eq. 1), then a conflict-degree-bounded probe in the EBH
-// leaf.
+// leaf, under a shared read lock so concurrent lookups on the same interval
+// proceed together.
 func (ix *Index) Lookup(k uint64) (uint64, bool) {
-	leaf, g, locked := ix.descend(k)
+	t := ix.tree.Load()
+	leaf, _, id := t.descend(k, false)
 	v, ok := leaf.leaf.Lookup(k)
-	ix.releaseGate(g, locked)
+	t.locks.UnlockRead(id)
 	return v, ok
 }
 
-// Insert implements index.Index: an in-place EBH insert (expected O(m·τ)).
+// Insert implements index.Index: an in-place EBH insert (expected O(m·τ))
+// under the interval's exclusive write lock. The shared rebuild hold keeps
+// the snapshot current for the whole operation, so a full reconstruction
+// can never swap the structure out from under a mutation.
 func (ix *Index) Insert(k, v uint64) error {
-	leaf, g, locked := ix.descend(k)
+	ix.rebuildMu.RLock()
+	t := ix.tree.Load()
+	leaf, g, id := t.descend(k, true)
 	ok := leaf.leaf.Insert(k, v)
 	if ok {
-		ix.count++
+		ix.count.Add(1)
 		if g != nil {
 			g.updates.Add(1)
 		}
 	}
-	ix.releaseGate(g, locked)
+	t.locks.UnlockWrite(id)
+	ix.rebuildMu.RUnlock()
 	if !ok {
 		return index.ErrDuplicateKey
 	}
-	ix.updatesSince++
+	ix.updatesSince.Add(1)
 	ix.maybeReconstruct()
 	return nil
 }
 
 // Delete implements index.Index.
 func (ix *Index) Delete(k uint64) error {
-	leaf, g, locked := ix.descend(k)
+	ix.rebuildMu.RLock()
+	t := ix.tree.Load()
+	leaf, g, id := t.descend(k, true)
 	ok := leaf.leaf.Delete(k)
 	if ok {
-		ix.count--
+		ix.count.Add(-1)
 		if g != nil {
 			g.updates.Add(1)
 		}
 	}
-	ix.releaseGate(g, locked)
+	t.locks.UnlockWrite(id)
+	ix.rebuildMu.RUnlock()
 	if !ok {
 		return index.ErrKeyNotFound
 	}
-	ix.updatesSince++
+	ix.updatesSince.Add(1)
 	ix.maybeReconstruct()
 	return nil
 }
 
 // Range implements index.RangeIndex. EBH leaves are unordered, so the scan
 // collects matching entries per leaf and sorts them; this is the documented
-// trade-off of hash leaves (the paper evaluates point workloads only).
+// trade-off of hash leaves (the paper evaluates point workloads only). Each
+// gate subtree is visited under its shared read lock, so a range scan never
+// blocks other readers and observes each interval atomically.
 func (ix *Index) Range(lo, hi uint64, fn func(key, val uint64) bool) {
 	if hi < lo {
 		return
 	}
+	t := ix.tree.Load()
 	type kv struct{ k, v uint64 }
 	var out []kv
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.leaf != nil {
-			ks, vs := n.leaf.AppendEntries(nil, nil)
-			for i, k := range ks {
-				if k >= lo && k <= hi {
-					out = append(out, kv{k, vs[i]})
-				}
+	collect := func(n *node) {
+		ks, vs := n.leaf.AppendEntries(nil, nil)
+		for i, k := range ks {
+			if k >= lo && k <= hi {
+				out = append(out, kv{k, vs[i]})
 			}
+		}
+	}
+	var walk func(n *node, guarded bool)
+	walk = func(n *node, guarded bool) {
+		if n.leaf != nil {
+			if guarded {
+				collect(n)
+				return
+			}
+			fid := t.fallbackID()
+			t.locks.LockRead(fid)
+			collect(n)
+			t.locks.UnlockRead(fid)
 			return
 		}
 		jLo, jHi := route(lo, n), route(hi, n)
 		for j := jLo; j <= jHi; j++ {
-			if n.gateBase != noGate && ix.active.Load() {
+			if !guarded && n.gateBase != noGate {
 				id := n.gateBase + uint64(j)
-				ix.locks.LockQuery(id)
-				walk(n.children[j])
-				ix.locks.UnlockQuery(id)
+				t.locks.LockRead(id)
+				walk(n.children[j], true)
+				t.locks.UnlockRead(id)
 			} else {
-				walk(n.children[j])
+				walk(n.children[j], guarded)
 			}
 		}
 	}
-	walk(ix.root)
+	walk(t.root, false)
 	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
 	for _, e := range out {
 		if !fn(e.k, e.v) {

@@ -42,10 +42,12 @@ const (
 	persistVersion = 1
 )
 
-// WriteTo implements io.WriterTo: it serializes the index structure. Do not
-// call while the retrainer is running.
+// WriteTo implements io.WriterTo: it serializes the index structure. Stop
+// the retrainer and quiesce writers first — the snapshot walk is not taken
+// under interval locks.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	root, err := encodeNode(ix.root)
+	t := ix.tree.Load()
+	root, err := encodeNode(t.root)
 	if err != nil {
 		return 0, err
 	}
@@ -56,9 +58,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		Name:    ix.cfg.Name,
 		Tau:     ix.cfg.Tau,
 		Alpha:   ix.cfg.Alpha,
-		H:       ix.h,
-		Count:   ix.count,
-		BaseN:   ix.baseN,
+		H:       t.h,
+		Count:   int(ix.count.Load()),
+		BaseN:   int(ix.baseN.Load()),
 		Root:    root,
 	})
 	return cw.n, err
@@ -66,7 +68,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 
 // ReadFrom implements io.ReaderFrom: it replaces the index contents with a
 // structure written by WriteTo. The receiver's construction policies are
-// kept for future retraining/reconstruction.
+// kept for future retraining/reconstruction. Any running retrainer is
+// stopped; restarting it is the caller's choice (the public chameleon.Load
+// restarts it per Options.RetrainEvery).
 func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	cr := &countingReader{r: r}
 	var w wireIndex
@@ -82,22 +86,23 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	if w.Root == nil {
 		return cr.n, fmt.Errorf("core: index file has no root")
 	}
-	ix.StopRetrainer()
 	root, err := decodeNode(w.Root)
 	if err != nil {
 		return cr.n, err
 	}
-	ix.cfg.Name = w.Name
-	ix.cfg.Tau, ix.cfg.Alpha = w.Tau, w.Alpha
-	ix.h = w.H
-	ix.count = w.Count
-	ix.baseN = w.BaseN
-	ix.updatesSince = 0
-	ix.root = root
-	if err := ix.rebuildGates(); err != nil {
-		ix.reset(nil, nil)
+	t := &tree{root: root, h: w.H}
+	if err := rebuildGates(t); err != nil {
 		return cr.n, err
 	}
+	ix.lifecycle.Lock()
+	defer ix.lifecycle.Unlock()
+	ix.stopRetrainerLocked()
+	ix.cfg.Name = w.Name
+	ix.cfg.Tau, ix.cfg.Alpha = w.Tau, w.Alpha
+	ix.rebuildMu.Lock()
+	ix.installTree(t, w.Count)
+	ix.baseN.Store(int64(w.BaseN))
+	ix.rebuildMu.Unlock()
 	return cr.n, nil
 }
 
@@ -146,11 +151,11 @@ func decodeNode(w *wireNode) (*node, error) {
 	return n, nil
 }
 
-// rebuildGates reconstructs the gate registry and lock table from the
-// persisted gateBase markers. Gate IDs must be dense (the builder assigns
-// them sequentially); a corrupt file with inflated IDs is rejected rather
-// than allocating an inflated registry.
-func (ix *Index) rebuildGates() error {
+// rebuildGates reconstructs the gate registry and lock table of a decoded
+// tree from the persisted gateBase markers. Gate IDs must be dense (the
+// builder assigns them sequentially); a corrupt file with inflated IDs is
+// rejected rather than allocating an inflated registry.
+func rebuildGates(t *tree) error {
 	maxID := uint64(0)
 	totalChildren := 0
 	var scan func(n *node)
@@ -181,7 +186,7 @@ func (ix *Index) rebuildGates() error {
 			scan(c)
 		}
 	}
-	scan(ix.root)
+	scan(t.root)
 	if maxID > uint64(totalChildren) {
 		return fmt.Errorf("core: corrupt index file: gate ID %d exceeds %d child slots",
 			maxID, totalChildren)
@@ -197,12 +202,8 @@ func (ix *Index) rebuildGates() error {
 			gates[i] = &gate{id: uint64(i)}
 		}
 	}
-	ix.gates = gates
-	n := len(gates)
-	if n == 0 {
-		n = 1
-	}
-	ix.locks = ilock.New(n)
+	t.gates = gates
+	t.locks = ilock.New(len(gates) + 1)
 	return nil
 }
 
@@ -248,9 +249,9 @@ func gobEncode(w io.Writer, root *wireNode, ix *Index) error {
 		Name:    ix.cfg.Name,
 		Tau:     ix.cfg.Tau,
 		Alpha:   ix.cfg.Alpha,
-		H:       ix.h,
-		Count:   ix.count,
-		BaseN:   ix.baseN,
+		H:       ix.tree.Load().h,
+		Count:   int(ix.count.Load()),
+		BaseN:   int(ix.baseN.Load()),
 		Root:    root,
 	})
 }

@@ -112,7 +112,7 @@ func TestPersistRejectsInflatedGateIDs(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Inflate the persisted gateBase directly in the wire form.
-	root, err := encodeNode(ix.root)
+	root, err := encodeNode(ix.tree.Load().root)
 	if err != nil {
 		t.Fatal(err)
 	}

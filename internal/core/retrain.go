@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"chameleon/internal/dataset"
@@ -10,31 +11,54 @@ import (
 // It scans the level-h gates every period and retrains the subtrees whose
 // update ratio crossed the configured thresholds, holding only that
 // interval's Retraining-Lock while it works. Calling it twice or on an index
-// without gates is a no-op.
+// without gates is a no-op; concurrent Start/Stop/Close calls are safe.
 func (ix *Index) StartRetrainer(period time.Duration) {
-	if ix.stop != nil || len(ix.gates) == 0 {
+	ix.lifecycle.Lock()
+	defer ix.lifecycle.Unlock()
+	ix.startRetrainerLocked(period)
+}
+
+// startRetrainerLocked is StartRetrainer under an already-held lifecycle
+// mutex.
+func (ix *Index) startRetrainerLocked(period time.Duration) {
+	if ix.stop != nil || len(ix.tree.Load().gates) == 0 {
 		return
 	}
 	if period <= 0 {
 		period = 10 * time.Second // the paper's evaluation setting
 	}
 	ix.lastPeriod = period
-	ix.active.Store(true)
 	ix.stop = make(chan struct{})
 	ix.done = make(chan struct{})
-	go ix.retrainLoop(period)
+	go ix.retrainLoop(period, ix.stop, ix.done)
 }
 
 // StopRetrainer halts the background goroutine and waits for it to finish
-// any in-flight subtree. It is safe to call when no retrainer runs.
+// any in-flight subtree. It is safe to call when no retrainer runs, and from
+// multiple goroutines at once.
 func (ix *Index) StopRetrainer() {
+	ix.lifecycle.Lock()
+	defer ix.lifecycle.Unlock()
+	ix.stopRetrainerLocked()
+}
+
+// stopRetrainerLocked is StopRetrainer under an already-held lifecycle
+// mutex.
+func (ix *Index) stopRetrainerLocked() {
 	if ix.stop == nil {
 		return
 	}
 	close(ix.stop)
 	<-ix.done
 	ix.stop, ix.done = nil, nil
-	ix.active.Store(false)
+}
+
+// RetrainerRunning reports whether the background goroutine is live;
+// intended for tests and introspection.
+func (ix *Index) RetrainerRunning() bool {
+	ix.lifecycle.Lock()
+	defer ix.lifecycle.Unlock()
+	return ix.stop != nil
 }
 
 // RetrainStats reports how many subtree retrains have run and the total time
@@ -43,13 +67,13 @@ func (ix *Index) RetrainStats() (count int64, total time.Duration) {
 	return ix.retrains.Load(), time.Duration(ix.retrainNanos.Load())
 }
 
-func (ix *Index) retrainLoop(period time.Duration) {
-	defer close(ix.done)
+func (ix *Index) retrainLoop(period time.Duration, stop, done chan struct{}) {
+	defer close(done)
 	tick := time.NewTicker(period)
 	defer tick.Stop()
 	for {
 		select {
-		case <-ix.stop:
+		case <-stop:
 			return
 		case <-tick.C:
 			ix.RetrainPass()
@@ -59,10 +83,15 @@ func (ix *Index) retrainLoop(period time.Duration) {
 
 // RetrainPass runs one scan over all gates, retraining the drifted subtrees.
 // It is exported so the harness can trigger retraining deterministically
-// (Fig. 14) in addition to the timer-driven mode (Fig. 15).
+// (Fig. 14) in addition to the timer-driven mode (Fig. 15). The pass holds
+// the rebuild lock shared, so it runs alongside foreground writers (the
+// per-interval locks arbitrate) but never across a structure swap.
 func (ix *Index) RetrainPass() int {
+	ix.rebuildMu.RLock()
+	defer ix.rebuildMu.RUnlock()
+	t := ix.tree.Load()
 	retrained := 0
-	for _, g := range ix.gates {
+	for _, g := range t.gates {
 		upd := g.updates.Load()
 		if upd == 0 {
 			continue
@@ -74,10 +103,10 @@ func (ix *Index) RetrainPass() int {
 		ratio := float64(upd) / float64(keys)
 		switch {
 		case ratio >= ix.cfg.StructThreshold:
-			ix.retrainStructural(g)
+			ix.retrainStructural(t, g)
 			retrained++
 		case ratio >= ix.cfg.LightThreshold:
-			ix.retrainLight(g)
+			ix.retrainLight(t, g)
 			retrained++
 		}
 	}
@@ -89,9 +118,9 @@ func (ix *Index) RetrainPass() int {
 // the subtree shape. No sorting is involved — the property the paper credits
 // for Chameleon's low retraining time (Fig. 14) — and the provisioning keeps
 // upcoming inserts off the inline-expansion path.
-func (ix *Index) retrainLight(g *gate) {
+func (ix *Index) retrainLight(t *tree, g *gate) {
 	start := time.Now()
-	ix.locks.LockRetrain(g.id)
+	t.locks.LockRetrain(g.id)
 	keys := g.keys.Load()
 	if keys < 1 {
 		keys = 1
@@ -112,7 +141,7 @@ func (ix *Index) retrainLight(g *gate) {
 	walk(g.parent.children[g.slot])
 	g.keys.Store(int64(n))
 	g.updates.Store(0)
-	ix.locks.UnlockRetrain(g.id)
+	t.locks.UnlockRetrain(g.id)
 	ix.retrains.Add(1)
 	ix.retrainNanos.Add(time.Since(start).Nanoseconds())
 }
@@ -122,9 +151,9 @@ func (ix *Index) retrainLight(g *gate) {
 // employing TSMDP as the background thread"), and swaps the rebuilt subtree
 // into the parent slot — all under the interval's Retraining-Lock, so
 // foreground operations on other intervals proceed untouched.
-func (ix *Index) retrainStructural(g *gate) {
+func (ix *Index) retrainStructural(t *tree, g *gate) {
 	start := time.Now()
-	ix.locks.LockRetrain(g.id)
+	t.locks.LockRetrain(g.id)
 	old := g.parent.children[g.slot]
 	var ks, vs []uint64
 	var collect func(nd *node)
@@ -139,77 +168,76 @@ func (ix *Index) retrainStructural(g *gate) {
 	}
 	collect(old)
 	sortPairs(ks, vs)
-	g.parent.children[g.slot] = ix.buildLower(ks, vs, g.lo, g.hi, ix.h)
+	g.parent.children[g.slot] = ix.buildLower(ks, vs, g.lo, g.hi, t.h, t.h)
 	g.keys.Store(int64(len(ks)))
 	g.updates.Store(0)
-	ix.locks.UnlockRetrain(g.id)
+	t.locks.UnlockRetrain(g.id)
 	ix.retrains.Add(1)
 	ix.retrainNanos.Add(time.Since(start).Nanoseconds())
 }
 
-// sortPairs sorts keys ascending carrying values along (simple quicksort on
-// parallel slices; subtrees are small).
+// pairSlice sorts parallel key/value slices by key via sort.Sort, replacing
+// the earlier hand-rolled quicksort whose adversarial worst case was O(n²)
+// with unbounded recursion; sort.Sort's introsort bounds both.
+type pairSlice struct{ ks, vs []uint64 }
+
+func (p pairSlice) Len() int           { return len(p.ks) }
+func (p pairSlice) Less(i, j int) bool { return p.ks[i] < p.ks[j] }
+func (p pairSlice) Swap(i, j int) {
+	p.ks[i], p.ks[j] = p.ks[j], p.ks[i]
+	p.vs[i], p.vs[j] = p.vs[j], p.vs[i]
+}
+
+// sortPairs sorts keys ascending, carrying values along.
 func sortPairs(ks, vs []uint64) {
-	if len(ks) < 2 {
-		return
-	}
-	// Insertion sort for small runs, quicksort otherwise.
-	if len(ks) <= 24 {
-		for i := 1; i < len(ks); i++ {
-			k, v := ks[i], vs[i]
-			j := i - 1
-			for j >= 0 && ks[j] > k {
-				ks[j+1], vs[j+1] = ks[j], vs[j]
-				j--
-			}
-			ks[j+1], vs[j+1] = k, v
-		}
-		return
-	}
-	p := ks[len(ks)/2]
-	l, r := 0, len(ks)-1
-	for l <= r {
-		for ks[l] < p {
-			l++
-		}
-		for ks[r] > p {
-			r--
-		}
-		if l <= r {
-			ks[l], ks[r] = ks[r], ks[l]
-			vs[l], vs[r] = vs[r], vs[l]
-			l++
-			r--
-		}
-	}
-	sortPairs(ks[:r+1], vs[:r+1])
-	sortPairs(ks[l:], vs[l:])
+	sort.Sort(pairSlice{ks, vs})
 }
 
 // maybeReconstruct runs a full DARE reconstruction when cumulative updates
-// crossed the configured threshold. Called from the foreground operation
-// path only, mirroring the paper's model: a complete rebuild is the one
-// operation every learned index eventually blocks for.
+// crossed the configured threshold. With concurrent writers many goroutines
+// can observe the crossing at once; a CAS flag elects a single rebuilder and
+// the others continue — a complete rebuild is the one operation every
+// learned index eventually blocks writers for, but it should run once.
 func (ix *Index) maybeReconstruct() {
-	if ix.cfg.ReconstructThreshold <= 0 {
+	thr := ix.cfg.ReconstructThreshold
+	if thr <= 0 {
 		return
 	}
-	base := ix.baseN
+	if !ix.thresholdCrossed(thr) {
+		return
+	}
+	if !ix.reconstructing.CompareAndSwap(false, true) {
+		return
+	}
+	defer ix.reconstructing.Store(false)
+	// Re-check: a rebuild may have landed while racing for the flag.
+	if ix.thresholdCrossed(thr) {
+		ix.Reconstruct()
+	}
+}
+
+func (ix *Index) thresholdCrossed(thr float64) bool {
+	base := ix.baseN.Load()
 	if base < 1 {
 		base = 1
 	}
-	if float64(ix.updatesSince) >= ix.cfg.ReconstructThreshold*float64(base) {
-		ix.Reconstruct()
-	}
+	return float64(ix.updatesSince.Load()) >= thr*float64(base)
 }
 
 // Reconstruct gathers the index's entire contents and rebuilds the structure
 // from scratch through the full MARL construction (DARE shaping the upper
 // levels again). The retrainer is paused for the duration and restarted with
-// its previous period.
+// its previous period. Writers are excluded from collect to swap (their
+// updates would be silently lost otherwise); readers keep serving from the
+// pre-swap snapshot, whose contents are identical, and pick up the new root
+// on their next operation.
 func (ix *Index) Reconstruct() {
+	ix.lifecycle.Lock()
+	defer ix.lifecycle.Unlock()
 	wasActive := ix.stop != nil
-	ix.StopRetrainer()
+	ix.stopRetrainerLocked()
+	ix.rebuildMu.Lock()
+	t := ix.tree.Load()
 	var ks, vs []uint64
 	var collect func(nd *node)
 	collect = func(nd *node) {
@@ -221,28 +249,30 @@ func (ix *Index) Reconstruct() {
 			collect(c)
 		}
 	}
-	collect(ix.root)
+	collect(t.root)
 	sortPairs(ks, vs)
 	// Runtime rebuilds use the (cheaper) reconstruction policy; bulk loads
 	// keep the full-budget one.
 	saved := ix.cfg.Dare
 	ix.cfg.Dare = ix.cfg.ReconstructDare
-	ix.reset(ks, vs)
+	nt := ix.buildTree(ks, vs)
 	ix.cfg.Dare = saved
-	ix.reconstructions++
+	ix.installTree(nt, len(ks))
+	ix.rebuildMu.Unlock()
+	ix.reconstructions.Add(1)
 	if wasActive {
-		ix.StartRetrainer(ix.lastPeriod)
+		ix.startRetrainerLocked(ix.lastPeriod)
 	}
 }
 
 // Reconstructions reports how many full rebuilds have run.
-func (ix *Index) Reconstructions() int { return ix.reconstructions }
+func (ix *Index) Reconstructions() int { return int(ix.reconstructions.Load()) }
 
 // DriftedGates counts gates whose update ratio currently exceeds the light
 // threshold — an observability hook used by examples and tests.
 func (ix *Index) DriftedGates() int {
 	n := 0
-	for _, g := range ix.gates {
+	for _, g := range ix.tree.Load().gates {
 		keys := g.keys.Load()
 		if keys < 1 {
 			keys = 1
@@ -256,28 +286,36 @@ func (ix *Index) DriftedGates() int {
 
 // LocalSkewness recomputes the lsn statistic over the index's current
 // contents (Definition 3); exported for observability. Gate children are
-// read under their interval locks so the walk is safe while the retrainer
-// runs.
+// read under shared interval locks so the walk is safe while the retrainer
+// and writers run.
 func (ix *Index) LocalSkewness() float64 {
+	t := ix.tree.Load()
 	var ks []uint64
-	var walk func(nd *node)
-	walk = func(nd *node) {
+	var walk func(nd *node, guarded bool)
+	walk = func(nd *node, guarded bool) {
 		if nd.leaf != nil {
+			if guarded {
+				ks, _ = nd.leaf.AppendEntries(ks, nil)
+				return
+			}
+			fid := t.fallbackID()
+			t.locks.LockRead(fid)
 			ks, _ = nd.leaf.AppendEntries(ks, nil)
+			t.locks.UnlockRead(fid)
 			return
 		}
 		for j := range nd.children {
-			if nd.gateBase != noGate {
+			if !guarded && nd.gateBase != noGate {
 				id := nd.gateBase + uint64(j)
-				ix.locks.LockQuery(id)
-				walk(nd.children[j])
-				ix.locks.UnlockQuery(id)
+				t.locks.LockRead(id)
+				walk(nd.children[j], true)
+				t.locks.UnlockRead(id)
 			} else {
-				walk(nd.children[j])
+				walk(nd.children[j], guarded)
 			}
 		}
 	}
-	walk(ix.root)
+	walk(t.root, false)
 	ks = dataset.SortDedup(ks)
 	return dataset.LocalSkewness(ks)
 }

@@ -3,42 +3,54 @@ package core
 import "chameleon/internal/index"
 
 // Stats implements index.StatsProvider, producing the Table V metrics. It
-// takes each gate's Query-Lock while visiting its subtree so it is safe to
-// call while the retrainer runs.
+// takes each gate's shared read lock while visiting its subtree (and the
+// fallback lock for gate-less leaves), so it is safe to call while the
+// retrainer and concurrent writers run.
 func (ix *Index) Stats() index.Stats {
+	t := ix.tree.Load()
 	var s index.Stats
 	var keySum int
 	var depthSum, errSum float64
-	var visit func(n *node, depth int)
-	visit = func(n *node, depth int) {
+	leafStats := func(n *node, depth int) {
+		if depth > s.MaxHeight {
+			s.MaxHeight = depth
+		}
+		maxE, sumE := n.leaf.ErrorStats()
+		if maxE > s.MaxError {
+			s.MaxError = maxE
+		}
+		errSum += sumE
+		keySum += n.leaf.Len()
+		depthSum += float64(depth) * float64(n.leaf.Len())
+	}
+	var visit func(n *node, depth int, guarded bool)
+	visit = func(n *node, depth int, guarded bool) {
 		s.Nodes++
 		if n.leaf != nil {
-			if depth > s.MaxHeight {
-				s.MaxHeight = depth
+			if guarded {
+				leafStats(n, depth)
+				return
 			}
-			maxE, sumE := n.leaf.ErrorStats()
-			if maxE > s.MaxError {
-				s.MaxError = maxE
-			}
-			errSum += sumE
-			keySum += n.leaf.Len()
-			depthSum += float64(depth) * float64(n.leaf.Len())
+			fid := t.fallbackID()
+			t.locks.LockRead(fid)
+			leafStats(n, depth)
+			t.locks.UnlockRead(fid)
 			return
 		}
 		for j := range n.children {
-			if n.gateBase != noGate {
+			if !guarded && n.gateBase != noGate {
 				// The child pointer must be read under the interval lock:
 				// the retrainer swaps it.
 				id := n.gateBase + uint64(j)
-				ix.locks.LockQuery(id)
-				visit(n.children[j], depth+1)
-				ix.locks.UnlockQuery(id)
+				t.locks.LockRead(id)
+				visit(n.children[j], depth+1, true)
+				t.locks.UnlockRead(id)
 			} else {
-				visit(n.children[j], depth+1)
+				visit(n.children[j], depth+1, guarded)
 			}
 		}
 	}
-	visit(ix.root, 1)
+	visit(t.root, 1, false)
 	if keySum > 0 {
 		s.AvgHeight = depthSum / float64(keySum)
 		s.AvgError = errSum / float64(keySum)
@@ -47,29 +59,37 @@ func (ix *Index) Stats() index.Stats {
 }
 
 // Bytes implements index.Index: leaf slabs plus inner-node child arrays and
-// headers.
+// headers, visited under the same locking discipline as Stats.
 func (ix *Index) Bytes() int {
+	t := ix.tree.Load()
 	total := 0
-	var visit func(n *node)
-	visit = func(n *node) {
+	var visit func(n *node, guarded bool)
+	visit = func(n *node, guarded bool) {
 		if n.leaf != nil {
+			if guarded {
+				total += n.leaf.Bytes() + 64
+				return
+			}
+			fid := t.fallbackID()
+			t.locks.LockRead(fid)
 			total += n.leaf.Bytes() + 64
+			t.locks.UnlockRead(fid)
 			return
 		}
 		total += 64 + 8*len(n.children)
 		for j := range n.children {
-			if n.gateBase != noGate {
+			if !guarded && n.gateBase != noGate {
 				id := n.gateBase + uint64(j)
-				ix.locks.LockQuery(id)
-				visit(n.children[j])
-				ix.locks.UnlockQuery(id)
+				t.locks.LockRead(id)
+				visit(n.children[j], true)
+				t.locks.UnlockRead(id)
 			} else {
-				visit(n.children[j])
+				visit(n.children[j], guarded)
 			}
 		}
 	}
-	visit(ix.root)
+	visit(t.root, false)
 	// Gate bookkeeping and the lock table.
-	total += len(ix.gates)*64 + ix.locks.Len()*4
+	total += len(t.gates)*64 + t.locks.Len()*4
 	return total
 }

@@ -148,10 +148,17 @@ func (nd *Node) ConflictDegree() int { return nd.cd }
 
 // home computes P̂ via Eq. (2): α·(c/(uk−lk)·(k−lk)) mod c, using the cached
 // scale and a Trunc-based wrap (equivalent to math.Mod for the non-negative
-// operands here, and much cheaper).
+// operands here, and much cheaper). Keys outside [lo, hi] are clamped before
+// the subtraction: k−lk would otherwise wrap to a huge uint64 whose float64
+// image loses the low bits, quantizing distinct keys onto the same clamped
+// edge slots. Stored keys are always inside the interval (Insert extends it
+// first), so clamping only affects probes for absent keys.
 func (nd *Node) home(k uint64) int {
-	if nd.scale == 0 {
+	if nd.scale == 0 || k <= nd.lo {
 		return 0
+	}
+	if k > nd.hi {
+		k = nd.hi
 	}
 	x := nd.scale * float64(k-nd.lo)
 	x -= math.Trunc(x*nd.invC) * nd.cf
@@ -219,7 +226,63 @@ func (nd *Node) Insert(k, v uint64) bool {
 	if nd.find(k) >= 0 {
 		return false
 	}
-	if nd.c < CapacityFor(nd.n+1, nd.tau) {
+	needCap := nd.c < CapacityFor(nd.n+1, nd.tau)
+	if k < nd.lo || k > nd.hi {
+		// Out-of-interval key (the routing cell is wider than the fitted
+		// [lo, hi], or a rebuild refit the interval to the stored min/max):
+		// extend the interval to cover it BEFORE hashing — k−lo on a key
+		// below lo wraps to a huge uint64 and degenerates the hash. The
+		// extension adds a full span of geometric slack on the crossed side
+		// so a monotone stream of out-of-interval inserts re-scatters
+		// O(log n) times, not every insert; α keeps keys well spread over a
+		// wider-than-data interval.
+		lo, hi := nd.lo, nd.hi
+		span := hi - lo
+		if k < lo {
+			ext := span
+			if over := lo - k; over > ext {
+				ext = over
+			}
+			if ext > lo {
+				lo = 0
+			} else {
+				lo -= ext
+			}
+		}
+		if k > hi {
+			ext := span
+			if over := k - hi; over > ext {
+				ext = over
+			}
+			if hi+ext < hi { // overflow
+				hi = ^uint64(0)
+			} else {
+				hi += ext
+			}
+		}
+		if nd.n == 0 {
+			nd.lo, nd.hi = lo, hi
+			nd.refit()
+		} else {
+			// Grow capacity with the interval so the occupied region keeps
+			// its slot density: doubling the span alone would halve the slot
+			// range the stored keys hash into and probes would pile up
+			// regardless of the clamp. Capped at 4× per extension — a far
+			// outlier that blows past the cap lands in the saturation path
+			// like any other distribution the hash cannot flatten.
+			ratio := float64(hi-lo) / float64(span)
+			if ratio > 4 || ratio != ratio { // cap, and span==0 gives +Inf
+				ratio = 4
+			}
+			exp := int(float64(nd.n+1) * ratio)
+			if needCap && 2*(nd.n+1) > exp {
+				exp = 2 * (nd.n + 1)
+			}
+			nd.rescatter(exp, lo, hi)
+			needCap = false
+		}
+	}
+	if needCap {
 		nd.rebuild(2 * (nd.n + 1))
 	}
 	nd.place(k, v)
@@ -284,18 +347,14 @@ func (nd *Node) Delete(k uint64) bool {
 // degenerates the hash. The paper's Fig. 14 discussion notes EBH retraining
 // needs no sorting — this is that operation.
 func (nd *Node) rebuild(expected int) {
-	if expected < nd.n {
-		expected = nd.n
-	}
-	oldKeys, oldVals, oldOcc, oldC := nd.keys, nd.vals, nd.occ, nd.c
+	lo, hi := nd.lo, nd.hi
 	if nd.n > 0 {
 		first := true
-		var lo, hi uint64
-		for i := 0; i < oldC; i++ {
-			if oldOcc[i>>6]&(1<<(uint(i)&63)) == 0 {
+		for i := 0; i < nd.c; i++ {
+			if !nd.occupied(i) {
 				continue
 			}
-			k := oldKeys[i]
+			k := nd.keys[i]
 			if first {
 				lo, hi = k, k
 				first = false
@@ -308,8 +367,19 @@ func (nd *Node) rebuild(expected int) {
 				hi = k
 			}
 		}
-		nd.lo, nd.hi = lo, hi
 	}
+	nd.rescatter(expected, lo, hi)
+}
+
+// rescatter re-creates the slot array like rebuild but keeps the given hash
+// interval instead of refitting it to the stored keys — the Insert path uses
+// it to extend the interval over an out-of-range key with slack.
+func (nd *Node) rescatter(expected int, lo, hi uint64) {
+	if expected < nd.n {
+		expected = nd.n
+	}
+	oldKeys, oldVals, oldOcc, oldC := nd.keys, nd.vals, nd.occ, nd.c
+	nd.lo, nd.hi = lo, hi
 	c := CapacityFor(expected, nd.tau)
 	if c < 8 {
 		c = 8

@@ -325,6 +325,48 @@ func TestRebuildRefitsInterval(t *testing.T) {
 	}
 }
 
+func TestOutOfIntervalInsertAfterRefit(t *testing.T) {
+	// Regression: once a rebuild refits [lo,hi] to the stored min/max, a
+	// subsequent insert below lo computed k−lo on unsigned ints, wrapping to
+	// ~2^64. The float64 hash then lost all low-order bits of the key, so
+	// every out-of-interval key quantized onto the same clamped edge slot and
+	// the probe distance grew linearly with each insert (cd ≈ 57 on this
+	// workload before the fix, 0 after). The fix extends the interval with
+	// slack — and capacity in proportion — before hashing.
+	const n, stride = 2000, 20
+	base := uint64(1) << 30
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = base + uint64(i)*stride
+	}
+	nd := NewFromSorted(0, ^uint64(0), keys, nil, 0.45, 1.3)
+	nd.Retrain() // refit the interval to the stored min/max
+	check := func(k uint64) {
+		t.Helper()
+		if !nd.Insert(k, k) {
+			t.Fatalf("Insert(%d) reported duplicate", k)
+		}
+		if cd := nd.ConflictDegree(); cd > 16 {
+			t.Fatalf("conflict degree %d after inserting %d; out-of-interval keys are piling up", cd, k)
+		}
+		if v, ok := nd.Lookup(k); !ok || v != k {
+			t.Fatalf("Lookup(%d) = %d,%v after out-of-interval insert", k, v, ok)
+		}
+	}
+	for i := uint64(1); i <= 100; i++ {
+		check(base - i*32) // below lo
+	}
+	for i := uint64(1); i <= 100; i++ {
+		check(base + n*stride + i*32) // above hi
+	}
+	// Nothing already stored was lost along the way.
+	for _, k := range keys {
+		if _, ok := nd.Lookup(k); !ok {
+			t.Fatalf("key %d lost after interval extensions", k)
+		}
+	}
+}
+
 func TestLeafPersistRoundTrip(t *testing.T) {
 	keys := dataset.Clustered(5000, 9, 0.6, 1, 128)
 	keys = dataset.SortDedup(keys)

@@ -30,6 +30,7 @@ var Experiments = []struct {
 	{"fig13", "read/write latency on batched workloads", Fig13Batched},
 	{"fig14", "insertion time and retraining share", Fig14Retraining},
 	{"fig15", "query latency with vs without the retraining thread", Fig15RetrainThread},
+	{"conc", "aggregate throughput vs concurrent reader count", ConcThroughput},
 }
 
 // Fig1Motivation reproduces Fig. 1(b): per-window insertion latency while

@@ -27,10 +27,11 @@ import (
 // Config scopes an experiment run. The paper uses 50–200M keys on a 128 GB
 // machine; the default here is laptop scale, raisable with -n.
 type Config struct {
-	N    int       // full dataset cardinality (default 400_000)
-	Ops  int       // mixed-workload stream length (default 200_000)
-	Seed uint64    // default 42
-	Out  io.Writer // report destination
+	N    int               // full dataset cardinality (default 400_000)
+	Ops  int               // mixed-workload stream length (default 200_000)
+	Seed uint64            // default 42
+	Out  io.Writer         // report destination
+	Conc ConcurrencyConfig // concurrent-throughput mode (see concurrent.go)
 }
 
 // Defaults fills unset fields.
@@ -179,6 +180,13 @@ func opsKeys(ops []workload.Op) []uint64 {
 func stopRetraining(ix index.Index) {
 	if c, ok := ix.(*core.Index); ok {
 		c.StopRetrainer()
+	}
+}
+
+// startRetraining launches the background retrainer if the index has one.
+func startRetraining(ix index.Index, period time.Duration) {
+	if c, ok := ix.(*core.Index); ok {
+		c.StartRetrainer(period)
 	}
 }
 

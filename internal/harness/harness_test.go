@@ -11,7 +11,11 @@ import (
 )
 
 func smallCfg() Config {
-	return Config{N: 20_000, Ops: 10_000, Seed: 7}
+	return Config{
+		N: 20_000, Ops: 10_000, Seed: 7,
+		// Keep the conc scaling curve quick inside the experiment sweep.
+		Conc: ConcurrencyConfig{Readers: []int{1, 2}, Duration: 50 * time.Millisecond},
+	}
 }
 
 func TestBuildersCoverAllNames(t *testing.T) {

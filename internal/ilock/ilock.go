@@ -1,15 +1,22 @@
-// Package ilock implements the Interval Lock of Definition 4: a lightweight
-// lock keyed by the path ID of a level-h node, ensuring that at any moment
-// only one thread — the foreground query/update thread or the background
-// retraining thread — accesses that node's key interval. Because Chameleon's
-// sibling intervals never overlap and inner-node routing is exact (Eq. 1),
-// comparing IDs replaces interval-overlap checks entirely, which is what
-// makes the lock cheap enough to sit on the query path.
+// Package ilock implements the Interval Lock of Definition 4, graduated from
+// the paper's binary query/retrain lock to a reader-shared, writer-exclusive
+// lock so many foreground goroutines can serve lookups concurrently. The lock
+// is keyed by the path ID of a level-h node: because Chameleon's sibling
+// intervals never overlap and inner-node routing is exact (Eq. 1), comparing
+// IDs replaces interval-overlap checks entirely, which is what makes the lock
+// cheap enough to sit on the query path.
 //
-// The table is a fixed array of atomic words indexed by ID. Lock acquisition
-// is a single CAS; contention (which in the paper's model only happens when
-// the retrainer touches the exact subtree a query is in) spins with
-// runtime.Gosched.
+// Each interval is a single atomic int32 word:
+//
+//	 0   free
+//	>0   that many concurrent readers (LockRead)
+//	-1   one exclusive writer (LockWrite)
+//	-2   the background retrainer (LockRetrain)
+//
+// Readers share; a writer or the retrainer excludes everyone. Acquisition is
+// a CAS loop with a bounded active spin before yielding via runtime.Gosched,
+// so short critical sections (a leaf probe) resolve without a scheduler trip
+// while long ones (a subtree rebuild) don't burn a core.
 package ilock
 
 import (
@@ -17,17 +24,19 @@ import (
 	"sync/atomic"
 )
 
-// Lock states.
+// Lock states. Positive values count readers.
 const (
 	free       int32 = 0
-	queryLock  int32 = 1
-	retrainMin int32 = 2 // retrain lock (any value ≥ 2 reserved for it)
+	writerLock int32 = -1
+	retrainer  int32 = -2
 )
 
+// spinLimit bounds the active CAS spin before yielding to the scheduler.
+const spinLimit = 64
+
 // Table holds one lock per interval ID. IDs at or beyond the table length
-// share a slot by modulo — mutual exclusion still holds, with a small chance
-// of false conflict; size the table with New(n) for n distinct IDs to avoid
-// it.
+// share a slot by modulo — exclusion still holds, with a small chance of
+// false conflict; size the table with New(n) for n distinct IDs to avoid it.
 type Table struct {
 	slots []atomic.Int32
 }
@@ -47,33 +56,66 @@ func (t *Table) slot(id uint64) *atomic.Int32 {
 	return &t.slots[id%uint64(len(t.slots))]
 }
 
-// LockQuery acquires the Query-Lock on the interval, waiting for any
-// in-progress retraining of the same interval to finish.
-func (t *Table) LockQuery(id uint64) {
+// LockRead acquires shared read access to the interval: any number of
+// readers may hold it together, waiting only for an exclusive writer or an
+// in-progress retrain of the same interval to finish.
+func (t *Table) LockRead(id uint64) {
 	s := t.slot(id)
-	for !s.CompareAndSwap(free, queryLock) {
-		runtime.Gosched()
+	for spins := 0; ; spins++ {
+		if v := s.Load(); v >= 0 && s.CompareAndSwap(v, v+1) {
+			return
+		}
+		if spins >= spinLimit {
+			runtime.Gosched()
+			spins = 0
+		}
 	}
 }
 
-// UnlockQuery releases a Query-Lock taken with LockQuery.
-func (t *Table) UnlockQuery(id uint64) {
+// UnlockRead releases a shared hold taken with LockRead.
+func (t *Table) UnlockRead(id uint64) {
+	t.slot(id).Add(-1)
+}
+
+// LockWrite acquires exclusive write access to the interval, waiting for all
+// readers and any retrain to drain.
+func (t *Table) LockWrite(id uint64) {
+	s := t.slot(id)
+	for spins := 0; ; spins++ {
+		if s.CompareAndSwap(free, writerLock) {
+			return
+		}
+		if spins >= spinLimit {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// UnlockWrite releases an exclusive hold taken with LockWrite.
+func (t *Table) UnlockWrite(id uint64) {
 	t.slot(id).Store(free)
 }
 
 // TryLockRetrain attempts to acquire the Retraining-Lock without waiting.
 // It reports false when the interval is being accessed — the "access request
 // is denied" outcome of the Section V walkthrough; the retrainer then waits
-// for the query thread and retries.
+// for the foreground threads and retries.
 func (t *Table) TryLockRetrain(id uint64) bool {
-	return t.slot(id).CompareAndSwap(free, retrainMin)
+	return t.slot(id).CompareAndSwap(free, retrainer)
 }
 
-// LockRetrain acquires the Retraining-Lock, yielding until the query thread
-// has left the interval.
+// LockRetrain acquires the Retraining-Lock, yielding until every foreground
+// goroutine has left the interval.
 func (t *Table) LockRetrain(id uint64) {
-	for !t.TryLockRetrain(id) {
-		runtime.Gosched()
+	for spins := 0; ; spins++ {
+		if t.TryLockRetrain(id) {
+			return
+		}
+		if spins >= spinLimit {
+			runtime.Gosched()
+			spins = 0
+		}
 	}
 }
 
@@ -82,8 +124,17 @@ func (t *Table) UnlockRetrain(id uint64) {
 	t.slot(id).Store(free)
 }
 
-// Held reports whether the interval is currently locked (either kind);
+// Held reports whether the interval is currently locked (any kind);
 // intended for tests and introspection only.
 func (t *Table) Held(id uint64) bool {
 	return t.slot(id).Load() != free
+}
+
+// Readers reports the number of shared holders (0 when free or exclusively
+// held); intended for tests and introspection only.
+func (t *Table) Readers(id uint64) int {
+	if v := t.slot(id).Load(); v > 0 {
+		return int(v)
+	}
+	return 0
 }

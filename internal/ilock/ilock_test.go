@@ -1,12 +1,13 @@
 package ilock
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 )
 
-func TestMutualExclusionSameInterval(t *testing.T) {
+func TestWritersExcludeEachOther(t *testing.T) {
 	tbl := New(8)
 	var inside atomic.Int32
 	var violations atomic.Int32
@@ -18,7 +19,7 @@ func TestMutualExclusionSameInterval(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
 				if w%2 == 0 {
-					tbl.LockQuery(3)
+					tbl.LockWrite(3)
 				} else {
 					tbl.LockRetrain(3)
 				}
@@ -27,7 +28,7 @@ func TestMutualExclusionSameInterval(t *testing.T) {
 				}
 				inside.Add(-1)
 				if w%2 == 0 {
-					tbl.UnlockQuery(3)
+					tbl.UnlockWrite(3)
 				} else {
 					tbl.UnlockRetrain(3)
 				}
@@ -40,26 +41,44 @@ func TestMutualExclusionSameInterval(t *testing.T) {
 	}
 }
 
+func TestReadersShareInterval(t *testing.T) {
+	tbl := New(4)
+	tbl.LockRead(1)
+	tbl.LockRead(1) // a second reader must not block
+	if got := tbl.Readers(1); got != 2 {
+		t.Fatalf("Readers = %d, want 2", got)
+	}
+	if tbl.TryLockRetrain(1) {
+		t.Fatal("retrain lock granted while readers hold the interval")
+	}
+	tbl.UnlockRead(1)
+	tbl.UnlockRead(1)
+	if !tbl.TryLockRetrain(1) {
+		t.Fatal("retrain lock denied after readers drained")
+	}
+	tbl.UnlockRetrain(1)
+}
+
 func TestIndependentIntervalsDoNotBlock(t *testing.T) {
 	// The Section V walkthrough: once the query thread moves to interval
 	// (n,1), retraining interval (0,0) proceeds — different IDs never
 	// conflict.
 	tbl := New(16)
-	tbl.LockQuery(1)
+	tbl.LockRead(1)
 	if !tbl.TryLockRetrain(2) {
 		t.Fatal("retrain lock on a different interval was blocked")
 	}
 	tbl.UnlockRetrain(2)
-	tbl.UnlockQuery(1)
+	tbl.UnlockRead(1)
 }
 
-func TestTryLockRetrainDeniedWhileQueried(t *testing.T) {
+func TestTryLockRetrainDeniedWhileAccessed(t *testing.T) {
 	tbl := New(4)
-	tbl.LockQuery(0)
+	tbl.LockWrite(0)
 	if tbl.TryLockRetrain(0) {
-		t.Fatal("retrain lock granted while query lock held")
+		t.Fatal("retrain lock granted while write lock held")
 	}
-	tbl.UnlockQuery(0)
+	tbl.UnlockWrite(0)
 	if !tbl.TryLockRetrain(0) {
 		t.Fatal("retrain lock denied on a free interval")
 	}
@@ -74,11 +93,11 @@ func TestHeld(t *testing.T) {
 	if tbl.Held(0) {
 		t.Fatal("fresh table reports held")
 	}
-	tbl.LockQuery(0)
+	tbl.LockRead(0)
 	if !tbl.Held(0) {
 		t.Fatal("held lock not reported")
 	}
-	tbl.UnlockQuery(0)
+	tbl.UnlockRead(0)
 	if tbl.Held(0) {
 		t.Fatal("released lock still reported held")
 	}
@@ -86,13 +105,13 @@ func TestHeld(t *testing.T) {
 
 func TestModuloSharingStillExcludes(t *testing.T) {
 	tbl := New(2)
-	tbl.LockQuery(1)
+	tbl.LockWrite(1)
 	// ID 3 shares slot 1 in a 2-slot table: false conflict, but never a
 	// correctness violation.
 	if tbl.TryLockRetrain(3) {
 		t.Fatal("aliased interval acquired concurrently")
 	}
-	tbl.UnlockQuery(1)
+	tbl.UnlockWrite(1)
 }
 
 func TestZeroSizeTable(t *testing.T) {
@@ -100,6 +119,73 @@ func TestZeroSizeTable(t *testing.T) {
 	if tbl.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", tbl.Len())
 	}
-	tbl.LockQuery(99)
-	tbl.UnlockQuery(99)
+	tbl.LockRead(99)
+	tbl.UnlockRead(99)
+}
+
+// TestStressReadersWritersRetrainer hammers one interval with N reader
+// goroutines, one writer, and one retrainer, checking the invariants the
+// whole index depends on: a writer or retrainer never overlaps anyone, and
+// readers overlap each other but never an exclusive holder. Run under -race.
+func TestStressReadersWritersRetrainer(t *testing.T) {
+	tbl := New(4)
+	const id = 2
+	iters := 20_000
+	if testing.Short() {
+		iters = 2_000
+	}
+	var readers atomic.Int32   // readers inside the critical section
+	var exclusive atomic.Int32 // writers+retrainer inside
+	var violations atomic.Int32
+	var sawConcurrentReaders atomic.Bool
+	var wg sync.WaitGroup
+
+	const nReaders = 6
+	for r := 0; r < nReaders; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tbl.LockRead(id)
+				readers.Add(1)
+				if exclusive.Load() != 0 {
+					violations.Add(1)
+				}
+				// Yield while holding so other readers can pile on even
+				// on GOMAXPROCS=1; the lock word counts holders, so >1
+				// proves sharing.
+				runtime.Gosched()
+				if tbl.Readers(id) > 1 {
+					sawConcurrentReaders.Store(true)
+				}
+				readers.Add(-1)
+				tbl.UnlockRead(id)
+			}
+		}()
+	}
+	excl := func(lock, unlock func(uint64)) {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			lock(id)
+			if exclusive.Add(1) != 1 || readers.Load() != 0 {
+				violations.Add(1)
+			}
+			exclusive.Add(-1)
+			unlock(id)
+		}
+	}
+	wg.Add(2)
+	go excl(tbl.LockWrite, tbl.UnlockWrite)
+	go excl(tbl.LockRetrain, tbl.UnlockRetrain)
+	wg.Wait()
+
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d exclusion violations", v)
+	}
+	if !sawConcurrentReaders.Load() {
+		t.Fatal("readers never overlapped — lock is not actually shared")
+	}
+	if tbl.Held(id) {
+		t.Fatal("interval still held after all goroutines finished")
+	}
 }
