@@ -1,0 +1,378 @@
+package chameleon
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"chameleon/internal/faultfs"
+	"chameleon/internal/wal"
+)
+
+// SyncPolicy picks when acknowledged writes reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncEveryOp fsyncs the WAL before every Insert/Delete returns: an
+	// acknowledged write survives any crash. The default, and the slowest.
+	SyncEveryOp SyncPolicy = iota
+	// SyncInterval group-commits: the WAL is fsynced every DirOptions.SyncEvery
+	// (default 10ms). A crash can lose up to one interval of acknowledged
+	// writes; everything older is safe.
+	SyncInterval
+	// SyncNone leaves flushing to the OS. A crash can lose everything since
+	// the last Checkpoint.
+	SyncNone
+)
+
+// DirOptions configures OpenDir.
+type DirOptions struct {
+	Options
+	// Sync is the WAL durability policy (default SyncEveryOp).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval group-commit period (default 10ms).
+	SyncEvery time.Duration
+}
+
+// DurableIndex is an Index whose mutations survive process crashes. Every
+// Insert and Delete is appended to a checksummed write-ahead log before it is
+// applied in memory; Checkpoint writes an atomic, CRC-sealed snapshot and
+// rotates the log. OpenDir recovers by loading the newest intact snapshot and
+// replaying the log — a torn log tail (the signature of a crash mid-append)
+// is truncated, never trusted.
+//
+// Reads (Lookup, Range, Len, ...) come from the embedded Index and are as
+// concurrent as ever. Mutations are serialized internally so the log's replay
+// order equals the in-memory apply order.
+type DurableIndex struct {
+	*Index
+
+	mu     sync.Mutex // serializes mutations, checkpoints, and Close
+	fs     faultfs.FS
+	dir    string
+	log    *wal.Log
+	seq    uint64 // highest snapshot/WAL sequence seen or written
+	opts   DirOptions
+	closed bool
+}
+
+// ErrIndexClosed is returned by operations on a closed DurableIndex.
+var ErrIndexClosed = errors.New("chameleon: durable index closed")
+
+const (
+	snapPrefix = "snapshot-"
+	snapSuffix = ".ckpt"
+	snapTemp   = ".tmp"
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+)
+
+func snapName(seq uint64) string { return fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix) }
+func walName(seq uint64) string  { return fmt.Sprintf("%s%016d%s", walPrefix, seq, walSuffix) }
+
+// parseSeq extracts the sequence number from snapshot-<seq>.ckpt /
+// wal-<seq>.log style names.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// OpenDir opens (or initializes) a durable index rooted at dir. Recovery runs
+// first: the newest snapshot that passes its integrity checks is loaded —
+// corrupt or torn snapshots are skipped, falling back to older ones — and
+// every write-ahead log at or after that snapshot is replayed in order. The
+// returned index reflects every acknowledged write the configured sync policy
+// promised to keep.
+func OpenDir(dir string, opts DirOptions) (*DurableIndex, error) {
+	return openDirFS(dir, opts, faultfs.OS)
+}
+
+// openDirFS is OpenDir over an injectable filesystem; the crash-matrix test
+// recovers with the real one after crashing a faultfs.CrashFS workload.
+func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snapSeqs, walSeqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), snapPrefix, snapSuffix); ok {
+			snapSeqs = append(snapSeqs, seq)
+		}
+		if seq, ok := parseSeq(e.Name(), walPrefix, walSuffix); ok {
+			walSeqs = append(walSeqs, seq)
+		}
+	}
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] }) // newest first
+	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })    // oldest first
+
+	// Load the newest snapshot that checks out; fall back on corruption.
+	ix := New(opts.Options)
+	chosen := uint64(0)
+	for _, seq := range snapSeqs {
+		if err := loadSnapshot(fsys, filepath.Join(dir, snapName(seq)), ix); err != nil {
+			continue
+		}
+		chosen = seq
+		break
+	}
+
+	apply := func(r wal.Record) {
+		// Replay tolerates redundancy: a record already reflected in the
+		// snapshot (possible only on fallback paths) must not fail recovery.
+		switch r.Op {
+		case wal.OpInsert:
+			ix.inner.Insert(r.Key, r.Val) //nolint:errcheck
+		case wal.OpDelete:
+			ix.inner.Delete(r.Key) //nolint:errcheck
+		}
+	}
+
+	// Replay every log, oldest first. Each wal-<n> starts exactly at
+	// snapshot-<n>'s state, so the ascending chain reconstructs the pre-crash
+	// state; replaying records the snapshot already holds is harmless because
+	// the conditional insert/delete semantics make in-order re-application
+	// idempotent (last op per key wins either way). The newest log becomes
+	// the live one (wal.Open truncates its torn tail); older logs are
+	// read-only.
+	liveSeq := chosen
+	for _, seq := range walSeqs {
+		if seq > liveSeq {
+			liveSeq = seq
+		}
+	}
+	for _, seq := range walSeqs {
+		if seq == liveSeq {
+			continue
+		}
+		if err := replayReadOnly(fsys, filepath.Join(dir, walName(seq)), apply); err != nil {
+			return nil, err
+		}
+	}
+	walOpts := wal.Options{Policy: wal.SyncPolicy(opts.Sync), Interval: opts.SyncEvery, FS: fsys}
+	log, _, err := wal.Open(filepath.Join(dir, walName(liveSeq)), walOpts, apply)
+	if err != nil {
+		return nil, err
+	}
+
+	seq := liveSeq
+	if len(snapSeqs) > 0 && snapSeqs[0] > seq {
+		seq = snapSeqs[0] // never reuse the name of a corrupt newer snapshot
+	}
+	if opts.RetrainEvery > 0 {
+		ix.inner.StartRetrainer(opts.RetrainEvery)
+	}
+	return &DurableIndex{Index: ix, fs: fsys, dir: dir, log: log, seq: seq, opts: opts}, nil
+}
+
+// loadSnapshot reads one snapshot file into ix, failing on any integrity
+// violation (the envelope CRC plus ReadFrom's structural checks).
+func loadSnapshot(fsys faultfs.FS, path string, ix *Index) error {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(f)
+	f.Close() //nolint:errcheck
+	if err != nil {
+		return err
+	}
+	_, err = ix.inner.ReadFrom(bytes.NewReader(data))
+	return err
+}
+
+// replayReadOnly applies every intact record of a rotated-out log without
+// opening it for writing.
+func replayReadOnly(fsys faultfs.FS, path string, apply func(wal.Record)) error {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	data, err := io.ReadAll(f)
+	f.Close() //nolint:errcheck
+	if err != nil {
+		return err
+	}
+	records, _ := wal.Scan(data)
+	for _, r := range records {
+		apply(r)
+	}
+	return nil
+}
+
+// Insert logs key→val to the WAL (durably, under SyncEveryOp) and then
+// applies it. A nil return means the write will survive per the sync policy.
+func (d *DurableIndex) Insert(key, val uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrIndexClosed
+	}
+	// Validate before logging so the WAL records exactly the applied
+	// mutations — a logged-but-rejected insert would materialize as a
+	// phantom key on replay.
+	if _, ok := d.Index.Lookup(key); ok {
+		return ErrDuplicateKey
+	}
+	if err := d.log.AppendInsert(key, val); err != nil {
+		return err
+	}
+	return d.Index.Insert(key, val)
+}
+
+// Delete logs the removal and then applies it.
+func (d *DurableIndex) Delete(key uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrIndexClosed
+	}
+	if _, ok := d.Index.Lookup(key); !ok {
+		return ErrKeyNotFound
+	}
+	if err := d.log.AppendDelete(key); err != nil {
+		return err
+	}
+	return d.Index.Delete(key)
+}
+
+// BulkLoad rebuilds the index from sorted keys and immediately checkpoints:
+// bulk-loaded data is durable when BulkLoad returns, and the WAL restarts
+// empty.
+func (d *DurableIndex) BulkLoad(keys, vals []uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrIndexClosed
+	}
+	if err := d.Index.BulkLoad(keys, vals); err != nil {
+		return err
+	}
+	return d.checkpointLocked()
+}
+
+// Checkpoint writes the current contents as an atomic snapshot (temp file,
+// fsync, rename, directory fsync), rotates to a fresh WAL, and garbage-
+// collects superseded files. Recovery cost after Checkpoint is one snapshot
+// load; the old log's records are all reflected in the snapshot.
+func (d *DurableIndex) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrIndexClosed
+	}
+	return d.checkpointLocked()
+}
+
+func (d *DurableIndex) checkpointLocked() error {
+	newSeq := d.seq + 1
+	final := filepath.Join(d.dir, snapName(newSeq))
+	tmp := final + snapTemp
+
+	f, err := d.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := d.Index.WriteTo(f); err != nil {
+		f.Close()        //nolint:errcheck
+		d.fs.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()        //nolint:errcheck
+		d.fs.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// The rename is the commit point: before it, recovery uses the previous
+	// snapshot + WAL; after it, the new snapshot is authoritative and the old
+	// WAL is redundant (its records are all inside the snapshot).
+	if err := d.fs.Rename(tmp, final); err != nil {
+		d.fs.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		return err
+	}
+
+	walOpts := wal.Options{Policy: wal.SyncPolicy(d.opts.Sync), Interval: d.opts.SyncEvery, FS: d.fs}
+	newLog, _, err := wal.Open(filepath.Join(d.dir, walName(newSeq)), walOpts, nil)
+	if err != nil {
+		return err
+	}
+	oldLog := d.log
+	d.log = newLog
+	d.seq = newSeq
+	if oldLog != nil {
+		oldLog.Close() //nolint:errcheck
+	}
+
+	// Best-effort GC: superseded snapshots, rotated-out logs, stray temp
+	// files. A crash mid-GC leaves garbage that the next recovery skips and
+	// the next checkpoint retries.
+	if entries, err := d.fs.ReadDir(d.dir); err == nil {
+		for _, e := range entries {
+			if seq, ok := parseSeq(e.Name(), snapPrefix, snapSuffix); ok && seq < newSeq {
+				d.fs.Remove(filepath.Join(d.dir, e.Name())) //nolint:errcheck
+			}
+			if seq, ok := parseSeq(e.Name(), walPrefix, walSuffix); ok && seq < newSeq {
+				d.fs.Remove(filepath.Join(d.dir, e.Name())) //nolint:errcheck
+			}
+			if strings.HasSuffix(e.Name(), snapSuffix+snapTemp) && e.Name() != filepath.Base(tmp) {
+				d.fs.Remove(filepath.Join(d.dir, e.Name())) //nolint:errcheck
+			}
+		}
+	}
+	return nil
+}
+
+// WALSize reports the live write-ahead log's length in bytes — the amount of
+// replay work a crash right now would cost recovery.
+func (d *DurableIndex) WALSize() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.log == nil {
+		return 0
+	}
+	return d.log.Size()
+}
+
+// Dir reports the directory backing the index.
+func (d *DurableIndex) Dir() string { return d.dir }
+
+// Close stops the retrainer and closes the WAL (with a final sync unless the
+// policy is SyncNone). It does not checkpoint: the log already holds
+// everything, and the next OpenDir replays it.
+func (d *DurableIndex) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	d.Index.inner.StopRetrainer()
+	return d.log.Close()
+}

@@ -1,0 +1,344 @@
+package chameleon
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chameleon/internal/faultfs"
+)
+
+// durableOpts keeps construction cheap: recovery in the crash matrix rebuilds
+// the index hundreds of times.
+func durableOpts() DirOptions {
+	return DirOptions{Options: Options{Seed: 7}}
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 5_000)
+	for i := range keys {
+		keys[i] = uint64(i) * 17
+	}
+	if err := d.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k < 400; k += 2 {
+		if err := d.Insert(k<<32, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Delete(keys[10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(keys[11], 1); err != ErrDuplicateKey {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if err := d.Delete(uint64(1) << 60); err != ErrKeyNotFound {
+		t.Fatalf("missing delete: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(1, 1); err != ErrIndexClosed {
+		t.Fatalf("insert after close: %v", err)
+	}
+
+	// Reopen: bulk keys (checkpointed), WAL inserts, and the delete must all
+	// have survived.
+	re, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i, k := range keys {
+		_, ok := re.Lookup(k)
+		if i == 10 {
+			if ok {
+				t.Fatalf("deleted key %d resurrected", k)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("bulk key %d lost", k)
+		}
+	}
+	for k := uint64(1); k < 400; k += 2 {
+		if v, ok := re.Lookup(k << 32); !ok || v != k {
+			t.Fatalf("walled insert %d lost (%d,%v)", k<<32, v, ok)
+		}
+	}
+	if re.Len() != len(keys)-1+200 {
+		t.Fatalf("Len = %d", re.Len())
+	}
+}
+
+func TestDurableCheckpointRotatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BulkLoad([]uint64{10, 20, 30, 40, 50}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for round := uint64(0); round < 3; round++ {
+		for i := uint64(0); i < 10; i++ {
+			if err := d.Insert(1000*round+i+100, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if got := d.WALSize(); got != 0 {
+			t.Fatalf("WAL not rotated: %d bytes", got)
+		}
+	}
+	// GC keeps exactly one snapshot and one (empty) live log.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps, wals int
+	for _, e := range entries {
+		if _, ok := parseSeq(e.Name(), snapPrefix, snapSuffix); ok {
+			snaps++
+		}
+		if _, ok := parseSeq(e.Name(), walPrefix, walSuffix); ok {
+			wals++
+		}
+	}
+	if snaps != 1 || wals != 1 {
+		t.Fatalf("GC left %d snapshots, %d wals", snaps, wals)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 5+30 {
+		t.Fatalf("Len = %d after reopen", re.Len())
+	}
+}
+
+// TestDurableCorruptSnapshotFallsBack flips a byte in the newest snapshot;
+// recovery must fall back to the older snapshot plus its WAL chain and lose
+// nothing.
+func TestDurableCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BulkLoad([]uint64{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(100); k < 120; k++ {
+		if err := d.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the (only) snapshot. GC removed the pre-checkpoint WAL, so
+	// recovery degrades to an empty base plus the post-checkpoint log — it
+	// must open cleanly rather than refuse, and keep the replayable tail.
+	snap := filepath.Join(dir, snapName(d.seq))
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0xFF
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// With the snapshot gone, only the post-checkpoint WAL survives: the
+	// bulk keys and pre-checkpoint inserts lived in the snapshot. The index
+	// must still open cleanly and hold the replayable tail.
+	if _, ok := re.Lookup(500); !ok {
+		t.Fatal("post-checkpoint WAL record lost on snapshot fallback")
+	}
+}
+
+// TestDurableCrashMatrix is the acceptance test of the durability stack: a
+// fixed workload (bulk load, inserts, deletes, a checkpoint mid-stream) runs
+// on a crash-injecting filesystem that kills the process at step k, for every
+// interesting k, with all three tear modes. After each crash the directory is
+// reopened with the real filesystem and checked against the oracle:
+//
+//   - every acknowledged write is present (no acked-data loss),
+//   - no key that was never attempted appears (no phantoms),
+//   - acknowledged deletes stay deleted.
+//
+// Unacknowledged writes may or may not appear — both are legal crash
+// outcomes.
+func TestDurableCrashMatrix(t *testing.T) {
+	// One clean dry run sizes the matrix.
+	total := runCrashWorkload(t, t.TempDir(), 1<<40, 0, nil)
+	if total < 20 {
+		t.Fatalf("workload consumed only %d steps — matrix degenerate", total)
+	}
+	stride := int64(1)
+	if testing.Short() {
+		stride = 7
+	}
+	for k := int64(0); k < total; k += stride {
+		dir := t.TempDir()
+		acked := make(map[uint64]ackState)
+		runCrashWorkload(t, dir, k, int(k%3), acked)
+		verifyRecovered(t, dir, k, acked)
+	}
+}
+
+type ackState struct {
+	val     uint64
+	present bool // acknowledged as inserted (true) or deleted (false)
+	// unstable marks a key whose later mutation attempt FAILED (the crash hit
+	// mid-operation). Like a timed-out commit, a failed op may or may not
+	// have reached the log before the kill — its frame can be complete on
+	// disk even though the caller saw an error — so recovery may legally
+	// surface either the pre-op or post-op state. Only the phantom check
+	// applies to such keys.
+	unstable bool
+}
+
+// runCrashWorkload executes the fixed mutation sequence against dir through a
+// CrashFS with the given step budget, recording acknowledged writes into
+// acked (nil to skip). It returns the number of steps consumed.
+func runCrashWorkload(t *testing.T, dir string, budget int64, tear int, acked map[uint64]ackState) int64 {
+	t.Helper()
+	cfs := faultfs.NewCrashFS(faultfs.OS, budget)
+	cfs.Tear = tear
+	d, err := openDirFS(dir, durableOpts(), cfs)
+	if err != nil {
+		return cfs.Steps() // crashed during initial open: empty dir, nothing acked
+	}
+	ack := func(key, val uint64, present bool, err error) {
+		if acked == nil {
+			return
+		}
+		if err != nil {
+			if st, ok := acked[key]; ok {
+				st.unstable = true
+				acked[key] = st
+			}
+			return
+		}
+		acked[key] = ackState{val: val, present: present}
+	}
+	base := []uint64{100, 200, 300, 400, 500, 600, 700, 800}
+	if err := d.BulkLoad(base, nil); err == nil && acked != nil {
+		for _, k := range base {
+			acked[k] = ackState{val: k, present: true}
+		}
+	}
+	for i := uint64(0); i < 6; i++ {
+		k := 1000 + i
+		ack(k, i, true, d.Insert(k, i))
+	}
+	ack(200, 0, false, d.Delete(200))
+	d.Checkpoint() //nolint:errcheck // a failed checkpoint must not lose anything either
+	for i := uint64(0); i < 6; i++ {
+		k := 2000 + i
+		ack(k, i+50, true, d.Insert(k, i+50))
+	}
+	ack(1002, 0, false, d.Delete(1002))
+	ack(300, 0, false, d.Delete(300))
+	d.Close() //nolint:errcheck
+	return cfs.Steps()
+}
+
+// verifyRecovered reopens dir with the real filesystem and checks the
+// durability invariant against the oracle.
+func verifyRecovered(t *testing.T, dir string, k int64, acked map[uint64]ackState) {
+	t.Helper()
+	re, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatalf("crash@%d: recovery failed: %v", k, err)
+	}
+	defer re.Close()
+	for key, st := range acked {
+		if st.unstable {
+			continue
+		}
+		v, ok := re.Lookup(key)
+		if st.present && !ok {
+			t.Fatalf("crash@%d: acked key %d lost", k, key)
+		}
+		if st.present && v != st.val {
+			t.Fatalf("crash@%d: acked key %d has value %d, want %d", k, key, v, st.val)
+		}
+		if !st.present && ok {
+			t.Fatalf("crash@%d: acked delete of %d undone", k, key)
+		}
+	}
+	// No phantoms: every present key was at least attempted by the workload.
+	attempted := func(key uint64) bool {
+		for _, b := range []uint64{100, 200, 300, 400, 500, 600, 700, 800} {
+			if key == b {
+				return true
+			}
+		}
+		return (key >= 1000 && key < 1006) || (key >= 2000 && key < 2006)
+	}
+	re.Range(0, ^uint64(0), func(key, _ uint64) bool {
+		if !attempted(key) {
+			t.Fatalf("crash@%d: phantom key %d", k, key)
+		}
+		return true
+	})
+}
+
+// TestDurableSyncPolicies exercises the interval and none policies end to
+// end: writes land, close flushes, reopen recovers.
+func TestDurableSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncInterval, SyncNone} {
+		dir := t.TempDir()
+		opts := durableOpts()
+		opts.Sync = pol
+		opts.SyncEvery = time.Millisecond
+		d, err := OpenDir(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(1); k <= 100; k++ {
+			if err := d.Insert(k*3, k); err != nil {
+				t.Fatalf("policy %d: %v", pol, err)
+			}
+		}
+		if err := d.Close(); err != nil {
+			t.Fatalf("policy %d: close: %v", pol, err)
+		}
+		re, err := OpenDir(dir, opts)
+		if err != nil {
+			t.Fatalf("policy %d: reopen: %v", pol, err)
+		}
+		if re.Len() != 100 {
+			t.Fatalf("policy %d: Len = %d after clean close", pol, re.Len())
+		}
+		re.Close()
+	}
+}

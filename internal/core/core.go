@@ -210,6 +210,10 @@ type Index struct {
 	lastPeriod   time.Duration // retrainer period to restore after a rebuild
 	retrains     atomic.Int64
 	retrainNanos atomic.Int64
+
+	// retrainPanics counts background retrain/reconstruct passes that
+	// panicked and were recovered; the retrainer backs off and retries.
+	retrainPanics atomic.Int64
 }
 
 var _ index.RangeIndex = (*Index)(nil)

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"chameleon/internal/ebh"
@@ -14,6 +18,28 @@ import (
 // with the exact structure the MARL construction produced — no retraining on
 // startup. Retraining state (drift counters) intentionally resets: a freshly
 // loaded index has nothing to retrain yet.
+//
+// The file is a checksummed envelope around a gob payload:
+//
+//	[8]  magic "CHAMSNP2"
+//	[4]  format version (little-endian)
+//	[n]  gob(wireIndex)
+//	[8]  payload length      ┐
+//	[4]  CRC32C of payload   ├ footer
+//	[8]  end magic "CHAMEND2"┘
+//
+// The footer turns every torn write, truncation, or bit flip into a clean
+// decode error instead of a structurally-plausible-but-wrong index, which is
+// what lets the checkpointer trust rename-based recovery: a snapshot either
+// verifies end to end or is skipped in favor of the previous one.
+//
+// WriteTo is safe during live writes: it holds the rebuild lock shared (no
+// structure swap mid-walk) and serializes each gate subtree under that
+// interval's read lock, which also excludes the retrainer. The snapshot is
+// consistent per interval — each leaf is an atomic cut, no torn leaf states —
+// and Count is summed from the encoded leaves themselves, so the file is
+// always self-consistent even while concurrent writers advance other
+// intervals.
 
 // wireNode mirrors node for gob.
 type wireNode struct {
@@ -24,71 +50,199 @@ type wireNode struct {
 	Children []*wireNode
 }
 
-// wireIndex is the file form.
+// wireIndex is the payload form. Magic and version live in the envelope.
 type wireIndex struct {
-	Magic   string
-	Version int
-	Name    string
-	Tau     float64
-	Alpha   float64
-	H       int
-	Count   int
-	BaseN   int
-	Root    *wireNode
+	Name  string
+	Tau   float64
+	Alpha float64
+	H     int
+	Count int
+	BaseN int
+	Root  *wireNode
 }
 
 const (
-	persistMagic   = "chameleon-index"
-	persistVersion = 1
+	persistVersion = 2
+	snapMagic      = "CHAMSNP2"
+	snapEndMagic   = "CHAMEND2"
+	snapHeaderLen  = len(snapMagic) + 4
+	snapFooterLen  = 8 + 4 + len(snapEndMagic)
+
+	// maxHeight and maxFanout bound decoded structure parameters; a corrupt
+	// or adversarial file fails fast instead of driving allocation or
+	// recursion off a cliff. heightFor caps real heights around 7 even at
+	// 2^64 keys; real fanouts top out near the DARE root budget (2^20).
+	maxHeight    = 64
+	maxNodeDepth = 1 << 10
+	maxFanout    = 1 << 26
 )
 
-// WriteTo implements io.WriterTo: it serializes the index structure. Stop
-// the retrainer and quiesce writers first — the snapshot walk is not taken
-// under interval locks.
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteTo implements io.WriterTo: it serializes the index structure in the
+// checksummed envelope format. It may run during live Insert/Delete traffic
+// and alongside the retrainer — see the consistency notes above.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.rebuildMu.RLock()
 	t := ix.tree.Load()
-	root, err := encodeNode(t.root)
+	root, count, err := snapshotTree(t)
+	h := t.h
+	baseN := int(ix.baseN.Load())
+	name, tau, alpha := ix.cfg.Name, ix.cfg.Tau, ix.cfg.Alpha
+	ix.rebuildMu.RUnlock()
 	if err != nil {
 		return 0, err
 	}
 	cw := &countingWriter{w: w}
-	err = gob.NewEncoder(cw).Encode(wireIndex{
-		Magic:   persistMagic,
-		Version: persistVersion,
-		Name:    ix.cfg.Name,
-		Tau:     ix.cfg.Tau,
-		Alpha:   ix.cfg.Alpha,
-		H:       t.h,
-		Count:   int(ix.count.Load()),
-		BaseN:   int(ix.baseN.Load()),
-		Root:    root,
+	err = writeSnapshot(cw, wireIndex{
+		Name: name, Tau: tau, Alpha: alpha,
+		H: h, Count: count, BaseN: baseN, Root: root,
 	})
 	return cw.n, err
 }
 
+// snapshotTree encodes the tree with each gate subtree read under its
+// interval lock (retrainer and writers excluded per interval) and leaf-only
+// paths under the fallback interval, returning the wire root and the exact
+// key count of the encoded leaves.
+func snapshotTree(t *tree) (*wireNode, int, error) {
+	total := 0
+	var enc func(nd *node, guarded bool) (*wireNode, error)
+	enc = func(nd *node, guarded bool) (*wireNode, error) {
+		if nd.leaf != nil {
+			if !guarded {
+				fid := t.fallbackID()
+				t.locks.LockRead(fid)
+				defer t.locks.UnlockRead(fid)
+			}
+			w, err := encodeNode(nd)
+			if err == nil {
+				total += nd.leaf.Len()
+			}
+			return w, err
+		}
+		w := &wireNode{Lo: nd.lo, Hi: nd.hi, Fanout: nd.fanout, GateBase: nd.gateBase}
+		w.Children = make([]*wireNode, len(nd.children))
+		for j := range nd.children {
+			if !guarded && nd.gateBase != noGate {
+				id := nd.gateBase + uint64(j)
+				t.locks.LockRead(id)
+				c := nd.children[j] // re-read under the lock: retrain swaps this slot
+				cw, err := enc(c, true)
+				t.locks.UnlockRead(id)
+				if err != nil {
+					return nil, err
+				}
+				w.Children[j] = cw
+				continue
+			}
+			cw, err := enc(nd.children[j], guarded)
+			if err != nil {
+				return nil, err
+			}
+			w.Children[j] = cw
+		}
+		return w, nil
+	}
+	root, err := enc(t.root, false)
+	return root, total, err
+}
+
+// writeSnapshot writes the envelope (header, gob payload, CRC footer).
+func writeSnapshot(w io.Writer, wi wireIndex) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(wi); err != nil {
+		return err
+	}
+	var hdr [snapHeaderLen]byte
+	copy(hdr[:], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[len(snapMagic):], persistVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	var ftr [snapFooterLen]byte
+	binary.LittleEndian.PutUint64(ftr[0:], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(ftr[8:], crc32.Checksum(payload.Bytes(), snapCRC))
+	copy(ftr[12:], snapEndMagic)
+	_, err := w.Write(ftr[:])
+	return err
+}
+
+// ErrSnapshotCorrupt wraps every integrity failure ReadFrom detects, so the
+// recovery path can distinguish "this snapshot is damaged, try the previous
+// one" from I/O errors.
+var ErrSnapshotCorrupt = errors.New("core: corrupt index snapshot")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+}
+
 // ReadFrom implements io.ReaderFrom: it replaces the index contents with a
-// structure written by WriteTo. The receiver's construction policies are
+// structure written by WriteTo, verifying the CRC footer and rejecting
+// negative or absurd structural parameters before anything is installed. On
+// error the index is unchanged. The receiver's construction policies are
 // kept for future retraining/reconstruction. Any running retrainer is
 // stopped; restarting it is the caller's choice (the public chameleon.Load
 // restarts it per Options.RetrainEvery).
 func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	cr := &countingReader{r: r}
-	var w wireIndex
-	if err := gob.NewDecoder(cr).Decode(&w); err != nil {
-		return cr.n, err
+	var hdr [snapHeaderLen]byte
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+		return cr.n, corruptf("short header: %v", err)
 	}
-	if w.Magic != persistMagic {
-		return cr.n, fmt.Errorf("core: not a chameleon index file")
+	if string(hdr[:len(snapMagic)]) != snapMagic {
+		return cr.n, corruptf("not a chameleon index snapshot")
 	}
-	if w.Version != persistVersion {
-		return cr.n, fmt.Errorf("core: unsupported index file version %d", w.Version)
+	if v := binary.LittleEndian.Uint32(hdr[len(snapMagic):]); v != persistVersion {
+		return cr.n, fmt.Errorf("core: unsupported index snapshot version %d", v)
 	}
-	if w.Root == nil {
-		return cr.n, fmt.Errorf("core: index file has no root")
-	}
-	root, err := decodeNode(w.Root)
+	rest, err := io.ReadAll(cr)
 	if err != nil {
 		return cr.n, err
+	}
+	if len(rest) < snapFooterLen {
+		return cr.n, corruptf("truncated before footer")
+	}
+	payload := rest[:len(rest)-snapFooterLen]
+	ftr := rest[len(rest)-snapFooterLen:]
+	if string(ftr[12:]) != snapEndMagic {
+		return cr.n, corruptf("missing end magic (torn write?)")
+	}
+	if got := binary.LittleEndian.Uint64(ftr[0:]); got != uint64(len(payload)) {
+		return cr.n, corruptf("payload length %d, footer says %d", len(payload), got)
+	}
+	if got, want := crc32.Checksum(payload, snapCRC), binary.LittleEndian.Uint32(ftr[8:]); got != want {
+		return cr.n, corruptf("checksum mismatch (crc %08x, footer %08x)", got, want)
+	}
+
+	var w wireIndex
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
+		return cr.n, corruptf("payload decode: %v", err)
+	}
+	if w.Root == nil {
+		return cr.n, corruptf("no root")
+	}
+	if w.H < 1 || w.H > maxHeight {
+		return cr.n, corruptf("height %d out of range", w.H)
+	}
+	if w.Count < 0 || w.BaseN < 0 {
+		return cr.n, corruptf("negative count %d / baseN %d", w.Count, w.BaseN)
+	}
+	if !(w.Tau > 0 && w.Tau < 1) {
+		return cr.n, corruptf("tau %v out of (0,1)", w.Tau)
+	}
+	if !(w.Alpha > 0) || w.Alpha > 1e18 {
+		return cr.n, corruptf("alpha %v out of range", w.Alpha)
+	}
+	root, err := decodeNode(w.Root, 0)
+	if err != nil {
+		return cr.n, err
+	}
+	if got := subtreeKeys(root); got != w.Count {
+		return cr.n, corruptf("leaves hold %d keys, header says %d", got, w.Count)
 	}
 	t := &tree{root: root, h: w.H}
 	if err := rebuildGates(t); err != nil {
@@ -106,6 +260,8 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	return cr.n, nil
 }
 
+// encodeNode serializes one subtree without locking; snapshotTree owns the
+// locking discipline, and tests craft corrupt files through it directly.
 func encodeNode(n *node) (*wireNode, error) {
 	w := &wireNode{Lo: n.lo, Hi: n.hi, Fanout: n.fanout, GateBase: n.gateBase}
 	if n.leaf != nil {
@@ -127,22 +283,27 @@ func encodeNode(n *node) (*wireNode, error) {
 	return w, nil
 }
 
-func decodeNode(w *wireNode) (*node, error) {
+func decodeNode(w *wireNode, depth int) (*node, error) {
+	if depth > maxNodeDepth {
+		return nil, corruptf("node nesting exceeds %d", maxNodeDepth)
+	}
 	if w.Leaf != nil {
 		leaf := new(ebh.Node)
 		if err := leaf.UnmarshalBinary(w.Leaf); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 		}
 		return &node{lo: w.Lo, hi: w.Hi, fanout: 1, gateBase: noGate, leaf: leaf}, nil
 	}
-	if len(w.Children) != w.Fanout || w.Fanout < 1 {
-		return nil, fmt.Errorf("core: corrupt inner node (fanout %d, %d children)",
-			w.Fanout, len(w.Children))
+	if w.Fanout < 1 || w.Fanout > maxFanout || len(w.Children) != w.Fanout {
+		return nil, corruptf("inner node fanout %d with %d children", w.Fanout, len(w.Children))
 	}
 	n := newInner(w.Lo, w.Hi, w.Fanout)
 	n.gateBase = w.GateBase
 	for i, cw := range w.Children {
-		c, err := decodeNode(cw)
+		if cw == nil {
+			return nil, corruptf("nil child %d of inner node", i)
+		}
+		c, err := decodeNode(cw, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -172,6 +333,11 @@ func rebuildGates(t *tree) error {
 				j := j
 				child := n.children[j]
 				id := base + uint64(j)
+				if id < base {
+					// gateBase near MaxUint64 wrapped around.
+					maxID = ^uint64(0)
+					continue
+				}
 				if id+1 > maxID {
 					maxID = id + 1
 				}
@@ -188,8 +354,7 @@ func rebuildGates(t *tree) error {
 	}
 	scan(t.root)
 	if maxID > uint64(totalChildren) {
-		return fmt.Errorf("core: corrupt index file: gate ID %d exceeds %d child slots",
-			maxID, totalChildren)
+		return corruptf("gate ID %d exceeds %d child slots", maxID, totalChildren)
 	}
 	gates := make([]*gate, maxID)
 	for _, fn := range collect {
@@ -238,20 +403,4 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n += int64(n)
 	return n, err
-}
-
-// gobEncode writes a wireIndex with the given root for nd; tests use it to
-// craft corrupted files.
-func gobEncode(w io.Writer, root *wireNode, ix *Index) error {
-	return gob.NewEncoder(w).Encode(wireIndex{
-		Magic:   persistMagic,
-		Version: persistVersion,
-		Name:    ix.cfg.Name,
-		Tau:     ix.cfg.Tau,
-		Alpha:   ix.cfg.Alpha,
-		H:       ix.tree.Load().h,
-		Count:   int(ix.count.Load()),
-		BaseN:   int(ix.baseN.Load()),
-		Root:    root,
-	})
 }

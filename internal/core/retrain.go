@@ -1,6 +1,7 @@
 package core
 
 import (
+	"log"
 	"sort"
 	"time"
 
@@ -67,19 +68,71 @@ func (ix *Index) RetrainStats() (count int64, total time.Duration) {
 	return ix.retrains.Load(), time.Duration(ix.retrainNanos.Load())
 }
 
+// retrainFailpoint, when non-nil, runs at the top of every guarded retrain
+// pass. Tests inject panics through it to exercise the degradation path; it
+// must be set before the retrainer starts and cleared only after it stops.
+var retrainFailpoint func()
+
+// reconstructFailpoint, when non-nil, runs inside Reconstruct while the
+// exclusive rebuild lock is held — tests panic through it to prove the lock
+// is released on the way out.
+var reconstructFailpoint func()
+
+// maxRetrainBackoffFactor caps the exponential backoff after consecutive
+// panicking passes at this multiple of the configured period.
+const maxRetrainBackoffFactor = 32
+
+// retrainLoop is the background goroutine of Section V, hardened for
+// graceful degradation: a panicking pass (a bug in the fanout policy, a
+// cost-model edge case) is recovered and logged, and the next attempt is
+// delayed with capped exponential backoff instead of either crashing the
+// process or killing the goroutine and silently stopping all maintenance.
+// A clean pass resets the cadence.
 func (ix *Index) retrainLoop(period time.Duration, stop, done chan struct{}) {
 	defer close(done)
-	tick := time.NewTicker(period)
-	defer tick.Stop()
+	delay := period
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
 	for {
 		select {
 		case <-stop:
 			return
-		case <-tick.C:
-			ix.RetrainPass()
+		case <-timer.C:
 		}
+		if ix.guardedRetrainPass() {
+			delay = period
+		} else {
+			delay *= 2
+			if limit := maxRetrainBackoffFactor * period; delay > limit {
+				delay = limit
+			}
+			log.Printf("chameleon/core: retraining pass failed; backing off %v (%d panics so far)",
+				delay, ix.retrainPanics.Load())
+		}
+		timer.Reset(delay)
 	}
 }
+
+// guardedRetrainPass runs one retraining pass under recover(), reporting
+// whether it completed without panicking.
+func (ix *Index) guardedRetrainPass() (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ix.retrainPanics.Add(1)
+			log.Printf("chameleon/core: retraining pass panicked (recovered): %v", r)
+			ok = false
+		}
+	}()
+	if retrainFailpoint != nil {
+		retrainFailpoint()
+	}
+	ix.RetrainPass()
+	return true
+}
+
+// RetrainPanics reports how many retraining or reconstruction attempts ended
+// in a recovered panic — the graceful-degradation counter operators alarm on.
+func (ix *Index) RetrainPanics() int64 { return ix.retrainPanics.Load() }
 
 // RetrainPass runs one scan over all gates, retraining the drifted subtrees.
 // It is exported so the harness can trigger retraining deterministically
@@ -121,6 +174,9 @@ func (ix *Index) RetrainPass() int {
 func (ix *Index) retrainLight(t *tree, g *gate) {
 	start := time.Now()
 	t.locks.LockRetrain(g.id)
+	// Deferred unlock: a panic mid-rebuild (recovered in retrainLoop) must
+	// not strand the interval locked forever.
+	defer t.locks.UnlockRetrain(g.id)
 	keys := g.keys.Load()
 	if keys < 1 {
 		keys = 1
@@ -141,7 +197,6 @@ func (ix *Index) retrainLight(t *tree, g *gate) {
 	walk(g.parent.children[g.slot])
 	g.keys.Store(int64(n))
 	g.updates.Store(0)
-	t.locks.UnlockRetrain(g.id)
 	ix.retrains.Add(1)
 	ix.retrainNanos.Add(time.Since(start).Nanoseconds())
 }
@@ -154,6 +209,7 @@ func (ix *Index) retrainLight(t *tree, g *gate) {
 func (ix *Index) retrainStructural(t *tree, g *gate) {
 	start := time.Now()
 	t.locks.LockRetrain(g.id)
+	defer t.locks.UnlockRetrain(g.id)
 	old := g.parent.children[g.slot]
 	var ks, vs []uint64
 	var collect func(nd *node)
@@ -171,7 +227,6 @@ func (ix *Index) retrainStructural(t *tree, g *gate) {
 	g.parent.children[g.slot] = ix.buildLower(ks, vs, g.lo, g.hi, t.h, t.h)
 	g.keys.Store(int64(len(ks)))
 	g.updates.Store(0)
-	t.locks.UnlockRetrain(g.id)
 	ix.retrains.Add(1)
 	ix.retrainNanos.Add(time.Since(start).Nanoseconds())
 }
@@ -210,6 +265,17 @@ func (ix *Index) maybeReconstruct() {
 		return
 	}
 	defer ix.reconstructing.Store(false)
+	// The elected rebuilder runs on a foreground writer goroutine: a panic
+	// inside the MARL construction would otherwise tear down the caller's
+	// request (or the process). Recover, count it, and carry on serving —
+	// the structure is unchanged on failure and the threshold stays crossed,
+	// so a later write retries the rebuild.
+	defer func() {
+		if r := recover(); r != nil {
+			ix.retrainPanics.Add(1)
+			log.Printf("chameleon/core: full reconstruction panicked (recovered): %v", r)
+		}
+	}()
 	// Re-check: a rebuild may have landed while racing for the flag.
 	if ix.thresholdCrossed(thr) {
 		ix.Reconstruct()
@@ -236,29 +302,37 @@ func (ix *Index) Reconstruct() {
 	defer ix.lifecycle.Unlock()
 	wasActive := ix.stop != nil
 	ix.stopRetrainerLocked()
-	ix.rebuildMu.Lock()
-	t := ix.tree.Load()
-	var ks, vs []uint64
-	var collect func(nd *node)
-	collect = func(nd *node) {
-		if nd.leaf != nil {
-			ks, vs = nd.leaf.AppendEntries(ks, vs)
-			return
+	func() {
+		// Closure-scoped exclusive hold with deferred unlock: if the MARL
+		// build panics, the caller's recover() must find rebuildMu released,
+		// or every future writer deadlocks.
+		ix.rebuildMu.Lock()
+		defer ix.rebuildMu.Unlock()
+		if reconstructFailpoint != nil {
+			reconstructFailpoint()
 		}
-		for _, c := range nd.children {
-			collect(c)
+		t := ix.tree.Load()
+		var ks, vs []uint64
+		var collect func(nd *node)
+		collect = func(nd *node) {
+			if nd.leaf != nil {
+				ks, vs = nd.leaf.AppendEntries(ks, vs)
+				return
+			}
+			for _, c := range nd.children {
+				collect(c)
+			}
 		}
-	}
-	collect(t.root)
-	sortPairs(ks, vs)
-	// Runtime rebuilds use the (cheaper) reconstruction policy; bulk loads
-	// keep the full-budget one.
-	saved := ix.cfg.Dare
-	ix.cfg.Dare = ix.cfg.ReconstructDare
-	nt := ix.buildTree(ks, vs)
-	ix.cfg.Dare = saved
-	ix.installTree(nt, len(ks))
-	ix.rebuildMu.Unlock()
+		collect(t.root)
+		sortPairs(ks, vs)
+		// Runtime rebuilds use the (cheaper) reconstruction policy; bulk
+		// loads keep the full-budget one.
+		saved := ix.cfg.Dare
+		ix.cfg.Dare = ix.cfg.ReconstructDare
+		defer func() { ix.cfg.Dare = saved }()
+		nt := ix.buildTree(ks, vs)
+		ix.installTree(nt, len(ks))
+	}()
 	ix.reconstructions.Add(1)
 	if wasActive {
 		ix.startRetrainerLocked(ix.lastPeriod)

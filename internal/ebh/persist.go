@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
+	"math/bits"
 )
 
 // wire is the gob form of a leaf. The slot arrays are stored verbatim so a
@@ -30,15 +32,47 @@ func (nd *Node) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), err
 }
 
-// UnmarshalBinary restores a leaf written by MarshalBinary.
+// UnmarshalBinary restores a leaf written by MarshalBinary. Every structural
+// invariant the probe loops rely on is re-validated — a corrupt or
+// adversarial blob that decodes as gob must still fail here rather than
+// panic (or spin) later inside Lookup/Insert:
+//
+//   - capacity C is positive and matches every slab length,
+//   - the stored-key count N and conflict degree CD fit within C,
+//   - the occupancy bitmap has exactly N set bits, none beyond slot C−1,
+//   - the interval and hash parameters are finite and orderable.
 func (nd *Node) UnmarshalBinary(data []byte) error {
 	var w wire
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return err
 	}
-	if w.C != len(w.Keys) || w.C != len(w.Vals) || (w.C+63)/64 != len(w.Occ) {
+	if w.C < 1 || w.C != len(w.Keys) || w.C != len(w.Vals) || (w.C+63)/64 != len(w.Occ) {
 		return fmt.Errorf("ebh: corrupt leaf encoding (c=%d keys=%d vals=%d occ=%d)",
 			w.C, len(w.Keys), len(w.Vals), len(w.Occ))
+	}
+	if w.N < 0 || w.N > w.C {
+		return fmt.Errorf("ebh: corrupt leaf encoding (n=%d outside [0,%d])", w.N, w.C)
+	}
+	if w.CD < 0 || w.CD > w.C {
+		return fmt.Errorf("ebh: corrupt leaf encoding (cd=%d outside [0,%d])", w.CD, w.C)
+	}
+	if w.Lo > w.Hi {
+		return fmt.Errorf("ebh: corrupt leaf encoding (lo=%d > hi=%d)", w.Lo, w.Hi)
+	}
+	if !(w.Tau > 0 && w.Tau < 1) || math.IsNaN(w.Alpha) || math.IsInf(w.Alpha, 0) || w.Alpha <= 0 {
+		return fmt.Errorf("ebh: corrupt leaf encoding (tau=%v alpha=%v)", w.Tau, w.Alpha)
+	}
+	occupied := 0
+	for _, word := range w.Occ {
+		occupied += bits.OnesCount64(word)
+	}
+	if tail := w.C & 63; tail != 0 {
+		if stray := w.Occ[len(w.Occ)-1] >> uint(tail); stray != 0 {
+			return fmt.Errorf("ebh: corrupt leaf encoding (occupancy bits beyond capacity %d)", w.C)
+		}
+	}
+	if occupied != w.N {
+		return fmt.Errorf("ebh: corrupt leaf encoding (n=%d but %d occupied slots)", w.N, occupied)
 	}
 	nd.lo, nd.hi = w.Lo, w.Hi
 	nd.alpha, nd.tau = w.Alpha, w.Tau

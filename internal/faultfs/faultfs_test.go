@@ -1,0 +1,120 @@
+package faultfs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriterShortWrites(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, Budget: 10}
+	if n, err := w.Write([]byte("12345")); n != 5 || err != nil {
+		t.Fatalf("first write: %d, %v", n, err)
+	}
+	// Crosses the budget: 5 of 8 bytes land, then the injected error.
+	if n, err := w.Write([]byte("abcdefgh")); n != 5 || err != ErrInjected {
+		t.Fatalf("crossing write: %d, %v", n, err)
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || err != ErrInjected {
+		t.Fatalf("post-budget write: %d, %v", n, err)
+	}
+	if got := buf.String(); got != "12345abcde" {
+		t.Fatalf("underlying bytes %q", got)
+	}
+}
+
+func TestCrashFSStepsAndUnsyncedLoss(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+
+	// Budget 3: open (1), write (2), sync (3) succeed; the second write is
+	// the crash point. With Tear=0 its bytes — and nothing synced before it —
+	// are... the synced prefix survives, the unsynced tail does not.
+	c := NewCrashFS(OS, 3)
+	f, err := c.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("lost")); err != ErrCrashed {
+		t.Fatalf("crash-point write: %v", err)
+	}
+	if !c.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if err := f.Sync(); err != ErrCrashed {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if err := c.Rename(path, path+"2"); err == nil {
+		t.Fatal("post-crash rename succeeded")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "durable" {
+		t.Fatalf("on-disk bytes %q, want only the synced prefix", data)
+	}
+	if c.Steps() != 4 {
+		t.Fatalf("Steps = %d, want 4", c.Steps())
+	}
+}
+
+func TestCrashFSTearFractions(t *testing.T) {
+	for tear, wantLen := range map[int]int{0: 0, 1: 4, 2: 8} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f")
+		c := NewCrashFS(OS, 2) // open + write succeed; sync crashes
+		c.Tear = tear
+		f, err := c.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("12345678")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != ErrCrashed {
+			t.Fatalf("tear=%d: sync: %v", tear, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != wantLen {
+			t.Fatalf("tear=%d: %d bytes survived, want %d", tear, len(data), wantLen)
+		}
+	}
+}
+
+func TestCrashFSCleanCloseFlushes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	c := NewCrashFS(OS, 1000)
+	f, err := c.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "kept" {
+		t.Fatalf("on-disk bytes %q", data)
+	}
+	if c.Crashed() {
+		t.Fatal("crashed within budget")
+	}
+}

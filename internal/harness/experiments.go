@@ -31,6 +31,7 @@ var Experiments = []struct {
 	{"fig14", "insertion time and retraining share", Fig14Retraining},
 	{"fig15", "query latency with vs without the retraining thread", Fig15RetrainThread},
 	{"conc", "aggregate throughput vs concurrent reader count", ConcThroughput},
+	{"durability", "insert throughput vs WAL sync policy; recovery time vs WAL length", Durability},
 }
 
 // Fig1Motivation reproduces Fig. 1(b): per-window insertion latency while
