@@ -49,11 +49,13 @@ type DirOptions struct {
 // replaying the log — a torn log tail (the signature of a crash mid-append)
 // is truncated, never trusted.
 //
-// Reads (Lookup, Range, Len, ...) come from the embedded Index and are as
+// Reads (Lookup, Range, Len, ...) are forwarded to the inner Index and are as
 // concurrent as ever. Mutations are serialized internally so the log's replay
-// order equals the in-memory apply order.
+// order equals the in-memory apply order. The inner index is deliberately not
+// embedded: promoted mutators (ReadFrom, BulkLoad, StartRetrainer) would
+// bypass the WAL and silently desynchronize memory from the log.
 type DurableIndex struct {
-	*Index
+	ix *Index
 
 	mu     sync.Mutex // serializes mutations, checkpoints, and Close
 	fs     faultfs.FS
@@ -62,10 +64,17 @@ type DurableIndex struct {
 	seq    uint64 // highest snapshot/WAL sequence seen or written
 	opts   DirOptions
 	closed bool
+	fail   error // sticky: set when on-disk and in-memory state may diverge
 }
 
 // ErrIndexClosed is returned by operations on a closed DurableIndex.
 var ErrIndexClosed = errors.New("chameleon: durable index closed")
+
+// ErrSnapshotsUnreadable is returned by OpenDir when snapshot files exist but
+// none passes its integrity checks. Opening would otherwise silently serve a
+// near-empty index after, e.g., snapshot bit rot — the caller must decide
+// whether to restore from backup or wipe the directory and accept the loss.
+var ErrSnapshotsUnreadable = errors.New("chameleon: snapshot files present but none readable")
 
 const (
 	snapPrefix = "snapshot-"
@@ -124,15 +133,28 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] }) // newest first
 	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })    // oldest first
 
-	// Load the newest snapshot that checks out; fall back on corruption.
+	// Load the newest snapshot that checks out, falling back past corrupt
+	// ones — but never silently: if snapshots exist and none loads, refuse to
+	// open. Proceeding from an empty base would ack fresh writes on top of a
+	// near-total loss the caller never agreed to.
 	ix := New(opts.Options)
 	chosen := uint64(0)
+	loaded := len(snapSeqs) == 0
+	var snapErr error
 	for _, seq := range snapSeqs {
 		if err := loadSnapshot(fsys, filepath.Join(dir, snapName(seq)), ix); err != nil {
+			if snapErr == nil {
+				snapErr = fmt.Errorf("%s: %w", snapName(seq), err)
+			}
 			continue
 		}
 		chosen = seq
+		loaded = true
 		break
+	}
+	if !loaded {
+		return nil, fmt.Errorf("%w: %d candidate(s), newest: %v",
+			ErrSnapshotsUnreadable, len(snapSeqs), snapErr)
 	}
 
 	apply := func(r wal.Record) {
@@ -146,13 +168,17 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 		}
 	}
 
-	// Replay every log, oldest first. Each wal-<n> starts exactly at
-	// snapshot-<n>'s state, so the ascending chain reconstructs the pre-crash
-	// state; replaying records the snapshot already holds is harmless because
-	// the conditional insert/delete semantics make in-order re-application
-	// idempotent (last op per key wins either way). The newest log becomes
-	// the live one (wal.Open truncates its torn tail); older logs are
-	// read-only.
+	// Replay logs at or after the loaded snapshot, oldest first. Each wal-<n>
+	// starts exactly at snapshot-<n>'s state, so the ascending chain from
+	// `chosen` reconstructs the pre-crash state; replaying records the
+	// snapshot already holds (fallback paths) is harmless because the
+	// conditional insert/delete semantics make in-order re-application
+	// idempotent. Logs *older* than the snapshot are skipped, not replayed:
+	// their records are all contained in it, and if GC removed a successor
+	// log but left an older one (Remove errors are best-effort), replaying
+	// the survivor would resurrect keys the missing log deleted — phantoms.
+	// The newest log becomes the live one (wal.Open truncates its torn
+	// tail); older logs are read-only.
 	liveSeq := chosen
 	for _, seq := range walSeqs {
 		if seq > liveSeq {
@@ -160,7 +186,7 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 		}
 	}
 	for _, seq := range walSeqs {
-		if seq == liveSeq {
+		if seq < chosen || seq == liveSeq {
 			continue
 		}
 		if err := replayReadOnly(fsys, filepath.Join(dir, walName(seq)), apply); err != nil {
@@ -172,6 +198,13 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 	if err != nil {
 		return nil, err
 	}
+	// The live WAL may have just been created: fsync the directory so its
+	// entry survives a crash. Without this, power loss could drop the file
+	// itself and with it every write acked to it — even under SyncEveryOp.
+	if err := fsys.SyncDir(dir); err != nil {
+		log.Close() //nolint:errcheck
+		return nil, err
+	}
 
 	seq := liveSeq
 	if len(snapSeqs) > 0 && snapSeqs[0] > seq {
@@ -180,7 +213,7 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 	if opts.RetrainEvery > 0 {
 		ix.inner.StartRetrainer(opts.RetrainEvery)
 	}
-	return &DurableIndex{Index: ix, fs: fsys, dir: dir, log: log, seq: seq, opts: opts}, nil
+	return &DurableIndex{ix: ix, fs: fsys, dir: dir, log: log, seq: seq, opts: opts}, nil
 }
 
 // loadSnapshot reads one snapshot file into ix, failing on any integrity
@@ -221,55 +254,88 @@ func replayReadOnly(fsys faultfs.FS, path string, apply func(wal.Record)) error 
 	return nil
 }
 
+// usableLocked gates mutations: a poisoned handle reports its sticky failure,
+// a closed one ErrIndexClosed.
+func (d *DurableIndex) usableLocked() error {
+	if d.fail != nil {
+		return d.fail
+	}
+	if d.closed {
+		return ErrIndexClosed
+	}
+	return nil
+}
+
+// poisonLocked fail-stops the handle: once on-disk and in-memory state may
+// disagree, acknowledging further writes would corrupt the recovery contract,
+// so every subsequent mutation returns the sticky error. The WAL is closed so
+// nothing more is appended; reads keep serving the in-memory state.
+func (d *DurableIndex) poisonLocked(err error) {
+	if d.fail != nil {
+		return
+	}
+	d.fail = fmt.Errorf("chameleon: durable index failed: %w (in-memory and on-disk state may diverge; discard this handle and re-OpenDir)", err)
+	d.ix.inner.StopRetrainer()
+	if d.log != nil {
+		d.log.Close() //nolint:errcheck
+	}
+}
+
 // Insert logs key→val to the WAL (durably, under SyncEveryOp) and then
 // applies it. A nil return means the write will survive per the sync policy.
 func (d *DurableIndex) Insert(key, val uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
-		return ErrIndexClosed
+	if err := d.usableLocked(); err != nil {
+		return err
 	}
 	// Validate before logging so the WAL records exactly the applied
 	// mutations — a logged-but-rejected insert would materialize as a
 	// phantom key on replay.
-	if _, ok := d.Index.Lookup(key); ok {
+	if _, ok := d.ix.Lookup(key); ok {
 		return ErrDuplicateKey
 	}
 	if err := d.log.AppendInsert(key, val); err != nil {
 		return err
 	}
-	return d.Index.Insert(key, val)
+	return d.ix.Insert(key, val)
 }
 
 // Delete logs the removal and then applies it.
 func (d *DurableIndex) Delete(key uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
-		return ErrIndexClosed
+	if err := d.usableLocked(); err != nil {
+		return err
 	}
-	if _, ok := d.Index.Lookup(key); !ok {
+	if _, ok := d.ix.Lookup(key); !ok {
 		return ErrKeyNotFound
 	}
 	if err := d.log.AppendDelete(key); err != nil {
 		return err
 	}
-	return d.Index.Delete(key)
+	return d.ix.Delete(key)
 }
 
 // BulkLoad rebuilds the index from sorted keys and immediately checkpoints:
 // bulk-loaded data is durable when BulkLoad returns, and the WAL restarts
-// empty.
+// empty. Bulk data never passes through the WAL, so a failed checkpoint
+// leaves it in memory with nothing on disk to recover it from — that failure
+// poisons the handle (fail-stop) rather than letting acked state diverge.
 func (d *DurableIndex) BulkLoad(keys, vals []uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
-		return ErrIndexClosed
-	}
-	if err := d.Index.BulkLoad(keys, vals); err != nil {
+	if err := d.usableLocked(); err != nil {
 		return err
 	}
-	return d.checkpointLocked()
+	if err := d.ix.BulkLoad(keys, vals); err != nil {
+		return err
+	}
+	if err := d.checkpointLocked(); err != nil {
+		d.poisonLocked(fmt.Errorf("bulk-load checkpoint: %w", err))
+		return d.fail
+	}
+	return nil
 }
 
 // Checkpoint writes the current contents as an atomic snapshot (temp file,
@@ -279,8 +345,8 @@ func (d *DurableIndex) BulkLoad(keys, vals []uint64) error {
 func (d *DurableIndex) Checkpoint() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
-		return ErrIndexClosed
+	if err := d.usableLocked(); err != nil {
+		return err
 	}
 	return d.checkpointLocked()
 }
@@ -294,7 +360,7 @@ func (d *DurableIndex) checkpointLocked() error {
 	if err != nil {
 		return err
 	}
-	if _, err := d.Index.WriteTo(f); err != nil {
+	if _, err := d.ix.WriteTo(f); err != nil {
 		f.Close()        //nolint:errcheck
 		d.fs.Remove(tmp) //nolint:errcheck
 		return err
@@ -307,22 +373,38 @@ func (d *DurableIndex) checkpointLocked() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	// Create the successor WAL *before* the rename commits, so the directory
+	// fsync after the rename covers the new log's entry too. A WAL whose
+	// dirent is not yet durable would silently lose every write acked to it
+	// if a crash dropped the file — even under SyncEveryOp. Failing here is
+	// safe: nothing has committed, the old snapshot + WAL stay authoritative.
+	walPath := filepath.Join(d.dir, walName(newSeq))
+	walOpts := wal.Options{Policy: wal.SyncPolicy(d.opts.Sync), Interval: d.opts.SyncEvery, FS: d.fs}
+	newLog, _, err := wal.Open(walPath, walOpts, nil)
+	if err != nil {
+		d.fs.Remove(tmp) //nolint:errcheck
+		return err
+	}
 	// The rename is the commit point: before it, recovery uses the previous
 	// snapshot + WAL; after it, the new snapshot is authoritative and the old
 	// WAL is redundant (its records are all inside the snapshot).
 	if err := d.fs.Rename(tmp, final); err != nil {
-		d.fs.Remove(tmp) //nolint:errcheck
+		newLog.Close()       //nolint:errcheck
+		d.fs.Remove(walPath) //nolint:errcheck
+		d.fs.Remove(tmp)     //nolint:errcheck
 		return err
 	}
+	// One directory fsync seals the commit: the snapshot's final name and the
+	// successor WAL's entry become durable together. Past the rename there is
+	// no undo — if this fsync fails, recovery might load the new snapshot yet
+	// skip the old WAL that future writes would land in, so the handle is
+	// poisoned instead of limping on.
 	if err := d.fs.SyncDir(d.dir); err != nil {
-		return err
+		newLog.Close() //nolint:errcheck
+		d.poisonLocked(fmt.Errorf("checkpoint commit fsync: %w", err))
+		return d.fail
 	}
 
-	walOpts := wal.Options{Policy: wal.SyncPolicy(d.opts.Sync), Interval: d.opts.SyncEvery, FS: d.fs}
-	newLog, _, err := wal.Open(filepath.Join(d.dir, walName(newSeq)), walOpts, nil)
-	if err != nil {
-		return err
-	}
 	oldLog := d.log
 	d.log = newLog
 	d.seq = newSeq
@@ -373,6 +455,46 @@ func (d *DurableIndex) Close() error {
 		return nil
 	}
 	d.closed = true
-	d.Index.inner.StopRetrainer()
+	d.ix.inner.StopRetrainer()
 	return d.log.Close()
 }
+
+// Read-side forwards. Only the non-mutating surface of Index is exposed;
+// mutations must go through the WAL-logged methods above.
+
+// Lookup returns the value stored for key.
+func (d *DurableIndex) Lookup(key uint64) (uint64, bool) { return d.ix.Lookup(key) }
+
+// Range calls fn for every key in [lo, hi] in ascending order until fn
+// returns false.
+func (d *DurableIndex) Range(lo, hi uint64, fn func(key, val uint64) bool) {
+	d.ix.Range(lo, hi, fn)
+}
+
+// Len reports the number of stored keys.
+func (d *DurableIndex) Len() int { return d.ix.Len() }
+
+// Bytes estimates resident size in bytes.
+func (d *DurableIndex) Bytes() int { return d.ix.Bytes() }
+
+// Stats reports the structural metrics of the paper's Table V.
+func (d *DurableIndex) Stats() Stats { return d.ix.Stats() }
+
+// Height reports the deepest root-to-leaf path length.
+func (d *DurableIndex) Height() int { return d.ix.Height() }
+
+// LocalSkewness computes the lsn statistic over the current contents.
+func (d *DurableIndex) LocalSkewness() float64 { return d.ix.LocalSkewness() }
+
+// RetrainStats reports how many subtree retrains have run and the total time
+// spent retraining.
+func (d *DurableIndex) RetrainStats() (count int64, total time.Duration) {
+	return d.ix.RetrainStats()
+}
+
+// Reconstructions reports how many full MARL rebuilds have run.
+func (d *DurableIndex) Reconstructions() int { return d.ix.Reconstructions() }
+
+// WriteTo serializes the current contents (read-only; it does not rotate the
+// WAL — use Checkpoint for durable snapshots).
+func (d *DurableIndex) WriteTo(w io.Writer) (int64, error) { return d.ix.WriteTo(w) }

@@ -1,6 +1,7 @@
 package chameleon
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -130,10 +131,86 @@ func TestDurableCheckpointRotatesAndRecovers(t *testing.T) {
 	}
 }
 
-// TestDurableCorruptSnapshotFallsBack flips a byte in the newest snapshot;
+// corruptFile flips one byte in the middle of path.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCorruptSnapshotFallsBack flips a byte in the newest snapshot
+// while an older generation survives (as after a GC interrupted by a crash);
 // recovery must fall back to the older snapshot plus its WAL chain and lose
-// nothing.
+// nothing that chain holds.
 func TestDurableCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BulkLoad([]uint64{1, 2, 3}, nil); err != nil { // → snapshot-1, wal-1
+		t.Fatal(err)
+	}
+	for k := uint64(100); k < 120; k++ {
+		if err := d.Insert(k, k); err != nil { // → wal-1 (fsynced per op)
+			t.Fatal(err)
+		}
+	}
+	// Preserve generation 1 before the next checkpoint GCs it.
+	savedSnap, err := os.ReadFile(filepath.Join(dir, snapName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	savedWal, err := os.ReadFile(filepath.Join(dir, walName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil { // → snapshot-2, wal-2; GC removes gen 1
+		t.Fatal(err)
+	}
+	if err := d.Insert(600, 6); err != nil { // → wal-2
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore generation 1 (a crash mid-GC leaves exactly this) and corrupt
+	// the newest snapshot.
+	if err := os.WriteFile(filepath.Join(dir, snapName(1)), savedSnap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walName(1)), savedWal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, filepath.Join(dir, snapName(2)))
+
+	re, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// snapshot-1 + wal-1 + wal-2 reconstruct everything.
+	for _, k := range []uint64{1, 2, 3, 110, 600} {
+		if _, ok := re.Lookup(k); !ok {
+			t.Fatalf("key %d lost on snapshot fallback", k)
+		}
+	}
+	if re.Len() != 3+20+1 {
+		t.Fatalf("Len = %d after fallback", re.Len())
+	}
+}
+
+// TestDurableAllSnapshotsCorruptRefusesToOpen: when snapshot files exist but
+// none passes integrity checks, OpenDir must fail loudly instead of silently
+// serving a near-empty index.
+func TestDurableAllSnapshotsCorruptRefusesToOpen(t *testing.T) {
 	dir := t.TempDir()
 	d, err := OpenDir(dir, durableOpts())
 	if err != nil {
@@ -142,44 +219,102 @@ func TestDurableCorruptSnapshotFallsBack(t *testing.T) {
 	if err := d.BulkLoad([]uint64{1, 2, 3}, nil); err != nil {
 		t.Fatal(err)
 	}
-	for k := uint64(100); k < 120; k++ {
-		if err := d.Insert(k, k); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := d.Checkpoint(); err != nil {
+	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Insert(500, 5); err != nil {
+	corruptFile(t, filepath.Join(dir, snapName(1)))
+	if _, err := OpenDir(dir, durableOpts()); !errors.Is(err, ErrSnapshotsUnreadable) {
+		t.Fatalf("OpenDir with only a corrupt snapshot: %v, want ErrSnapshotsUnreadable", err)
+	}
+}
+
+// TestDurableStaleLogNoPhantom reproduces the GC hazard: a log older than the
+// loaded snapshot survives (GC Remove is best-effort) while its successor —
+// which deleted a key — is gone. Replay must skip the stale log, or the
+// deleted key is resurrected.
+func TestDurableStaleLogNoPhantom(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BulkLoad([]uint64{10, 20}, nil); err != nil { // → snapshot-1, wal-1
+		t.Fatal(err)
+	}
+	if err := d.Insert(111, 1); err != nil { // → wal-1
+		t.Fatal(err)
+	}
+	savedWal, err := os.ReadFile(filepath.Join(dir, walName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil { // snapshot-2 holds 111; GC removes wal-1
+		t.Fatal(err)
+	}
+	if err := d.Delete(111); err != nil { // → wal-2
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil { // snapshot-3 without 111; GC removes wal-2
 		t.Fatal(err)
 	}
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// Corrupt the (only) snapshot. GC removed the pre-checkpoint WAL, so
-	// recovery degrades to an empty base plus the post-checkpoint log — it
-	// must open cleanly rather than refuse, and keep the replayable tail.
-	snap := filepath.Join(dir, snapName(d.seq))
-	raw, err := os.ReadFile(snap)
-	if err != nil {
+	// Resurrect wal-1 — the insert of 111 with no trace of its deletion.
+	if err := os.WriteFile(filepath.Join(dir, walName(1)), savedWal, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	raw[len(raw)/3] ^= 0xFF
-	if err := os.WriteFile(snap, raw, 0o644); err != nil {
-		t.Fatal(err)
-	}
-
 	re, err := OpenDir(dir, durableOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	// With the snapshot gone, only the post-checkpoint WAL survives: the
-	// bulk keys and pre-checkpoint inserts lived in the snapshot. The index
-	// must still open cleanly and hold the replayable tail.
-	if _, ok := re.Lookup(500); !ok {
-		t.Fatal("post-checkpoint WAL record lost on snapshot fallback")
+	if _, ok := re.Lookup(111); ok {
+		t.Fatal("stale pre-snapshot log replayed: deleted key 111 resurrected")
+	}
+	if re.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", re.Len())
+	}
+}
+
+// renameFailFS makes every Rename fail, so a checkpoint dies at its commit
+// step.
+type renameFailFS struct{ faultfs.FS }
+
+func (renameFailFS) Rename(oldpath, newpath string) error {
+	return errors.New("injected rename failure")
+}
+
+// TestDurableBulkLoadCheckpointFailurePoisons: bulk data bypasses the WAL, so
+// if the immediate checkpoint fails the handle must fail-stop instead of
+// acking writes that recovery could never reconstruct.
+func TestDurableBulkLoadCheckpointFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	d, err := openDirFS(dir, durableOpts(), renameFailFS{faultfs.OS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BulkLoad([]uint64{1, 2, 3}, nil); err == nil {
+		t.Fatal("BulkLoad with failing checkpoint succeeded")
+	}
+	// Poisoned: every subsequent mutation reports the sticky failure.
+	if err := d.Insert(9, 9); err == nil || errors.Is(err, ErrIndexClosed) {
+		t.Fatalf("insert on poisoned index: %v, want sticky failure", err)
+	}
+	if err := d.Checkpoint(); err == nil {
+		t.Fatal("checkpoint on poisoned index succeeded")
+	}
+	d.Close() //nolint:errcheck
+
+	// Nothing was acked, so recovering an empty index is the honest outcome.
+	re, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 0 {
+		t.Fatalf("Len = %d after failed bulk load, want 0", re.Len())
 	}
 }
 

@@ -10,7 +10,11 @@
 //     file on Sync — exactly the page-cache behaviour a real crash exposes —
 //     and when the budget runs out the crash flushes a configurable fraction
 //     of each file's unsynced tail, producing the torn files recovery must
-//     survive. Every operation after the crash fails with ErrCrashed.
+//     survive. Directory entries are modelled too: a file creation, rename,
+//     or removal whose parent directory was not fsynced (SyncDir) by the
+//     crash is rolled back, the worst-case outcome a journaling filesystem
+//     permits — a created file vanishes, a rename un-happens, a removed file
+//     comes back. Every operation after the crash fails with ErrCrashed.
 //
 // The crash-matrix test in the root package drives CrashFS through every step
 // of a live workload (WAL appends, checkpoint writes, renames) and then
@@ -24,6 +28,7 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -107,12 +112,18 @@ func (w *Writer) Write(p []byte) (int, error) {
 }
 
 // CrashFS wraps a base FS and kills the "process" after a fixed number of
-// mutating steps. Each Write, Sync, Truncate, Rename, Remove, and mutating
-// OpenFile consumes one step. File writes are held in a per-file unsynced
-// buffer until Sync; the crash flushes TornFraction (0, ½, or 1, selected by
-// Tear) of each buffer to the underlying file and drops the rest, so the
-// surviving on-disk state covers the spectrum from "nothing after the last
-// fsync" to "everything the process ever wrote".
+// mutating steps. Each Write, Sync, Truncate, Rename, Remove, SyncDir, and
+// mutating OpenFile consumes one step. File writes are held in a per-file
+// unsynced buffer until Sync; the crash flushes TornFraction (0, ½, or 1,
+// selected by Tear) of each buffer to the underlying file and drops the rest,
+// so the surviving on-disk state covers the spectrum from "nothing after the
+// last fsync" to "everything the process ever wrote".
+//
+// Directory entries get the same treatment: creations, renames, and removals
+// are journaled until SyncDir on the parent directory, and a crash rolls the
+// unsynced ones back in reverse order — the pessimistic outcome of losing the
+// directory block. (Renames are assumed same-directory, which is all the
+// durability stack performs.)
 type CrashFS struct {
 	base FS
 
@@ -124,8 +135,25 @@ type CrashFS struct {
 	// tear%3 == 0 → none, 1 → half, 2 → all.
 	Tear int
 
-	open []*crashFile
+	open    []*crashFile
+	journal []direntOp // dirent mutations not yet covered by a SyncDir
 }
+
+// direntOp is one journaled directory mutation, undone on crash unless the
+// parent directory was fsynced after it.
+type direntOp struct {
+	kind  int    // direntCreate, direntRename, direntRemove
+	dir   string // parent directory whose SyncDir makes it durable
+	path  string // created path / rename destination / removed path
+	old   string // rename source
+	saved []byte // removed file's bytes, for resurrection
+}
+
+const (
+	direntCreate = iota
+	direntRename
+	direntRemove
+)
 
 // NewCrashFS wraps base with a crash after budget mutating steps. A budget
 // larger than the workload's total step count never crashes; use Steps after
@@ -166,8 +194,9 @@ func (c *CrashFS) step() bool {
 	return true
 }
 
-// crashLocked tears every open file's unsynced buffer per Tear and marks the
-// filesystem dead.
+// crashLocked tears every open file's unsynced buffer per Tear, rolls back
+// every dirent mutation not covered by a SyncDir, and marks the filesystem
+// dead.
 func (c *CrashFS) crashLocked() {
 	c.crashed = true
 	for _, f := range c.open {
@@ -183,6 +212,46 @@ func (c *CrashFS) crashLocked() {
 		}
 		f.pending = nil
 	}
+	// Undo unsynced dirent mutations newest-first, so chains compose: a file
+	// created then renamed is first un-renamed, then un-created (removed).
+	// All best-effort — a rollback of an op that never reached the base FS
+	// simply fails.
+	for i := len(c.journal) - 1; i >= 0; i-- {
+		e := c.journal[i]
+		switch e.kind {
+		case direntCreate:
+			c.base.Remove(e.path) //nolint:errcheck
+		case direntRename:
+			c.base.Rename(e.path, e.old) //nolint:errcheck
+		case direntRemove:
+			if f, err := c.base.OpenFile(e.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644); err == nil {
+				f.Write(e.saved) //nolint:errcheck
+				f.Close()        //nolint:errcheck
+			}
+		}
+	}
+	c.journal = nil
+}
+
+// exists reports whether name is present on the base FS.
+func (c *CrashFS) exists(name string) bool {
+	f, err := c.base.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return false
+	}
+	f.Close() //nolint:errcheck
+	return true
+}
+
+// logDirent journals one dirent mutation for crash rollback. Called before
+// the base operation so a concurrent crash can at worst roll back an op that
+// never happened — harmless — rather than miss one that did.
+func (c *CrashFS) logDirent(e direntOp) {
+	c.mu.Lock()
+	if !c.crashed {
+		c.journal = append(c.journal, e)
+	}
+	c.mu.Unlock()
 }
 
 func (c *CrashFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
@@ -193,6 +262,9 @@ func (c *CrashFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error
 		}
 	} else if c.Crashed() {
 		return nil, fmt.Errorf("open %s: %w", name, ErrCrashed)
+	}
+	if flag&os.O_CREATE != 0 && !c.exists(name) {
+		c.logDirent(direntOp{kind: direntCreate, dir: filepath.Dir(name), path: name})
 	}
 	f, err := c.base.OpenFile(name, flag, perm)
 	if err != nil {
@@ -209,6 +281,7 @@ func (c *CrashFS) Rename(oldpath, newpath string) error {
 	if !c.step() {
 		return fmt.Errorf("rename %s: %w", oldpath, ErrCrashed)
 	}
+	c.logDirent(direntOp{kind: direntRename, dir: filepath.Dir(newpath), path: newpath, old: oldpath})
 	return c.base.Rename(oldpath, newpath)
 }
 
@@ -216,6 +289,14 @@ func (c *CrashFS) Remove(name string) error {
 	if !c.step() {
 		return fmt.Errorf("remove %s: %w", name, ErrCrashed)
 	}
+	// Stash the bytes so the crash can resurrect an un-fsynced removal — the
+	// stale-file hazard recovery must tolerate.
+	var saved []byte
+	if f, err := c.base.OpenFile(name, os.O_RDONLY, 0); err == nil {
+		saved, _ = io.ReadAll(f)
+		f.Close() //nolint:errcheck
+	}
+	c.logDirent(direntOp{kind: direntRemove, dir: filepath.Dir(name), path: name, saved: saved})
 	return c.base.Remove(name)
 }
 
@@ -237,7 +318,22 @@ func (c *CrashFS) SyncDir(name string) error {
 	if !c.step() {
 		return fmt.Errorf("syncdir %s: %w", name, ErrCrashed)
 	}
-	return c.base.SyncDir(name)
+	if err := c.base.SyncDir(name); err != nil {
+		return err
+	}
+	// The fsync made this directory's entries durable: drop their journal
+	// records so a later crash no longer rolls them back.
+	clean := filepath.Clean(name)
+	c.mu.Lock()
+	kept := c.journal[:0]
+	for _, e := range c.journal {
+		if filepath.Clean(e.dir) != clean {
+			kept = append(kept, e)
+		}
+	}
+	c.journal = kept
+	c.mu.Unlock()
+	return nil
 }
 
 // crashFile buffers writes until Sync, modelling the page cache a crash

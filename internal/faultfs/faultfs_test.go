@@ -29,10 +29,10 @@ func TestCrashFSStepsAndUnsyncedLoss(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "f")
 
-	// Budget 3: open (1), write (2), sync (3) succeed; the second write is
-	// the crash point. With Tear=0 its bytes — and nothing synced before it —
-	// are... the synced prefix survives, the unsynced tail does not.
-	c := NewCrashFS(OS, 3)
+	// Budget 4: open (1), write (2), sync (3), syncdir (4) succeed; the
+	// second write is the crash point. The synced prefix survives — its
+	// dirent was made durable by SyncDir — the unsynced tail does not.
+	c := NewCrashFS(OS, 4)
 	f, err := c.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +41,9 @@ func TestCrashFSStepsAndUnsyncedLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncDir(dir); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := f.Write([]byte("lost")); err != ErrCrashed {
@@ -62,8 +65,8 @@ func TestCrashFSStepsAndUnsyncedLoss(t *testing.T) {
 	if string(data) != "durable" {
 		t.Fatalf("on-disk bytes %q, want only the synced prefix", data)
 	}
-	if c.Steps() != 4 {
-		t.Fatalf("Steps = %d, want 4", c.Steps())
+	if c.Steps() != 5 {
+		t.Fatalf("Steps = %d, want 5", c.Steps())
 	}
 }
 
@@ -71,6 +74,11 @@ func TestCrashFSTearFractions(t *testing.T) {
 	for tear, wantLen := range map[int]int{0: 0, 1: 4, 2: 8} {
 		dir := t.TempDir()
 		path := filepath.Join(dir, "f")
+		// Pre-create the file outside CrashFS so its dirent is durable and the
+		// crash rollback leaves the torn bytes observable.
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
 		c := NewCrashFS(OS, 2) // open + write succeed; sync crashes
 		c.Tear = tear
 		f, err := c.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
@@ -90,6 +98,89 @@ func TestCrashFSTearFractions(t *testing.T) {
 		if len(data) != wantLen {
 			t.Fatalf("tear=%d: %d bytes survived, want %d", tear, len(data), wantLen)
 		}
+	}
+}
+
+// TestCrashFSDirentRollback checks the directory-entry fault model: creations,
+// renames, and removals whose parent directory was never fsynced un-happen at
+// the crash, while a SyncDir pins everything before it.
+func TestCrashFSDirentRollback(t *testing.T) {
+	dir := t.TempDir()
+	created := filepath.Join(dir, "created")
+	oldName := filepath.Join(dir, "old")
+	newName := filepath.Join(dir, "new")
+	doomed := filepath.Join(dir, "doomed")
+	pinned := filepath.Join(dir, "pinned")
+	for _, p := range []string{oldName, doomed} {
+		if err := os.WriteFile(p, []byte("body-of-"+filepath.Base(p)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := NewCrashFS(OS, 1000)
+	// Pinned by SyncDir: survives the crash.
+	f, err := c.OpenFile(pinned, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Unsynced dirent mutations: all rolled back by the crash.
+	f, err = c.OpenFile(created, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // file data synced, dirent is not
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename(oldName, newName); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(doomed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(doomed); !os.IsNotExist(err) {
+		t.Fatal("remove did not reach the base FS")
+	}
+
+	// Exhaust the budget to force the crash.
+	c.mu.Lock()
+	c.budget = 0
+	c.mu.Unlock()
+	if _, err := c.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644); err == nil || !c.Crashed() {
+		t.Fatalf("crash not triggered: %v", err)
+	}
+
+	if got, err := os.ReadFile(pinned); err != nil || string(got) != "kept" {
+		t.Fatalf("pinned file: %q, %v — SyncDir'd creation must survive", got, err)
+	}
+	if _, err := os.Stat(created); !os.IsNotExist(err) {
+		t.Fatal("unsynced creation survived the crash")
+	}
+	if _, err := os.Stat(newName); !os.IsNotExist(err) {
+		t.Fatal("unsynced rename destination survived the crash")
+	}
+	if got, err := os.ReadFile(oldName); err != nil || string(got) != "body-of-old" {
+		t.Fatalf("rename source not restored: %q, %v", got, err)
+	}
+	if got, err := os.ReadFile(doomed); err != nil || string(got) != "body-of-doomed" {
+		t.Fatalf("unsynced removal not resurrected: %q, %v", got, err)
 	}
 }
 
