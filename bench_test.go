@@ -61,6 +61,11 @@ func BenchmarkFig15RetrainThread(b *testing.B) {
 }
 func BenchmarkConcThroughput(b *testing.B) { runExperiment(b, "conc") }
 
+// BenchmarkScaling runs the group-commit / parallel-build / parallel-recovery
+// experiment once per iteration; the run emits BENCH_scaling.json (CI's bench
+// smoke job uploads it as an artifact).
+func BenchmarkScaling(b *testing.B) { runExperiment(b, "scaling") }
+
 // ---- per-operation micro-benchmarks ----
 
 // benchLookup measures mean point-query latency per index on one dataset.

@@ -59,6 +59,10 @@ type Options struct {
 	// UseTrainedAgents, when non-nil, replaces the deterministic cost-model
 	// policies with trained RL agents (see cmd/chameleon-train).
 	UseTrainedAgents *Agents
+	// Workers bounds the goroutines used by parallel bulk load and snapshot
+	// recovery. Zero means one per available CPU; 1 forces the serial path.
+	// The built structure is bit-identical for any worker count.
+	Workers int
 }
 
 // Agents carries trained RL agents loaded from disk.
@@ -93,6 +97,11 @@ type Stats = index.Stats
 var (
 	ErrKeyNotFound  = index.ErrKeyNotFound
 	ErrDuplicateKey = index.ErrDuplicateKey
+	// ErrUnsortedKeys is returned by BulkLoad when keys are not strictly
+	// ascending; ErrMismatchedValues when vals is non-nil with a different
+	// length than keys.
+	ErrUnsortedKeys     = core.ErrUnsortedKeys
+	ErrMismatchedValues = core.ErrMismatchedValues
 )
 
 // New creates an empty index.
@@ -103,6 +112,7 @@ func New(opts Options) *Index {
 		Seed:                 opts.Seed,
 		RetrainEvery:         opts.RetrainEvery,
 		ReconstructThreshold: opts.ReconstructThreshold,
+		Workers:              opts.Workers,
 	}
 	if a := opts.UseTrainedAgents; a != nil {
 		cfg.Dare = a.DARE

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,7 +58,7 @@ type DirOptions struct {
 type DurableIndex struct {
 	ix *Index
 
-	mu     sync.Mutex // serializes mutations, checkpoints, and Close
+	mu     sync.Mutex // serializes batch commits, checkpoints, and Close
 	fs     faultfs.FS
 	dir    string
 	log    *wal.Log
@@ -65,6 +66,24 @@ type DurableIndex struct {
 	opts   DirOptions
 	closed bool
 	fail   error // sticky: set when on-disk and in-memory state may diverge
+
+	// Group-commit queue. Writers enqueue under qmu (held only for the
+	// append); the first writer to find no leader becomes one and drains the
+	// queue batch by batch, paying one WAL write + one fsync per batch and
+	// fanning acks back over each op's done channel. qmu orders only the
+	// queue; d.mu still orders every batch against checkpoints and Close.
+	qmu    sync.Mutex
+	queue  []*pendingOp
+	leader bool
+}
+
+// pendingOp is one enqueued mutation awaiting group commit. The committing
+// leader sets err (nil = acked durable per the sync policy) before closing
+// done.
+type pendingOp struct {
+	rec  wal.Record
+	err  error
+	done chan struct{}
 }
 
 // ErrIndexClosed is returned by operations on a closed DurableIndex.
@@ -247,10 +266,7 @@ func replayReadOnly(fsys faultfs.FS, path string, apply func(wal.Record)) error 
 	if err != nil {
 		return err
 	}
-	records, _ := wal.Scan(data)
-	for _, r := range records {
-		apply(r)
-	}
+	wal.Replay(data, apply)
 	return nil
 }
 
@@ -283,38 +299,144 @@ func (d *DurableIndex) poisonLocked(err error) {
 
 // Insert logs key→val to the WAL (durably, under SyncEveryOp) and then
 // applies it. A nil return means the write will survive per the sync policy.
+// Concurrent Inserts/Deletes group-commit: their WAL frames share one write
+// and one fsync, amortizing the durability cost across the batch without
+// weakening it — no call returns nil before its own frame is durable.
 func (d *DurableIndex) Insert(key, val uint64) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.usableLocked(); err != nil {
-		return err
-	}
-	// Validate before logging so the WAL records exactly the applied
-	// mutations — a logged-but-rejected insert would materialize as a
-	// phantom key on replay.
-	if _, ok := d.ix.Lookup(key); ok {
-		return ErrDuplicateKey
-	}
-	if err := d.log.AppendInsert(key, val); err != nil {
-		return err
-	}
-	return d.ix.Insert(key, val)
+	return d.commit(wal.Record{Op: wal.OpInsert, Key: key, Val: val})
 }
 
-// Delete logs the removal and then applies it.
+// Delete logs the removal and then applies it. Like Insert it participates in
+// group commit.
 func (d *DurableIndex) Delete(key uint64) error {
+	return d.commit(wal.Record{Op: wal.OpDelete, Key: key})
+}
+
+// commit enqueues rec and blocks until a leader has committed (or rejected)
+// it. The first writer to find no active leader becomes the leader and drains
+// the queue until it is empty — including ops enqueued while earlier batches
+// were committing — then steps down. Followers just wait; their latency is at
+// most one in-flight batch plus their own.
+func (d *DurableIndex) commit(rec wal.Record) error {
+	op := &pendingOp{rec: rec, done: make(chan struct{})}
+	d.qmu.Lock()
+	d.queue = append(d.queue, op)
+	if d.leader {
+		d.qmu.Unlock()
+		<-op.done
+		return op.err
+	}
+	d.leader = true
+	for {
+		batch := d.queue
+		d.queue = nil
+		if len(batch) == 0 {
+			d.leader = false
+			d.qmu.Unlock()
+			break
+		}
+		d.qmu.Unlock()
+		d.commitBatch(batch)
+		// Yield before collecting the next batch: the followers just acked
+		// are runnable but may not have re-enqueued yet (on few cores they
+		// only run when this goroutine pauses). One scheduler hop here lets
+		// the next batch fill, trading nanoseconds of leader latency for
+		// fsyncs amortized over whole batches instead of stragglers.
+		runtime.Gosched()
+		d.qmu.Lock()
+	}
+	<-op.done // committed by this goroutine in its first batch
+	return op.err
+}
+
+// commitBatch validates, logs, applies, and acks one batch. It holds d.mu for
+// the whole batch so a checkpoint can never rotate the WAL between a batch's
+// append and its in-memory apply — the replay-order invariant (WAL order ==
+// apply order, and every logged record *is* applied before the log it lives
+// in can be superseded) is what recovery correctness rests on.
+func (d *DurableIndex) commitBatch(batch []*pendingOp) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer func() {
+		for _, op := range batch {
+			close(op.done)
+		}
+	}()
+
 	if err := d.usableLocked(); err != nil {
-		return err
+		for _, op := range batch {
+			op.err = err
+		}
+		return
 	}
-	if _, ok := d.ix.Lookup(key); !ok {
-		return ErrKeyNotFound
+
+	// Validate in arrival order before logging anything, so the WAL records
+	// exactly the mutations that will be applied — a logged-but-rejected
+	// insert would materialize as a phantom key on replay. Validation of op k
+	// must see the effects of ops 0..k−1 of the same batch (a duplicate
+	// insert inside one batch fails exactly as it would have serially), so
+	// earlier accepts are tracked in a batch-local presence overlay.
+	overlay := make(map[uint64]bool, len(batch))
+	accepted := batch[:0:0]
+	recs := make([]wal.Record, 0, len(batch))
+	for _, op := range batch {
+		key := op.rec.Key
+		present, known := overlay[key]
+		if !known {
+			_, present = d.ix.Lookup(key)
+		}
+		switch op.rec.Op {
+		case wal.OpInsert:
+			if present {
+				op.err = ErrDuplicateKey
+				continue
+			}
+		case wal.OpDelete:
+			if !present {
+				op.err = ErrKeyNotFound
+				continue
+			}
+		}
+		overlay[key] = op.rec.Op == wal.OpInsert
+		accepted = append(accepted, op)
+		recs = append(recs, op.rec)
 	}
-	if err := d.log.AppendDelete(key); err != nil {
-		return err
+	if len(recs) == 0 {
+		return
 	}
-	return d.ix.Delete(key)
+
+	// One contiguous write, at most one fsync, for the whole batch. On
+	// failure nothing is applied in memory and every accepted op reports the
+	// error; the log's sticky error stops all future appends. Some frames may
+	// still have reached disk — those ops were *not* acked, and an unacked op
+	// surfacing after recovery is within contract (same as a failed single
+	// append always was).
+	if err := d.log.AppendAll(recs); err != nil {
+		for _, op := range accepted {
+			op.err = err
+		}
+		return
+	}
+
+	// Apply in log order. Validation above makes rejection impossible here,
+	// so any failure means memory no longer matches what was just made
+	// durable — fail-stop.
+	for i, op := range accepted {
+		var err error
+		switch op.rec.Op {
+		case wal.OpInsert:
+			err = d.ix.Insert(op.rec.Key, op.rec.Val)
+		case wal.OpDelete:
+			err = d.ix.Delete(op.rec.Key)
+		}
+		if err != nil {
+			d.poisonLocked(fmt.Errorf("group commit apply: %w", err))
+			for _, rest := range accepted[i:] {
+				rest.err = d.fail
+			}
+			return
+		}
+	}
 }
 
 // BulkLoad rebuilds the index from sorted keys and immediately checkpoints:

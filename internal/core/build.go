@@ -3,6 +3,7 @@ package core
 import (
 	"chameleon/internal/costmodel"
 	"chameleon/internal/ebh"
+	"chameleon/internal/par"
 	"chameleon/internal/rl"
 )
 
@@ -12,6 +13,11 @@ import (
 // policy (TSMDP) refines each level-h node. The new structure is built
 // off-line and swapped in atomically, so concurrent readers are never
 // blocked; concurrent writers are excluded only for the swap itself.
+//
+// Construction parallelizes across Config.Workers: gate-level subtrees cover
+// disjoint key ranges and every policy decision depends only on its own
+// subtree's keys and the seed, so the parallel build produces a tree
+// bit-identical to the serial one.
 func (ix *Index) BulkLoad(keys, vals []uint64) error {
 	for i := 1; i < len(keys); i++ {
 		if keys[i] <= keys[i-1] {
@@ -19,7 +25,7 @@ func (ix *Index) BulkLoad(keys, vals []uint64) error {
 		}
 	}
 	if vals != nil && len(vals) != len(keys) {
-		return ErrUnsortedKeys
+		return ErrMismatchedValues
 	}
 	ix.lifecycle.Lock()
 	defer ix.lifecycle.Unlock()
@@ -56,10 +62,32 @@ func (ix *Index) buildUpper(t *tree, keys, vals []uint64, lo, hi uint64, level i
 	}
 	n := newInner(lo, hi, f)
 	parts := costmodel.Partition(keys, lo, hi, f)
-	atGate := level+1 == t.h
-	if atGate {
+	if level+1 == t.h {
+		// Gate level: register all f gates sequentially first, so gate IDs and
+		// registry order are exactly what the serial build would produce, then
+		// fan the subtree construction out — the subtrees cover disjoint key
+		// ranges and write disjoint child slots.
 		n.gateBase = uint64(len(t.gates))
+		for j := 0; j < f; j++ {
+			clo, chi := costmodel.ChildInterval(lo, hi, f, j)
+			g := &gate{id: n.gateBase + uint64(j), parent: n, slot: j, lo: clo, hi: chi}
+			g.keys.Store(int64(parts[j][1] - parts[j][0]))
+			t.gates = append(t.gates, g)
+		}
+		par.Do(f, par.Workers(ix.cfg.Workers), func(j int) {
+			clo, chi := costmodel.ChildInterval(lo, hi, f, j)
+			ck := keys[parts[j][0]:parts[j][1]]
+			var cv []uint64
+			if vals != nil {
+				cv = vals[parts[j][0]:parts[j][1]]
+			}
+			n.children[j] = ix.buildLower(ck, cv, clo, chi, t.h, t.h)
+		})
+		return n
 	}
+	// Above the gate level the recursion stays sequential: it only slices the
+	// key space (cheap), and sequential descent keeps gate registration
+	// ordered. All the heavy work happens at and below the gates.
 	for j := 0; j < f; j++ {
 		clo, chi := costmodel.ChildInterval(lo, hi, f, j)
 		ck := keys[parts[j][0]:parts[j][1]]
@@ -67,16 +95,7 @@ func (ix *Index) buildUpper(t *tree, keys, vals []uint64, lo, hi uint64, level i
 		if vals != nil {
 			cv = vals[parts[j][0]:parts[j][1]]
 		}
-		var child *node
-		if atGate {
-			child = ix.buildLower(ck, cv, clo, chi, t.h, t.h)
-			g := &gate{id: n.gateBase + uint64(j), parent: n, slot: j, lo: clo, hi: chi}
-			g.keys.Store(int64(len(ck)))
-			t.gates = append(t.gates, g)
-		} else {
-			child = ix.buildUpper(t, ck, cv, clo, chi, level+1, fan)
-		}
-		n.children[j] = child
+		n.children[j] = ix.buildUpper(t, ck, cv, clo, chi, level+1, fan)
 	}
 	return n
 }
@@ -96,7 +115,11 @@ func (ix *Index) buildLower(keys, vals []uint64, lo, hi uint64, level, h int) *n
 	}
 	n := newInner(lo, hi, f)
 	parts := costmodel.Partition(keys, lo, hi, f)
-	for j := 0; j < f; j++ {
+	// Children cover disjoint key ranges, the fanout policy is a pure function
+	// of each child's own keys, and EBH leaf construction is the dominant cost
+	// — so the recursion fans out when workers are free and runs inline when
+	// the pool is saturated (par.Do's caller always participates).
+	par.Do(f, par.Workers(ix.cfg.Workers), func(j int) {
 		clo, chi := costmodel.ChildInterval(lo, hi, f, j)
 		ck := keys[parts[j][0]:parts[j][1]]
 		var cv []uint64
@@ -104,7 +127,7 @@ func (ix *Index) buildLower(keys, vals []uint64, lo, hi uint64, level, h int) *n
 			cv = vals[parts[j][0]:parts[j][1]]
 		}
 		n.children[j] = ix.buildLower(ck, cv, clo, chi, level+1, h)
-	}
+	})
 	return n
 }
 

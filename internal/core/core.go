@@ -81,6 +81,11 @@ type Config struct {
 	ReconstructThreshold float64
 	// Seed feeds the analytic policies' genetic algorithm.
 	Seed uint64
+	// Workers bounds the goroutines used by parallel bulk load and snapshot
+	// recovery. Zero means one per available CPU; 1 forces the serial path
+	// (bit-identical results either way — parallelism only reorders work
+	// across disjoint key ranges, never what is computed).
+	Workers int
 }
 
 // Defaults returns cfg with unset fields filled in.
@@ -329,3 +334,7 @@ func heightFor(n int) int {
 // ErrUnsortedKeys is returned by BulkLoad when the key slice is not strictly
 // ascending.
 var ErrUnsortedKeys = errors.New("core: bulk-load keys must be sorted and unique")
+
+// ErrMismatchedValues is returned by BulkLoad when a value slice is supplied
+// whose length differs from the key slice's.
+var ErrMismatchedValues = errors.New("core: bulk-load values must match keys in length")

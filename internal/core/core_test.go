@@ -65,8 +65,14 @@ func TestBulkLoadRejectsUnsorted(t *testing.T) {
 	if err := ix.BulkLoad([]uint64{3, 3}, nil); err != ErrUnsortedKeys {
 		t.Fatalf("duplicate keys: err = %v", err)
 	}
-	if err := ix.BulkLoad([]uint64{1, 2}, []uint64{9}); err != ErrUnsortedKeys {
-		t.Fatalf("mismatched vals: err = %v", err)
+	if err := ix.BulkLoad([]uint64{1, 2}, []uint64{9}); err != ErrMismatchedValues {
+		t.Fatalf("mismatched vals: err = %v, want ErrMismatchedValues", err)
+	}
+	if err := ix.BulkLoad([]uint64{1, 2}, []uint64{9, 10, 11}); err != ErrMismatchedValues {
+		t.Fatalf("oversized vals: err = %v, want ErrMismatchedValues", err)
+	}
+	if err := ix.BulkLoad([]uint64{1, 2}, []uint64{9, 10}); err != nil {
+		t.Fatalf("matched vals: err = %v, want nil", err)
 	}
 }
 

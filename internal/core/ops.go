@@ -113,9 +113,27 @@ func (ix *Index) Range(lo, hi uint64, fn func(key, val uint64) bool) {
 	}
 	t := ix.tree.Load()
 	type kv struct{ k, v uint64 }
-	var out []kv
+	// Preallocate from the gate registry's key counts: every gate whose
+	// interval overlaps [lo, hi] bounds how many entries the scan can emit, so
+	// out almost never regrows. The counts are maintenance-time approximations
+	// (exact at build, drifting with updates), which is fine for a capacity
+	// hint.
+	capHint := 0
+	for _, g := range t.gates {
+		if g.hi >= lo && g.lo <= hi {
+			capHint += int(g.keys.Load())
+		}
+	}
+	if n := int(ix.count.Load()); len(t.gates) == 0 || capHint > n {
+		capHint = n
+	}
+	out := make([]kv, 0, capHint)
+	// One scratch pair reused across every leaf: AppendEntries appends into
+	// the slices we hand it, so resetting to [:0] keeps the backing arrays and
+	// the whole scan allocates O(largest leaf) instead of O(leaves).
+	var ks, vs []uint64
 	collect := func(n *node) {
-		ks, vs := n.leaf.AppendEntries(nil, nil)
+		ks, vs = n.leaf.AppendEntries(ks[:0], vs[:0])
 		for i, k := range ks {
 			if k >= lo && k <= hi {
 				out = append(out, kv{k, vs[i]})

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"chameleon/internal/dataset"
+	"chameleon/internal/rl"
+)
+
+// workerIndex is fastIndex with an explicit worker count, so the serial
+// (Workers: 1) and parallel builds differ in nothing but parallelism.
+func workerIndex(workers int) *Index {
+	dcfg := rl.DefaultDAREConfig()
+	dcfg.GA = dcfg.GA.Defaults()
+	dcfg.GA.Generations = 5
+	dcfg.GA.Pop = 8
+	dcfg.SampleCap = 8192
+	return New(Config{
+		Name:    "Chameleon",
+		Dare:    rl.NewCostDARE(dcfg),
+		Policy:  rl.NewCostPolicy(rl.DefaultEnv()),
+		Workers: workers,
+	})
+}
+
+// TestParallelBuildMatchesSerial is the determinism contract of the parallel
+// bulk load: for every evaluation dataset, the tree built with 8 workers must
+// be indistinguishable from the serial build — same lookups, same structural
+// stats, and a byte-identical serialized snapshot (the strongest equality the
+// public surface can express: it covers node intervals, fanouts, gate bases,
+// and every leaf's slot layout).
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	for _, name := range dataset.Names {
+		keys := dataset.Generate(name, 30_000, 11)
+		serial := workerIndex(1)
+		parallel := workerIndex(8)
+		if err := serial.BulkLoad(keys, nil); err != nil {
+			t.Fatalf("%s: serial BulkLoad: %v", name, err)
+		}
+		if err := parallel.BulkLoad(keys, nil); err != nil {
+			t.Fatalf("%s: parallel BulkLoad: %v", name, err)
+		}
+		if serial.Len() != parallel.Len() {
+			t.Fatalf("%s: Len %d vs %d", name, serial.Len(), parallel.Len())
+		}
+		if ss, ps := serial.Stats(), parallel.Stats(); ss != ps {
+			t.Fatalf("%s: stats diverge:\nserial   %+v\nparallel %+v", name, ss, ps)
+		}
+		for i := 0; i < len(keys); i += 37 {
+			sv, sok := serial.Lookup(keys[i])
+			pv, pok := parallel.Lookup(keys[i])
+			if sv != pv || sok != pok {
+				t.Fatalf("%s: Lookup(%d) serial=(%d,%v) parallel=(%d,%v)",
+					name, keys[i], sv, sok, pv, pok)
+			}
+		}
+		var sbuf, pbuf bytes.Buffer
+		if _, err := serial.WriteTo(&sbuf); err != nil {
+			t.Fatalf("%s: serial WriteTo: %v", name, err)
+		}
+		if _, err := parallel.WriteTo(&pbuf); err != nil {
+			t.Fatalf("%s: parallel WriteTo: %v", name, err)
+		}
+		if !bytes.Equal(sbuf.Bytes(), pbuf.Bytes()) {
+			t.Fatalf("%s: serialized snapshots differ (%d vs %d bytes)",
+				name, sbuf.Len(), pbuf.Len())
+		}
+	}
+}
+
+// TestParallelDecodeMatchesSerial pins the recovery side: loading a snapshot
+// with 8 decode workers yields the same index as loading it serially.
+func TestParallelDecodeMatchesSerial(t *testing.T) {
+	keys := dataset.Generate(dataset.FACE, 30_000, 7)
+	src := workerIndex(0)
+	if err := src.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if _, err := src.WriteTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	serial := workerIndex(1)
+	parallel := workerIndex(8)
+	if _, err := serial.ReadFrom(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("serial ReadFrom: %v", err)
+	}
+	if _, err := parallel.ReadFrom(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("parallel ReadFrom: %v", err)
+	}
+	if serial.Len() != parallel.Len() {
+		t.Fatalf("Len %d vs %d", serial.Len(), parallel.Len())
+	}
+	if ss, ps := serial.Stats(), parallel.Stats(); ss != ps {
+		t.Fatalf("stats diverge:\nserial   %+v\nparallel %+v", ss, ps)
+	}
+	for i := 0; i < len(keys); i += 37 {
+		sv, sok := serial.Lookup(keys[i])
+		pv, pok := parallel.Lookup(keys[i])
+		if sv != pv || sok != pok {
+			t.Fatalf("Lookup(%d) serial=(%d,%v) parallel=(%d,%v)",
+				keys[i], sv, sok, pv, pok)
+		}
+	}
+	var sbuf, pbuf bytes.Buffer
+	if _, err := serial.WriteTo(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parallel.WriteTo(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sbuf.Bytes(), pbuf.Bytes()) {
+		t.Fatal("re-serialized snapshots differ after parallel vs serial load")
+	}
+}

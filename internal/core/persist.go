@@ -11,6 +11,7 @@ import (
 
 	"chameleon/internal/ebh"
 	"chameleon/internal/ilock"
+	"chameleon/internal/par"
 )
 
 // Persistence: WriteTo serializes the learned structure verbatim (tree shape,
@@ -237,7 +238,7 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	if !(w.Alpha > 0) || w.Alpha > 1e18 {
 		return cr.n, corruptf("alpha %v out of range", w.Alpha)
 	}
-	root, err := decodeNode(w.Root, 0)
+	root, err := decodeNode(w.Root, 0, par.Workers(ix.cfg.Workers))
 	if err != nil {
 		return cr.n, err
 	}
@@ -283,7 +284,13 @@ func encodeNode(n *node) (*wireNode, error) {
 	return w, nil
 }
 
-func decodeNode(w *wireNode, depth int) (*node, error) {
+// decodeNode rebuilds one subtree, decoding children across up to workers
+// goroutines — leaf unmarshalling (the dominant recovery cost after CRC
+// verification) is independent per child. Parallel and serial decode accept
+// and reject exactly the same files: all children are decoded and the
+// lowest-indexed error wins, which is the error the serial loop would have
+// returned.
+func decodeNode(w *wireNode, depth, workers int) (*node, error) {
 	if depth > maxNodeDepth {
 		return nil, corruptf("node nesting exceeds %d", maxNodeDepth)
 	}
@@ -299,15 +306,24 @@ func decodeNode(w *wireNode, depth int) (*node, error) {
 	}
 	n := newInner(w.Lo, w.Hi, w.Fanout)
 	n.gateBase = w.GateBase
-	for i, cw := range w.Children {
+	errs := make([]error, w.Fanout)
+	par.Do(w.Fanout, workers, func(i int) {
+		cw := w.Children[i]
 		if cw == nil {
-			return nil, corruptf("nil child %d of inner node", i)
+			errs[i] = corruptf("nil child %d of inner node", i)
+			return
 		}
-		c, err := decodeNode(cw, depth+1)
+		c, err := decodeNode(cw, depth+1, workers)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		n.children[i] = c
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		n.children[i] = c
 	}
 	return n, nil
 }

@@ -32,6 +32,7 @@ var Experiments = []struct {
 	{"fig15", "query latency with vs without the retraining thread", Fig15RetrainThread},
 	{"conc", "aggregate throughput vs concurrent reader count", ConcThroughput},
 	{"durability", "insert throughput vs WAL sync policy; recovery time vs WAL length", Durability},
+	{"scaling", "group-commit writers, parallel bulk load, parallel recovery (emits BENCH_scaling.json)", Scaling},
 }
 
 // Fig1Motivation reproduces Fig. 1(b): per-window insertion latency while

@@ -64,6 +64,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep")
 	}
+	t.Setenv("CHAMELEON_BENCH_JSON", "off") // don't drop BENCH_*.json in the package dir
 	cfg := smallCfg()
 	for _, exp := range Experiments {
 		exp := exp

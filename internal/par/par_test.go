@@ -1,0 +1,77 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		for _, n := range []int{0, 1, 3, 100, 1000} {
+			hits := make([]atomic.Int32, max(n, 1))
+			Do(n, workers, func(i int) { hits[i].Add(1) })
+			for i := 0; i < n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDoNestedDoesNotDeadlock(t *testing.T) {
+	var total atomic.Int64
+	Do(16, 8, func(i int) {
+		Do(16, 8, func(j int) {
+			Do(4, 4, func(k int) { total.Add(1) })
+		})
+	})
+	if got := total.Load(); got != 16*16*4 {
+		t.Fatalf("nested Do ran %d leaf calls, want %d", got, 16*16*4)
+	}
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Do(100, 8, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Do returned instead of panicking")
+}
+
+func TestDoSerialPanicMatchesParallel(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Do(3, 1, func(i int) {
+		if i == 2 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Do returned instead of panicking")
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("auto worker count must be at least 1")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

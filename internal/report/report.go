@@ -4,8 +4,10 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"time"
 )
@@ -98,6 +100,18 @@ func (t *Table) FprintCSV(w io.Writer) {
 	for _, r := range t.Rows {
 		writeCSVRow(w, r)
 	}
+}
+
+// SaveJSON writes v as indented JSON to path — the machine-readable side of
+// an experiment (BENCH_*.json artifacts tracked by CI), alongside the human
+// tables. The file is written atomically enough for an artifact (full write,
+// then rename is unnecessary: a torn artifact fails JSON parsing loudly).
+func SaveJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func writeCSVRow(w io.Writer, cells []string) {
