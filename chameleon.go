@@ -187,6 +187,19 @@ func (ix *Index) StartRetrainer(period time.Duration) { ix.inner.StartRetrainer(
 // subtree retrain to finish.
 func (ix *Index) StopRetrainer() { ix.inner.StopRetrainer() }
 
+// PauseRetrainer suspends background maintenance (timer-driven retrain passes
+// and threshold-triggered full reconstructions) without stopping the
+// goroutine — a cheap atomic flip the durable layer uses while its write
+// queue is saturated, so structural maintenance stops competing with
+// foreground writes. Resume with ResumeRetrainer.
+func (ix *Index) PauseRetrainer() { ix.inner.PauseRetrainer() }
+
+// ResumeRetrainer re-enables background maintenance after PauseRetrainer.
+func (ix *Index) ResumeRetrainer() { ix.inner.ResumeRetrainer() }
+
+// RetrainerPaused reports whether background maintenance is suspended.
+func (ix *Index) RetrainerPaused() bool { return ix.inner.RetrainerPaused() }
+
 // RetrainStats reports how many subtree retrains have run and the total time
 // spent retraining.
 func (ix *Index) RetrainStats() (count int64, total time.Duration) {

@@ -2,6 +2,7 @@ package chameleon
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chameleon/internal/faultfs"
@@ -41,6 +43,19 @@ type DirOptions struct {
 	Sync SyncPolicy
 	// SyncEvery is the SyncInterval group-commit period (default 10ms).
 	SyncEvery time.Duration
+	// MaxPending bounds the number of mutations admitted into the
+	// group-commit queue (including the batch currently committing). When the
+	// bound is hit, further mutations are shed with ErrOverloaded — or block
+	// for space when BlockOnFull is set. Zero means unbounded.
+	MaxPending int
+	// MaxPendingBytes bounds the queue by WAL footprint instead of op count
+	// (each mutation costs wal.FrameSize bytes). Zero means unbounded; when
+	// both bounds are set, either one rejects.
+	MaxPendingBytes int64
+	// BlockOnFull makes a full queue apply backpressure: mutations wait for
+	// space (respecting their context deadline) instead of failing fast with
+	// ErrOverloaded.
+	BlockOnFull bool
 }
 
 // DurableIndex is an Index whose mutations survive process crashes. Every
@@ -72,22 +87,78 @@ type DurableIndex struct {
 	// queue batch by batch, paying one WAL write + one fsync per batch and
 	// fanning acks back over each op's done channel. qmu orders only the
 	// queue; d.mu still orders every batch against checkpoints and Close.
-	qmu    sync.Mutex
-	queue  []*pendingOp
-	leader bool
+	// Lock order is d.mu → qmu, never the reverse.
+	qmu     sync.Mutex
+	queue   []*pendingOp
+	leader  bool
+	qclosed bool // Close observed; admission refuses, space stays closed
+
+	// Admission accounting: ops admitted but not yet committed (queued plus
+	// the batch in flight). Enqueue increments; a batch's commit or an op's
+	// cancellation decrements. space is closed-and-replaced to broadcast
+	// "room freed" to writers blocked by BlockOnFull; after Close it stays
+	// closed so waiters wake once and see qclosed.
+	pendingOps   int
+	pendingBytes int64
+	highWater    int
+	space        chan struct{}
+
+	// Health counters (see Health); readsClosed flips the read surface to
+	// zero values after Close without taking d.mu on every Lookup. failv
+	// mirrors d.fail and walErrv the last sticky WAL append error so Health
+	// and Err never need d.mu (which an in-flight batch holds across fsync).
+	failv           atomic.Value // errBox
+	walErrv         atomic.Value // errBox
+	readsClosed     atomic.Bool
+	degraded        atomic.Bool
+	shedOps         atomic.Uint64
+	cancelledOps    atomic.Uint64
+	batches         atomic.Uint64
+	batchedOps      atomic.Uint64
+	diskFullBatches atomic.Uint64
+	maxBatch        atomic.Int64
+	fsyncHist       [len(FsyncBucketBounds) + 1]atomic.Uint64
+	retrainPaused   atomic.Bool
+	retrainPauses   atomic.Uint64
 }
 
 // pendingOp is one enqueued mutation awaiting group commit. The committing
 // leader sets err (nil = acked durable per the sync policy) before closing
 // done.
+//
+// state arbitrates the race between the leader claiming the op into a batch
+// and the op's own goroutine cancelling on context expiry: exactly one CAS
+// from opQueued wins. A claimed op is (or is about to be) in a committing
+// batch, so its canceller must wait for the batch's real outcome — this is
+// what makes cancellation two-state (ctx.Err() with no durable effect, or
+// nil with the write durable; never anything in between).
 type pendingOp struct {
-	rec  wal.Record
-	err  error
-	done chan struct{}
+	rec   wal.Record
+	err   error
+	done  chan struct{}
+	state atomic.Int32
 }
+
+const (
+	opQueued int32 = iota
+	opClaimed
+	opCancelled
+)
 
 // ErrIndexClosed is returned by operations on a closed DurableIndex.
 var ErrIndexClosed = errors.New("chameleon: durable index closed")
+
+// ErrOverloaded is returned by mutations shed at admission when the
+// group-commit queue is at its configured bound (DirOptions.MaxPending /
+// MaxPendingBytes) and BlockOnFull is off. A shed mutation was never logged
+// and never applied — retrying later is always safe.
+var ErrOverloaded = errors.New("chameleon: durable index overloaded: group-commit queue full")
+
+// ErrDiskFull marks a mutation rejected because the WAL's disk is full. It is
+// retryable: the index stays consistent and readable (Health reports
+// degraded-read-only), and the same handle accepts writes again once space is
+// freed or a Checkpoint rotates to a fresh log.
+var ErrDiskFull = wal.ErrDiskFull
 
 // ErrSnapshotsUnreadable is returned by OpenDir when snapshot files exist but
 // none passes its integrity checks. Opening would otherwise silently serve a
@@ -232,7 +303,10 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 	if opts.RetrainEvery > 0 {
 		ix.inner.StartRetrainer(opts.RetrainEvery)
 	}
-	return &DurableIndex{ix: ix, fs: fsys, dir: dir, log: log, seq: seq, opts: opts}, nil
+	return &DurableIndex{
+		ix: ix, fs: fsys, dir: dir, log: log, seq: seq, opts: opts,
+		space: make(chan struct{}),
+	}, nil
 }
 
 // loadSnapshot reads one snapshot file into ix, failing on any integrity
@@ -291,6 +365,7 @@ func (d *DurableIndex) poisonLocked(err error) {
 		return
 	}
 	d.fail = fmt.Errorf("chameleon: durable index failed: %w (in-memory and on-disk state may diverge; discard this handle and re-OpenDir)", err)
+	d.failv.Store(errBox{d.fail})
 	d.ix.inner.StopRetrainer()
 	if d.log != nil {
 		d.log.Close() //nolint:errcheck
@@ -302,36 +377,88 @@ func (d *DurableIndex) poisonLocked(err error) {
 // Concurrent Inserts/Deletes group-commit: their WAL frames share one write
 // and one fsync, amortizing the durability cost across the batch without
 // weakening it — no call returns nil before its own frame is durable.
+//
+// When the group-commit queue is at its configured bound the call returns
+// ErrOverloaded (or waits, under DirOptions.BlockOnFull); when the WAL's disk
+// is full it returns ErrDiskFull. Both are clean rejections: nothing was
+// logged or applied, and retrying is safe.
 func (d *DurableIndex) Insert(key, val uint64) error {
-	return d.commit(wal.Record{Op: wal.OpInsert, Key: key, Val: val})
+	return d.commit(context.Background(), wal.Record{Op: wal.OpInsert, Key: key, Val: val})
+}
+
+// InsertCtx is Insert honoring a context deadline or cancellation. The result
+// is exactly two-state: a ctx.Err() return means the mutation had no durable
+// effect and was never applied; a nil return means it is durable per the sync
+// policy. If cancellation arrives after the op has been claimed into a
+// committing batch, InsertCtx waits for the batch's outcome and reports it —
+// a write that may already be on disk is never reported as cancelled.
+func (d *DurableIndex) InsertCtx(ctx context.Context, key, val uint64) error {
+	return d.commit(ctx, wal.Record{Op: wal.OpInsert, Key: key, Val: val})
 }
 
 // Delete logs the removal and then applies it. Like Insert it participates in
-// group commit.
+// group commit and in admission control.
 func (d *DurableIndex) Delete(key uint64) error {
-	return d.commit(wal.Record{Op: wal.OpDelete, Key: key})
+	return d.commit(context.Background(), wal.Record{Op: wal.OpDelete, Key: key})
 }
 
-// commit enqueues rec and blocks until a leader has committed (or rejected)
-// it. The first writer to find no active leader becomes the leader and drains
-// the queue until it is empty — including ops enqueued while earlier batches
-// were committing — then steps down. Followers just wait; their latency is at
-// most one in-flight batch plus their own.
-func (d *DurableIndex) commit(rec wal.Record) error {
+// DeleteCtx is Delete honoring a context deadline or cancellation, with the
+// same two-state contract as InsertCtx.
+func (d *DurableIndex) DeleteCtx(ctx context.Context, key uint64) error {
+	return d.commit(ctx, wal.Record{Op: wal.OpDelete, Key: key})
+}
+
+// commit admits, enqueues, and blocks until a leader has committed (or
+// rejected) rec. The first writer to find no active leader becomes the leader
+// and drains the queue until it is empty — including ops enqueued while
+// earlier batches were committing — then steps down. Followers wait; their
+// latency is at most one in-flight batch plus their own.
+func (d *DurableIndex) commit(ctx context.Context, rec wal.Record) error {
+	if err := ctx.Err(); err != nil {
+		return err // dead context: reject before touching the queue
+	}
 	op := &pendingOp{rec: rec, done: make(chan struct{})}
 	d.qmu.Lock()
+	for {
+		if d.qclosed {
+			d.qmu.Unlock()
+			return ErrIndexClosed
+		}
+		if d.admitLocked() {
+			break
+		}
+		if !d.opts.BlockOnFull {
+			d.shedOps.Add(1)
+			d.qmu.Unlock()
+			return ErrOverloaded
+		}
+		wait := d.space
+		d.qmu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			d.cancelledOps.Add(1)
+			return ctx.Err() // never admitted: trivially no durable effect
+		}
+		d.qmu.Lock()
+	}
 	d.queue = append(d.queue, op)
+	d.pendingOps++
+	d.pendingBytes += wal.FrameSize
+	if d.pendingOps > d.highWater {
+		d.highWater = d.pendingOps
+	}
+	d.updateRetrainPauseLocked()
 	if d.leader {
 		d.qmu.Unlock()
-		<-op.done
-		return op.err
+		return d.waitFollower(ctx, op)
 	}
 	d.leader = true
 	for {
-		batch := d.queue
-		d.queue = nil
+		batch := d.claimLocked()
 		if len(batch) == 0 {
 			d.leader = false
+			d.updateRetrainPauseLocked()
 			d.qmu.Unlock()
 			break
 		}
@@ -345,8 +472,103 @@ func (d *DurableIndex) commit(rec wal.Record) error {
 		runtime.Gosched()
 		d.qmu.Lock()
 	}
-	<-op.done // committed by this goroutine in its first batch
+	// The leader's own op is always claimed into its first batch (nothing
+	// can cancel it — cancellation is done by the op's own goroutine, which
+	// is busy leading), so it is resolved by now. The leader deliberately
+	// ignores ctx while draining: abandoning the queue would strand every
+	// follower behind it.
+	<-op.done
 	return op.err
+}
+
+// admitLocked checks the queue bounds. Callers hold qmu.
+func (d *DurableIndex) admitLocked() bool {
+	if d.opts.MaxPending > 0 && d.pendingOps >= d.opts.MaxPending {
+		return false
+	}
+	if d.opts.MaxPendingBytes > 0 && d.pendingBytes+wal.FrameSize > d.opts.MaxPendingBytes {
+		return false
+	}
+	return true
+}
+
+// claimLocked moves every still-queued op into a batch, skipping (and
+// dropping) ops whose canceller won the CAS race. Callers hold qmu.
+func (d *DurableIndex) claimLocked() []*pendingOp {
+	batch := d.queue[:0]
+	for _, op := range d.queue {
+		if op.state.CompareAndSwap(opQueued, opClaimed) {
+			batch = append(batch, op)
+		}
+	}
+	d.queue = nil
+	return batch
+}
+
+// waitFollower blocks a non-leader writer until its op resolves or its
+// context dies. On cancellation the op is withdrawn only if the leader has
+// not claimed it; once claimed, the op's frame may already be durable, so the
+// follower must wait out the batch and report its true outcome.
+func (d *DurableIndex) waitFollower(ctx context.Context, op *pendingOp) error {
+	select {
+	case <-op.done:
+		return op.err
+	case <-ctx.Done():
+	}
+	if op.state.CompareAndSwap(opQueued, opCancelled) {
+		// Withdrawn before any leader touched it: release its accounting.
+		// The op itself stays in d.queue until the next claim pass drops it.
+		d.qmu.Lock()
+		d.pendingOps--
+		d.pendingBytes -= wal.FrameSize
+		d.signalSpaceLocked()
+		d.updateRetrainPauseLocked()
+		d.qmu.Unlock()
+		d.cancelledOps.Add(1)
+		return ctx.Err()
+	}
+	<-op.done // claimed: in (or past) a committing batch — outcome is real
+	return op.err
+}
+
+// signalSpaceLocked broadcasts "queue space freed" to writers blocked in
+// admission by closing and replacing the space channel. After Close the
+// channel stays closed so late waiters wake immediately and observe qclosed.
+// Callers hold qmu.
+func (d *DurableIndex) signalSpaceLocked() {
+	if d.qclosed {
+		return
+	}
+	close(d.space)
+	d.space = make(chan struct{})
+}
+
+// pauseThreshold is the queue depth at which background retraining stops
+// competing with foreground writes; maintenance resumes at half of it.
+func (d *DurableIndex) pauseThreshold() int {
+	if d.opts.MaxPending > 0 {
+		if t := d.opts.MaxPending / 2; t >= 2 {
+			return t
+		}
+		return 2
+	}
+	return 256 // unbounded queue: pause once a sustained backlog forms
+}
+
+// updateRetrainPauseLocked pauses the retrainer when the queue is saturated
+// and resumes it once the backlog drains (with hysteresis, so a queue
+// hovering at the threshold doesn't flap). Callers hold qmu.
+func (d *DurableIndex) updateRetrainPauseLocked() {
+	hi := d.pauseThreshold()
+	switch {
+	case !d.retrainPaused.Load() && d.pendingOps >= hi:
+		d.retrainPaused.Store(true)
+		d.retrainPauses.Add(1)
+		d.ix.PauseRetrainer()
+	case d.retrainPaused.Load() && d.pendingOps <= hi/2:
+		d.retrainPaused.Store(false)
+		d.ix.ResumeRetrainer()
+	}
 }
 
 // commitBatch validates, logs, applies, and acks one batch. It holds d.mu for
@@ -361,6 +583,19 @@ func (d *DurableIndex) commitBatch(batch []*pendingOp) {
 		for _, op := range batch {
 			close(op.done)
 		}
+	}()
+	// Release the batch's admission accounting while still holding d.mu
+	// (defers run LIFO: this runs before the acks above and long before d.mu
+	// unlocks). WALSize also orders d.mu → qmu, so it observes either
+	// "queued, not yet in the log" or "in the log, accounting released" —
+	// never both, never neither.
+	defer func() {
+		d.qmu.Lock()
+		d.pendingOps -= len(batch)
+		d.pendingBytes -= int64(len(batch)) * wal.FrameSize
+		d.signalSpaceLocked()
+		d.updateRetrainPauseLocked()
+		d.qmu.Unlock()
 	}()
 
 	if err := d.usableLocked(); err != nil {
@@ -407,15 +642,34 @@ func (d *DurableIndex) commitBatch(batch []*pendingOp) {
 
 	// One contiguous write, at most one fsync, for the whole batch. On
 	// failure nothing is applied in memory and every accepted op reports the
-	// error; the log's sticky error stops all future appends. Some frames may
-	// still have reached disk — those ops were *not* acked, and an unacked op
-	// surfacing after recovery is within contract (same as a failed single
-	// append always was).
-	if err := d.log.AppendAll(recs); err != nil {
+	// error. Disk full is the retryable case: the WAL rolled itself back to
+	// the last frame boundary, nothing diverged, and the handle goes
+	// degraded-read-only until space is freed or a checkpoint rotates the
+	// log. Any other failure is sticky in the log and stops future appends;
+	// some frames may still have reached disk — those ops were *not* acked,
+	// and an unacked op surfacing after recovery is within contract (same as
+	// a failed single append always was).
+	start := time.Now()
+	err := d.log.AppendAll(recs)
+	d.observeFsync(time.Since(start))
+	if err != nil {
+		if errors.Is(err, wal.ErrDiskFull) {
+			d.diskFullBatches.Add(1)
+		} else {
+			d.walErrv.Store(errBox{err}) // sticky until a checkpoint rotates
+		}
+		d.degraded.Store(true)
 		for _, op := range accepted {
 			op.err = err
 		}
 		return
+	}
+	d.degraded.Store(false)
+	d.walErrv.Store(errBox{})
+	d.batches.Add(1)
+	d.batchedOps.Add(uint64(len(recs)))
+	if n := int64(len(batch)); n > d.maxBatch.Load() {
+		d.maxBatch.Store(n) // only the leader writes this, under d.mu
 	}
 
 	// Apply in log order. Validation above makes rejection impossible here,
@@ -471,6 +725,27 @@ func (d *DurableIndex) Checkpoint() error {
 		return err
 	}
 	return d.checkpointLocked()
+}
+
+// CheckpointCtx is Checkpoint honoring a context deadline while waiting for
+// in-flight batches and for the snapshot write itself. A checkpoint cannot be
+// abandoned mid-commit (the rename either happened or it didn't), so on
+// cancellation the checkpoint keeps running to completion in the background
+// and ctx.Err() means only "stopped waiting" — the handle stays consistent
+// either way, and a subsequent WALSize or Health call shows whether the
+// rotation landed.
+func (d *DurableIndex) CheckpointCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.Checkpoint() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (d *DurableIndex) checkpointLocked() error {
@@ -533,6 +808,11 @@ func (d *DurableIndex) checkpointLocked() error {
 	if oldLog != nil {
 		oldLog.Close() //nolint:errcheck
 	}
+	// The fresh, empty log is the checkpoint-truncation recovery path out of
+	// degraded-read-only: whatever filled or wedged the old WAL is now
+	// garbage, about to be collected below.
+	d.degraded.Store(false)
+	d.walErrv.Store(errBox{})
 
 	// Best-effort GC: superseded snapshots, rotated-out logs, stray temp
 	// files. A crash mid-GC leaves garbage that the next recovery skips and
@@ -554,14 +834,23 @@ func (d *DurableIndex) checkpointLocked() error {
 }
 
 // WALSize reports the live write-ahead log's length in bytes — the amount of
-// replay work a crash right now would cost recovery.
+// replay work a crash right now would cost recovery — plus one frame for each
+// mutation admitted but not yet committed, so the figure is consistent under
+// concurrent writers: an op counts from the moment Insert accepts it, first
+// as queue accounting and then as log bytes, never as both and never as
+// neither. (Queued ops that a batch later rejects, e.g. duplicate inserts,
+// make the pre-commit figure a slight upper bound.)
 func (d *DurableIndex) WALSize() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed || d.log == nil {
 		return 0
 	}
-	return d.log.Size()
+	size := d.log.Size()
+	d.qmu.Lock()
+	size += d.pendingBytes
+	d.qmu.Unlock()
+	return size
 }
 
 // Dir reports the directory backing the index.
@@ -570,53 +859,125 @@ func (d *DurableIndex) Dir() string { return d.dir }
 // Close stops the retrainer and closes the WAL (with a final sync unless the
 // policy is SyncNone). It does not checkpoint: the log already holds
 // everything, and the next OpenDir replays it.
+//
+// Writers caught in flight resolve deterministically, never hang, and are
+// never acked after Close returns without their write being durable: ops
+// blocked in admission wake immediately with ErrIndexClosed; ops enqueued but
+// not yet claimed are failed with ErrIndexClosed by the leader's next batch;
+// a batch already committing finishes first — Close waits behind it on d.mu —
+// and its acks (nil, durable) land before Close returns.
 func (d *DurableIndex) Close() error {
+	// Refuse new admissions and wake blocked ones before taking d.mu: a
+	// waiter must not sleep on the space channel while Close itself is parked
+	// behind an in-flight (possibly stalled) batch.
+	d.qmu.Lock()
+	if !d.qclosed {
+		d.qclosed = true
+		close(d.space) // stays closed: every future waiter wakes instantly
+	}
+	d.qmu.Unlock()
+
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return nil
 	}
 	d.closed = true
+	d.readsClosed.Store(true)
 	d.ix.inner.StopRetrainer()
 	return d.log.Close()
 }
 
 // Read-side forwards. Only the non-mutating surface of Index is exposed;
 // mutations must go through the WAL-logged methods above.
+//
+// Reads keep serving the in-memory state on a poisoned or degraded handle —
+// the index is read-only, not gone; that is the point of the degraded state.
+// After Close, reads return clean zero values ("not found", length 0) rather
+// than panicking or serving a handle the caller relinquished; Err and Health
+// distinguish closed from merely empty.
 
 // Lookup returns the value stored for key.
-func (d *DurableIndex) Lookup(key uint64) (uint64, bool) { return d.ix.Lookup(key) }
+func (d *DurableIndex) Lookup(key uint64) (uint64, bool) {
+	if d.readsClosed.Load() {
+		return 0, false
+	}
+	return d.ix.Lookup(key)
+}
 
 // Range calls fn for every key in [lo, hi] in ascending order until fn
 // returns false.
 func (d *DurableIndex) Range(lo, hi uint64, fn func(key, val uint64) bool) {
+	if d.readsClosed.Load() {
+		return
+	}
 	d.ix.Range(lo, hi, fn)
 }
 
 // Len reports the number of stored keys.
-func (d *DurableIndex) Len() int { return d.ix.Len() }
+func (d *DurableIndex) Len() int {
+	if d.readsClosed.Load() {
+		return 0
+	}
+	return d.ix.Len()
+}
 
 // Bytes estimates resident size in bytes.
-func (d *DurableIndex) Bytes() int { return d.ix.Bytes() }
+func (d *DurableIndex) Bytes() int {
+	if d.readsClosed.Load() {
+		return 0
+	}
+	return d.ix.Bytes()
+}
 
 // Stats reports the structural metrics of the paper's Table V.
-func (d *DurableIndex) Stats() Stats { return d.ix.Stats() }
+func (d *DurableIndex) Stats() Stats {
+	if d.readsClosed.Load() {
+		return Stats{}
+	}
+	return d.ix.Stats()
+}
 
 // Height reports the deepest root-to-leaf path length.
-func (d *DurableIndex) Height() int { return d.ix.Height() }
+func (d *DurableIndex) Height() int {
+	if d.readsClosed.Load() {
+		return 0
+	}
+	return d.ix.Height()
+}
 
 // LocalSkewness computes the lsn statistic over the current contents.
-func (d *DurableIndex) LocalSkewness() float64 { return d.ix.LocalSkewness() }
+func (d *DurableIndex) LocalSkewness() float64 {
+	if d.readsClosed.Load() {
+		return 0
+	}
+	return d.ix.LocalSkewness()
+}
 
 // RetrainStats reports how many subtree retrains have run and the total time
 // spent retraining.
 func (d *DurableIndex) RetrainStats() (count int64, total time.Duration) {
+	if d.readsClosed.Load() {
+		return 0, 0
+	}
 	return d.ix.RetrainStats()
 }
 
 // Reconstructions reports how many full MARL rebuilds have run.
-func (d *DurableIndex) Reconstructions() int { return d.ix.Reconstructions() }
+func (d *DurableIndex) Reconstructions() int {
+	if d.readsClosed.Load() {
+		return 0
+	}
+	return d.ix.Reconstructions()
+}
 
 // WriteTo serializes the current contents (read-only; it does not rotate the
-// WAL — use Checkpoint for durable snapshots).
-func (d *DurableIndex) WriteTo(w io.Writer) (int64, error) { return d.ix.WriteTo(w) }
+// WAL — use Checkpoint for durable snapshots). Unlike the query surface it
+// returns an explicit error on a closed handle: silently writing an empty
+// snapshot would look like data loss.
+func (d *DurableIndex) WriteTo(w io.Writer) (int64, error) {
+	if d.readsClosed.Load() {
+		return 0, ErrIndexClosed
+	}
+	return d.ix.WriteTo(w)
+}

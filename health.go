@@ -1,0 +1,196 @@
+package chameleon
+
+import (
+	"time"
+)
+
+// HealthState is the durable index's operating state — the degraded-read-only
+// state machine of DESIGN.md §9.
+//
+//	       queue full → shed/block     disk full (retryable)
+//	  ┌────────── ok ────────────────────────→ degraded ──┐
+//	  │            ↑   space freed / checkpoint rotation   │
+//	  │            └───────────────────────────────────────┘
+//	  │ apply-after-durable-log failure,
+//	  │ commit-point fsync failure                Close()
+//	  └──────────→ poisoned ──────────┐      (any state) ──→ closed
+//	                reads still served┘
+//
+// ok: writes and reads flow. degraded: the WAL cannot currently accept
+// appends (disk full or a sticky WAL error) but memory and disk have not
+// diverged — reads serve normally, writes fail cleanly and may succeed again
+// (freed space, or a checkpoint rotating in a fresh log). poisoned: memory
+// and disk may disagree; writes are refused forever, reads keep serving the
+// in-memory state. closed: the handle is released; reads return zero values.
+type HealthState int
+
+const (
+	// HealthOK means writes and reads both flow normally.
+	HealthOK HealthState = iota
+	// HealthDegraded means reads are served but the WAL is currently
+	// rejecting appends (disk full, or a sticky WAL I/O error). The in-memory
+	// index matches the durable state; writes may succeed again without
+	// reopening.
+	HealthDegraded
+	// HealthPoisoned means in-memory and on-disk state may diverge: writes
+	// are permanently refused, reads keep serving memory. Discard the handle
+	// and re-OpenDir to recover the durable state.
+	HealthPoisoned
+	// HealthClosed means Close was called.
+	HealthClosed
+)
+
+// String renders the state for logs and dashboards.
+func (s HealthState) String() string {
+	switch s {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded-read-only"
+	case HealthPoisoned:
+		return "poisoned"
+	case HealthClosed:
+		return "closed"
+	}
+	return "unknown"
+}
+
+// FsyncBucketBounds are the upper bounds (exclusive) of the commit-latency
+// histogram in Health.FsyncLatency; the last histogram slot counts
+// everything at or above the final bound.
+var FsyncBucketBounds = [...]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// Health is a point-in-time snapshot of the durable index's overload and
+// fault state: the coarse state machine plus the counters an operator alarms
+// on. All counters are cumulative since OpenDir.
+type Health struct {
+	// State is the coarse operating state; Err is the explanatory error for
+	// any state other than HealthOK (the sticky poison cause, the last WAL
+	// failure, or ErrIndexClosed).
+	State HealthState
+	Err   error
+
+	// QueueDepth is the number of admitted-but-not-yet-committed mutations
+	// (including the batch currently being committed); QueueBytes is their
+	// WAL footprint; QueueHighWater is the deepest the queue has ever been.
+	QueueDepth     int
+	QueueBytes     int64
+	QueueHighWater int
+
+	// ShedOps counts mutations rejected with ErrOverloaded at admission;
+	// CancelledOps counts mutations that returned ctx.Err() before reaching a
+	// committing batch. Neither was ever logged or applied.
+	ShedOps      uint64
+	CancelledOps uint64
+
+	// Batches counts group commits that reached the WAL durably; BatchedOps
+	// is the total mutations they carried (BatchedOps/Batches is the mean
+	// batch size, the group-commit amortization factor); MaxBatch is the
+	// largest single batch.
+	Batches    uint64
+	BatchedOps uint64
+	MaxBatch   int
+
+	// DiskFullBatches counts batches that failed with the retryable
+	// ErrDiskFull (each failed cleanly: nothing applied, nothing acked).
+	DiskFullBatches uint64
+
+	// FsyncLatency is a histogram of per-batch WAL write+fsync time.
+	// FsyncLatency[i] counts batches under FsyncBucketBounds[i]; the final
+	// slot counts the rest. Under SyncEveryOp this is fsync-dominated.
+	FsyncLatency [len(FsyncBucketBounds) + 1]uint64
+
+	// RetrainPauses counts overload episodes that paused the background
+	// retrainer; RetrainPaused reports whether it is paused right now.
+	RetrainPauses uint64
+	RetrainPaused bool
+}
+
+// Health reports the durable index's current state and counters. It is safe
+// to call concurrently with writers, and on a poisoned or closed handle — and
+// it never blocks behind in-flight I/O: a monitoring probe must keep
+// answering precisely when a batch is wedged on a stalled or dragging fsync,
+// so Health reads only atomics and qmu (which is never held across I/O),
+// deliberately avoiding d.mu and the WAL's own mutex.
+func (d *DurableIndex) Health() Health {
+	var h Health
+
+	d.qmu.Lock()
+	closed := d.qclosed
+	h.QueueDepth = d.pendingOps
+	h.QueueBytes = d.pendingBytes
+	h.QueueHighWater = d.highWater
+	d.qmu.Unlock()
+
+	fail := d.loadFail()
+	walErr, _ := d.walErrv.Load().(errBox)
+	switch {
+	case fail != nil:
+		h.State, h.Err = HealthPoisoned, fail
+	case closed:
+		h.State, h.Err = HealthClosed, ErrIndexClosed
+	case d.degraded.Load():
+		h.State = HealthDegraded
+		if h.Err = walErr.err; h.Err == nil {
+			h.Err = ErrDiskFull
+		}
+	default:
+		h.State = HealthOK
+	}
+
+	h.ShedOps = d.shedOps.Load()
+	h.CancelledOps = d.cancelledOps.Load()
+	h.Batches = d.batches.Load()
+	h.BatchedOps = d.batchedOps.Load()
+	h.MaxBatch = int(d.maxBatch.Load())
+	h.DiskFullBatches = d.diskFullBatches.Load()
+	for i := range h.FsyncLatency {
+		h.FsyncLatency[i] = d.fsyncHist[i].Load()
+	}
+	h.RetrainPauses = d.retrainPauses.Load()
+	h.RetrainPaused = d.retrainPaused.Load()
+	return h
+}
+
+// Err reports the terminal condition of the handle: the sticky poison cause,
+// ErrIndexClosed after Close, or nil while the handle is usable (including
+// degraded — degraded is visible via Health, not Err, because it is
+// recoverable). It is the error-returning companion to the bool-returning
+// read surface, and like Health it never blocks behind in-flight I/O.
+func (d *DurableIndex) Err() error {
+	if fail := d.loadFail(); fail != nil {
+		return fail
+	}
+	if d.readsClosed.Load() {
+		return ErrIndexClosed
+	}
+	return nil
+}
+
+// errBox lets error values of differing concrete types share one
+// atomic.Value slot.
+type errBox struct{ err error }
+
+// loadFail reads the poison cause mirrored out of d.fail for lock-free
+// health probes.
+func (d *DurableIndex) loadFail() error {
+	b, _ := d.failv.Load().(errBox)
+	return b.err
+}
+
+// observeFsync records one batch's WAL write+fsync latency in the histogram.
+func (d *DurableIndex) observeFsync(dur time.Duration) {
+	i := 0
+	for ; i < len(FsyncBucketBounds); i++ {
+		if dur < FsyncBucketBounds[i] {
+			break
+		}
+	}
+	d.fsyncHist[i].Add(1)
+}

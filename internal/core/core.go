@@ -219,6 +219,13 @@ type Index struct {
 	// retrainPanics counts background retrain/reconstruct passes that
 	// panicked and were recovered; the retrainer backs off and retries.
 	retrainPanics atomic.Int64
+
+	// retrainPaused gates background maintenance without tearing the
+	// goroutine down: while set, timer-driven retrain passes and
+	// threshold-triggered full reconstructions are skipped so they stop
+	// competing with an overloaded foreground write path. Explicit
+	// RetrainPass calls are not gated — a caller asking directly gets a pass.
+	retrainPaused atomic.Bool
 }
 
 var _ index.RangeIndex = (*Index)(nil)

@@ -54,6 +54,20 @@ func (ix *Index) stopRetrainerLocked() {
 	ix.stop, ix.done = nil, nil
 }
 
+// PauseRetrainer suspends background maintenance without stopping the
+// goroutine: timer-driven retrain passes and threshold-triggered full
+// reconstructions are skipped until ResumeRetrainer. The overload layer calls
+// this while the durable write queue is saturated, so structural maintenance
+// stops competing with foreground writes for interval locks; pausing is a
+// cheap atomic flip, safe to call at write-path frequency.
+func (ix *Index) PauseRetrainer() { ix.retrainPaused.Store(true) }
+
+// ResumeRetrainer re-enables background maintenance after PauseRetrainer.
+func (ix *Index) ResumeRetrainer() { ix.retrainPaused.Store(false) }
+
+// RetrainerPaused reports whether background maintenance is suspended.
+func (ix *Index) RetrainerPaused() bool { return ix.retrainPaused.Load() }
+
 // RetrainerRunning reports whether the background goroutine is live;
 // intended for tests and introspection.
 func (ix *Index) RetrainerRunning() bool {
@@ -123,6 +137,11 @@ func (ix *Index) guardedRetrainPass() (ok bool) {
 			ok = false
 		}
 	}()
+	// Paused (foreground overload): skip the pass entirely. Reported as a
+	// clean pass so the loop keeps its normal cadence instead of backing off.
+	if ix.retrainPaused.Load() {
+		return true
+	}
 	if retrainFailpoint != nil {
 		retrainFailpoint()
 	}
@@ -256,6 +275,13 @@ func sortPairs(ks, vs []uint64) {
 func (ix *Index) maybeReconstruct() {
 	thr := ix.cfg.ReconstructThreshold
 	if thr <= 0 {
+		return
+	}
+	// A full rebuild excludes every writer for its whole collect-to-swap
+	// window — the worst possible moment is while the write path is already
+	// saturated. Deferred, not skipped: the threshold stays crossed, so the
+	// first write after resume retries.
+	if ix.retrainPaused.Load() {
 		return
 	}
 	if !ix.thresholdCrossed(thr) {

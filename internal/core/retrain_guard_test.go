@@ -114,3 +114,38 @@ func TestReconstructPanicReleasesLocks(t *testing.T) {
 		t.Fatal("key lost across recovered reconstruction")
 	}
 }
+
+// TestPauseRetrainerSkipsPasses pins the overload contract: while paused, the
+// background loop runs no retrain work (the failpoint would record it), keeps
+// its normal cadence (no backoff), and resumes doing real passes after
+// ResumeRetrainer.
+func TestPauseRetrainerSkipsPasses(t *testing.T) {
+	keys := dataset.Generate(dataset.FACE, 30_000, 5)
+	ix := fastIndex("Chameleon")
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	retrainFailpoint = func() { calls.Add(1) }
+	defer func() { retrainFailpoint = nil }()
+
+	ix.PauseRetrainer()
+	if !ix.RetrainerPaused() {
+		t.Fatal("RetrainerPaused = false after Pause")
+	}
+	ix.StartRetrainer(time.Millisecond)
+	defer ix.StopRetrainer()
+	time.Sleep(30 * time.Millisecond)
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("paused retrainer ran %d passes, want 0", n)
+	}
+
+	ix.ResumeRetrainer()
+	deadline := time.Now().Add(2 * time.Second)
+	for calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("retrainer never resumed after ResumeRetrainer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,170 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestQuotaFSTornWriteAndCredit(t *testing.T) {
+	dir := t.TempDir()
+	q := NewQuotaFS(OS, 10)
+	path := filepath.Join(dir, "f")
+	f, err := q.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("first write = (%d, %v), want (8, nil)", n, err)
+	}
+	// Crossing the quota is a torn write: the remaining 2 bytes land, the
+	// rest fail with an ENOSPC-classified error.
+	n, err := f.Write([]byte("abcdef"))
+	if n != 2 {
+		t.Fatalf("over-quota write wrote %d bytes, want 2", n)
+	}
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-quota write err = %v, want ENOSPC", err)
+	}
+	if q.Used() != 10 {
+		t.Fatalf("Used = %d, want 10", q.Used())
+	}
+	// Truncating back frees the room.
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if q.Used() != 4 {
+		t.Fatalf("Used after truncate = %d, want 4", q.Used())
+	}
+	if n, err := f.Write([]byte("xyz")); n != 3 || err != nil {
+		t.Fatalf("post-truncate write = (%d, %v), want (3, nil)", n, err)
+	}
+	f.Close() //nolint:errcheck
+
+	// Remove credits everything back.
+	if err := q.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if q.Used() != 0 {
+		t.Fatalf("Used after remove = %d, want 0", q.Used())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("file survived Remove: %v", err)
+	}
+}
+
+func TestQuotaFSRenameMovesCharge(t *testing.T) {
+	dir := t.TempDir()
+	q := NewQuotaFS(OS, 100)
+	write := func(name string, n int) {
+		f, err := q.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close() //nolint:errcheck
+	}
+	write("a", 30)
+	write("b", 20)
+	// Renaming a over b frees b's 20 bytes; a's 30 carry over under the new
+	// name.
+	if err := q.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if q.Used() != 30 {
+		t.Fatalf("Used after rename = %d, want 30", q.Used())
+	}
+	if err := q.Remove(filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if q.Used() != 0 {
+		t.Fatalf("Used after remove = %d, want 0", q.Used())
+	}
+}
+
+func TestQuotaFSFailNextSyncs(t *testing.T) {
+	dir := t.TempDir()
+	q := NewQuotaFS(OS, 1000)
+	f, err := q.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck
+	q.FailNextSyncs(1)
+	if err := f.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("injected sync err = %v, want ENOSPC", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync = %v, want nil", err)
+	}
+}
+
+func TestSlowFSDelays(t *testing.T) {
+	dir := t.TempDir()
+	const delay = 20 * time.Millisecond
+	s := NewSlowFS(OS, 0, delay)
+	f, err := s.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < delay {
+		t.Fatalf("sync returned after %v, want ≥ %v", d, delay)
+	}
+}
+
+func TestStallFSStallAndRelease(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStallFS(OS)
+	f, err := s.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck
+
+	// Passes freely before the stall is armed.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	s.StallAfter(1)
+	if err := f.Sync(); err != nil { // the one allowed sync
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Sync() }()
+	// The stalled call must still be blocked after a generous grace period.
+	deadline := time.After(500 * time.Millisecond)
+	for s.Stalled() == 0 {
+		select {
+		case err := <-done:
+			t.Fatalf("stalled sync returned early: %v", err)
+		case <-deadline:
+			t.Fatal("sync never reached the stall gate")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released sync = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("released sync never returned")
+	}
+	// After Release the stall is disarmed.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,6 +33,7 @@ var Experiments = []struct {
 	{"conc", "aggregate throughput vs concurrent reader count", ConcThroughput},
 	{"durability", "insert throughput vs WAL sync policy; recovery time vs WAL length", Durability},
 	{"scaling", "group-commit writers, parallel bulk load, parallel recovery (emits BENCH_scaling.json)", Scaling},
+	{"overload", "bounded admission: shed/block/deadline behavior past disk saturation (emits BENCH_overload.json)", Overload},
 }
 
 // Fig1Motivation reproduces Fig. 1(b): per-window insertion latency while

@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chameleon/internal/faultfs"
+)
+
+// TestAppendDiskFullRetryable drives the log into a write-stage ENOSPC and
+// checks the retryable contract: the torn frame is rolled back to the last
+// frame boundary, the error is ErrDiskFull and not sticky, and appends
+// succeed again once space is freed — with the final on-disk log containing
+// exactly the acked records.
+func TestAppendDiskFullRetryable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.log")
+	q := faultfs.NewQuotaFS(faultfs.OS, 2*FrameSize+FrameSize/2)
+	l, _, err := Open(path, Options{Policy: SyncNone, FS: q}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendInsert(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendInsert(2, 20); err != nil {
+		t.Fatal(err)
+	}
+	// The third frame crosses the quota: a torn write, rolled back.
+	err = l.AppendInsert(3, 30)
+	if !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("over-quota append = %v, want ErrDiskFull", err)
+	}
+	if l.Err() != nil {
+		t.Fatalf("disk-full made the log sticky: %v", l.Err())
+	}
+	if l.Size() != 2*FrameSize {
+		t.Fatalf("Size after rollback = %d, want %d", l.Size(), 2*FrameSize)
+	}
+	// Still full: same clean failure, no decay.
+	if err := l.AppendInsert(4, 40); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("second over-quota append = %v, want ErrDiskFull", err)
+	}
+	// Space freed: appends work again on the same handle.
+	q.AddCapacity(10 * FrameSize)
+	if err := l.AppendInsert(5, 50); err != nil {
+		t.Fatalf("append after freeing space = %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, valid := Scan(data)
+	if valid != len(data) {
+		t.Fatalf("log has a torn tail after rollback: valid %d of %d", valid, len(data))
+	}
+	want := []Record{{OpInsert, 1, 10}, {OpInsert, 2, 20}, {OpInsert, 5, 50}}
+	if len(recs) != len(want) {
+		t.Fatalf("recovered %d records, want %d (%+v)", len(recs), len(want), recs)
+	}
+	for i, r := range want {
+		if recs[i] != r {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], r)
+		}
+	}
+}
+
+// TestSyncDiskFullRetryable injects ENOSPC from fsync (the frame reached the
+// page cache but could not be committed): the log must roll the unsynced
+// frame back, re-establish a durable boundary with a follow-up sync, and stay
+// usable.
+func TestSyncDiskFullRetryable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.log")
+	q := faultfs.NewQuotaFS(faultfs.OS, 1<<20)
+	l, _, err := Open(path, Options{Policy: SyncEveryOp, FS: q}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendInsert(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	q.FailNextSyncs(1)
+	if err := l.AppendInsert(2, 20); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("failed-sync append = %v, want ErrDiskFull", err)
+	}
+	if l.Err() != nil {
+		t.Fatalf("sync disk-full made the log sticky: %v", l.Err())
+	}
+	if l.Size() != FrameSize {
+		t.Fatalf("Size after sync rollback = %d, want %d", l.Size(), FrameSize)
+	}
+	if err := l.AppendInsert(3, 30); err != nil {
+		t.Fatalf("append after sync recovery = %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := Scan(data)
+	want := []Record{{OpInsert, 1, 10}, {OpInsert, 3, 30}}
+	if len(recs) != 2 || recs[0] != want[0] || recs[1] != want[1] {
+		t.Fatalf("recovered %+v, want %+v", recs, want)
+	}
+}

@@ -1,0 +1,47 @@
+package wal
+
+import (
+	"testing"
+)
+
+// FuzzReplay feeds arbitrary bytes to both log readers and requires them to
+// agree exactly: the pipelined Replay (parse/CRC on a producer goroutine,
+// apply on the caller's) must report the same record sequence and the same
+// torn-tail truncation point as the serial Scan. A divergence would mean
+// recovery depends on which reader ran — the pipelining would have changed
+// semantics, not just overlap.
+func FuzzReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendFrame(nil, Record{Op: OpDelete, Key: 9}))
+
+	// A log big enough to cross Replay's pipelining threshold, plus torn and
+	// corrupted variants of it, so the fuzzer explores both the serial and the
+	// pipelined path from the first generation.
+	var big []byte
+	for i := 0; i < 4*replayBatch; i++ {
+		big = appendFrame(big, Record{Op: OpInsert, Key: uint64(i), Val: uint64(i * 3)})
+	}
+	f.Add(big)
+	f.Add(big[:len(big)-7]) // torn mid-frame
+	flipped := append([]byte(nil), big...)
+	flipped[len(flipped)/2] ^= 0x40 // CRC mismatch mid-log
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantValid := Scan(data)
+		var got []Record
+		n, valid := Replay(data, func(r Record) { got = append(got, r) })
+		if n != len(want) || valid != wantValid {
+			t.Fatalf("Replay = (%d records, valid %d), Scan = (%d, %d)",
+				n, valid, len(want), wantValid)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Replay applied %d records, Scan parsed %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: Replay applied %+v, Scan parsed %+v", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"syscall"
 	"time"
 
 	"chameleon/internal/faultfs"
@@ -84,10 +85,21 @@ const (
 	maxFrame = 1 << 16
 )
 
+// FrameSize is the on-disk cost of one record: frame header plus payload.
+// The admission layer above budgets queue bytes with it.
+const FrameSize = frameHeader + payloadLen
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrClosed is returned by appends to a closed log.
 var ErrClosed = errors.New("wal: log closed")
+
+// ErrDiskFull is the *retryable* out-of-space failure: the append did not
+// happen, the log was rolled back to its previous frame boundary, and the
+// next append may succeed once space is freed (or the log is superseded by a
+// checkpoint). Unlike every other append failure it is not sticky — the log
+// stays open and consistent. It always wraps the underlying ENOSPC.
+var ErrDiskFull = errors.New("wal: disk full (retryable: free space or checkpoint, then retry)")
 
 // Log is an append-only write-ahead log. Appends are serialized internally;
 // the durable index layer additionally serializes append+apply so replay
@@ -300,7 +312,11 @@ func (l *Log) AppendAll(recs []Record) error {
 	return l.write(buf)
 }
 
-// write appends pre-framed bytes and fsyncs per policy.
+// write appends pre-framed bytes and fsyncs per policy. Failures are
+// classified: disk-full that rolls back cleanly is retryable (the log keeps
+// accepting appends once space exists); anything else is sticky and kills the
+// log, because the bytes on disk can no longer be trusted to end at a frame
+// boundary the in-memory size agrees with.
 func (l *Log) write(buf []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -310,18 +326,50 @@ func (l *Log) write(buf []byte) error {
 	if l.err != nil {
 		return l.err
 	}
+	start := l.size
 	n, err := l.f.Write(buf)
 	l.size += int64(n)
 	if err != nil {
-		l.err = fmt.Errorf("wal: append: %w", err)
-		return l.err
+		return l.failLocked("append", start, false, err)
 	}
 	if l.policy == SyncEveryOp {
 		if err := l.f.Sync(); err != nil {
-			l.err = fmt.Errorf("wal: sync: %w", err)
-			return l.err
+			return l.failLocked("sync", start, true, err)
 		}
 	}
+	return nil
+}
+
+// failLocked classifies a write-path failure at the given pre-write offset.
+// ENOSPC is retryable if the torn tail can be truncated back to the last
+// frame boundary: the unacked frames vanish, the committed prefix is intact,
+// and the caller may retry after freeing space. resync additionally fsyncs
+// the rolled-back file — required when the failing call was the fsync itself,
+// since the page-cache state past the last successful sync is unknowable
+// until a sync succeeds again. If rollback fails, the error is sticky.
+func (l *Log) failLocked(stage string, start int64, resync bool, err error) error {
+	if errors.Is(err, syscall.ENOSPC) && l.rollbackLocked(start, resync) == nil {
+		return fmt.Errorf("wal: %s: %w: %w", stage, ErrDiskFull, err)
+	}
+	l.err = fmt.Errorf("wal: %s: %w", stage, err)
+	return l.err
+}
+
+// rollbackLocked restores the log to the given size (a frame boundary) after
+// a failed append.
+func (l *Log) rollbackLocked(size int64, resync bool) error {
+	if err := l.f.Truncate(size); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(size, io.SeekStart); err != nil {
+		return err
+	}
+	if resync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	l.size = size
 	return nil
 }
 

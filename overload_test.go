@@ -1,0 +1,855 @@
+package chameleon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chameleon/internal/faultfs"
+	"chameleon/internal/wal"
+)
+
+// waitUntil polls cond until it holds or the deadline passes. The stall-based
+// tests use it to wait for the queue/device to reach a known state instead of
+// sleeping blind.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOverloadShedFastFail wedges the leader's fsync on a stalled device,
+// fills the bounded queue, and checks the shed contract: over-bound mutations
+// fail fast with ErrOverloaded, are never logged and never applied (proven by
+// reopening), Health keeps answering while the device hangs, and the
+// retrainer is paused for the duration of the overload.
+func TestOverloadShedFastFail(t *testing.T) {
+	dir := t.TempDir()
+	stall := faultfs.NewStallFS(faultfs.OS)
+	opts := durableOpts()
+	opts.MaxPending = 2
+	d, err := openDirFS(dir, opts, stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall.StallSyncs()
+
+	var leaderErr, followerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); leaderErr = d.Insert(1, 10) }()
+	waitUntil(t, "leader stalled in fsync", func() bool { return stall.Stalled() == 1 })
+	wg.Add(1)
+	go func() { defer wg.Done(); followerErr = d.Insert(2, 20) }()
+	waitUntil(t, "follower enqueued", func() bool { return d.Health().QueueDepth == 2 })
+
+	// Queue is at MaxPending and the device is hung: every further mutation
+	// must shed immediately, not block.
+	const shedTries = 5
+	for i := 0; i < shedTries; i++ {
+		start := time.Now()
+		err := d.Insert(uint64(100+i), 1)
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("over-bound insert = %v, want ErrOverloaded", err)
+		}
+		if e := time.Since(start); e > time.Second {
+			t.Fatalf("shed took %v, want fast-fail", e)
+		}
+	}
+	if err := d.Delete(1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-bound delete = %v, want ErrOverloaded", err)
+	}
+
+	h := d.Health()
+	if h.State != HealthOK {
+		t.Fatalf("overloaded state = %v, want ok (overload is not degradation)", h.State)
+	}
+	if h.ShedOps != shedTries+1 {
+		t.Fatalf("ShedOps = %d, want %d", h.ShedOps, shedTries+1)
+	}
+	if h.QueueDepth != 2 || h.QueueHighWater != 2 {
+		t.Fatalf("QueueDepth/HighWater = %d/%d, want 2/2", h.QueueDepth, h.QueueHighWater)
+	}
+	if !h.RetrainPaused || h.RetrainPauses == 0 {
+		t.Fatalf("retrainer not paused under overload: %+v", h)
+	}
+
+	stall.Release()
+	wg.Wait()
+	if leaderErr != nil || followerErr != nil {
+		t.Fatalf("queued writers failed after release: %v / %v", leaderErr, followerErr)
+	}
+	if err := d.Insert(3, 30); err != nil {
+		t.Fatalf("insert after drain = %v", err)
+	}
+	if h := d.Health(); h.RetrainPaused {
+		t.Fatal("retrainer still paused after the queue drained")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shed ops must be invisible to recovery: neither applied nor logged.
+	r, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, k := range []uint64{1, 2, 3} {
+		if _, ok := r.Lookup(k); !ok {
+			t.Fatalf("acked key %d lost", k)
+		}
+	}
+	for i := 0; i < shedTries; i++ {
+		if _, ok := r.Lookup(uint64(100 + i)); ok {
+			t.Fatalf("shed key %d reappeared after reopen", 100+i)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("recovered Len = %d, want 3", r.Len())
+	}
+}
+
+// TestOverloadBlockOnFull checks the backpressure mode: a full queue makes
+// writers wait for space instead of shedding, and they complete once the
+// device recovers.
+func TestOverloadBlockOnFull(t *testing.T) {
+	dir := t.TempDir()
+	stall := faultfs.NewStallFS(faultfs.OS)
+	opts := durableOpts()
+	opts.MaxPending = 1
+	opts.BlockOnFull = true
+	d, err := openDirFS(dir, opts, stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall.StallSyncs()
+
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); errs[0] = d.Insert(1, 10) }()
+	waitUntil(t, "leader stalled", func() bool { return stall.Stalled() == 1 })
+	wg.Add(1)
+	go func() { defer wg.Done(); errs[1] = d.Insert(2, 20) }() // blocks in admission
+	time.Sleep(20 * time.Millisecond)
+	if h := d.Health(); h.QueueDepth != 1 {
+		t.Fatalf("QueueDepth = %d, want 1 (second writer must be blocked, not admitted)", h.QueueDepth)
+	}
+	stall.Release()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d = %v, want nil after backpressure release", i, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("recovered Len = %d, want 2", r.Len())
+	}
+}
+
+// TestDiskFullRetryableAndRecovers drives the WAL into ENOSPC and checks the
+// degraded-read-only contract, recovery arm A (operator frees space): no
+// acked write is lost, reads keep serving, the same handle accepts writes
+// again after AddCapacity, and recovery sees exactly the acked set.
+func TestDiskFullRetryableAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	q := faultfs.NewQuotaFS(faultfs.OS, 4*wal.FrameSize+wal.FrameSize/2)
+	opts := durableOpts()
+	opts.Sync = SyncNone
+	d, err := openDirFS(dir, opts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 4; k++ {
+		if err := d.Insert(k, k*10); err != nil {
+			t.Fatalf("insert %d = %v", k, err)
+		}
+	}
+	if err := d.Insert(5, 50); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("over-quota insert = %v, want ErrDiskFull", err)
+	}
+	h := d.Health()
+	if h.State != HealthDegraded {
+		t.Fatalf("state after ENOSPC = %v, want degraded", h.State)
+	}
+	if !errors.Is(h.Err, ErrDiskFull) {
+		t.Fatalf("Health.Err = %v, want ErrDiskFull", h.Err)
+	}
+	if h.DiskFullBatches == 0 {
+		t.Fatal("DiskFullBatches not counted")
+	}
+	// Degraded is read-only, not dead: every read keeps serving.
+	if v, ok := d.Lookup(3); !ok || v != 30 {
+		t.Fatalf("Lookup(3) = %d,%v while degraded", v, ok)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d while degraded, want 4", d.Len())
+	}
+	// Still full: the same clean, retryable failure.
+	if err := d.Insert(5, 50); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("retry while full = %v, want ErrDiskFull", err)
+	}
+	// Operator frees space: the same handle recovers, no reopen.
+	q.AddCapacity(1 << 20)
+	if err := d.Insert(5, 50); err != nil {
+		t.Fatalf("insert after freeing space = %v", err)
+	}
+	if h := d.Health(); h.State != HealthOK {
+		t.Fatalf("state after recovery = %v, want ok", h.State)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 5 {
+		t.Fatalf("recovered Len = %d, want 5", r.Len())
+	}
+	for k := uint64(1); k <= 5; k++ {
+		if v, ok := r.Lookup(k); !ok || v != k*10 {
+			t.Fatalf("recovered Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+// TestDiskFullCheckpointRotationRecovers exercises recovery arm B: the WAL
+// has consumed the disk, the operator can only scrape together enough
+// headroom for one snapshot, and it is the checkpoint's log truncation — not
+// the headroom — that restores write capacity, on the same handle.
+func TestDiskFullCheckpointRotationRecovers(t *testing.T) {
+	dir := t.TempDir()
+	const initial = int64(1 << 20)
+	q := faultfs.NewQuotaFS(faultfs.OS, initial)
+	opts := durableOpts()
+	opts.Sync = SyncNone
+	d, err := openDirFS(dir, opts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i) * 7
+	}
+	if err := d.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	base := q.Used() // ≈ one snapshot; the WAL is empty right after BulkLoad
+
+	// Shrink the disk to snapshot + a WAL budget, then churn one key until
+	// the log fills it. Insert/delete of the same key keeps the index (and
+	// so the next snapshot) the same size while the WAL grows two frames per
+	// round — the "WAL dwarfs the data" shape where rotation is the cure.
+	budget := int64(4000) * wal.FrameSize
+	q.AddCapacity(base + budget - initial)
+	churn := uint64(999_999)
+	present := false
+	for {
+		if err := d.Insert(churn, 1); err != nil {
+			if !errors.Is(err, ErrDiskFull) {
+				t.Fatalf("churn insert = %v, want ErrDiskFull eventually", err)
+			}
+			break
+		}
+		present = true
+		if err := d.Delete(churn); err != nil {
+			if !errors.Is(err, ErrDiskFull) {
+				t.Fatalf("churn delete = %v, want ErrDiskFull eventually", err)
+			}
+			break
+		}
+		present = false
+	}
+	if h := d.Health(); h.State != HealthDegraded {
+		t.Fatalf("state after filling the disk = %v, want degraded", h.State)
+	}
+
+	// The operator can free only snapshot-sized headroom — far less than the
+	// WAL's footprint. A checkpoint must fit in it, rotate, and GC the log.
+	headroom := base + 16384
+	q.AddCapacity(headroom)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint with snapshot-sized headroom = %v", err)
+	}
+	if h := d.Health(); h.State != HealthOK {
+		t.Fatalf("state after checkpoint rotation = %v, want ok", h.State)
+	}
+	// The rotation must have freed substantially more than the operator
+	// added — the recovered capacity came from truncating the log.
+	capacity := base + budget + headroom
+	if free := capacity - q.Used(); free < budget/2 {
+		t.Fatalf("checkpoint freed too little: %d bytes free of %d budget", free, budget)
+	}
+
+	// Writes flow again on the same handle, well beyond what the headroom
+	// alone could hold.
+	extra := int(budget / (2 * wal.FrameSize))
+	if int64(extra)*wal.FrameSize <= headroom {
+		t.Fatalf("test geometry broken: %d frames don't exceed headroom %d", extra, headroom)
+	}
+	for i := 0; i < extra; i++ {
+		if err := d.Insert(uint64(2_000_000+i), 1); err != nil {
+			t.Fatalf("insert %d after rotation = %v", i, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	want := len(keys) + extra
+	if present {
+		want++
+	}
+	if r.Len() != want {
+		t.Fatalf("recovered Len = %d, want %d", r.Len(), want)
+	}
+	for _, k := range keys {
+		if _, ok := r.Lookup(k); !ok {
+			t.Fatalf("bulk key %d lost across disk-full + rotation", k)
+		}
+	}
+}
+
+// TestInsertCtxCancelWhileQueued cancels a follower whose op is enqueued
+// behind a wedged batch but not yet claimed: it must return ctx.Err()
+// promptly — while the device is still hung — and the op must have no durable
+// effect.
+func TestInsertCtxCancelWhileQueued(t *testing.T) {
+	dir := t.TempDir()
+	stall := faultfs.NewStallFS(faultfs.OS)
+	d, err := openDirFS(dir, durableOpts(), stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall.StallSyncs()
+
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); leaderErr = d.Insert(1, 10) }()
+	waitUntil(t, "leader stalled", func() bool { return stall.Stalled() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ctxErr := make(chan error, 1)
+	go func() { ctxErr <- d.InsertCtx(ctx, 2, 20) }()
+	waitUntil(t, "follower enqueued", func() bool { return d.Health().QueueDepth == 2 })
+	cancel()
+	select {
+	case err := <-ctxErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled InsertCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled InsertCtx did not return while the device was hung")
+	}
+	if h := d.Health(); h.CancelledOps != 1 {
+		t.Fatalf("CancelledOps = %d, want 1", h.CancelledOps)
+	}
+
+	stall.Release()
+	wg.Wait()
+	if leaderErr != nil {
+		t.Fatalf("leader = %v", leaderErr)
+	}
+	if err := d.Insert(3, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.Lookup(2); ok {
+		t.Fatal("cancelled op left a durable effect")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("recovered Len = %d, want 2", r.Len())
+	}
+}
+
+// TestInsertCtxClaimedStillAcks cancels an op after the leader has claimed it
+// into a committing batch: cancellation must NOT take effect — the call waits
+// out the batch and reports the true (durable) outcome. This is the "never a
+// third state" half of the cancellation contract: a frame that may already be
+// on disk is never reported as cancelled.
+func TestInsertCtxClaimedStillAcks(t *testing.T) {
+	dir := t.TempDir()
+	// The slow layer keeps each released fsync dragging for a beat, closing
+	// the race between "previous batch released" and "stall re-armed".
+	stall := faultfs.NewStallFS(faultfs.NewSlowFS(faultfs.OS, 0, 30*time.Millisecond))
+	d, err := openDirFS(dir, durableOpts(), stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall.StallSyncs()
+
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); leaderErr = d.Insert(1, 10) }()
+	waitUntil(t, "leader stalled", func() bool { return stall.Stalled() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ctxErr := make(chan error, 1)
+	go func() { ctxErr <- d.InsertCtx(ctx, 2, 20) }()
+	waitUntil(t, "follower enqueued", func() bool { return d.Health().QueueDepth == 2 })
+
+	// Let batch 1 through and immediately re-arm: batch 2 — now containing
+	// the claimed follower op — wedges on its own fsync.
+	stall.Release()
+	stall.StallSyncs()
+	waitUntil(t, "second batch stalled", func() bool {
+		return stall.Stalled() == 1 && d.Health().QueueDepth == 1
+	})
+
+	cancel()
+	select {
+	case err := <-ctxErr:
+		t.Fatalf("claimed op resolved on cancel with %v; must wait for the batch", err)
+	case <-time.After(200 * time.Millisecond):
+		// Still blocked: correct — the frame may already be durable.
+	}
+	stall.Release()
+	select {
+	case err := <-ctxErr:
+		if err != nil {
+			t.Fatalf("claimed op = %v, want nil (committed)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("claimed op never resolved after release")
+	}
+	wg.Wait()
+	if leaderErr != nil {
+		t.Fatalf("leader = %v", leaderErr)
+	}
+	if h := d.Health(); h.CancelledOps != 0 {
+		t.Fatalf("CancelledOps = %d, want 0 (claimed op is not cancellable)", h.CancelledOps)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v, ok := r.Lookup(2); !ok || v != 20 {
+		t.Fatalf("claimed+acked op not durable: %d,%v", v, ok)
+	}
+}
+
+// TestCloseWakesAdmissionWaiters closes the index while a writer is blocked
+// in admission (BlockOnFull) behind a wedged batch: the waiter must wake with
+// ErrIndexClosed immediately — even though Close itself is still parked
+// behind the in-flight batch.
+func TestCloseWakesAdmissionWaiters(t *testing.T) {
+	dir := t.TempDir()
+	stall := faultfs.NewStallFS(faultfs.OS)
+	opts := durableOpts()
+	opts.MaxPending = 1
+	opts.BlockOnFull = true
+	d, err := openDirFS(dir, opts, stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall.StallSyncs()
+
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); leaderErr = d.Insert(1, 10) }()
+	waitUntil(t, "leader stalled", func() bool { return stall.Stalled() == 1 })
+
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- d.Insert(2, 20) }() // queue full: blocks for space
+	time.Sleep(20 * time.Millisecond)
+
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- d.Close() }()
+
+	// The admission waiter must resolve while the device is still hung and
+	// Close has not returned.
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, ErrIndexClosed) {
+			t.Fatalf("admission waiter = %v, want ErrIndexClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("admission waiter still blocked after Close")
+	}
+	select {
+	case err := <-closeErr:
+		t.Fatalf("Close returned %v before the in-flight batch resolved", err)
+	default:
+	}
+
+	stall.Release()
+	if err := <-closeErr; err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	wg.Wait()
+	if leaderErr != nil {
+		t.Fatalf("in-flight leader = %v, want nil (its batch committed before Close)", leaderErr)
+	}
+	r, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.Lookup(1); !ok {
+		t.Fatal("acked pre-Close write lost")
+	}
+	if _, ok := r.Lookup(2); ok {
+		t.Fatal("ErrIndexClosed write was applied")
+	}
+}
+
+// TestCloseErrsBlockedWriters closes the index while a wedged leader holds a
+// committing batch and more writers sit queued behind it. Every writer must
+// resolve deterministically — nil with the write durable, or ErrIndexClosed
+// with no trace of it — and nothing may hang. Run under -race in CI.
+func TestCloseErrsBlockedWriters(t *testing.T) {
+	dir := t.TempDir()
+	stall := faultfs.NewStallFS(faultfs.OS)
+	d, err := openDirFS(dir, durableOpts(), stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall.StallSyncs()
+
+	const writers = 8
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); errs[0] = d.Insert(0, 0) }()
+	waitUntil(t, "leader stalled", func() bool { return stall.Stalled() == 1 })
+	for i := 1; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); errs[i] = d.Insert(uint64(i), uint64(i)) }(i)
+	}
+	waitUntil(t, "writers queued", func() bool { return d.Health().QueueDepth == writers })
+
+	var closeDone atomic.Bool
+	closeErr := make(chan error, 1)
+	go func() {
+		err := d.Close()
+		closeDone.Store(true)
+		closeErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let Close pass the admission gate
+	stall.Release()
+	wg.Wait()
+	if err := <-closeErr; err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+
+	// A mutation starting after Close returned must fail immediately.
+	if !closeDone.Load() {
+		t.Fatal("close flag unset after Close returned")
+	}
+	if err := d.Insert(999, 1); !errors.Is(err, ErrIndexClosed) {
+		t.Fatalf("post-Close insert = %v, want ErrIndexClosed", err)
+	}
+
+	acked := map[uint64]bool{}
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			acked[uint64(i)] = true
+		case errors.Is(err, ErrIndexClosed):
+		default:
+			t.Fatalf("writer %d resolved with %v, want nil or ErrIndexClosed", i, err)
+		}
+	}
+	r, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != len(acked) {
+		t.Fatalf("recovered Len = %d, want %d acked", r.Len(), len(acked))
+	}
+	for k := range acked {
+		if _, ok := r.Lookup(k); !ok {
+			t.Fatalf("acked key %d lost (acked-then-closed must stay durable)", k)
+		}
+	}
+}
+
+// TestReadSurfacePoisonedAndClosed pins down the read contract on unhealthy
+// handles: a poisoned index keeps serving reads (it is read-only, not gone)
+// while a closed one returns clean zero values, with Err and Health telling
+// the two apart.
+func TestReadSurfacePoisonedAndClosed(t *testing.T) {
+	// Poisoned: a failing checkpoint during BulkLoad fail-stops the handle.
+	dir := t.TempDir()
+	d, err := openDirFS(dir, durableOpts(), renameFailFS{faultfs.OS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BulkLoad([]uint64{1, 2, 3}, nil); err == nil {
+		t.Fatal("BulkLoad with failing checkpoint succeeded")
+	}
+	if h := d.Health(); h.State != HealthPoisoned || h.Err == nil {
+		t.Fatalf("Health after poison = %+v, want poisoned with cause", h)
+	}
+	if d.Err() == nil {
+		t.Fatal("Err() nil on poisoned handle")
+	}
+	if v, ok := d.Lookup(2); !ok || v != 2 {
+		t.Fatalf("poisoned Lookup(2) = %d,%v; reads must keep serving", v, ok)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("poisoned Len = %d, want 3", d.Len())
+	}
+	if err := d.Insert(9, 9); err == nil || errors.Is(err, ErrIndexClosed) {
+		t.Fatalf("poisoned insert = %v, want the sticky poison error", err)
+	}
+
+	// Closed: a healthy handle, closed cleanly.
+	dir2 := t.TempDir()
+	c, err := OpenDir(dir2, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(7, 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Lookup(7); ok || v != 0 {
+		t.Fatalf("closed Lookup = %d,%v, want zero values", v, ok)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 || c.Height() != 0 {
+		t.Fatal("closed handle leaked non-zero read results")
+	}
+	called := false
+	c.Range(0, ^uint64(0), func(k, v uint64) bool { called = true; return true })
+	if called {
+		t.Fatal("closed Range visited keys")
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("closed Stats = %+v, want zero", s)
+	}
+	if _, err := c.WriteTo(nopWriter{}); !errors.Is(err, ErrIndexClosed) {
+		t.Fatalf("closed WriteTo = %v, want ErrIndexClosed", err)
+	}
+	if !errors.Is(c.Err(), ErrIndexClosed) {
+		t.Fatalf("closed Err() = %v, want ErrIndexClosed", c.Err())
+	}
+	if h := c.Health(); h.State != HealthClosed || !errors.Is(h.Err, ErrIndexClosed) {
+		t.Fatalf("closed Health = %+v", h)
+	}
+	if n := c.WALSize(); n != 0 {
+		t.Fatalf("closed WALSize = %d, want 0", n)
+	}
+	// The data survived the close, of course — it's the handle that's done.
+	r, err := OpenDir(dir2, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v, ok := r.Lookup(7); !ok || v != 70 {
+		t.Fatalf("reopened Lookup(7) = %d,%v", v, ok)
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestWALSizeUnderConcurrentWriters checks that WALSize stays consistent
+// while writers race it: always a whole number of frames, never decreasing
+// (ops move from queue accounting into the log, counted exactly once), and
+// exact once the dust settles.
+func TestWALSizeUnderConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts()
+	opts.Sync = SyncNone
+	d, err := OpenDir(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var sampleErr atomic.Value
+	go func() {
+		var prev int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := d.WALSize()
+			if s%wal.FrameSize != 0 {
+				sampleErr.Store(fmt.Errorf("WALSize %d not a frame multiple", s))
+				return
+			}
+			if s < prev {
+				sampleErr.Store(fmt.Errorf("WALSize went backwards: %d after %d", s, prev))
+				return
+			}
+			prev = s
+			// Pace the probe: sampling is an observer, not a contender for
+			// the commit path's mutex.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := d.Insert(uint64(w*perWriter+i), 1); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if err, _ := sampleErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.WALSize(), int64(writers*perWriter)*wal.FrameSize; got != want {
+		t.Fatalf("final WALSize = %d, want %d", got, want)
+	}
+}
+
+// TestOverloadSoak hammers a bounded queue on a disk that keeps running out
+// of space with a mix of plain writes, deadline writes, and checkpoints, then
+// proves the global two-state oracle: a key exists after recovery if and only
+// if its write returned nil. This is the CI -race soak.
+func TestOverloadSoak(t *testing.T) {
+	dir := t.TempDir()
+	q := faultfs.NewQuotaFS(faultfs.OS, 40*wal.FrameSize)
+	opts := durableOpts()
+	opts.Sync = SyncNone
+	opts.MaxPending = 8
+	d, err := openDirFS(dir, opts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const perWriter = 300
+	results := make([]error, writers*perWriter)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				id := w*perWriter + i
+				key := uint64(1000 + id)
+				switch rng.Intn(3) {
+				case 0:
+					results[id] = d.Insert(key, key)
+				case 1:
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(200))*time.Microsecond)
+					results[id] = d.InsertCtx(ctx, key, key)
+					cancel()
+				default:
+					ctx, cancel := context.WithCancel(context.Background())
+					if rng.Intn(2) == 0 {
+						cancel()
+					}
+					results[id] = d.InsertCtx(ctx, key, key)
+					cancel()
+				}
+				if rng.Intn(64) == 0 {
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	// The "operator": keeps freeing a dribble of space and checkpointing so
+	// the workload oscillates between ok, overloaded, and disk-full.
+	opDone := make(chan struct{})
+	go func() {
+		defer close(opDone)
+		for i := 0; i < 200; i++ {
+			q.AddCapacity(10 * wal.FrameSize)
+			if i%10 == 0 {
+				d.Checkpoint() //nolint:errcheck // may legitimately hit ENOSPC
+			}
+			d.Health()
+			time.Sleep(time.Millisecond)
+		}
+		q.AddCapacity(1 << 20) // open the floodgates so the tail drains
+	}()
+	wg.Wait()
+	<-opDone
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenDir(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	okCount := 0
+	for id, res := range results {
+		key := uint64(1000 + id)
+		_, exists := r.Lookup(key)
+		if res == nil {
+			okCount++
+			if !exists {
+				t.Fatalf("key %d acked nil but missing after recovery", key)
+			}
+			continue
+		}
+		if exists {
+			t.Fatalf("key %d rejected with %v but exists after recovery", key, res)
+		}
+		if !errors.Is(res, ErrOverloaded) && !errors.Is(res, ErrDiskFull) &&
+			!errors.Is(res, context.Canceled) && !errors.Is(res, context.DeadlineExceeded) {
+			t.Fatalf("key %d failed with unexpected error %v", key, res)
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("soak acked nothing; workload never made progress")
+	}
+	if r.Len() != okCount {
+		t.Fatalf("recovered Len = %d, want %d acked", r.Len(), okCount)
+	}
+	t.Logf("soak: %d/%d acked, health=%+v", okCount, len(results), r.Health())
+}
