@@ -1,0 +1,129 @@
+// Command chameleon-serve serves a durable chameleon index over TCP with
+// the wire protocol (see DESIGN.md §10). It opens (or creates) the index
+// directory, listens, and drains gracefully on SIGINT/SIGTERM: stop
+// accepting, finish in-flight requests, checkpoint, close. A client that
+// received an ack before the signal finds its write after restart.
+//
+// Usage:
+//
+//	chameleon-serve -dir /var/lib/chameleon            # serve on :9431
+//	chameleon-serve -dir d -sync interval -sync-every 5ms
+//	chameleon-serve -stats -addr localhost:9431        # one-line health JSON
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/client"
+	"chameleon/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":9431", "listen address (or target for -stats)")
+		dir          = flag.String("dir", "", "index directory (created if missing)")
+		sync         = flag.String("sync", "everyop", "WAL sync policy: everyop | interval | none")
+		syncEvery    = flag.Duration("sync-every", 10*time.Millisecond, "fsync interval for -sync interval")
+		maxPending   = flag.Int("max-pending", 4096, "admission bound: max queued mutations")
+		blockOnFull  = flag.Bool("block-on-full", true, "block writers at the bound instead of shedding with overloaded")
+		maxConns     = flag.Int("max-conns", 256, "max concurrent connections")
+		pipeline     = flag.Int("pipeline", 128, "max in-flight requests per connection")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
+		stats        = flag.Bool("stats", false, "dial -addr, print one-line STATS JSON, exit")
+	)
+	flag.Parse()
+
+	if *stats {
+		os.Exit(printStats(*addr))
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "chameleon-serve: -dir is required")
+		os.Exit(2)
+	}
+	dopts := chameleon.DirOptions{
+		SyncEvery:   *syncEvery,
+		MaxPending:  *maxPending,
+		BlockOnFull: *blockOnFull,
+	}
+	switch *sync {
+	case "everyop":
+		dopts.Sync = chameleon.SyncEveryOp
+	case "interval":
+		dopts.Sync = chameleon.SyncInterval
+	case "none":
+		dopts.Sync = chameleon.SyncNone
+	default:
+		fmt.Fprintf(os.Stderr, "chameleon-serve: unknown -sync %q\n", *sync)
+		os.Exit(2)
+	}
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "chameleon-serve: %v\n", err)
+		os.Exit(1)
+	}
+	ix, err := chameleon.OpenDir(*dir, dopts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chameleon-serve: open %s: %v\n", *dir, err)
+		os.Exit(1)
+	}
+	srv := server.New(ix, server.Options{
+		MaxConns:    *maxConns,
+		MaxPipeline: *pipeline,
+		OwnsIndex:   true, // Shutdown checkpoints and closes the index
+	})
+	if err := srv.Listen(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "chameleon-serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chameleon-serve: %d keys from %s, listening on %s (sync=%s)\n",
+		ix.Len(), *dir, srv.Addr(), *sync)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("chameleon-serve: %v — draining (budget %s)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "chameleon-serve: drain: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("chameleon-serve: drained, checkpointed, closed")
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chameleon-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printStats dials addr and dumps the server's STATS JSON as one line — the
+// operator's health probe, sharing its schema with BENCH_serve.json.
+func printStats(addr string) int {
+	c, err := client.Dial(addr, client.Options{DialTimeout: 3 * time.Second})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chameleon-serve -stats: %v\n", err)
+		return 1
+	}
+	defer c.Close() //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_, raw, err := c.Stats(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chameleon-serve -stats: %v\n", err)
+		return 1
+	}
+	fmt.Println(string(raw))
+	return 0
+}

@@ -1,0 +1,430 @@
+// Package client is the Go client for a chameleon server. It pools
+// connections and pipelines: every call takes an in-flight slot on one
+// pooled connection, writes its frame, and parks on a channel until the
+// reader goroutine delivers the response matched by request id — so many
+// goroutines sharing one client keep every connection's pipeline full, which
+// is exactly the arrival pattern the server's group-commit queue amortizes
+// best.
+//
+// The call surface mirrors the durable index's context-aware one
+// (InsertCtx/DeleteCtx semantics): an error wrapping context.Canceled or
+// chameleon.ErrOverloaded means the mutation had no durable effect; nil
+// means it is durable per the server's sync policy. Retries are bounded and
+// happen only for typed retryable rejections (overloaded, disk-full,
+// cancelled-before-claim) — never for transport errors, whose outcome is
+// ambiguous and must stay the caller's decision.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleon/internal/wire"
+)
+
+// Options tunes a Client. The zero value works.
+type Options struct {
+	// Conns is the connection-pool size (default 1). Calls are spread
+	// round-robin; more connections help once a single pipeline saturates.
+	Conns int
+	// MaxPipeline caps in-flight requests per connection (default 64).
+	// Callers beyond the cap wait for a slot (or their context).
+	MaxPipeline int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// MaxRetries bounds how many times a call is re-sent after a typed
+	// retryable rejection (default 2; 0 disables retry).
+	MaxRetries int
+	// RetryBackoff is the wait before a retry when the server sends no
+	// retry-after hint (default 2ms; the hint wins when present).
+	RetryBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.MaxPipeline <= 0 {
+		o.MaxPipeline = 64
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	return o
+}
+
+// ErrClientClosed is returned by calls on a closed Client.
+var ErrClientClosed = errors.New("client: closed")
+
+// errConnBroken wraps the transport failure that killed a pooled
+// connection; calls in flight on it fail with this, and the next call on
+// its slot redials.
+type errConnBroken struct{ cause error }
+
+func (e *errConnBroken) Error() string { return fmt.Sprintf("client: connection broken: %v", e.cause) }
+func (e *errConnBroken) Unwrap() error { return e.cause }
+
+// Client is a pooled, pipelined connection to one server. Safe for
+// concurrent use by any number of goroutines.
+type Client struct {
+	addr string
+	opts Options
+
+	next   atomic.Uint64 // round-robin pool cursor
+	ids    atomic.Uint64 // request ids (never 0: 0 is the conn-level slot)
+	closed atomic.Bool
+
+	mu    sync.Mutex // guards pool slots during dial/redial
+	conns []*conn
+}
+
+// conn is one pooled connection: a writer side (mutex-serialized encode +
+// flush) and a reader goroutine that routes responses to waiters by id.
+type conn struct {
+	nc    net.Conn
+	slots chan struct{}
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	enc []byte // reusable encode buffer, guarded by wmu
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *wire.Response
+	err     error // set once broken; pending are failed, future calls redial
+}
+
+// Dial connects to addr and verifies liveness with a PING.
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	c.conns = make([]*conn, c.opts.Conns)
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.DialTimeout)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// dialConn establishes one pooled connection.
+func (c *Client) dialConn() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) //nolint:errcheck
+	}
+	cn := &conn{
+		nc:      nc,
+		slots:   make(chan struct{}, c.opts.MaxPipeline),
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]chan *wire.Response),
+	}
+	go cn.readLoop()
+	return cn, nil
+}
+
+// pick returns a live pooled connection, redialing a broken or not-yet-
+// dialed slot.
+func (c *Client) pick() (*conn, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	i := int(c.next.Add(1)) % len(c.conns)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	cn := c.conns[i]
+	if cn != nil && cn.broken() == nil {
+		return cn, nil
+	}
+	fresh, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	if cn != nil {
+		cn.nc.Close() //nolint:errcheck
+	}
+	c.conns[i] = fresh
+	return fresh, nil
+}
+
+func (cn *conn) broken() error {
+	cn.pmu.Lock()
+	defer cn.pmu.Unlock()
+	return cn.err
+}
+
+// fail marks the connection dead and wakes every in-flight call with the
+// cause. Idempotent; the first cause wins.
+func (cn *conn) fail(cause error) {
+	cn.pmu.Lock()
+	if cn.err == nil {
+		cn.err = &errConnBroken{cause: cause}
+	}
+	waiters := cn.pending
+	cn.pending = make(map[uint64]chan *wire.Response)
+	cn.pmu.Unlock()
+	cn.nc.Close() //nolint:errcheck
+	for _, ch := range waiters {
+		close(ch) // a closed channel (nil response) signals "conn died"
+	}
+}
+
+// readLoop routes responses to their waiting callers by request id until
+// the connection dies.
+func (cn *conn) readLoop() {
+	br := bufio.NewReaderSize(cn.nc, 64<<10)
+	for {
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			cn.fail(err)
+			return
+		}
+		res, err := wire.DecodeResponse(payload)
+		if err != nil {
+			cn.fail(err)
+			return
+		}
+		if res.ID == 0 {
+			// Connection-level rejection (conn limit, unframeable input):
+			// the server is about to hang up on us.
+			cn.fail(&wire.RemoteError{Code: res.Err, RetryAfterMS: res.RetryAfterMS, Msg: res.Msg})
+			return
+		}
+		cn.pmu.Lock()
+		ch, ok := cn.pending[res.ID]
+		delete(cn.pending, res.ID)
+		cn.pmu.Unlock()
+		if ok {
+			ch <- res // buffered: never blocks the read loop
+		}
+		// Unknown ids are responses whose caller gave up (context expiry
+		// deregistered them); dropping is the correct thing.
+	}
+}
+
+// roundTrip sends one request on cn and waits for its response, honoring
+// ctx at every blocking point. On ctx expiry the caller deregisters and
+// returns; a late response is dropped by the read loop.
+func (cn *conn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	select {
+	case cn.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-cn.slots }()
+
+	ch := make(chan *wire.Response, 1)
+	cn.pmu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.pmu.Unlock()
+		return nil, err
+	}
+	cn.pending[req.ID] = ch
+	cn.pmu.Unlock()
+
+	cn.wmu.Lock()
+	cn.enc = wire.AppendRequest(cn.enc[:0], req)
+	_, werr := cn.bw.Write(cn.enc)
+	if werr == nil {
+		werr = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if werr != nil {
+		cn.fail(werr)
+		// fail() already woke ch by closing it; fall through to the select
+		// so the error reported is the connection's first cause.
+	}
+
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			return nil, cn.broken()
+		}
+		return res, nil
+	case <-ctx.Done():
+		cn.pmu.Lock()
+		delete(cn.pending, req.ID)
+		cn.pmu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// do runs one request with the bounded-retry loop. Only typed retryable
+// rejections (wire.ErrCode.Retryable: the server guarantees no durable
+// effect) are retried; transport errors and final answers return
+// immediately.
+func (c *Client) do(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		cn, err := c.pick()
+		if err != nil {
+			return nil, err
+		}
+		req.ID = c.ids.Add(1)
+		res, err := cn.roundTrip(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if res.OK {
+			return res, nil
+		}
+		rerr := &wire.RemoteError{Code: res.Err, RetryAfterMS: res.RetryAfterMS, Msg: res.Msg}
+		if !rerr.Retryable() || attempt == c.opts.MaxRetries {
+			return nil, rerr
+		}
+		lastErr = rerr
+		backoff := c.opts.RetryBackoff << uint(attempt)
+		if res.RetryAfterMS > 0 {
+			backoff = time.Duration(res.RetryAfterMS) * time.Millisecond
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("%w (last rejection: %v)", ctx.Err(), lastErr)
+		}
+	}
+	return nil, lastErr // unreachable; the loop always returns
+}
+
+// Get looks up key remotely.
+func (c *Client) Get(ctx context.Context, key uint64) (val uint64, found bool, err error) {
+	res, err := c.do(ctx, &wire.Request{Op: wire.OpGet, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Val, res.Found, nil
+}
+
+// Insert adds key→val. A nil return means the write is durable per the
+// server's sync policy; a retryable or context error means it had no
+// durable effect (the two-state contract, over the wire).
+func (c *Client) Insert(ctx context.Context, key, val uint64) error {
+	_, err := c.do(ctx, &wire.Request{Op: wire.OpInsert, Key: key, Val: val})
+	return err
+}
+
+// Delete removes key, with Insert's durability contract.
+func (c *Client) Delete(ctx context.Context, key uint64) error {
+	_, err := c.do(ctx, &wire.Request{Op: wire.OpDelete, Key: key})
+	return err
+}
+
+// Range returns up to limit pairs of [lo, hi] ascending (limit 0 = the
+// server's cap). more=true means the scan stopped at the limit; page by
+// calling again with lo = last key + 1.
+func (c *Client) Range(ctx context.Context, lo, hi uint64, limit int) (pairs []wire.Pair, more bool, err error) {
+	if limit < 0 {
+		limit = 0
+	}
+	res, err := c.do(ctx, &wire.Request{Op: wire.OpRange, Key: lo, Val: hi, Limit: uint32(limit)})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Pairs, res.More, nil
+}
+
+// RangeAll pages through [lo, hi] until exhausted and returns everything.
+func (c *Client) RangeAll(ctx context.Context, lo, hi uint64) ([]wire.Pair, error) {
+	var all []wire.Pair
+	for {
+		pairs, more, err := c.Range(ctx, lo, hi, 0)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, pairs...)
+		if !more || len(pairs) == 0 {
+			return all, nil
+		}
+		last := pairs[len(pairs)-1].Key
+		if last == ^uint64(0) || last+1 > hi {
+			return all, nil
+		}
+		lo = last + 1
+	}
+}
+
+// Batch submits many mutations in one frame. The returned slice has one
+// entry per op, nil for success; ops within a batch are unordered relative
+// to each other (they fan into the server's group-commit queue
+// concurrently). The call errors only when the batch itself could not run.
+func (c *Client) Batch(ctx context.Context, ops []wire.BatchOp) ([]error, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	res, err := c.do(ctx, &wire.Request{Op: wire.OpBatch, Batch: ops})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.BatchErrs) != len(ops) {
+		return nil, fmt.Errorf("%w: batch reply has %d codes for %d ops", wire.ErrMalformed, len(res.BatchErrs), len(ops))
+	}
+	errs := make([]error, len(ops))
+	for i, code := range res.BatchErrs {
+		if code != wire.ErrCodeNone {
+			errs[i] = &wire.RemoteError{Code: code}
+		}
+	}
+	return errs, nil
+}
+
+// Stats fetches the server's health and counter snapshot — the same
+// numbers an in-process caller reads from chameleon.Health, plus the
+// server's connection counters. Raw is the JSON document as sent.
+func (c *Client) Stats(ctx context.Context) (stats wire.StatsReply, raw []byte, err error) {
+	res, err := c.do(ctx, &wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return wire.StatsReply{}, nil, err
+	}
+	if err := json.Unmarshal(res.Stats, &stats); err != nil {
+		return wire.StatsReply{}, res.Stats, fmt.Errorf("client: decoding stats: %w", err)
+	}
+	return stats, res.Stats, nil
+}
+
+// Ping round-trips a no-op.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.do(ctx, &wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// Close tears down the pool. In-flight calls fail with a connection error.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cn := range c.conns {
+		if cn != nil {
+			cn.fail(ErrClientClosed)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/wire"
+)
+
+// fakeServer accepts connections and answers each decoded request through
+// handle. Returning nil suppresses the response (to exercise timeouts).
+type fakeServer struct {
+	ln       net.Listener
+	requests atomic.Uint64
+	handle   func(*wire.Request) *wire.Response
+}
+
+func newFakeServer(t *testing.T, handle func(*wire.Request) *wire.Response) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln, handle: handle}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go fs.serveConn(nc)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() }) //nolint:errcheck
+	return fs
+}
+
+func (fs *fakeServer) serveConn(nc net.Conn) {
+	defer nc.Close() //nolint:errcheck
+	for {
+		payload, err := wire.ReadFrame(nc)
+		if err != nil {
+			return
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		fs.requests.Add(1)
+		res := fs.handle(req)
+		if res == nil {
+			continue // swallowed: the caller is testing its own timeout
+		}
+		res.ID = req.ID
+		if _, err := nc.Write(wire.AppendResponse(nil, res)); err != nil {
+			return
+		}
+	}
+}
+
+// okFor builds the minimal success response for an op (Dial pings).
+func okFor(req *wire.Request) *wire.Response {
+	return &wire.Response{Op: req.Op, OK: true}
+}
+
+// TestClientRetriesRetryable: a retryable rejection (overloaded) is retried
+// up to MaxRetries with the server's retry-after hint honored, and the call
+// succeeds once the server relents.
+func TestClientRetriesRetryable(t *testing.T) {
+	var rejects atomic.Int64
+	rejects.Store(2)
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		if req.Op == wire.OpInsert && rejects.Add(-1) >= 0 {
+			return &wire.Response{Op: req.Op, Err: wire.ErrCodeOverloaded, RetryAfterMS: 1}
+		}
+		return okFor(req)
+	})
+	c, err := Dial(fs.ln.Addr().String(), Options{MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	if err := c.Insert(context.Background(), 1, 2); err != nil {
+		t.Fatalf("Insert after retries: %v", err)
+	}
+	// 1 ping + 2 rejected attempts + 1 success.
+	if got := fs.requests.Load(); got != 4 {
+		t.Fatalf("server saw %d requests, want 4", got)
+	}
+}
+
+// TestClientRetryBudgetExhausted: when every attempt is rejected the client
+// gives up after exactly MaxRetries extra attempts and surfaces the typed
+// error, which unwraps to the in-process sentinel.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		if req.Op == wire.OpInsert {
+			return &wire.Response{Op: req.Op, Err: wire.ErrCodeOverloaded, RetryAfterMS: 1}
+		}
+		return okFor(req)
+	})
+	c, err := Dial(fs.ln.Addr().String(), Options{MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	err = c.Insert(context.Background(), 1, 2)
+	if !errors.Is(err, chameleon.ErrOverloaded) {
+		t.Fatalf("exhausted retries: %v, want ErrOverloaded", err)
+	}
+	if got := fs.requests.Load(); got != 1+4 { // ping + (1 try + 3 retries)
+		t.Fatalf("server saw %d requests, want 5", got)
+	}
+}
+
+// TestClientNoRetryOnFinal: non-retryable rejections (duplicate key) return
+// immediately — exactly one attempt.
+func TestClientNoRetryOnFinal(t *testing.T) {
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		if req.Op == wire.OpInsert {
+			return &wire.Response{Op: req.Op, Err: wire.ErrCodeDuplicateKey}
+		}
+		return okFor(req)
+	})
+	c, err := Dial(fs.ln.Addr().String(), Options{MaxRetries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	if err := c.Insert(context.Background(), 1, 2); !errors.Is(err, chameleon.ErrDuplicateKey) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if got := fs.requests.Load(); got != 2 { // ping + 1 attempt, no retry
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+// TestClientOutOfOrderResponses: the server answers pipelined requests in
+// reverse order; id matching must route each response to its caller.
+func TestClientOutOfOrderResponses(t *testing.T) {
+	// Hold GET responses until two are pending, then release reversed.
+	type held struct {
+		nc  net.Conn
+		res *wire.Response
+	}
+	pending := make(chan held, 2)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close() //nolint:errcheck
+		for {
+			payload, err := wire.ReadFrame(nc)
+			if err != nil {
+				return
+			}
+			req, err := wire.DecodeRequest(payload)
+			if err != nil {
+				return
+			}
+			res := &wire.Response{ID: req.ID, Op: req.Op, OK: true, Found: true, Val: req.Key * 10}
+			if req.Op != wire.OpGet {
+				nc.Write(wire.AppendResponse(nil, res)) //nolint:errcheck
+				continue
+			}
+			pending <- held{nc, res}
+			if len(pending) == 2 {
+				// Release in reverse arrival order.
+				a, b := <-pending, <-pending
+				nc.Write(wire.AppendResponse(nil, b.res)) //nolint:errcheck
+				nc.Write(wire.AppendResponse(nil, a.res)) //nolint:errcheck
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), Options{MaxPipeline: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	type out struct {
+		key, val uint64
+		err      error
+	}
+	results := make(chan out, 2)
+	for _, key := range []uint64{7, 9} {
+		go func(key uint64) {
+			v, _, err := c.Get(context.Background(), key)
+			results <- out{key, v, err}
+		}(key)
+		time.Sleep(50 * time.Millisecond) // deterministic arrival order
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("Get(%d): %v", r.key, r.err)
+		}
+		if r.val != r.key*10 {
+			t.Fatalf("Get(%d) routed wrong response: val %d", r.key, r.val)
+		}
+	}
+}
+
+// TestClientContextCancel: a swallowed response leaves the caller waiting;
+// its context deadline must free it (and its pipeline slot) promptly.
+func TestClientContextCancel(t *testing.T) {
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		if req.Op == wire.OpGet {
+			return nil // never answer
+		}
+		return okFor(req)
+	})
+	c, err := Dial(fs.ln.Addr().String(), Options{MaxPipeline: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err = c.Get(ctx, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Get on mute server: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not return promptly")
+	}
+	// The abandoned call released its slot: with MaxPipeline=1 a follow-up
+	// ping would hang forever otherwise.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := c.Ping(ctx2); err != nil {
+		t.Fatalf("Ping after abandoned call: %v", err)
+	}
+}
+
+// TestClientRedialsBrokenConn: a connection dropped mid-stream fails the
+// in-flight call with a transport error (no silent retry of a write whose
+// fate is unknown), and the next call on the slot redials transparently.
+func TestClientRedialsBrokenConn(t *testing.T) {
+	var kill atomic.Bool
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close() //nolint:errcheck
+				for {
+					payload, err := wire.ReadFrame(nc)
+					if err != nil {
+						return
+					}
+					req, err := wire.DecodeRequest(payload)
+					if err != nil {
+						return
+					}
+					if req.Op == wire.OpInsert && kill.CompareAndSwap(true, false) {
+						return // hang up with the call in flight
+					}
+					res := okFor(req)
+					res.ID = req.ID
+					if _, err := nc.Write(wire.AppendResponse(nil, res)); err != nil {
+						return
+					}
+				}
+			}(nc)
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), Options{MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	kill.Store(true)
+	err = c.Insert(context.Background(), 1, 2)
+	if err == nil {
+		t.Fatal("insert on killed conn reported success")
+	}
+	var re *wire.RemoteError
+	if errors.As(err, &re) {
+		t.Fatalf("dropped conn surfaced a typed rejection %v; its fate is unknown, not rejected", err)
+	}
+	// Next call redials and works.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("redial after broken conn: %v", err)
+	}
+}

@@ -34,6 +34,7 @@ var Experiments = []struct {
 	{"durability", "insert throughput vs WAL sync policy; recovery time vs WAL length", Durability},
 	{"scaling", "group-commit writers, parallel bulk load, parallel recovery (emits BENCH_scaling.json)", Scaling},
 	{"overload", "bounded admission: shed/block/deadline behavior past disk saturation (emits BENCH_overload.json)", Overload},
+	{"serve", "remote serving over TCP: conns × pipeline-depth closed-loop sweep (emits BENCH_serve.json)", Serve},
 }
 
 // Fig1Motivation reproduces Fig. 1(b): per-window insertion latency while

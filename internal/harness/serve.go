@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/client"
+	"chameleon/internal/report"
+	"chameleon/internal/server"
+)
+
+// Serve measures the network serving layer end-to-end: a closed-loop load
+// generator drives a real TCP server (loopback) through the client library
+// across a {connection count} × {pipeline depth} sweep, 50/50 read/write,
+// with the index fsyncing every batch (SyncEveryOp). The interesting result
+// is the same one the group-commit experiment shows in-process: write
+// throughput scales with total in-flight requests because concurrent remote
+// writes share WAL batches and fsyncs. Emits BENCH_serve.json alongside the
+// human table; CHAMELEON_BENCH_JSON overrides the path ("off" skips it).
+func Serve(cfg Config) []*report.Table {
+	cfg = cfg.Defaults()
+	dur := cfg.Conc.Duration
+	if dur <= 0 {
+		dur = 500 * time.Millisecond
+	}
+
+	dir, err := os.MkdirTemp("", "chameleon-serve-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck
+	ix, err := chameleon.OpenDir(dir, chameleon.DirOptions{
+		Sync: chameleon.SyncEveryOp, MaxPending: 4096, BlockOnFull: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(ix, server.Options{OwnsIndex: true})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	go srv.Serve() //nolint:errcheck
+	addr := srv.Addr().String()
+
+	out := &serveReport{
+		Experiment: "serve",
+		Seed:       cfg.Seed,
+		DurationS:  dur.Seconds(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("serve — remote closed-loop sweep over TCP loopback (%s per point, 50%% reads, fsync every batch)", dur),
+		Cols:  []string{"conns", "depth", "ops/s", "acked wr/s", "p50", "p99", "p999", "mean batch", "err"},
+	}
+
+	point := 0
+	for _, conns := range []int{1, 2, 4, 8} {
+		for _, depth := range []int{1, 4, 16} {
+			row := runServePoint(addr, conns, depth, dur, cfg.Seed, uint64(point))
+			point++
+			out.Rows = append(out.Rows, row)
+			t.AddRow(
+				fmt.Sprint(conns), fmt.Sprint(depth),
+				report.F2(row.OpsPerSec), report.F2(row.AckedWPS),
+				report.NsF(row.P50US*1e3), report.NsF(row.P99US*1e3), report.NsF(row.P999US*1e3),
+				report.F2(row.MeanBatch), fmt.Sprint(row.Errors),
+			)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
+	}
+
+	path := os.Getenv("CHAMELEON_BENCH_JSON")
+	if path == "" {
+		path = "BENCH_serve.json"
+	}
+	if path != "off" {
+		if err := report.SaveJSON(path, out); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: saving %s: %v\n", path, err)
+		}
+	}
+	return []*report.Table{t}
+}
+
+// serveReport is the BENCH_serve.json schema.
+type serveReport struct {
+	Experiment string     `json:"experiment"`
+	Seed       uint64     `json:"seed"`
+	DurationS  float64    `json:"duration_s"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Rows       []serveRow `json:"rows"`
+}
+
+type serveRow struct {
+	Conns     int     `json:"conns"`
+	Depth     int     `json:"pipeline_depth"`
+	Workers   int     `json:"workers"`
+	Ops       uint64  `json:"ops"`
+	AckedW    uint64  `json:"acked_writes"`
+	Errors    uint64  `json:"errors"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	AckedWPS  float64 `json:"acked_writes_per_sec"`
+	P50US     float64 `json:"p50_us"`
+	P99US     float64 `json:"p99_us"`
+	P999US    float64 `json:"p999_us"`
+	MeanBatch float64 `json:"mean_batch"`
+	MaxBatch  int     `json:"max_batch"`
+}
+
+// runServePoint drives one sweep point: conns TCP connections, depth
+// closed-loop workers on each (so conns×depth requests in flight), 50/50
+// GET/INSERT, for dur. Batch amortization is read back through the same
+// STATS opcode an operator would use, differenced across the window.
+func runServePoint(addr string, conns, depth int, dur time.Duration, seed, stripe uint64) serveRow {
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		c, err := client.Dial(addr, client.Options{Conns: 1, MaxPipeline: depth})
+		if err != nil {
+			panic(err)
+		}
+		clients[i] = c
+	}
+	statsBefore, _, err := clients[0].Stats(context.Background())
+	if err != nil {
+		panic(err)
+	}
+
+	workers := conns * depth
+	lats := make([][]time.Duration, workers)
+	var ops, ackedW, errs atomic.Uint64
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := clients[w%conns]
+			// Worker-private keyspace, disjoint across sweep points.
+			base := (stripe<<32 | uint64(w)) << 20
+			rng := splitmix(seed + uint64(w) + stripe<<16)
+			var inserted uint64
+			mine := make([]time.Duration, 0, 4096)
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				var err error
+				if rng()&1 == 0 && inserted > 0 { // GET an own key
+					_, _, err = c.Get(context.Background(), base+rng()%inserted)
+				} else { // INSERT a fresh key
+					key := base + inserted
+					err = c.Insert(context.Background(), key, key^0x5bd1e995)
+					if err == nil {
+						inserted++
+						ackedW.Add(1)
+					}
+				}
+				mine = append(mine, time.Since(t0))
+				ops.Add(1)
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+			lats[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	statsAfter, _, err := clients[0].Stats(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range clients {
+		c.Close() //nolint:errcheck
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Microseconds())
+	}
+	row := serveRow{
+		Conns: conns, Depth: depth, Workers: workers,
+		Ops: ops.Load(), AckedW: ackedW.Load(), Errors: errs.Load(),
+		Seconds:   elapsed.Seconds(),
+		OpsPerSec: float64(ops.Load()) / elapsed.Seconds(),
+		AckedWPS:  float64(ackedW.Load()) / elapsed.Seconds(),
+		P50US:     pct(0.50), P99US: pct(0.99), P999US: pct(0.999),
+		MaxBatch: statsAfter.MaxBatch,
+	}
+	if db := statsAfter.Batches - statsBefore.Batches; db > 0 {
+		row.MeanBatch = float64(statsAfter.BatchedOps-statsBefore.BatchedOps) / float64(db)
+	}
+	return row
+}
+
+// splitmix returns a tiny deterministic generator (splitmix64) so the load
+// generator needs no shared state or locking.
+func splitmix(seed uint64) func() uint64 {
+	s := seed
+	return func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

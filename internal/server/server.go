@@ -1,0 +1,588 @@
+// Package server serves a chameleon.DurableIndex over TCP with the wire
+// protocol. It is the network front-end the group-commit write path was
+// built for: every connection pipelines — the reader keeps accepting frames
+// while earlier requests are still executing, so many in-flight mutations
+// from many connections fan into the durable index's commit queue
+// concurrently and share WAL writes and fsyncs. Responses carry the
+// request's id and may return out of order; a per-connection writer
+// coalesces whatever responses are ready into one flush, so a batch of
+// writes acked by one fsync usually goes back to the client in one syscall
+// too.
+//
+// Error surface: the durable index's admission and fault states map to
+// typed protocol errors (wire's mapping table) with a retry-after hint on
+// the retryable ones, so a remote caller sees exactly the contract an
+// in-process caller gets from InsertCtx — shed writes were never logged,
+// cancelled writes have no durable effect, acked writes are durable per the
+// sync policy.
+//
+// Shutdown drains: stop accepting, stop reading new frames, finish every
+// in-flight request and flush its response, checkpoint, and (when the
+// server owns the index) close it. A client that got an ack before the
+// drain finds its write after restart, always.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/wire"
+)
+
+// Options tunes the server. The zero value serves correctly.
+type Options struct {
+	// MaxConns caps concurrent connections (default 256). Excess dials get
+	// an ErrCodeConnLimit frame (request id 0) and are closed.
+	MaxConns int
+	// MaxPipeline caps in-flight requests per connection (default 128).
+	// When a client over-pipelines, the server simply stops reading its
+	// socket until a slot frees — TCP backpressure, no error.
+	MaxPipeline int
+	// IdleTimeout closes a connection that sends no frame for this long
+	// (default 5m; 0 disables).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response flush (default 30s).
+	WriteTimeout time.Duration
+	// RangeLimit caps pairs per RANGE response (default 4096, hard-capped
+	// so the response fits MaxFrame). Clients page with More + lo=last+1.
+	RangeLimit int
+	// OverloadedRetryMS / DiskFullRetryMS are the retry-after hints sent
+	// with the two retryable rejections (defaults 2 and 200).
+	OverloadedRetryMS uint32
+	DiskFullRetryMS   uint32
+	// OwnsIndex makes Shutdown checkpoint and close the index after the
+	// drain. cmd/chameleon-serve sets it; tests that reuse the index don't.
+	OwnsIndex bool
+}
+
+// maxRangePairs keeps a full RANGE response inside one MaxFrame.
+const maxRangePairs = (wire.MaxFrame - 64) / 16
+
+// batchWorkers bounds the goroutines fanning one BATCH request into the
+// commit queue. More would not help: the queue serializes into batches
+// anyway, and 64 concurrent enqueues saturate group commit.
+const batchWorkers = 64
+
+func (o Options) withDefaults() Options {
+	if o.MaxConns <= 0 {
+		o.MaxConns = 256
+	}
+	if o.MaxPipeline <= 0 {
+		o.MaxPipeline = 128
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.RangeLimit <= 0 || o.RangeLimit > maxRangePairs {
+		if o.RangeLimit > maxRangePairs {
+			o.RangeLimit = maxRangePairs
+		} else {
+			o.RangeLimit = 4096
+		}
+	}
+	if o.OverloadedRetryMS == 0 {
+		o.OverloadedRetryMS = 2
+	}
+	if o.DiskFullRetryMS == 0 {
+		o.DiskFullRetryMS = 200
+	}
+	return o
+}
+
+// Server is a TCP front-end over one durable index. Create with New, start
+// with ListenAndServe or Listen+Serve, stop with Shutdown (graceful) or
+// Close (abrupt).
+type Server struct {
+	ix   *chameleon.DurableIndex
+	opts Options
+
+	// baseCtx parents every request context; cancel aborts in-flight index
+	// ops when a drain deadline expires or Close demands a hard stop.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+
+	connWG sync.WaitGroup
+	start  time.Time
+
+	totalConns atomic.Uint64
+	requests   atomic.Uint64
+	reqErrors  atomic.Uint64
+	inFlight   atomic.Int64
+}
+
+// New wraps ix in a server. The index must already be open; the server
+// never mutates it except through the same InsertCtx/DeleteCtx surface any
+// other caller would use.
+func New(ix *chameleon.DurableIndex, opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		ix:      ix,
+		opts:    opts.withDefaults(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		conns:   make(map[*conn]struct{}),
+		start:   time.Now(),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") without serving yet, so callers
+// can read Addr before the first request.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return nil
+}
+
+// Addr reports the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe binds addr and serves until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Serve accepts connections on the listener bound by Listen. It returns nil
+// after Shutdown/Close, or the fatal accept error otherwise.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			go s.refuse(nc, wire.ErrCodeClosed, "server draining")
+			continue
+		}
+		if len(s.conns) >= s.opts.MaxConns {
+			s.mu.Unlock()
+			go s.refuse(nc, wire.ErrCodeConnLimit,
+				fmt.Sprintf("connection limit %d reached", s.opts.MaxConns))
+			continue
+		}
+		c := &conn{
+			srv:   s,
+			nc:    nc,
+			out:   make(chan *wire.Response, s.opts.MaxPipeline+8),
+			slots: make(chan struct{}, s.opts.MaxPipeline),
+			wdone: make(chan struct{}),
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		go c.run()
+	}
+}
+
+// refuse tells a connection why it is being turned away (request id 0 —
+// the connection-level slot) and closes it.
+func (s *Server) refuse(nc net.Conn, code wire.ErrCode, msg string) {
+	frame := wire.AppendResponse(nil, &wire.Response{
+		ID: 0, Op: wire.OpPing, Err: code, Msg: msg,
+	})
+	nc.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	nc.Write(frame)                                      //nolint:errcheck
+	// Absorb whatever the client already pipelined before closing: an
+	// immediate close would answer those bytes with an RST, and a received
+	// RST flushes the peer's receive queue — the refusal frame would be
+	// destroyed before the client could read why it was turned away.
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	io.Copy(io.Discard, nc)                             //nolint:errcheck
+	nc.Close()                                          //nolint:errcheck
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Shutdown drains gracefully: stop accepting, interrupt idle readers,
+// finish and flush every in-flight request, then checkpoint (and close,
+// when the server owns the index). If ctx expires first, in-flight index
+// operations are cancelled — their clients get ErrCodeCancelled, which the
+// two-state contract guarantees means "no durable effect" — and
+// connections are force-closed; the checkpoint is skipped (the WAL already
+// holds every acked write) but the index is still closed cleanly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	ln := s.ln
+	for c := range s.conns {
+		// Kick readers out of their blocking ReadFrame; the conn teardown
+		// then waits for in-flight handlers and flushes their responses.
+		c.nc.SetReadDeadline(time.Now()) //nolint:errcheck
+	}
+	s.mu.Unlock()
+	if alreadyDraining {
+		// A concurrent Shutdown/Close is already driving the drain; just
+		// wait for the connections to finish.
+		s.connWG.Wait()
+		return nil
+	}
+	if ln != nil {
+		ln.Close() //nolint:errcheck
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	graceful := true
+	select {
+	case <-done:
+	case <-ctx.Done():
+		graceful = false
+		s.cancel() // cancel in-flight index ops (two-state: no durable effect)
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close() //nolint:errcheck
+		}
+		s.mu.Unlock()
+		<-done // handlers unblock promptly once their contexts die
+	}
+
+	var err error
+	if s.opts.OwnsIndex {
+		if graceful {
+			if cerr := s.ix.Checkpoint(); cerr != nil && !errors.Is(cerr, chameleon.ErrIndexClosed) {
+				err = fmt.Errorf("drain checkpoint: %w", cerr)
+			}
+		}
+		if cerr := s.ix.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("drain close: %w", cerr)
+		}
+	}
+	if !graceful && err == nil {
+		err = ctx.Err()
+	}
+	return err
+}
+
+// Close stops abruptly: no drain, no checkpoint. In-flight operations are
+// cancelled and connections dropped. Acked writes are still durable — that
+// is the WAL's job, not the server's.
+func (s *Server) Close() error {
+	s.cancel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: Shutdown takes the force path immediately
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// conn is one client connection: a reader goroutine (frame decode +
+// dispatch), up to MaxPipeline handler goroutines, and a writer goroutine
+// that coalesces responses.
+type conn struct {
+	srv      *Server
+	nc       net.Conn
+	out      chan *wire.Response
+	slots    chan struct{}
+	handlers sync.WaitGroup
+	wdone    chan struct{}
+}
+
+func (c *conn) run() {
+	defer c.srv.connWG.Done()
+	defer c.srv.removeConn(c)
+	go c.writer()
+
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		if idle := c.srv.opts.IdleTimeout; idle > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(idle)) //nolint:errcheck
+		}
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			// A framing-level error (bad CRC, absurd length) means the
+			// stream cannot be resynchronized: report once on the
+			// connection slot and hang up. I/O errors and timeouts just
+			// hang up.
+			if errors.Is(err, wire.ErrFrameCRC) || errors.Is(err, wire.ErrFrameTooLarge) ||
+				errors.Is(err, wire.ErrFrameEmpty) {
+				c.out <- &wire.Response{ID: 0, Op: wire.OpPing, Err: wire.ErrCodeMalformed, Msg: err.Error()}
+			}
+			break
+		}
+		c.srv.mu.Lock()
+		draining := c.srv.draining
+		c.srv.mu.Unlock()
+		if draining {
+			break // stop consuming new work; in-flight finishes below
+		}
+		req, derr := wire.DecodeRequest(payload)
+		if derr != nil {
+			// The frame was intact, so framing is still in sync: fail just
+			// this request and keep the connection.
+			id, _ := wire.PeekID(payload)
+			c.srv.reqErrors.Add(1)
+			c.out <- &wire.Response{ID: id, Op: wire.OpPing, Err: wire.ErrCodeMalformed, Msg: derr.Error()}
+			continue
+		}
+		// Pipelining: take an in-flight slot (blocking the reader is the
+		// backpressure) and execute concurrently. Responses are matched by
+		// id, so completion order is free to differ from arrival order.
+		c.slots <- struct{}{}
+		c.handlers.Add(1)
+		go func() {
+			defer c.handlers.Done()
+			c.out <- c.srv.dispatch(c.srv.baseCtx, req)
+			<-c.slots
+		}()
+	}
+	c.handlers.Wait() // every accepted request gets its response...
+	close(c.out)      // ...then the writer flushes the tail and exits
+	<-c.wdone
+	c.nc.Close() //nolint:errcheck
+}
+
+// writer encodes and sends responses, coalescing: it flushes only when the
+// queue is momentarily empty, so responses completed close together — e.g.
+// a whole group-commit batch acking at once — share one syscall.
+func (c *conn) writer() {
+	defer close(c.wdone)
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var buf []byte
+	dead := false
+	for res := range c.out {
+		if dead {
+			continue // keep draining so handlers never block on a dead conn
+		}
+		buf = wire.AppendResponse(buf[:0], res)
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.WriteTimeout)) //nolint:errcheck
+		if _, err := bw.Write(buf); err != nil {
+			dead = true
+			c.nc.Close() //nolint:errcheck
+			continue
+		}
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				dead = true
+				c.nc.Close() //nolint:errcheck
+			}
+		}
+	}
+	if !dead {
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.WriteTimeout)) //nolint:errcheck
+		bw.Flush()                                                     //nolint:errcheck
+	}
+}
+
+// dispatch executes one request against the index and builds its response.
+func (s *Server) dispatch(ctx context.Context, req *wire.Request) *wire.Response {
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	res := &wire.Response{ID: req.ID, Op: req.Op, OK: true}
+	switch req.Op {
+	case wire.OpPing:
+	case wire.OpStats:
+		res.Stats = s.statsJSON()
+	case wire.OpGet:
+		if err := s.readableErr(); err != nil {
+			return s.fail(res, err)
+		}
+		res.Val, res.Found = s.ix.Lookup(req.Key)
+	case wire.OpRange:
+		if err := s.readableErr(); err != nil {
+			return s.fail(res, err)
+		}
+		limit := int(req.Limit)
+		if limit <= 0 || limit > s.opts.RangeLimit {
+			limit = s.opts.RangeLimit
+		}
+		res.Pairs = make([]wire.Pair, 0, min(limit, 1024))
+		s.ix.Range(req.Key, req.Val, func(k, v uint64) bool {
+			if len(res.Pairs) == limit {
+				res.More = true
+				return false
+			}
+			res.Pairs = append(res.Pairs, wire.Pair{Key: k, Val: v})
+			return true
+		})
+	case wire.OpInsert:
+		return s.fail(res, s.ix.InsertCtx(ctx, req.Key, req.Val))
+	case wire.OpDelete:
+		return s.fail(res, s.ix.DeleteCtx(ctx, req.Key))
+	case wire.OpBatch:
+		res.BatchErrs = s.runBatch(ctx, req.Batch)
+		for _, code := range res.BatchErrs {
+			if code != wire.ErrCodeNone {
+				s.reqErrors.Add(1)
+				break
+			}
+		}
+	default:
+		// DecodeRequest only emits known opcodes; this is future-proofing.
+		return s.fail(res, wire.ErrMalformed)
+	}
+	return res
+}
+
+// runBatch fans a BATCH's mutations into the commit queue concurrently, so
+// one frame's worth of writes group-commits exactly like the same writes
+// pipelined individually. Ops inside one batch are therefore unordered
+// relative to each other — a batch touching the same key twice gets
+// whichever serialization the queue picks.
+func (s *Server) runBatch(ctx context.Context, ops []wire.BatchOp) []wire.ErrCode {
+	codes := make([]wire.ErrCode, len(ops))
+	workers := min(batchWorkers, len(ops))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ops) {
+					return
+				}
+				var err error
+				if ops[i].Op == wire.OpInsert {
+					err = s.ix.InsertCtx(ctx, ops[i].Key, ops[i].Val)
+				} else {
+					err = s.ix.DeleteCtx(ctx, ops[i].Key)
+				}
+				codes[i] = s.writeCode(err)
+			}
+		}()
+	}
+	wg.Wait()
+	return codes
+}
+
+// readableErr gates the read surface: a closed index must answer "closed",
+// not a silent zero value, but a poisoned or degraded one keeps serving
+// reads (that is the point of those states).
+func (s *Server) readableErr() error {
+	if err := s.ix.Err(); err != nil && errors.Is(err, chameleon.ErrIndexClosed) {
+		return err
+	}
+	return nil
+}
+
+// writeCode maps a write-path error to its protocol code, upgrading the
+// catch-all to "poisoned" when that is what the index's health says.
+func (s *Server) writeCode(err error) wire.ErrCode {
+	code := wire.CodeFor(err)
+	if code == wire.ErrCodeInternal && s.ix.Health().State == chameleon.HealthPoisoned {
+		return wire.ErrCodePoisoned
+	}
+	return code
+}
+
+// fail finishes res for err: nil leaves it OK, anything else fills the
+// typed error with its retry-after hint.
+func (s *Server) fail(res *wire.Response, err error) *wire.Response {
+	if err == nil {
+		return res
+	}
+	s.reqErrors.Add(1)
+	res.OK = false
+	res.Err = s.writeCode(err)
+	res.Msg = err.Error()
+	switch res.Err {
+	case wire.ErrCodeOverloaded:
+		res.RetryAfterMS = s.opts.OverloadedRetryMS
+	case wire.ErrCodeDiskFull:
+		res.RetryAfterMS = s.opts.DiskFullRetryMS
+	}
+	return res
+}
+
+// statsJSON snapshots the index's Health surface plus the server's own
+// counters into the STATS schema. Health never blocks behind in-flight
+// I/O, so STATS keeps answering while a batch is wedged in a stalled fsync.
+func (s *Server) statsJSON() []byte {
+	h := s.ix.Health()
+	s.mu.Lock()
+	conns := len(s.conns)
+	draining := s.draining
+	s.mu.Unlock()
+	reply := wire.StatsReply{
+		State:           h.State.String(),
+		Len:             s.ix.Len(),
+		WALBytes:        s.ix.WALSize(),
+		QueueDepth:      h.QueueDepth,
+		QueueHighWater:  h.QueueHighWater,
+		ShedOps:         h.ShedOps,
+		CancelledOps:    h.CancelledOps,
+		Batches:         h.Batches,
+		BatchedOps:      h.BatchedOps,
+		MaxBatch:        h.MaxBatch,
+		DiskFullBatches: h.DiskFullBatches,
+		FsyncHist:       h.FsyncLatency[:],
+		RetrainPauses:   h.RetrainPauses,
+		RetrainPaused:   h.RetrainPaused,
+		Conns:           conns,
+		TotalConns:      s.totalConns.Load(),
+		Requests:        s.requests.Load(),
+		ReqErrors:       s.reqErrors.Load(),
+		InFlight:        int(s.inFlight.Load()),
+		Draining:        draining,
+		UptimeSec:       time.Since(s.start).Seconds(),
+	}
+	if h.Err != nil {
+		reply.Err = h.Err.Error()
+	}
+	for _, b := range chameleon.FsyncBucketBounds {
+		reply.FsyncBounds = append(reply.FsyncBounds, b.String())
+	}
+	data, err := json.Marshal(reply)
+	if err != nil { // unreachable: the schema is all marshalable types
+		data = []byte(fmt.Sprintf(`{"state":"stats-error","err":%q}`, err))
+	}
+	return data
+}

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"chameleon"
+)
+
+// This file is the error mapping table between the durable index's error
+// surface (DESIGN.md §9) and the protocol's ErrCodes. It lives in wire —
+// not duplicated in server and client — so the two directions cannot
+// drift: the server encodes with CodeFor, the client decodes with
+// RemoteError, and a code always round-trips to the sentinel the in-process
+// API would have returned.
+//
+//	index error                 code                retryable  client unwraps to
+//	------------------------    ------------------  ---------  ------------------
+//	ErrOverloaded               ErrCodeOverloaded   yes        chameleon.ErrOverloaded
+//	ErrDiskFull                 ErrCodeDiskFull     yes        chameleon.ErrDiskFull
+//	ErrIndexClosed              ErrCodeClosed       no         chameleon.ErrIndexClosed
+//	health poisoned             ErrCodePoisoned     no         —
+//	ErrDuplicateKey             ErrCodeDuplicateKey no         chameleon.ErrDuplicateKey
+//	ErrKeyNotFound              ErrCodeKeyNotFound  no         chameleon.ErrKeyNotFound
+//	ctx cancelled before claim  ErrCodeCancelled    yes        context.Canceled
+//	anything else               ErrCodeInternal     no         —
+
+// CodeFor maps an error returned by the durable index's write path to its
+// protocol code. Unrecognized errors map to ErrCodeInternal; the server
+// upgrades those to ErrCodePoisoned when the index's health says so.
+func CodeFor(err error) ErrCode {
+	switch {
+	case err == nil:
+		return ErrCodeNone
+	case errors.Is(err, chameleon.ErrOverloaded):
+		return ErrCodeOverloaded
+	case errors.Is(err, chameleon.ErrDiskFull):
+		return ErrCodeDiskFull
+	case errors.Is(err, chameleon.ErrIndexClosed):
+		return ErrCodeClosed
+	case errors.Is(err, chameleon.ErrDuplicateKey):
+		return ErrCodeDuplicateKey
+	case errors.Is(err, chameleon.ErrKeyNotFound):
+		return ErrCodeKeyNotFound
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ErrCodeCancelled
+	}
+	return ErrCodeInternal
+}
+
+// RemoteError is a request rejection as the client surfaces it. It unwraps
+// to the sentinel the in-process API would have returned, so call sites
+// written against chameleon.DurableIndex keep working over the wire:
+// errors.Is(err, chameleon.ErrOverloaded) is true exactly when the remote
+// index shed the write at admission.
+type RemoteError struct {
+	Code         ErrCode
+	RetryAfterMS uint32
+	Msg          string
+}
+
+// Error renders the code and server message.
+func (e *RemoteError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("chameleon remote: %s", e.Code)
+	}
+	return fmt.Sprintf("chameleon remote: %s: %s", e.Code, e.Msg)
+}
+
+// Unwrap exposes the matching in-process sentinel (nil for codes with no
+// in-process equivalent, e.g. malformed or internal).
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case ErrCodeOverloaded:
+		return chameleon.ErrOverloaded
+	case ErrCodeDiskFull:
+		return chameleon.ErrDiskFull
+	case ErrCodeClosed:
+		return chameleon.ErrIndexClosed
+	case ErrCodeDuplicateKey:
+		return chameleon.ErrDuplicateKey
+	case ErrCodeKeyNotFound:
+		return chameleon.ErrKeyNotFound
+	case ErrCodeCancelled:
+		return context.Canceled
+	}
+	return nil
+}
+
+// Retryable reports whether the rejection guarantees no durable effect and
+// permits a retry (see ErrCode.Retryable).
+func (e *RemoteError) Retryable() bool { return e.Code.Retryable() }

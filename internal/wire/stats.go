@@ -1,0 +1,43 @@
+package wire
+
+// StatsReply is the JSON document a STATS response carries: the durable
+// index's Health surface (DESIGN.md §9) plus the server's own connection
+// and request counters. The server marshals it, `chameleon-serve -stats`
+// prints it as one line, and the serving load generator parses it — one
+// schema, so operators and benchmarks read the same numbers.
+type StatsReply struct {
+	// State is the durable index's health state string (ok,
+	// degraded-read-only, poisoned, closed); Err explains any non-ok state.
+	State string `json:"state"`
+	Err   string `json:"err,omitempty"`
+
+	// Len and WALBytes size the index: live keys and the write-ahead log's
+	// replay debt (including admitted-but-uncommitted mutations).
+	Len      int   `json:"len"`
+	WALBytes int64 `json:"wal_bytes"`
+
+	// Group-commit queue counters, cumulative since OpenDir (see
+	// chameleon.Health for exact semantics).
+	QueueDepth      int      `json:"queue_depth"`
+	QueueHighWater  int      `json:"queue_high_water"`
+	ShedOps         uint64   `json:"shed_ops"`
+	CancelledOps    uint64   `json:"cancelled_ops"`
+	Batches         uint64   `json:"batches"`
+	BatchedOps      uint64   `json:"batched_ops"`
+	MaxBatch        int      `json:"max_batch"`
+	DiskFullBatches uint64   `json:"disk_full_batches"`
+	FsyncHist       []uint64 `json:"fsync_hist"`
+	FsyncBounds     []string `json:"fsync_bounds"`
+	RetrainPauses   uint64   `json:"retrain_pauses"`
+	RetrainPaused   bool     `json:"retrain_paused"`
+
+	// Server-side counters: current and lifetime connections, requests by
+	// outcome, current in-flight requests, and drain status.
+	Conns      int     `json:"conns"`
+	TotalConns uint64  `json:"total_conns"`
+	Requests   uint64  `json:"requests"`
+	ReqErrors  uint64  `json:"req_errors"`
+	InFlight   int     `json:"in_flight"`
+	Draining   bool    `json:"draining"`
+	UptimeSec  float64 `json:"uptime_sec"`
+}

@@ -1,0 +1,559 @@
+// Package wire is the binary protocol spoken between the Chameleon server
+// and its clients. It is the one codec both sides share: the server decodes
+// requests with exactly the functions the client uses to decode responses,
+// so a frame either round-trips or is rejected identically everywhere.
+//
+// Frame format (all little-endian), deliberately the same envelope as the
+// WAL's — length-prefixed and CRC-checked so a torn or corrupted stream is
+// detected at the frame boundary, never half-decoded:
+//
+//	[4] payload length
+//	[4] CRC32C of the payload (Castagnoli)
+//	[n] payload: [1] type  [8] request id  [...] body
+//
+// The type byte is an opcode (client→server) or a status (server→client).
+// Request ids are chosen by the client and echoed verbatim in the matching
+// response; they are what makes pipelining work — responses may return in
+// any order, and the id is the only correlation. Id 0 is reserved for
+// connection-level errors the server must report before any request id is
+// known (connection limit reached, unframeable input).
+//
+// The decoder is hostile-input safe by construction: the length prefix is
+// bounded by MaxFrame before any allocation, every embedded count is
+// validated against the bytes actually present before a slice is sized from
+// it, and every decode error is a value, never a panic. FuzzDecodeFrame
+// holds it to that.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Op tags a request frame.
+type Op byte
+
+const (
+	// OpGet looks up one key. Body: [8] key.
+	OpGet Op = 0x01
+	// OpInsert inserts key→val. Body: [8] key [8] val.
+	OpInsert Op = 0x02
+	// OpDelete removes a key. Body: [8] key.
+	OpDelete Op = 0x03
+	// OpRange scans [lo, hi] ascending. Body: [8] lo [8] hi [4] limit
+	// (0 = server default cap).
+	OpRange Op = 0x04
+	// OpBatch carries many mutations in one frame. Body: [4] count, then
+	// count × ([1] sub-op (OpInsert|OpDelete) [8] key [8] val).
+	OpBatch Op = 0x05
+	// OpStats asks for the server's health/counter snapshot. No body.
+	OpStats Op = 0x06
+	// OpPing is a liveness no-op. No body.
+	OpPing Op = 0x07
+)
+
+// String names the opcode for errors and traces.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpInsert:
+		return "INSERT"
+	case OpDelete:
+		return "DELETE"
+	case OpRange:
+		return "RANGE"
+	case OpBatch:
+		return "BATCH"
+	case OpStats:
+		return "STATS"
+	case OpPing:
+		return "PING"
+	}
+	return fmt.Sprintf("Op(0x%02x)", byte(o))
+}
+
+// Response status bytes. Statuses and opcodes share the type byte's number
+// space but never its values: the high bit marks a response.
+const (
+	statusOK  byte = 0x80
+	statusErr byte = 0x81
+)
+
+// ErrCode classifies a rejected request. Codes, not strings, are the
+// contract: clients branch on the code and treat the message as opaque.
+type ErrCode byte
+
+const (
+	// ErrCodeNone is the zero code of a successful response.
+	ErrCodeNone ErrCode = 0
+	// ErrCodeOverloaded: the server shed the mutation at admission
+	// (group-commit queue full). Nothing was logged or applied; retry after
+	// the hinted delay.
+	ErrCodeOverloaded ErrCode = 1
+	// ErrCodeDiskFull: the WAL's disk is full. The mutation was cleanly
+	// rejected; the index is degraded-read-only until space frees.
+	ErrCodeDiskFull ErrCode = 2
+	// ErrCodeClosed: the index (or server) is shut down or draining.
+	ErrCodeClosed ErrCode = 3
+	// ErrCodePoisoned: the index fail-stopped (memory and disk may
+	// diverge). Writes are refused until the operator re-opens.
+	ErrCodePoisoned ErrCode = 4
+	// ErrCodeDuplicateKey: INSERT of a present key.
+	ErrCodeDuplicateKey ErrCode = 5
+	// ErrCodeKeyNotFound: DELETE of an absent key.
+	ErrCodeKeyNotFound ErrCode = 6
+	// ErrCodeMalformed: the request decoded as garbage (bad count, short
+	// body, unknown opcode). The connection survives — framing was intact.
+	ErrCodeMalformed ErrCode = 7
+	// ErrCodeCancelled: the server abandoned the op before it had any
+	// durable effect (deadline or drain raced admission). Safe to retry.
+	ErrCodeCancelled ErrCode = 8
+	// ErrCodeConnLimit: the server is at its connection cap. Sent with
+	// request id 0 and then the connection is closed.
+	ErrCodeConnLimit ErrCode = 9
+	// ErrCodeInternal: anything else; see the message.
+	ErrCodeInternal ErrCode = 10
+)
+
+// Retryable reports whether the code guarantees the request had no durable
+// effect and a later retry may succeed — the only codes the client's bounded
+// retry loop is allowed to act on. Duplicate-key and not-found are final
+// answers, closed/poisoned need operator action on this server, and
+// malformed/internal would fail identically again.
+func (c ErrCode) Retryable() bool {
+	switch c {
+	case ErrCodeOverloaded, ErrCodeDiskFull, ErrCodeCancelled, ErrCodeConnLimit:
+		return true
+	}
+	return false
+}
+
+// String names the code.
+func (c ErrCode) String() string {
+	switch c {
+	case ErrCodeNone:
+		return "ok"
+	case ErrCodeOverloaded:
+		return "overloaded"
+	case ErrCodeDiskFull:
+		return "disk-full"
+	case ErrCodeClosed:
+		return "closed"
+	case ErrCodePoisoned:
+		return "poisoned"
+	case ErrCodeDuplicateKey:
+		return "duplicate-key"
+	case ErrCodeKeyNotFound:
+		return "key-not-found"
+	case ErrCodeMalformed:
+		return "malformed"
+	case ErrCodeCancelled:
+		return "cancelled"
+	case ErrCodeConnLimit:
+		return "conn-limit"
+	case ErrCodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("ErrCode(%d)", byte(c))
+}
+
+const (
+	frameHeader = 8 // length + CRC
+	msgHeader   = 9 // type + request id
+	batchOpSize = 17
+	pairSize    = 16
+
+	// MaxFrame bounds one frame's payload: the decoder refuses larger
+	// length prefixes before allocating anything, so a hostile 4 GB length
+	// costs the peer a rejected frame, not the server 4 GB. Large enough
+	// for a 64k-pair RANGE response or a 61k-op BATCH.
+	MaxFrame = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Framing errors. ErrFrame-class failures mean the byte stream itself can no
+// longer be trusted (resynchronization is impossible in a length-prefixed
+// protocol), so the connection must be dropped; ErrMalformed means one
+// well-framed payload decoded as garbage and only that request fails.
+var (
+	// ErrFrameTooLarge rejects a length prefix over MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	// ErrFrameCRC rejects a payload whose checksum does not match.
+	ErrFrameCRC = errors.New("wire: frame CRC mismatch")
+	// ErrFrameEmpty rejects a zero-length payload (every message carries at
+	// least a type byte and a request id).
+	ErrFrameEmpty = errors.New("wire: empty frame")
+	// ErrMalformed rejects a payload whose body contradicts its type —
+	// short body, impossible count, unknown type byte.
+	ErrMalformed = errors.New("wire: malformed message")
+)
+
+// Pair is one key/value of a RANGE response.
+type Pair struct {
+	Key, Val uint64
+}
+
+// BatchOp is one mutation of a BATCH request. Op must be OpInsert or
+// OpDelete; Val is ignored for deletes.
+type BatchOp struct {
+	Op       Op
+	Key, Val uint64
+}
+
+// Request is a decoded client→server message.
+type Request struct {
+	ID uint64
+	Op Op
+	// Key/Val carry GET/INSERT/DELETE operands; RANGE reuses Key=lo,
+	// Val=hi.
+	Key, Val uint64
+	// Limit caps a RANGE response's pair count (0 = server default).
+	Limit uint32
+	// Batch carries OpBatch's mutations.
+	Batch []BatchOp
+}
+
+// Response is a decoded server→client message. Op echoes the request's
+// opcode so the payload is self-describing — a response can be decoded (and
+// fuzzed) without knowing which request it answers.
+type Response struct {
+	ID uint64
+	Op Op
+	OK bool
+
+	// Found/Val answer GET.
+	Found bool
+	Val   uint64
+	// Pairs answers RANGE; More reports the scan stopped at the limit with
+	// keys remaining.
+	Pairs []Pair
+	More  bool
+	// BatchErrs answers BATCH: one code per submitted op, in order.
+	BatchErrs []ErrCode
+	// Stats answers STATS with a JSON document (see StatsReply).
+	Stats []byte
+
+	// Err/RetryAfterMS/Msg describe a failed request. RetryAfterMS is the
+	// server's backoff hint for retryable codes.
+	Err          ErrCode
+	RetryAfterMS uint32
+	Msg          string
+}
+
+// appendFrame wraps payload in the length+CRC envelope.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// AppendRequest encodes r as one complete frame onto dst.
+func AppendRequest(dst []byte, r *Request) []byte {
+	payload := make([]byte, 0, msgHeader+8+8+4+len(r.Batch)*batchOpSize)
+	payload = append(payload, byte(r.Op))
+	payload = binary.LittleEndian.AppendUint64(payload, r.ID)
+	switch r.Op {
+	case OpGet, OpDelete:
+		payload = binary.LittleEndian.AppendUint64(payload, r.Key)
+	case OpInsert:
+		payload = binary.LittleEndian.AppendUint64(payload, r.Key)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Val)
+	case OpRange:
+		payload = binary.LittleEndian.AppendUint64(payload, r.Key)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Val)
+		payload = binary.LittleEndian.AppendUint32(payload, r.Limit)
+	case OpBatch:
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.Batch)))
+		for _, b := range r.Batch {
+			payload = append(payload, byte(b.Op))
+			payload = binary.LittleEndian.AppendUint64(payload, b.Key)
+			payload = binary.LittleEndian.AppendUint64(payload, b.Val)
+		}
+	case OpStats, OpPing:
+		// no body
+	}
+	return appendFrame(dst, payload)
+}
+
+// AppendResponse encodes r as one complete frame onto dst.
+func AppendResponse(dst []byte, r *Response) []byte {
+	size := msgHeader + 1 + 8 + len(r.Pairs)*pairSize + len(r.BatchErrs) + len(r.Stats) + len(r.Msg)
+	payload := make([]byte, 0, size)
+	if !r.OK {
+		payload = append(payload, statusErr)
+		payload = binary.LittleEndian.AppendUint64(payload, r.ID)
+		payload = append(payload, byte(r.Op), byte(r.Err))
+		payload = binary.LittleEndian.AppendUint32(payload, r.RetryAfterMS)
+		msg := r.Msg
+		if len(msg) > 1<<16-1 {
+			msg = msg[:1<<16-1] // a diagnostic, not a transcript
+		}
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(msg)))
+		payload = append(payload, msg...)
+		return appendFrame(dst, payload)
+	}
+	payload = append(payload, statusOK)
+	payload = binary.LittleEndian.AppendUint64(payload, r.ID)
+	payload = append(payload, byte(r.Op))
+	switch r.Op {
+	case OpGet:
+		var found byte
+		if r.Found {
+			found = 1
+		}
+		payload = append(payload, found)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Val)
+	case OpRange:
+		var more byte
+		if r.More {
+			more = 1
+		}
+		payload = append(payload, more)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.Pairs)))
+		for _, p := range r.Pairs {
+			payload = binary.LittleEndian.AppendUint64(payload, p.Key)
+			payload = binary.LittleEndian.AppendUint64(payload, p.Val)
+		}
+	case OpBatch:
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.BatchErrs)))
+		for _, c := range r.BatchErrs {
+			payload = append(payload, byte(c))
+		}
+	case OpStats:
+		payload = append(payload, r.Stats...)
+	case OpInsert, OpDelete, OpPing:
+		// no body
+	}
+	return appendFrame(dst, payload)
+}
+
+// DecodeFrame validates the frame starting at data[0] and returns its
+// payload (aliasing data, no copy) and the total frame length consumed. A
+// short buffer returns (nil, 0, io.ErrShortBuffer) so stream parsers can
+// wait for more bytes; any other error means the stream is unframeable.
+func DecodeFrame(data []byte) (payload []byte, n int, err error) {
+	if len(data) < frameHeader {
+		return nil, 0, io.ErrShortBuffer
+	}
+	plen := binary.LittleEndian.Uint32(data[0:])
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if plen == 0 {
+		return nil, 0, ErrFrameEmpty
+	}
+	if plen > MaxFrame {
+		return nil, 0, ErrFrameTooLarge
+	}
+	if len(data) < frameHeader+int(plen) {
+		return nil, 0, io.ErrShortBuffer
+	}
+	payload = data[frameHeader : frameHeader+int(plen)]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, 0, ErrFrameCRC
+	}
+	return payload, frameHeader + int(plen), nil
+}
+
+// ReadFrame reads one frame's payload from r. The allocation is bounded by
+// the validated length prefix, never by what the peer claims beyond
+// MaxFrame. Returns io.EOF only on a clean boundary (no bytes read);
+// a frame cut off mid-way is io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if plen == 0 {
+		return nil, ErrFrameEmpty
+	}
+	if plen > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, ErrFrameCRC
+	}
+	return payload, nil
+}
+
+// PeekID extracts the request id from a payload whose body failed to
+// decode, so the server can address its malformed-request error to the
+// right in-flight slot. ok=false means not even the id survived.
+func PeekID(payload []byte) (id uint64, ok bool) {
+	if len(payload) < msgHeader {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(payload[1:]), true
+}
+
+// DecodeRequest decodes a frame payload as a client→server message. Every
+// count is validated against the bytes present before any slice is
+// allocated from it.
+func DecodeRequest(payload []byte) (*Request, error) {
+	if len(payload) < msgHeader {
+		return nil, fmt.Errorf("%w: %d-byte payload", ErrMalformed, len(payload))
+	}
+	r := &Request{
+		Op: Op(payload[0]),
+		ID: binary.LittleEndian.Uint64(payload[1:]),
+	}
+	body := payload[msgHeader:]
+	switch r.Op {
+	case OpGet, OpDelete:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("%w: %s body %d bytes", ErrMalformed, r.Op, len(body))
+		}
+		r.Key = binary.LittleEndian.Uint64(body)
+	case OpInsert:
+		if len(body) != 16 {
+			return nil, fmt.Errorf("%w: %s body %d bytes", ErrMalformed, r.Op, len(body))
+		}
+		r.Key = binary.LittleEndian.Uint64(body)
+		r.Val = binary.LittleEndian.Uint64(body[8:])
+	case OpRange:
+		if len(body) != 20 {
+			return nil, fmt.Errorf("%w: %s body %d bytes", ErrMalformed, r.Op, len(body))
+		}
+		r.Key = binary.LittleEndian.Uint64(body)
+		r.Val = binary.LittleEndian.Uint64(body[8:])
+		r.Limit = binary.LittleEndian.Uint32(body[16:])
+	case OpBatch:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: BATCH body %d bytes", ErrMalformed, len(body))
+		}
+		count := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		if int64(count)*batchOpSize != int64(len(body)) {
+			return nil, fmt.Errorf("%w: BATCH count %d vs %d body bytes", ErrMalformed, count, len(body))
+		}
+		if count == 0 {
+			break
+		}
+		r.Batch = make([]BatchOp, count)
+		for i := range r.Batch {
+			op := Op(body[0])
+			if op != OpInsert && op != OpDelete {
+				return nil, fmt.Errorf("%w: BATCH sub-op 0x%02x", ErrMalformed, byte(op))
+			}
+			r.Batch[i] = BatchOp{
+				Op:  op,
+				Key: binary.LittleEndian.Uint64(body[1:]),
+				Val: binary.LittleEndian.Uint64(body[9:]),
+			}
+			body = body[batchOpSize:]
+		}
+	case OpStats, OpPing:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: %s carries a body", ErrMalformed, r.Op)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown opcode 0x%02x", ErrMalformed, payload[0])
+	}
+	return r, nil
+}
+
+// DecodeResponse decodes a frame payload as a server→client message, with
+// the same count-before-allocation discipline as DecodeRequest.
+func DecodeResponse(payload []byte) (*Response, error) {
+	if len(payload) < msgHeader+1 {
+		return nil, fmt.Errorf("%w: %d-byte payload", ErrMalformed, len(payload))
+	}
+	status := payload[0]
+	r := &Response{
+		ID: binary.LittleEndian.Uint64(payload[1:]),
+		Op: Op(payload[msgHeader]),
+	}
+	body := payload[msgHeader+1:]
+	switch status {
+	case statusErr:
+		if len(body) < 7 {
+			return nil, fmt.Errorf("%w: error body %d bytes", ErrMalformed, len(body))
+		}
+		r.Err = ErrCode(body[0])
+		r.RetryAfterMS = binary.LittleEndian.Uint32(body[1:])
+		msgLen := binary.LittleEndian.Uint16(body[5:])
+		if int(msgLen) != len(body)-7 {
+			return nil, fmt.Errorf("%w: error message %d vs %d body bytes", ErrMalformed, msgLen, len(body)-7)
+		}
+		r.Msg = string(body[7:])
+		if r.Err == ErrCodeNone {
+			return nil, fmt.Errorf("%w: error response with code 0", ErrMalformed)
+		}
+		return r, nil
+	case statusOK:
+		r.OK = true
+	default:
+		return nil, fmt.Errorf("%w: unknown status 0x%02x", ErrMalformed, status)
+	}
+	switch r.Op {
+	case OpGet:
+		if len(body) != 9 || body[0] > 1 {
+			return nil, fmt.Errorf("%w: GET reply body %d bytes", ErrMalformed, len(body))
+		}
+		r.Found = body[0] == 1
+		r.Val = binary.LittleEndian.Uint64(body[1:])
+	case OpRange:
+		if len(body) < 5 || body[0] > 1 {
+			return nil, fmt.Errorf("%w: RANGE reply body %d bytes", ErrMalformed, len(body))
+		}
+		r.More = body[0] == 1
+		count := binary.LittleEndian.Uint32(body[1:])
+		body = body[5:]
+		if int64(count)*pairSize != int64(len(body)) {
+			return nil, fmt.Errorf("%w: RANGE count %d vs %d body bytes", ErrMalformed, count, len(body))
+		}
+		if count == 0 {
+			break
+		}
+		r.Pairs = make([]Pair, count)
+		for i := range r.Pairs {
+			r.Pairs[i] = Pair{
+				Key: binary.LittleEndian.Uint64(body),
+				Val: binary.LittleEndian.Uint64(body[8:]),
+			}
+			body = body[pairSize:]
+		}
+	case OpBatch:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: BATCH reply body %d bytes", ErrMalformed, len(body))
+		}
+		count := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		if int(count) != len(body) {
+			return nil, fmt.Errorf("%w: BATCH reply count %d vs %d body bytes", ErrMalformed, count, len(body))
+		}
+		if count == 0 {
+			break
+		}
+		r.BatchErrs = make([]ErrCode, count)
+		for i := range r.BatchErrs {
+			r.BatchErrs[i] = ErrCode(body[i])
+		}
+	case OpStats:
+		r.Stats = append([]byte(nil), body...)
+	case OpInsert, OpDelete, OpPing:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: %s reply carries a body", ErrMalformed, r.Op)
+		}
+	default:
+		return nil, fmt.Errorf("%w: reply for unknown opcode 0x%02x", ErrMalformed, byte(r.Op))
+	}
+	return r, nil
+}

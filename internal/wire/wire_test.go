@@ -1,0 +1,271 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"chameleon"
+)
+
+// requestCases is every request shape the protocol defines, used by both
+// the round-trip test and the fuzz seed corpus.
+func requestCases() []*Request {
+	return []*Request{
+		{ID: 1, Op: OpGet, Key: 42},
+		{ID: 2, Op: OpInsert, Key: 7, Val: 99},
+		{ID: 3, Op: OpDelete, Key: 7},
+		{ID: 4, Op: OpRange, Key: 10, Val: 20, Limit: 128},
+		{ID: 5, Op: OpBatch, Batch: []BatchOp{
+			{Op: OpInsert, Key: 1, Val: 2},
+			{Op: OpDelete, Key: 3},
+			{Op: OpInsert, Key: ^uint64(0), Val: 0},
+		}},
+		{ID: 6, Op: OpStats},
+		{ID: 7, Op: OpPing},
+		{ID: ^uint64(0), Op: OpGet, Key: ^uint64(0)},
+	}
+}
+
+func responseCases() []*Response {
+	return []*Response{
+		{ID: 1, Op: OpGet, OK: true, Found: true, Val: 99},
+		{ID: 2, Op: OpGet, OK: true, Found: false},
+		{ID: 3, Op: OpInsert, OK: true},
+		{ID: 4, Op: OpDelete, OK: true},
+		{ID: 5, Op: OpRange, OK: true, More: true, Pairs: []Pair{{1, 2}, {3, 4}}},
+		{ID: 6, Op: OpRange, OK: true},
+		{ID: 7, Op: OpBatch, OK: true, BatchErrs: []ErrCode{ErrCodeNone, ErrCodeDuplicateKey}},
+		{ID: 8, Op: OpStats, OK: true, Stats: []byte(`{"state":"ok"}`)},
+		{ID: 9, Op: OpPing, OK: true},
+		{ID: 10, Op: OpInsert, Err: ErrCodeOverloaded, RetryAfterMS: 5, Msg: "queue full"},
+		{ID: 11, Op: OpInsert, Err: ErrCodeDiskFull, RetryAfterMS: 100},
+		{ID: 0, Op: OpPing, Err: ErrCodeConnLimit, Msg: "connection limit"},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, rq := range requestCases() {
+		frame := AppendRequest(nil, rq)
+		payload, n, err := DecodeFrame(frame)
+		if err != nil || n != len(frame) {
+			t.Fatalf("%s: DecodeFrame n=%d err=%v", rq.Op, n, err)
+		}
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("%s: DecodeRequest: %v", rq.Op, err)
+		}
+		if !reflect.DeepEqual(got, rq) {
+			t.Fatalf("%s: round trip\n got %+v\nwant %+v", rq.Op, got, rq)
+		}
+		// The io.Reader path must agree with the byte-slice path.
+		p2, err := ReadFrame(bytes.NewReader(frame))
+		if err != nil || !bytes.Equal(p2, payload) {
+			t.Fatalf("%s: ReadFrame mismatch (err=%v)", rq.Op, err)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, rs := range responseCases() {
+		frame := AppendResponse(nil, rs)
+		payload, _, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("%v: DecodeFrame: %v", rs, err)
+		}
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("%+v: DecodeResponse: %v", rs, err)
+		}
+		if !reflect.DeepEqual(got, rs) {
+			t.Fatalf("round trip\n got %+v\nwant %+v", got, rs)
+		}
+	}
+}
+
+func TestStreamedFrames(t *testing.T) {
+	// Many frames back to back decode in order from one stream — the shape
+	// of a pipelined connection.
+	var stream []byte
+	for _, rq := range requestCases() {
+		stream = AppendRequest(stream, rq)
+	}
+	br := bytes.NewReader(stream)
+	for i, want := range requestCases() {
+		payload, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("stream end: want io.EOF, got %v", err)
+	}
+}
+
+// TestMalformedInputs is the hostile-byte unit table: truncated header,
+// truncated payload, bad CRC, oversized and zero length prefixes, unknown
+// opcodes and statuses, and count fields that contradict the body. Every
+// case must return an error — never panic, never succeed.
+func TestMalformedInputs(t *testing.T) {
+	goodFrame := AppendRequest(nil, &Request{ID: 9, Op: OpInsert, Key: 1, Val: 2})
+
+	corrupt := func(mut func([]byte)) []byte {
+		b := append([]byte(nil), goodFrame...)
+		mut(b)
+		return b
+	}
+	reframe := func(payload []byte) []byte { return appendFrame(nil, payload) }
+
+	frameCases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, io.ErrShortBuffer},
+		{"truncated header", goodFrame[:5], io.ErrShortBuffer},
+		{"truncated payload", goodFrame[:len(goodFrame)-3], io.ErrShortBuffer},
+		{"zero length", corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b, 0) }), ErrFrameEmpty},
+		{"oversized length", corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b, MaxFrame+1) }), ErrFrameTooLarge},
+		{"huge length", corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b, ^uint32(0)) }), ErrFrameTooLarge},
+		{"bad CRC", corrupt(func(b []byte) { b[4] ^= 0xff }), ErrFrameCRC},
+		{"flipped payload bit", corrupt(func(b []byte) { b[len(b)-1] ^= 1 }), ErrFrameCRC},
+	}
+	for _, tc := range frameCases {
+		if _, _, err := DecodeFrame(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("DecodeFrame %s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// The io.Reader path classifies the same inputs, with short buffers
+	// surfacing as unexpected EOF (the stream died mid-frame).
+	readerWant := func(w error) error {
+		if w == io.ErrShortBuffer {
+			return io.ErrUnexpectedEOF
+		}
+		return w
+	}
+	for _, tc := range frameCases {
+		if len(tc.data) == 0 {
+			continue // clean EOF, not an error
+		}
+		if _, err := ReadFrame(bytes.NewReader(tc.data)); !errors.Is(err, readerWant(tc.want)) {
+			t.Errorf("ReadFrame %s: got %v, want %v", tc.name, err, readerWant(tc.want))
+		}
+	}
+
+	le32 := func(v uint32) []byte { return binary.LittleEndian.AppendUint32(nil, v) }
+	id := make([]byte, 8)
+	payloadCases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"short payload", []byte{byte(OpGet)}},
+		{"unknown opcode", append([]byte{0x7f}, id...)},
+		{"GET short body", append(append([]byte{byte(OpGet)}, id...), 1, 2, 3)},
+		{"INSERT long body", append(append([]byte{byte(OpInsert)}, id...), make([]byte, 24)...)},
+		{"RANGE short body", append(append([]byte{byte(OpRange)}, id...), make([]byte, 12)...)},
+		{"PING with body", append(append([]byte{byte(OpPing)}, id...), 0)},
+		{"BATCH no count", append([]byte{byte(OpBatch)}, id...)},
+		// Count says 2^32/17 ops but zero bytes follow: the decoder must
+		// reject before allocating anything count-sized.
+		{"BATCH count overflows body", append(append([]byte{byte(OpBatch)}, id...), le32(0xfffffff0)...)},
+		{"BATCH count short of body", append(append(append([]byte{byte(OpBatch)}, id...), le32(2)...), make([]byte, batchOpSize)...)},
+		{"BATCH bad sub-op", append(append(append([]byte{byte(OpBatch)}, id...), le32(1)...),
+			append([]byte{byte(OpStats)}, make([]byte, 16)...)...)},
+	}
+	for _, tc := range payloadCases {
+		if _, err := DecodeRequest(tc.payload); !errors.Is(err, ErrMalformed) {
+			t.Errorf("DecodeRequest %s: got %v, want ErrMalformed", tc.name, err)
+		}
+		// Well-framed garbage must fail at decode, not at the frame layer.
+		payload, _, err := DecodeFrame(reframe(tc.payload))
+		if err != nil {
+			t.Errorf("DecodeFrame(reframed %s): %v", tc.name, err)
+		} else if _, err := DecodeRequest(payload); err == nil {
+			t.Errorf("DecodeRequest reframed %s: unexpectedly decoded", tc.name)
+		}
+	}
+
+	respCases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"unknown status", append([]byte{0x55}, make([]byte, 9)...)},
+		{"RANGE count overflows body", append(append(append([]byte{statusOK}, id...), byte(OpRange), 0), le32(0xffffff00)...)},
+		{"BATCH reply count mismatch", append(append(append([]byte{statusOK}, id...), byte(OpBatch)), le32(7)...)},
+		{"error code zero", append(append(append([]byte{statusErr}, id...), byte(OpPing), 0), le32(0)[:4]...)},
+		{"error msg length lies", func() []byte {
+			p := append(append([]byte{statusErr}, id...), byte(OpPing), byte(ErrCodeInternal))
+			p = binary.LittleEndian.AppendUint32(p, 0)
+			return binary.LittleEndian.AppendUint16(p, 500) // no message bytes follow
+		}()},
+	}
+	for _, tc := range respCases {
+		if _, err := DecodeResponse(tc.payload); !errors.Is(err, ErrMalformed) {
+			t.Errorf("DecodeResponse %s: got %v, want ErrMalformed", tc.name, err)
+		}
+	}
+}
+
+func TestPeekID(t *testing.T) {
+	frame := AppendRequest(nil, &Request{ID: 0xdeadbeef, Op: OpPing})
+	payload, _, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := PeekID(payload); !ok || id != 0xdeadbeef {
+		t.Fatalf("PeekID = %d, %v", id, ok)
+	}
+	if _, ok := PeekID([]byte{1, 2}); ok {
+		t.Fatal("PeekID accepted a short payload")
+	}
+}
+
+func TestErrMapRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   error
+		code ErrCode
+	}{
+		{chameleon.ErrOverloaded, ErrCodeOverloaded},
+		{chameleon.ErrDiskFull, ErrCodeDiskFull},
+		{chameleon.ErrIndexClosed, ErrCodeClosed},
+		{chameleon.ErrDuplicateKey, ErrCodeDuplicateKey},
+		{chameleon.ErrKeyNotFound, ErrCodeKeyNotFound},
+		{context.Canceled, ErrCodeCancelled},
+		{context.DeadlineExceeded, ErrCodeCancelled},
+		{errors.New("mystery"), ErrCodeInternal},
+	}
+	for _, tc := range cases {
+		if got := CodeFor(tc.in); got != tc.code {
+			t.Errorf("CodeFor(%v) = %v, want %v", tc.in, got, tc.code)
+		}
+	}
+	// A code the server sent comes back as an error the in-process call
+	// sites already know how to branch on.
+	re := &RemoteError{Code: ErrCodeOverloaded, RetryAfterMS: 5, Msg: "queue full"}
+	if !errors.Is(re, chameleon.ErrOverloaded) {
+		t.Fatal("RemoteError(overloaded) does not unwrap to chameleon.ErrOverloaded")
+	}
+	if !re.Retryable() {
+		t.Fatal("overloaded must be retryable")
+	}
+	if errors.Is(&RemoteError{Code: ErrCodeDuplicateKey}, chameleon.ErrOverloaded) {
+		t.Fatal("duplicate-key unwrapped to the wrong sentinel")
+	}
+	if (&RemoteError{Code: ErrCodeDuplicateKey}).Retryable() {
+		t.Fatal("duplicate-key must not be retryable")
+	}
+	if CodeFor(nil) != ErrCodeNone {
+		t.Fatal("CodeFor(nil)")
+	}
+}
