@@ -66,6 +66,11 @@ func BenchmarkConcThroughput(b *testing.B) { runExperiment(b, "conc") }
 // smoke job uploads it as an artifact).
 func BenchmarkScaling(b *testing.B) { runExperiment(b, "scaling") }
 
+// BenchmarkShard runs the shard-count sweep (insert and mixed throughput at
+// 1/2/4/8 range partitions); the run emits BENCH_shard.json, which CI's
+// bench smoke job uploads alongside the scaling artifact.
+func BenchmarkShard(b *testing.B) { runExperiment(b, "shard") }
+
 // ---- per-operation micro-benchmarks ----
 
 // benchLookup measures mean point-query latency per index on one dataset.

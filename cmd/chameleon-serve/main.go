@@ -7,8 +7,15 @@
 // Usage:
 //
 //	chameleon-serve -dir /var/lib/chameleon            # serve on :9431
+//	chameleon-serve -dir d -shards 4                   # range-partitioned, one WAL per shard
 //	chameleon-serve -dir d -sync interval -sync-every 5ms
 //	chameleon-serve -stats -addr localhost:9431        # one-line health JSON
+//
+// A directory that already holds a shard manifest reopens sharded no matter
+// what -shards says (the stored layout owns the data). -stats exits 0 only
+// for a reachable, non-draining server; an unreachable or draining one gets
+// a one-line error on stderr and a non-zero exit, so probes can alarm on the
+// exit code alone.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,7 +39,8 @@ func main() {
 		dir          = flag.String("dir", "", "index directory (created if missing)")
 		sync         = flag.String("sync", "everyop", "WAL sync policy: everyop | interval | none")
 		syncEvery    = flag.Duration("sync-every", 10*time.Millisecond, "fsync interval for -sync interval")
-		maxPending   = flag.Int("max-pending", 4096, "admission bound: max queued mutations")
+		maxPending   = flag.Int("max-pending", 4096, "admission bound: max queued mutations (per shard when sharded)")
+		shards       = flag.Int("shards", 0, "range partitions, each with its own WAL and commit queue (0 = unsharded; ignored when the directory already has a shard manifest)")
 		blockOnFull  = flag.Bool("block-on-full", true, "block writers at the bound instead of shedding with overloaded")
 		maxConns     = flag.Int("max-conns", 256, "max concurrent connections")
 		pipeline     = flag.Int("pipeline", 128, "max in-flight requests per connection")
@@ -68,10 +77,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chameleon-serve: %v\n", err)
 		os.Exit(1)
 	}
-	ix, err := chameleon.OpenDir(*dir, dopts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "chameleon-serve: open %s: %v\n", *dir, err)
-		os.Exit(1)
+	var ix server.Index
+	layout := "unsharded"
+	if *shards > 1 || chameleon.IsShardedDir(*dir) {
+		n := *shards
+		if n <= 1 {
+			n = 0 // manifest present: the stored shard count wins anyway
+		}
+		si, err := chameleon.OpenShardedDir(*dir, chameleon.ShardDirOptions{DirOptions: dopts, Shards: n})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chameleon-serve: open %s: %v\n", *dir, err)
+			os.Exit(1)
+		}
+		ix = si
+		layout = fmt.Sprintf("%d shards", si.Shards())
+	} else {
+		di, err := chameleon.OpenDir(*dir, dopts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chameleon-serve: open %s: %v\n", *dir, err)
+			os.Exit(1)
+		}
+		ix = di
 	}
 	srv := server.New(ix, server.Options{
 		MaxConns:    *maxConns,
@@ -82,8 +108,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chameleon-serve: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("chameleon-serve: %d keys from %s, listening on %s (sync=%s)\n",
-		ix.Len(), *dir, srv.Addr(), *sync)
+	fmt.Printf("chameleon-serve: %d keys from %s (%s), listening on %s (sync=%s)\n",
+		ix.Len(), *dir, layout, srv.Addr(), *sync)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -109,21 +135,34 @@ func main() {
 }
 
 // printStats dials addr and dumps the server's STATS JSON as one line — the
-// operator's health probe, sharing its schema with BENCH_serve.json.
+// operator's health probe, sharing its schema with BENCH_serve.json. The
+// exit code is the probe's contract: 0 means reachable and serving; an
+// unreachable or draining server gets exactly one line on stderr and a
+// non-zero exit, so callers alarm on the code without parsing anything.
 func printStats(addr string) int {
 	c, err := client.Dial(addr, client.Options{DialTimeout: 3 * time.Second})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "chameleon-serve -stats: %v\n", err)
+		fmt.Fprintf(os.Stderr, "chameleon-serve -stats: %s unreachable: %s\n", addr, oneLine(err))
 		return 1
 	}
 	defer c.Close() //nolint:errcheck
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
-	_, raw, err := c.Stats(ctx)
+	stats, raw, err := c.Stats(ctx)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "chameleon-serve -stats: %v\n", err)
+		fmt.Fprintf(os.Stderr, "chameleon-serve -stats: %s unreachable: %s\n", addr, oneLine(err))
 		return 1
 	}
 	fmt.Println(string(raw))
+	if stats.Draining {
+		fmt.Fprintf(os.Stderr, "chameleon-serve -stats: %s is draining\n", addr)
+		return 1
+	}
 	return 0
+}
+
+// oneLine flattens an error message so the probe's stderr is always exactly
+// one line, whatever the client error path produced.
+func oneLine(err error) string {
+	return strings.Join(strings.Fields(err.Error()), " ")
 }

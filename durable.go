@@ -177,6 +177,20 @@ const (
 func snapName(seq uint64) string { return fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix) }
 func walName(seq uint64) string  { return fmt.Sprintf("%s%016d%s", walPrefix, seq, walSuffix) }
 
+// walOptions is the single place DirOptions maps onto wal.Options — both the
+// initial OpenDir and every checkpoint rotation go through it, so the sync
+// policy and interval defaulting can never diverge between the log a
+// directory opens with and the logs it rotates to. A zero or negative
+// SyncEvery normalizes to the documented 10ms default here, in exactly one
+// place.
+func walOptions(opts DirOptions, fsys faultfs.FS) wal.Options {
+	interval := opts.SyncEvery
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return wal.Options{Policy: wal.SyncPolicy(opts.Sync), Interval: interval, FS: fsys}
+}
+
 // parseSeq extracts the sequence number from snapshot-<seq>.ckpt /
 // wal-<seq>.log style names.
 func parseSeq(name, prefix, suffix string) (uint64, bool) {
@@ -283,8 +297,7 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 			return nil, err
 		}
 	}
-	walOpts := wal.Options{Policy: wal.SyncPolicy(opts.Sync), Interval: opts.SyncEvery, FS: fsys}
-	log, _, err := wal.Open(filepath.Join(dir, walName(liveSeq)), walOpts, apply)
+	log, _, err := wal.Open(filepath.Join(dir, walName(liveSeq)), walOptions(opts, fsys), apply)
 	if err != nil {
 		return nil, err
 	}
@@ -776,8 +789,7 @@ func (d *DurableIndex) checkpointLocked() error {
 	// if a crash dropped the file — even under SyncEveryOp. Failing here is
 	// safe: nothing has committed, the old snapshot + WAL stay authoritative.
 	walPath := filepath.Join(d.dir, walName(newSeq))
-	walOpts := wal.Options{Policy: wal.SyncPolicy(d.opts.Sync), Interval: d.opts.SyncEvery, FS: d.fs}
-	newLog, _, err := wal.Open(walPath, walOpts, nil)
+	newLog, _, err := wal.Open(walPath, walOptions(d.opts, d.fs), nil)
 	if err != nil {
 		d.fs.Remove(tmp) //nolint:errcheck
 		return err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"chameleon/internal/faultfs"
+	"chameleon/internal/wal"
 )
 
 // durableOpts keeps construction cheap: recovery in the crash matrix rebuilds
@@ -475,5 +476,30 @@ func TestDurableSyncPolicies(t *testing.T) {
 			t.Fatalf("policy %d: Len = %d after clean close", pol, re.Len())
 		}
 		re.Close()
+	}
+}
+
+// TestWALOptionsDefaults pins the single place WAL options are derived from
+// DirOptions (OpenDir and checkpoint rotation used to build them separately):
+// a zero or negative SyncEvery falls back to the 10ms default, a positive one
+// passes through, and the policy and filesystem are forwarded verbatim.
+func TestWALOptionsDefaults(t *testing.T) {
+	for _, tc := range []struct {
+		in, want time.Duration
+	}{
+		{-5 * time.Second, 10 * time.Millisecond},
+		{0, 10 * time.Millisecond},
+		{3 * time.Millisecond, 3 * time.Millisecond},
+	} {
+		got := walOptions(DirOptions{Sync: SyncInterval, SyncEvery: tc.in}, faultfs.OS)
+		if got.Interval != tc.want {
+			t.Errorf("walOptions(SyncEvery=%v).Interval = %v, want %v", tc.in, got.Interval, tc.want)
+		}
+		if got.Policy != wal.SyncPolicy(SyncInterval) {
+			t.Errorf("walOptions(SyncEvery=%v).Policy = %v, want interval", tc.in, got.Policy)
+		}
+		if got.FS != faultfs.FS(faultfs.OS) {
+			t.Errorf("walOptions(SyncEvery=%v) did not forward the filesystem", tc.in)
+		}
 	}
 }

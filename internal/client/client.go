@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -343,7 +344,13 @@ func (c *Client) Range(ctx context.Context, lo, hi uint64, limit int) (pairs []w
 	if limit < 0 {
 		limit = 0
 	}
-	res, err := c.do(ctx, &wire.Request{Op: wire.OpRange, Key: lo, Val: hi, Limit: uint32(limit)})
+	// The wire field is 32-bit: clamp instead of truncating, or a limit of
+	// exactly 1<<32 would wrap to 0 and silently mean "server default".
+	lim32 := uint32(math.MaxUint32)
+	if uint64(limit) <= math.MaxUint32 {
+		lim32 = uint32(limit)
+	}
+	res, err := c.do(ctx, &wire.Request{Op: wire.OpRange, Key: lo, Val: hi, Limit: lim32})
 	if err != nil {
 		return nil, false, err
 	}

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"math"
 	"net"
 	"sync/atomic"
 	"testing"
@@ -304,5 +305,44 @@ func TestClientRedialsBrokenConn(t *testing.T) {
 	defer cancel()
 	if err := c.Ping(ctx); err != nil {
 		t.Fatalf("redial after broken conn: %v", err)
+	}
+}
+
+// TestClientRangeLimitClamp pins the wire conversion of Range's limit: the
+// field is 32 bits, so an int limit at or above 1<<32 must clamp to the
+// maximum instead of truncating — a limit of exactly 1<<32 used to wrap to 0,
+// which the server reads as "use the default page size".
+func TestClientRangeLimitClamp(t *testing.T) {
+	var lastLimit atomic.Uint64
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		if req.Op == wire.OpRange {
+			lastLimit.Store(uint64(req.Limit))
+		}
+		return okFor(req)
+	})
+	c, err := Dial(fs.ln.Addr().String(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	ctx := context.Background()
+
+	call := func(limit int, want uint64) {
+		t.Helper()
+		if _, _, err := c.Range(ctx, 0, 100, limit); err != nil {
+			t.Fatalf("Range(limit=%d): %v", limit, err)
+		}
+		if got := lastLimit.Load(); got != want {
+			t.Fatalf("Range(limit=%d) sent wire limit %d, want %d", limit, got, want)
+		}
+	}
+	call(5, 5)
+	call(0, 0)  // explicit "server default"
+	call(-3, 0) // negative normalizes to the default, not a huge unsigned value
+	if math.MaxInt > math.MaxUint32 {
+		// 64-bit platforms: the regression case (exact 1<<32) and the extreme.
+		var twoTo32 uint64 = 1 << 32
+		call(int(twoTo32), math.MaxUint32)
+		call(math.MaxInt, math.MaxUint32)
 	}
 }

@@ -35,6 +35,7 @@ var Experiments = []struct {
 	{"scaling", "group-commit writers, parallel bulk load, parallel recovery (emits BENCH_scaling.json)", Scaling},
 	{"overload", "bounded admission: shed/block/deadline behavior past disk saturation (emits BENCH_overload.json)", Overload},
 	{"serve", "remote serving over TCP: conns × pipeline-depth closed-loop sweep (emits BENCH_serve.json)", Serve},
+	{"shard", "range-partitioned shards: insert and mixed throughput vs shard count (emits BENCH_shard.json)", Shard},
 }
 
 // Fig1Motivation reproduces Fig. 1(b): per-window insertion latency while

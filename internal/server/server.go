@@ -38,6 +38,32 @@ import (
 	"chameleon/internal/wire"
 )
 
+// Index is the handle surface the server drives — satisfied by both
+// *chameleon.DurableIndex and *chameleon.ShardedIndex. Serving a sharded
+// handle changes nothing in the server itself: per-key requests (and every
+// op inside a BATCH frame) route inside InsertCtx/DeleteCtx to the owning
+// shard's group-commit queue, so concurrent remote writes touching different
+// ranges fan out onto independent WAL/fsync pipelines for free.
+type Index interface {
+	Lookup(key uint64) (uint64, bool)
+	Range(lo, hi uint64, fn func(key, val uint64) bool)
+	InsertCtx(ctx context.Context, key, val uint64) error
+	DeleteCtx(ctx context.Context, key uint64) error
+	Checkpoint() error
+	Close() error
+	Len() int
+	WALSize() int64
+	Health() chameleon.Health
+	Err() error
+}
+
+// shardedIndex is the optional surface a sharded handle adds; STATS reports
+// the per-shard breakdown when the served index provides it.
+type shardedIndex interface {
+	Shards() int
+	ShardHealths() []chameleon.Health
+}
+
 // Options tunes the server. The zero value serves correctly.
 type Options struct {
 	// MaxConns caps concurrent connections (default 256). Excess dials get
@@ -105,7 +131,7 @@ func (o Options) withDefaults() Options {
 // with ListenAndServe or Listen+Serve, stop with Shutdown (graceful) or
 // Close (abrupt).
 type Server struct {
-	ix   *chameleon.DurableIndex
+	ix   Index
 	opts Options
 
 	// baseCtx parents every request context; cancel aborts in-flight index
@@ -127,10 +153,11 @@ type Server struct {
 	inFlight   atomic.Int64
 }
 
-// New wraps ix in a server. The index must already be open; the server
-// never mutates it except through the same InsertCtx/DeleteCtx surface any
-// other caller would use.
-func New(ix *chameleon.DurableIndex, opts Options) *Server {
+// New wraps ix — a *chameleon.DurableIndex or *chameleon.ShardedIndex — in
+// a server. The index must already be open; the server never mutates it
+// except through the same InsertCtx/DeleteCtx surface any other caller would
+// use.
+func New(ix Index, opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		ix:      ix,
@@ -576,6 +603,12 @@ func (s *Server) statsJSON() []byte {
 	}
 	if h.Err != nil {
 		reply.Err = h.Err.Error()
+	}
+	if sh, ok := s.ix.(shardedIndex); ok {
+		reply.Shards = sh.Shards()
+		for _, shh := range sh.ShardHealths() {
+			reply.ShardStates = append(reply.ShardStates, shh.State.String())
+		}
 	}
 	for _, b := range chameleon.FsyncBucketBounds {
 		reply.FsyncBounds = append(reply.FsyncBounds, b.String())

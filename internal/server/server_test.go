@@ -36,7 +36,7 @@ func openIx(t *testing.T, dir string, dopts chameleon.DirOptions) *chameleon.Dur
 
 // startServer opens (or reopens) an index at dir and serves it on a fresh
 // loopback port.
-func startServer(t *testing.T, ix *chameleon.DurableIndex, sopts server.Options) *server.Server {
+func startServer(t *testing.T, ix server.Index, sopts server.Options) *server.Server {
 	t.Helper()
 	s := server.New(ix, sopts)
 	if err := s.Listen("127.0.0.1:0"); err != nil {
@@ -830,4 +830,86 @@ func isCleanRejection(err error) bool {
 		return re.Code.Retryable() || re.Code == wire.ErrCodeClosed || re.Code == wire.ErrCodePoisoned
 	}
 	return false
+}
+
+// TestServeShardedIndex serves a range-partitioned index through the same
+// server: remote ops route to the right shards, cross-shard Range pages
+// stitch correctly, and STATS reports the shard count with per-shard states.
+func TestServeShardedIndex(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := chameleon.OpenShardedDir(dir, chameleon.ShardDirOptions{
+		Shards:     4,
+		Boundaries: []uint64{1 << 16, 1 << 32, 1 << 48},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close() //nolint:errcheck
+	s := startServer(t, ix, server.Options{})
+	defer s.Close() //nolint:errcheck
+	c := dialClient(t, s, client.Options{})
+	defer c.Close() //nolint:errcheck
+	ctx := context.Background()
+
+	// One key per shard plus both extremes; every write must land in its own
+	// shard's WAL and read back through the router.
+	keys := []uint64{0, 1 << 16, 1 << 20, 1 << 32, 1 << 40, 1 << 48, ^uint64(0)}
+	for _, k := range keys {
+		if err := c.Insert(ctx, k, valOf(k)); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	for _, k := range keys {
+		v, ok, err := c.Get(ctx, k)
+		if err != nil || !ok || v != valOf(k) {
+			t.Fatalf("Get(%d) = %d, %v, %v", k, v, ok, err)
+		}
+	}
+	// A batch spanning all four shards fans out to per-shard queues; every op
+	// must ack individually.
+	var batch []wire.BatchOp
+	for i, k := range keys {
+		batch = append(batch, wire.BatchOp{Op: wire.OpInsert, Key: k + 7, Val: uint64(i)})
+	}
+	errs, err := c.Batch(ctx, batch)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("batch op %d: %v", i, e)
+		}
+	}
+	// Cross-shard range: everything, ascending.
+	pairs, err := c.RangeAll(ctx, 0, ^uint64(0))
+	if err != nil {
+		t.Fatalf("RangeAll: %v", err)
+	}
+	if len(pairs) != 2*len(keys) {
+		t.Fatalf("RangeAll returned %d pairs, want %d", len(pairs), 2*len(keys))
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Key <= pairs[i-1].Key {
+			t.Fatalf("RangeAll not ascending at %d: %d after %d", i, pairs[i].Key, pairs[i-1].Key)
+		}
+	}
+
+	stats, _, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats.Shards != 4 {
+		t.Fatalf("stats.Shards = %d, want 4", stats.Shards)
+	}
+	if len(stats.ShardStates) != 4 {
+		t.Fatalf("stats.ShardStates = %v, want 4 entries", stats.ShardStates)
+	}
+	for i, st := range stats.ShardStates {
+		if st != "ok" {
+			t.Fatalf("shard %d state = %q, want ok", i, st)
+		}
+	}
+	if stats.Len != 2*len(keys) {
+		t.Fatalf("stats.Len = %d, want %d", stats.Len, 2*len(keys))
+	}
 }

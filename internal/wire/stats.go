@@ -31,6 +31,13 @@ type StatsReply struct {
 	RetrainPauses   uint64   `json:"retrain_pauses"`
 	RetrainPaused   bool     `json:"retrain_paused"`
 
+	// Sharding: Shards is the number of range partitions behind the served
+	// handle (0 when unsharded) and ShardStates each partition's health state
+	// string, in shard order. The top-level counters above are the
+	// scatter-gather aggregate across shards.
+	Shards      int      `json:"shards,omitempty"`
+	ShardStates []string `json:"shard_states,omitempty"`
+
 	// Server-side counters: current and lifetime connections, requests by
 	// outcome, current in-flight requests, and drain status.
 	Conns      int     `json:"conns"`
