@@ -9,6 +9,8 @@
 //	chameleon-serve -dir /var/lib/chameleon            # serve on :9431
 //	chameleon-serve -dir d -shards 4                   # range-partitioned, one WAL per shard
 //	chameleon-serve -dir d -sync interval -sync-every 5ms
+//	chameleon-serve -dir d1 -repl                      # primary: serve follower pulls
+//	chameleon-serve -dir d2 -replica-of primary:9431   # follower (read-only)
 //	chameleon-serve -stats -addr localhost:9431        # one-line health JSON
 //
 // A directory that already holds a shard manifest reopens sharded no matter
@@ -16,6 +18,14 @@
 // for a reachable, non-draining server; an unreachable or draining one gets
 // a one-line error on stderr and a non-zero exit, so probes can alarm on the
 // exit code alone.
+//
+// Replication (DESIGN.md §12): -replica-of starts the node as a follower of
+// the given primary; it rejects writes and serves reads while pulling the
+// primary's commit stream. SIGUSR1 (or the wire PROMOTE op) promotes it to
+// primary. A primary must opt in with -repl (implied by -repl-semisync) to
+// accept follower pulls; -repl-semisync makes each write wait for a follower ack (bounded
+// by -repl-ack-timeout). Replication v1 is unsharded: -replica-of combined
+// with -shards (or a sharded directory) is rejected at startup.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 
 	"chameleon"
 	"chameleon/internal/client"
+	"chameleon/internal/repl"
 	"chameleon/internal/server"
 )
 
@@ -46,6 +57,10 @@ func main() {
 		pipeline     = flag.Int("pipeline", 128, "max in-flight requests per connection")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
 		stats        = flag.Bool("stats", false, "dial -addr, print one-line STATS JSON, exit")
+		replEnable   = flag.Bool("repl", false, "enable replication as primary (serve follower pulls); implied by -replica-of and -repl-semisync")
+		replicaOf    = flag.String("replica-of", "", "follow this primary address (read-only until promoted via SIGUSR1 or the wire PROMOTE op)")
+		semiSync     = flag.Bool("repl-semisync", false, "primary: block each write's ack until a follower acknowledged it")
+		ackTimeout   = flag.Duration("repl-ack-timeout", 2*time.Second, "semi-sync wait bound; on expiry the write errors replica-lagging but stays locally durable")
 	)
 	flag.Parse()
 
@@ -77,6 +92,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chameleon-serve: %v\n", err)
 		os.Exit(1)
 	}
+	replOn := *replEnable || *replicaOf != "" || *semiSync
+	if replOn && (*shards > 1 || chameleon.IsShardedDir(*dir)) {
+		fmt.Fprintln(os.Stderr, "chameleon-serve: replication v1 is unsharded; drop -replica-of/-repl/-repl-semisync or -shards")
+		os.Exit(2)
+	}
+
 	var ix server.Index
 	layout := "unsharded"
 	if *shards > 1 || chameleon.IsShardedDir(*dir) {
@@ -99,10 +120,30 @@ func main() {
 		}
 		ix = di
 	}
+
+	var node *repl.Node
+	if replOn {
+		di := ix.(*chameleon.DurableIndex) // replOn already excluded sharded layouts
+		node = repl.New(di, repl.Options{
+			ReplicaOf:  *replicaOf,
+			SemiSync:   *semiSync,
+			AckTimeout: *ackTimeout,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("chameleon-serve: "+format+"\n", args...)
+			},
+		})
+		role, epoch := node.Role()
+		if *replicaOf != "" {
+			layout = fmt.Sprintf("%s of %s, epoch %d", role, *replicaOf, epoch)
+		} else {
+			layout = fmt.Sprintf("%s, epoch %d", role, epoch)
+		}
+	}
 	srv := server.New(ix, server.Options{
 		MaxConns:    *maxConns,
 		MaxPipeline: *pipeline,
 		OwnsIndex:   true, // Shutdown checkpoints and closes the index
+		Repl:        node,
 	})
 	if err := srv.Listen(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "chameleon-serve: %v\n", err)
@@ -112,24 +153,46 @@ func main() {
 		ix.Len(), *dir, layout, srv.Addr(), *sync)
 
 	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve() }()
 
-	select {
-	case sig := <-sigs:
-		fmt.Printf("chameleon-serve: %v — draining (budget %s)\n", sig, *drainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "chameleon-serve: drain: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println("chameleon-serve: drained, checkpointed, closed")
-	case err := <-errc:
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "chameleon-serve: %v\n", err)
-			os.Exit(1)
+	for {
+		select {
+		case sig := <-sigs:
+			if sig == syscall.SIGUSR1 {
+				// Operator promotion. Safe to repeat: promoting a primary is
+				// a no-op, and a fenced node refuses with an explicit error.
+				if node == nil {
+					fmt.Println("chameleon-serve: SIGUSR1 ignored (replication not enabled)")
+					continue
+				}
+				epoch, err := node.Promote()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "chameleon-serve: promote: %v\n", err)
+					continue
+				}
+				fmt.Printf("chameleon-serve: promoted to primary, epoch %d\n", epoch)
+				continue
+			}
+			fmt.Printf("chameleon-serve: %v — draining (budget %s)\n", sig, *drainTimeout)
+			if node != nil {
+				node.Close() // stop pulling/acking before the index goes away
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "chameleon-serve: drain: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("chameleon-serve: drained, checkpointed, closed")
+			return
+		case err := <-errc:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chameleon-serve: %v\n", err)
+				os.Exit(1)
+			}
+			return
 		}
 	}
 }

@@ -82,6 +82,19 @@ type DurableIndex struct {
 	closed bool
 	fail   error // sticky: set when on-disk and in-memory state may diverge
 
+	// Replication plumbing (replseq.go). commitSeq counts records ever
+	// durably committed — the monotonic clock replication sequences on; it is
+	// advanced under d.mu and persisted via the seq.meta sidecar (seqMeta,
+	// also guarded by d.mu) plus WAL replay counting at recovery. commitHook,
+	// when set, runs inside commitBatch after durability, before acks.
+	// seqWaitCh broadcasts commit-sequence advancement to WaitSeq waiters
+	// (close-and-replace under seqWaitMu, which nests inside any other lock).
+	commitSeq  atomic.Uint64
+	seqMeta    map[uint64]uint64
+	commitHook func(firstSeq uint64, recs []wal.Record) error
+	seqWaitMu  sync.Mutex
+	seqWaitCh  chan struct{}
+
 	// Group-commit queue. Writers enqueue under qmu (held only for the
 	// append); the first writer to find no leader becomes one and drains the
 	// queue batch by batch, paying one WAL write + one fsync per batch and
@@ -261,7 +274,12 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 			ErrSnapshotsUnreadable, len(snapSeqs), snapErr)
 	}
 
+	// Every replayed WAL record is one commit after the chosen snapshot, so
+	// counting them (plus the snapshot's recorded base from seq.meta)
+	// reconstructs the commit-sequence clock across restarts.
+	var replayed uint64
 	apply := func(r wal.Record) {
+		replayed++
 		// Replay tolerates redundancy: a record already reflected in the
 		// snapshot (possible only on fallback paths) must not fail recovery.
 		switch r.Op {
@@ -316,10 +334,16 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 	if opts.RetrainEvery > 0 {
 		ix.inner.StartRetrainer(opts.RetrainEvery)
 	}
-	return &DurableIndex{
+	d := &DurableIndex{
 		ix: ix, fs: fsys, dir: dir, log: log, seq: seq, opts: opts,
-		space: make(chan struct{}),
-	}, nil
+		space:   make(chan struct{}),
+		seqMeta: readSeqMeta(fsys, dir),
+	}
+	// Commit clock: the chosen snapshot's recorded commit sequence (zero for
+	// pre-replication directories — the documented legacy fallback) plus one
+	// for every record replayed after it.
+	d.commitSeq.Store(d.seqMeta[chosen] + replayed)
+	return d, nil
 }
 
 // loadSnapshot reads one snapshot file into ix, failing on any integrity
@@ -383,6 +407,7 @@ func (d *DurableIndex) poisonLocked(err error) {
 	if d.log != nil {
 		d.log.Close() //nolint:errcheck
 	}
+	d.broadcastSeq() // WaitSeq waiters must wake and observe the poison
 }
 
 // Insert logs key→val to the WAL (durably, under SyncEveryOp) and then
@@ -704,6 +729,21 @@ func (d *DurableIndex) commitBatch(batch []*pendingOp) {
 			return
 		}
 	}
+
+	// The batch's records now carry commit sequences [first, first+len-1].
+	// The hook (replication) runs after durability and apply but before the
+	// deferred acks: a non-nil hook error is reported to every writer in the
+	// batch instead of nil — the write is durable locally, so this is the
+	// documented ambiguous-fate outcome (see SetCommitHook).
+	first := d.commitSeq.Load() + 1
+	d.advanceCommitSeq(uint64(len(recs)))
+	if d.commitHook != nil {
+		if err := d.commitHook(first, recs); err != nil {
+			for _, op := range accepted {
+				op.err = err
+			}
+		}
+	}
 }
 
 // BulkLoad rebuilds the index from sorted keys and immediately checkpoints:
@@ -794,6 +834,21 @@ func (d *DurableIndex) checkpointLocked() error {
 		d.fs.Remove(tmp) //nolint:errcheck
 		return err
 	}
+	// Record the new snapshot's commit sequence in the sidecar before the
+	// rename commits, so the directory fsync below seals snapshot, successor
+	// WAL, and sidecar together. Failing here is still safe to abort: the old
+	// snapshot stays authoritative and keeps its own sidecar entry.
+	if d.seqMeta == nil {
+		d.seqMeta = make(map[uint64]uint64)
+	}
+	d.seqMeta[newSeq] = d.commitSeq.Load()
+	if err := d.writeSeqMetaLocked(); err != nil {
+		delete(d.seqMeta, newSeq)
+		newLog.Close()       //nolint:errcheck
+		d.fs.Remove(walPath) //nolint:errcheck
+		d.fs.Remove(tmp)     //nolint:errcheck
+		return err
+	}
 	// The rename is the commit point: before it, recovery uses the previous
 	// snapshot + WAL; after it, the new snapshot is authoritative and the old
 	// WAL is redundant (its records are all inside the snapshot).
@@ -833,6 +888,7 @@ func (d *DurableIndex) checkpointLocked() error {
 		for _, e := range entries {
 			if seq, ok := parseSeq(e.Name(), snapPrefix, snapSuffix); ok && seq < newSeq {
 				d.fs.Remove(filepath.Join(d.dir, e.Name())) //nolint:errcheck
+				delete(d.seqMeta, seq)                      // stale entry; rewritten next checkpoint
 			}
 			if seq, ok := parseSeq(e.Name(), walPrefix, walSuffix); ok && seq < newSeq {
 				d.fs.Remove(filepath.Join(d.dir, e.Name())) //nolint:errcheck
@@ -896,6 +952,7 @@ func (d *DurableIndex) Close() error {
 	}
 	d.closed = true
 	d.readsClosed.Store(true)
+	d.broadcastSeq() // WaitSeq waiters wake and observe ErrIndexClosed
 	d.ix.inner.StopRetrainer()
 	return d.log.Close()
 }

@@ -1,6 +1,7 @@
 package chameleon
 
 import (
+	"errors"
 	"time"
 )
 
@@ -110,6 +111,11 @@ type Health struct {
 	// retrainer; RetrainPaused reports whether it is paused right now.
 	RetrainPauses uint64
 	RetrainPaused bool
+
+	// CommitSeq is the commit-sequence clock: the number of records ever
+	// durably committed through this index (see DurableIndex.CommitSeq). On a
+	// follower it equals the highest upstream sequence applied.
+	CommitSeq uint64
 }
 
 // Health reports the durable index's current state and counters. It is safe
@@ -155,6 +161,7 @@ func (d *DurableIndex) Health() Health {
 	}
 	h.RetrainPauses = d.retrainPauses.Load()
 	h.RetrainPaused = d.retrainPaused.Load()
+	h.CommitSeq = d.commitSeq.Load()
 	return h
 }
 
@@ -171,6 +178,132 @@ func (d *DurableIndex) Err() error {
 		return ErrIndexClosed
 	}
 	return nil
+}
+
+// ErrNotPrimary is returned for writes sent to a node that is not the
+// replication primary — a follower, or a deposed primary that has been
+// fenced by a higher-epoch promotion. It is not retryable against the same
+// node: the caller must redirect to the current primary.
+var ErrNotPrimary = errors.New("chameleon: not primary: node is a replica or has been fenced")
+
+// ErrReplicaLagging marks a write that is durable *locally* but whose
+// replication acknowledgement did not arrive in time, and the sequence-token
+// wait that cannot be satisfied before its deadline. For a write it is the
+// one deliberately ambiguous outcome in the API (see SetCommitHook): the
+// record may or may not survive a failover, so callers must treat it as
+// "may exist" — never as a clean rejection.
+var ErrReplicaLagging = errors.New("chameleon: replica lagging behind required commit sequence")
+
+// ReplRole is a node's place in the replication topology.
+type ReplRole int
+
+const (
+	// RoleNone means replication is not configured; the node is a plain
+	// standalone index.
+	RoleNone ReplRole = iota
+	// RolePrimary accepts writes and ships committed batches to followers.
+	RolePrimary
+	// RoleFollower applies the primary's stream and serves reads (optionally
+	// gated on commit-sequence tokens for read-your-writes).
+	RoleFollower
+	// RoleFenced is a deposed primary: a higher-epoch promotion happened, so
+	// the node permanently refuses writes with ErrNotPrimary. Reads still
+	// serve (possibly stale) local state.
+	RoleFenced
+)
+
+// String renders the role for logs and the STATS surface.
+func (r ReplRole) String() string {
+	switch r {
+	case RoleNone:
+		return "none"
+	case RolePrimary:
+		return "primary"
+	case RoleFollower:
+		return "follower"
+	case RoleFenced:
+		return "fenced"
+	}
+	return "unknown"
+}
+
+// ReplHealth is a point-in-time snapshot of a node's replication state,
+// reported alongside (not inside) the index's own Health: the index can be
+// perfectly healthy while replication is stalled, and MergeReplHealth is
+// where the two meet.
+type ReplHealth struct {
+	// Role and Epoch locate the node in the topology; Epoch increases by one
+	// at every promotion and is the fencing token.
+	Role  ReplRole
+	Epoch uint64
+
+	// LastApplied is the highest commit sequence applied locally (equal to
+	// the index's CommitSeq). UpstreamSeq is the primary's commit sequence as
+	// of the last successful pull (followers only); Lag is the difference.
+	// AckedSeq, on a primary, is the highest sequence every connected
+	// follower is known to have applied.
+	LastApplied uint64
+	UpstreamSeq uint64
+	Lag         uint64
+	AckedSeq    uint64
+
+	// Connected reports whether a follower's link to its upstream is
+	// currently established; Reconnects counts link re-establishments and
+	// SnapshotBootstraps counts full-snapshot catch-ups.
+	Connected          bool
+	Reconnects         uint64
+	SnapshotBootstraps uint64
+
+	// Stalled means replication has made no progress for longer than the
+	// configured stall threshold (a primary with no acking follower, or a
+	// follower that cannot reach its upstream). Diverged means replay
+	// divergence was detected and the link fail-stopped — the replica must
+	// be rebuilt; it will not heal.
+	Stalled  bool
+	Diverged bool
+}
+
+// State maps replication health onto the HealthState scale: divergence is as
+// bad as poison (the replica's data cannot be trusted to match the primary
+// and the condition is permanent), a stalled or disconnected link is
+// degraded (the node serves increasingly stale reads but nothing is wrong
+// with the data), and everything else is ok.
+func (r ReplHealth) State() HealthState {
+	switch {
+	case r.Diverged:
+		return HealthPoisoned
+	case r.Stalled, r.Role == RoleFollower && !r.Connected:
+		return HealthDegraded
+	default:
+		return HealthOK
+	}
+}
+
+// MergeReplHealth folds a node's replication state into its index health,
+// worst-wins, mirroring the sharded aggregation order (poisoned > degraded >
+// ok; closed stays closed — a released handle's replication state is
+// irrelevant). A healthy index with stalled replication therefore reports
+// degraded, and a diverged follower reports poisoned, so operators alarm on
+// one state field no matter which layer is hurting.
+func MergeReplHealth(h Health, r ReplHealth) Health {
+	if h.State == HealthClosed || h.State == HealthPoisoned {
+		return h
+	}
+	switch rs := r.State(); rs {
+	case HealthPoisoned:
+		h.State = HealthPoisoned
+		if h.Err == nil {
+			h.Err = ErrReplDivergence
+		}
+	case HealthDegraded:
+		if h.State == HealthOK {
+			h.State = HealthDegraded
+			if h.Err == nil {
+				h.Err = ErrReplicaLagging
+			}
+		}
+	}
+	return h
 }
 
 // errBox lets error values of differing concrete types share one

@@ -1,0 +1,62 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayBounds pins the full-jitter contract: every draw lands in
+// [0, min(cap, base<<attempt)], the window really is that bound (a
+// max-entropy rnd reaches it), a server hint overrides the draw exactly, and
+// deep attempts clamp to the cap instead of overflowing the shift.
+func TestRetryDelayBounds(t *testing.T) {
+	const base = 2 * time.Millisecond
+	const cap = 250 * time.Millisecond
+
+	maxRnd := func(n int64) int64 { return n - 1 } // the largest legal draw
+	minRnd := func(n int64) int64 { return 0 }
+
+	for attempt, want := range []time.Duration{
+		2 * time.Millisecond,  // base<<0
+		4 * time.Millisecond,  // base<<1
+		8 * time.Millisecond,  // base<<2
+		16 * time.Millisecond, // base<<3
+	} {
+		if got := retryDelay(base, cap, attempt, 0, maxRnd); got != want {
+			t.Fatalf("attempt %d: max draw %v, want window %v", attempt, got, want)
+		}
+		if got := retryDelay(base, cap, attempt, 0, minRnd); got != 0 {
+			t.Fatalf("attempt %d: min draw %v, want 0 (full jitter reaches zero)", attempt, got)
+		}
+	}
+
+	// Once base<<attempt passes the cap, the window is the cap — including
+	// attempts deep enough that the shift itself would overflow.
+	for _, attempt := range []int{7, 31, 32, 63, 1 << 20} {
+		if got := retryDelay(base, cap, attempt, 0, maxRnd); got != cap {
+			t.Fatalf("attempt %d: max draw %v, want cap %v", attempt, got, cap)
+		}
+	}
+
+	// A server hint wins outright, whatever the attempt or rnd.
+	if got := retryDelay(base, cap, 3, 40, maxRnd); got != 40*time.Millisecond {
+		t.Fatalf("hinted delay %v, want 40ms", got)
+	}
+
+	// Real draws stay inside the window (probabilistic sanity, deterministic
+	// bound): 200 draws at attempt 2 must all be ≤ 8ms.
+	seed := int64(1)
+	lcg := func(n int64) int64 { // tiny deterministic LCG, range-reduced
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v := seed % n
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	for i := 0; i < 200; i++ {
+		if got := retryDelay(base, cap, 2, 0, lcg); got < 0 || got > 8*time.Millisecond {
+			t.Fatalf("draw %d: %v outside [0, 8ms]", i, got)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -44,9 +45,19 @@ type Options struct {
 	// MaxRetries bounds how many times a call is re-sent after a typed
 	// retryable rejection (default 2; 0 disables retry).
 	MaxRetries int
-	// RetryBackoff is the wait before a retry when the server sends no
-	// retry-after hint (default 2ms; the hint wins when present).
+	// RetryBackoff seeds the full-jitter retry window: before attempt k the
+	// client sleeps a uniform draw from [0, min(RetryBackoffCap,
+	// RetryBackoff<<k)] (default 2ms). A server retry-after hint overrides
+	// the draw. Full jitter (not plain exponential) is what keeps a thundering
+	// herd of rejected clients from re-arriving in lockstep and re-tripping
+	// the same overload that rejected them.
 	RetryBackoff time.Duration
+	// RetryBackoffCap bounds the jitter window however many attempts have
+	// failed (default 250ms).
+	RetryBackoffCap time.Duration
+	// NoHello skips protocol negotiation and speaks legacy v1 (no commit-
+	// sequence tokens, no replication ops). Mostly for compatibility tests.
+	NoHello bool
 }
 
 func (o Options) withDefaults() Options {
@@ -65,7 +76,30 @@ func (o Options) withDefaults() Options {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 2 * time.Millisecond
 	}
+	if o.RetryBackoffCap <= 0 {
+		o.RetryBackoffCap = 250 * time.Millisecond
+	}
 	return o
+}
+
+// retryDelay computes the sleep before retry attempt (0-based) under the
+// full-jitter policy: a uniform draw from [0, window] where window =
+// min(cap, base<<attempt). A positive server hint wins outright — the server
+// knows its own queue. rnd is rand.Int64N-shaped, injected so the bounds are
+// unit-testable.
+func retryDelay(base, cap time.Duration, attempt int, hintMS uint32, rnd func(int64) int64) time.Duration {
+	if hintMS > 0 {
+		return time.Duration(hintMS) * time.Millisecond
+	}
+	window := cap
+	// A shift that overflows (or a huge attempt) means the window passed cap
+	// long ago.
+	if attempt < 32 {
+		if w := base << uint(attempt); w > 0 && w < cap {
+			window = w
+		}
+	}
+	return time.Duration(rnd(int64(window) + 1))
 }
 
 // ErrClientClosed is returned by calls on a closed Client.
@@ -88,6 +122,16 @@ type Client struct {
 	next   atomic.Uint64 // round-robin pool cursor
 	ids    atomic.Uint64 // request ids (never 0: 0 is the conn-level slot)
 	closed atomic.Bool
+
+	// legacy latches true once a HELLO is rejected as malformed — the server
+	// predates negotiation, so every (re)dial thereafter speaks v1.
+	legacy atomic.Bool
+	// features is the server-granted feature set from the latest successful
+	// HELLO (0 when legacy).
+	features atomic.Uint64
+	// lastSeq is the highest commit-sequence token observed on any reply: the
+	// client's read-your-writes watermark (see LastSeq).
+	lastSeq atomic.Uint64
 
 	mu    sync.Mutex // guards pool slots during dial/redial
 	conns []*conn
@@ -136,7 +180,61 @@ func (c *Client) dialConn() (*conn, error) {
 		pending: make(map[uint64]chan *wire.Response),
 	}
 	go cn.readLoop()
+	if c.opts.NoHello || c.legacy.Load() {
+		return cn, nil
+	}
+	if err := c.hello(cn); err != nil {
+		cn.nc.Close() //nolint:errcheck
+		var re *wire.RemoteError
+		if errors.As(err, &re) && re.Code == wire.ErrCodeMalformed {
+			// A pre-negotiation server: it saw an opcode it doesn't know and
+			// rejected (or hung up on) the HELLO frame. That is the one
+			// compatible failure — latch legacy mode and redial speaking v1.
+			c.legacy.Store(true)
+			c.features.Store(0)
+			return c.dialConn()
+		}
+		// Anything else — a version mismatch above all — is a real,
+		// permanent incompatibility and must surface, not degrade.
+		return nil, err
+	}
 	return cn, nil
+}
+
+// hello negotiates protocol version and features on a fresh connection.
+func (c *Client) hello(cn *conn) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.DialTimeout)
+	defer cancel()
+	req := &wire.Request{ID: c.ids.Add(1), Op: wire.OpHello,
+		Version: wire.ProtocolVersion, Features: wire.LocalFeatures}
+	res, err := cn.roundTrip(ctx, req)
+	if err != nil {
+		return err
+	}
+	if !res.OK {
+		return &wire.RemoteError{Code: res.Err, RetryAfterMS: res.RetryAfterMS, Msg: res.Msg}
+	}
+	// Intersect defensively: a feature is on only when both sides claim it.
+	c.features.Store(res.Features & wire.LocalFeatures)
+	return nil
+}
+
+// Features reports the server-granted feature bits from negotiation (0 when
+// the server is legacy or negotiation is disabled).
+func (c *Client) Features() uint64 { return c.features.Load() }
+
+// LastSeq is the highest commit-sequence token this client has observed on
+// any reply — pass it to a follower's GetAtLeast for read-your-writes.
+func (c *Client) LastSeq() uint64 { return c.lastSeq.Load() }
+
+// noteSeq advances the read-your-writes watermark monotonically.
+func (c *Client) noteSeq(seq uint64) {
+	for {
+		cur := c.lastSeq.Load()
+		if seq <= cur || c.lastSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // pick returns a live pooled connection, redialing a broken or not-yet-
@@ -292,6 +390,9 @@ func (c *Client) do(ctx context.Context, req *wire.Request) (*wire.Response, err
 			return nil, err
 		}
 		if res.OK {
+			if res.HasSeq {
+				c.noteSeq(res.Seq)
+			}
 			return res, nil
 		}
 		rerr := &wire.RemoteError{Code: res.Err, RetryAfterMS: res.RetryAfterMS, Msg: res.Msg}
@@ -299,10 +400,7 @@ func (c *Client) do(ctx context.Context, req *wire.Request) (*wire.Response, err
 			return nil, rerr
 		}
 		lastErr = rerr
-		backoff := c.opts.RetryBackoff << uint(attempt)
-		if res.RetryAfterMS > 0 {
-			backoff = time.Duration(res.RetryAfterMS) * time.Millisecond
-		}
+		backoff := retryDelay(c.opts.RetryBackoff, c.opts.RetryBackoffCap, attempt, res.RetryAfterMS, rand.Int64N)
 		t := time.NewTimer(backoff)
 		select {
 		case <-t.C:

@@ -89,9 +89,9 @@ func TestClientRetriesRetryable(t *testing.T) {
 	if err := c.Insert(context.Background(), 1, 2); err != nil {
 		t.Fatalf("Insert after retries: %v", err)
 	}
-	// 1 ping + 2 rejected attempts + 1 success.
-	if got := fs.requests.Load(); got != 4 {
-		t.Fatalf("server saw %d requests, want 4", got)
+	// 1 hello + 1 ping + 2 rejected attempts + 1 success.
+	if got := fs.requests.Load(); got != 5 {
+		t.Fatalf("server saw %d requests, want 5", got)
 	}
 }
 
@@ -114,8 +114,8 @@ func TestClientRetryBudgetExhausted(t *testing.T) {
 	if !errors.Is(err, chameleon.ErrOverloaded) {
 		t.Fatalf("exhausted retries: %v, want ErrOverloaded", err)
 	}
-	if got := fs.requests.Load(); got != 1+4 { // ping + (1 try + 3 retries)
-		t.Fatalf("server saw %d requests, want 5", got)
+	if got := fs.requests.Load(); got != 2+4 { // hello + ping + (1 try + 3 retries)
+		t.Fatalf("server saw %d requests, want 6", got)
 	}
 }
 
@@ -136,8 +136,97 @@ func TestClientNoRetryOnFinal(t *testing.T) {
 	if err := c.Insert(context.Background(), 1, 2); !errors.Is(err, chameleon.ErrDuplicateKey) {
 		t.Fatalf("duplicate: %v", err)
 	}
-	if got := fs.requests.Load(); got != 2 { // ping + 1 attempt, no retry
-		t.Fatalf("server saw %d requests, want 2", got)
+	if got := fs.requests.Load(); got != 3 { // hello + ping + 1 attempt, no retry
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+// TestClientLegacyFallback: an old server answers the unknown HELLO opcode
+// with a malformed rejection. The client must latch legacy mode, redial
+// speaking the pre-HELLO protocol, and carry on with zero features — the
+// documented new-client→old-server compatibility path.
+func TestClientLegacyFallback(t *testing.T) {
+	var hellos atomic.Int64
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		if req.Op == wire.OpHello {
+			hellos.Add(1)
+			return &wire.Response{Op: req.Op, Err: wire.ErrCodeMalformed}
+		}
+		return okFor(req)
+	})
+	c, err := Dial(fs.ln.Addr().String(), Options{})
+	if err != nil {
+		t.Fatalf("Dial against legacy server: %v", err)
+	}
+	defer c.Close() //nolint:errcheck
+	if got := c.Features(); got != 0 {
+		t.Fatalf("legacy fallback negotiated features %#x, want 0", got)
+	}
+	if err := c.Insert(context.Background(), 1, 2); err != nil {
+		t.Fatalf("Insert on legacy conn: %v", err)
+	}
+	if got := c.LastSeq(); got != 0 {
+		t.Fatalf("legacy conn produced a seq token %d, want none", got)
+	}
+	// Exactly one HELLO was ever attempted: the latch stops redials from
+	// re-probing a server already known to predate negotiation.
+	if got := hellos.Load(); got != 1 {
+		t.Fatalf("client sent %d HELLOs to a legacy server, want 1", got)
+	}
+}
+
+// TestClientVersionMismatchSurfaces: a server speaking a different protocol
+// version rejects HELLO with the typed mismatch code. The client must fail
+// the dial with that error — never silently degrade to the legacy protocol,
+// which would mean decoding frames from an incompatible peer.
+func TestClientVersionMismatchSurfaces(t *testing.T) {
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		if req.Op == wire.OpHello {
+			return &wire.Response{Op: req.Op, Err: wire.ErrCodeVersionMismatch, Msg: "server speaks protocol v3"}
+		}
+		return okFor(req)
+	})
+	_, err := Dial(fs.ln.Addr().String(), Options{})
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.ErrCodeVersionMismatch {
+		t.Fatalf("Dial against mismatched server: %v, want ErrCodeVersionMismatch", err)
+	}
+}
+
+// TestClientSeqTokenWatermark: negotiated connections track the highest
+// commit-sequence token seen across replies, max-wise — an out-of-order
+// older token must not regress the watermark.
+func TestClientSeqTokenWatermark(t *testing.T) {
+	var seq atomic.Uint64
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		switch req.Op {
+		case wire.OpHello:
+			return &wire.Response{Op: req.Op, OK: true, Version: wire.ProtocolVersion, Features: wire.FeatSeqTokens}
+		case wire.OpInsert:
+			return &wire.Response{Op: req.Op, OK: true, Seq: seq.Add(1), HasSeq: true}
+		}
+		return okFor(req)
+	})
+	c, err := Dial(fs.ln.Addr().String(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	if got := c.Features(); got != wire.FeatSeqTokens {
+		t.Fatalf("negotiated features %#x, want FeatSeqTokens", got)
+	}
+	ctx := context.Background()
+	for k := uint64(1); k <= 5; k++ {
+		if err := c.Insert(ctx, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.LastSeq(); got != 5 {
+		t.Fatalf("LastSeq = %d, want 5", got)
+	}
+	c.noteSeq(3) // stale token arriving late
+	if got := c.LastSeq(); got != 5 {
+		t.Fatalf("LastSeq regressed to %d on a stale token", got)
 	}
 }
 

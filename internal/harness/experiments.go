@@ -36,6 +36,7 @@ var Experiments = []struct {
 	{"overload", "bounded admission: shed/block/deadline behavior past disk saturation (emits BENCH_overload.json)", Overload},
 	{"serve", "remote serving over TCP: conns × pipeline-depth closed-loop sweep (emits BENCH_serve.json)", Serve},
 	{"shard", "range-partitioned shards: insert and mixed throughput vs shard count (emits BENCH_shard.json)", Shard},
+	{"repl", "primary/follower replication: ack latency, lag, read-your-writes, failover time (emits BENCH_repl.json)", Repl},
 }
 
 // Fig1Motivation reproduces Fig. 1(b): per-window insertion latency while

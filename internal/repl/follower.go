@@ -1,0 +1,202 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/client"
+	"chameleon/internal/wal"
+)
+
+// errFatal marks a replication error as divergence-class: the follower must
+// fail-stop rather than reconnect, because retrying would either loop
+// forever or silently fork history.
+type errFatal struct{ err error }
+
+func (e *errFatal) Error() string { return e.err.Error() }
+func (e *errFatal) Unwrap() error { return e.err }
+
+func fatalf(format string, args ...any) error {
+	return &errFatal{err: fmt.Errorf(format, args...)}
+}
+
+// runFollower is the follower's life: dial upstream, pull until the link or
+// the protocol fails, reconnect with jittered bounded backoff — forever,
+// until promoted, closed, or diverged.
+func (n *Node) runFollower(ctx context.Context) {
+	defer close(n.done)
+	backoff := n.opts.ReconnectMin
+	for ctx.Err() == nil {
+		c, err := n.opts.Dial(n.opts.ReplicaOf)
+		if err == nil {
+			n.connected.Store(true)
+			n.opts.Logf("repl: following %s", n.opts.ReplicaOf)
+			err = n.pullLoop(ctx, c)
+			c.Close() //nolint:errcheck
+			n.connected.Store(false)
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		var fe *errFatal
+		if errors.As(err, &fe) {
+			n.failStop(fe.err)
+			return
+		}
+		if n.ix.Err() != nil {
+			// The local index is closed or poisoned: replication has nothing
+			// to apply into. Stop quietly; index health already says why.
+			n.opts.Logf("repl: follower stopping, local index unusable: %v", n.ix.Err())
+			return
+		}
+		if err != nil {
+			n.opts.Logf("repl: link to %s failed (%v); reconnecting", n.opts.ReplicaOf, err)
+		}
+		n.reconnects.Add(1)
+		t := time.NewTimer(jitteredBackoff(backoff, n.opts.ReconnectMin))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return
+		}
+		if backoff *= 2; backoff > n.opts.ReconnectMax {
+			backoff = n.opts.ReconnectMax
+		}
+	}
+}
+
+// pullLoop drives one connection: pull, validate, apply, repeat. A nil
+// return means the context ended; a plain error means reconnect; an errFatal
+// means divergence fail-stop.
+func (n *Node) pullLoop(ctx context.Context, c replClient) error {
+	healthy := false
+	for ctx.Err() == nil {
+		n.mu.Lock()
+		epoch := n.epoch
+		n.mu.Unlock()
+		from := n.ix.CommitSeq() + 1
+		pctx, cancel := context.WithTimeout(ctx, n.opts.PullWait+5*time.Second)
+		pr, err := c.ReplPull(pctx, from, n.opts.PullMax, n.opts.PullWait, epoch)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		n.lastProgress.Store(time.Now().UnixNano())
+
+		// The upstream's epoch may only grow (a new primary was promoted and
+		// the old address now hosts it, or fencing advanced it); a regression
+		// means the address is answered by something with amnesia.
+		n.mu.Lock()
+		if pr.Epoch < n.epoch {
+			e := n.epoch
+			n.mu.Unlock()
+			return fatalf("upstream epoch regressed %d -> %d", e, pr.Epoch)
+		}
+		n.epoch = pr.Epoch
+		n.mu.Unlock()
+
+		// The upstream's commit clock may only grow, and must never be
+		// behind ours: either means committed history vanished upstream.
+		if prev := n.upstreamSeq.Load(); pr.UpstreamSeq < prev {
+			return fatalf("upstream commit seq regressed %d -> %d", prev, pr.UpstreamSeq)
+		}
+		if pr.UpstreamSeq < from-1 {
+			return fatalf("upstream commit seq %d behind local %d: local history is not a prefix of upstream's", pr.UpstreamSeq, from-1)
+		}
+		n.upstreamSeq.Store(pr.UpstreamSeq)
+
+		if pr.SnapshotNeeded {
+			if err := n.bootstrap(ctx, c); err != nil {
+				return err
+			}
+			healthy = true
+			continue
+		}
+		if len(pr.Recs) > 0 {
+			if err := n.ix.ReplicateBatch(pr.FirstSeq, pr.Recs); err != nil {
+				if errors.Is(err, chameleon.ErrReplDivergence) || errors.Is(err, wal.ErrSeqGap) {
+					return fatalf("replicated batch at seq %d: %w", pr.FirstSeq, err)
+				}
+				// Disk or shutdown trouble: reconnect-and-retry is safe
+				// because replay is idempotent; a dead index stops the loop
+				// in runFollower.
+				return err
+			}
+		}
+		if !healthy {
+			healthy = true
+			n.opts.Logf("repl: caught up to %s at seq %d (epoch %d)", n.opts.ReplicaOf, n.ix.CommitSeq(), pr.Epoch)
+		}
+	}
+	return nil
+}
+
+// replClient is the slice of the wire client the pull loop uses; an
+// interface so repl tests can drive the loop without a TCP server.
+type replClient interface {
+	ReplPull(ctx context.Context, fromSeq uint64, max int, wait time.Duration, epoch uint64) (client.PullResult, error)
+	ReplSnap(ctx context.Context, snapID, offset uint64) (client.SnapChunk, error)
+}
+
+// bootstrap streams a full snapshot from upstream and installs it, replacing
+// local state and jumping the commit clock to the snapshot's as-of sequence.
+func (n *Node) bootstrap(ctx context.Context, c replClient) error {
+	n.bootstraps.Add(1)
+	n.opts.Logf("repl: bootstrapping from snapshot (local seq %d)", n.ix.CommitSeq())
+	var buf bytes.Buffer
+	var id, offset, asOf uint64
+	for {
+		cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		ch, err := c.ReplSnap(cctx, id, offset)
+		cancel()
+		if err != nil {
+			return err // transport or expired stream: reconnect restarts fresh
+		}
+		if id == 0 {
+			id, asOf = ch.SnapID, ch.AsOfSeq
+		} else if ch.SnapID != id || ch.AsOfSeq != asOf {
+			return fmt.Errorf("repl: snapshot stream changed identity mid-read")
+		}
+		if ch.Offset != offset {
+			return fmt.Errorf("repl: snapshot chunk at offset %d, want %d", ch.Offset, offset)
+		}
+		buf.Write(ch.Data)
+		offset += uint64(len(ch.Data))
+		n.lastProgress.Store(time.Now().UnixNano())
+		if offset >= ch.Total {
+			break
+		}
+		if len(ch.Data) == 0 {
+			return fmt.Errorf("repl: empty snapshot chunk before total %d at offset %d", ch.Total, offset)
+		}
+	}
+	if err := n.ix.RestoreSnapshot(&buf, asOf); err != nil {
+		// A corrupt stream fails validation with the index unchanged —
+		// retryable over a fresh connection. A poisoned/closed index is
+		// terminal and runFollower stops on it.
+		return fmt.Errorf("repl: installing snapshot: %w", err)
+	}
+	n.opts.Logf("repl: snapshot installed, commit seq %d", asOf)
+	return nil
+}
+
+// failStop records divergence permanently: replication halts, health reports
+// Diverged (merged state: poisoned), and only operator surgery (wipe and
+// re-follow) resumes it. Reads keep serving — the local state is internally
+// consistent, just no longer provably a prefix of the primary's.
+func (n *Node) failStop(err error) {
+	n.mu.Lock()
+	if n.divergedErr == nil {
+		n.divergedErr = err
+	}
+	n.mu.Unlock()
+	n.opts.Logf("repl: DIVERGENCE, replication fail-stopped: %v", err)
+}

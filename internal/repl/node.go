@@ -1,0 +1,582 @@
+// Package repl is the replication state machine that sits between a durable
+// index and the wire protocol. One Node lives in every replication-enabled
+// server process and plays one role at a time:
+//
+//   - Primary: every committed group-commit batch enters a bounded in-memory
+//     record ring (via the index's commit hook); followers long-poll the ring
+//     through ServePull, and a pull *from* sequence S acknowledges every
+//     sequence below S. With SemiSync on, the commit hook blocks the batch's
+//     acks until a follower has acknowledged it (or AckTimeout passes, which
+//     surfaces chameleon.ErrReplicaLagging — the documented ambiguous-fate
+//     exception: the write IS durable locally but unconfirmed remotely).
+//   - Follower: a background loop pulls from the upstream address, applies
+//     batches through DurableIndex.ReplicateBatch (idempotent under
+//     re-delivery), bootstraps from a streamed snapshot when it is too far
+//     behind the ring, and reconnects with jittered backoff when the link
+//     fails. Any divergence — a sequence gap, an apply conflict, an upstream
+//     whose epoch or commit clock moves backwards — is fail-stop: replication
+//     halts permanently and health reports Diverged, because continuing past
+//     divergence silently forks history.
+//   - Fenced: a deposed primary. Fencing is epoch-based: Promote increments
+//     the epoch, and any node that learns of a higher epoch than its own
+//     steps down and refuses writes (AllowWrites false → the server rejects
+//     with chameleon.ErrNotPrimary). Epochs, not timeouts, are the
+//     correctness mechanism; the best-effort fence RPC after promotion just
+//     shortens the window.
+//
+// Topology is a star (v1): followers replicate from one primary; chained
+// followers are not supported (a follower answers ServePull with
+// snapshot-needed only). Lock order: the index's internal lock is acquired
+// OUTSIDE Node.mu (the commit hook arrives holding it and takes Node.mu), so
+// Node methods must never call into the index while holding Node.mu.
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/client"
+	"chameleon/internal/wal"
+)
+
+// ErrFencedNode is returned by Promote on a fenced node: a deposed primary's
+// history may have diverged from the new primary's, so re-promoting it
+// requires operator surgery (wipe and re-follow), not an RPC.
+var ErrFencedNode = errors.New("repl: node is fenced; wipe and re-follow before promoting")
+
+// ErrUnknownSnapshot is returned by ServeSnap for an expired or never-opened
+// stream id; the puller restarts its bootstrap with a fresh stream.
+var ErrUnknownSnapshot = errors.New("repl: unknown or expired snapshot stream")
+
+// ErrNodeClosed is returned by operations on a closed Node.
+var ErrNodeClosed = errors.New("repl: node closed")
+
+// Options tunes a Node. The zero value plus defaults gives an async primary.
+type Options struct {
+	// ReplicaOf is the upstream address to follow; empty starts the node as
+	// primary.
+	ReplicaOf string
+	// SemiSync makes the primary block each commit's acks until a follower
+	// has acknowledged the batch (or AckTimeout). Off = async replication:
+	// writes never wait, a failover may lose the tail.
+	SemiSync bool
+	// AckTimeout bounds a semi-sync wait (default 2s); on expiry the write
+	// errors with chameleon.ErrReplicaLagging but remains locally durable.
+	AckTimeout time.Duration
+	// RingCap is how many committed records the primary retains for pull
+	// catch-up (default 65536); a follower further behind bootstraps from a
+	// snapshot.
+	RingCap int
+	// PullMax caps records per pull reply (default 4096).
+	PullMax int
+	// PullWait is the follower's long-poll duration (default 1s); it doubles
+	// as the heartbeat interval, since even an empty pull proves the link.
+	PullWait time.Duration
+	// SnapChunk is the snapshot-stream chunk size in bytes (default 256KiB).
+	SnapChunk int
+	// StallAfter is the health threshold: a primary with unacked semi-sync
+	// commits and no pull for this long, or a follower with no successful
+	// pull for this long, reports Stalled (default 5s).
+	StallAfter time.Duration
+	// ReconnectMin/ReconnectMax bound the follower's jittered redial backoff
+	// (defaults 50ms and 2s).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// Dial overrides how the follower reaches upstream (tests). Default is a
+	// single-connection wire client.
+	Dial func(addr string) (*client.Client, error)
+	// Logf, when set, receives replication lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 2 * time.Second
+	}
+	if o.RingCap <= 0 {
+		o.RingCap = 65536
+	}
+	if o.PullMax <= 0 {
+		o.PullMax = 4096
+	}
+	if o.PullWait <= 0 {
+		o.PullWait = time.Second
+	}
+	if o.SnapChunk <= 0 {
+		o.SnapChunk = 256 << 10
+	}
+	if o.StallAfter <= 0 {
+		o.StallAfter = 5 * time.Second
+	}
+	if o.ReconnectMin <= 0 {
+		o.ReconnectMin = 50 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 2 * time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string) (*client.Client, error) {
+			return client.Dial(addr, client.Options{Conns: 1})
+		}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// snapshot is one cached snapshot stream the primary serves chunks from.
+type snapshot struct {
+	id   uint64
+	asOf uint64
+	data []byte
+}
+
+// Node is a server's replication controller. Safe for concurrent use.
+type Node struct {
+	ix   *chameleon.DurableIndex
+	opts Options
+
+	mu       sync.Mutex
+	closed   bool
+	role     chameleon.ReplRole
+	epoch    uint64
+	baseSeq  uint64        // commit seq of the last record NOT in ring
+	ring     []wal.Record  // ring[i] carries seq baseSeq+1+i
+	ackedSeq uint64        // highest seq acknowledged by any follower pull
+	lastPull time.Time     // primary-side stall clock
+	dataCh   chan struct{} // closed+replaced when the ring grows
+	ackCh    chan struct{} // closed+replaced when ackedSeq advances
+	snaps    map[uint64]*snapshot
+	snapIDs  []uint64 // open stream ids, oldest first (LRU of 2)
+	nextSnap uint64
+
+	// Follower-loop state (see follower.go).
+	cancel       context.CancelFunc
+	done         chan struct{}
+	divergedErr  error // set once; fail-stop
+	connected    atomic.Bool
+	reconnects   atomic.Uint64
+	bootstraps   atomic.Uint64
+	upstreamSeq  atomic.Uint64
+	lastProgress atomic.Int64 // unixnano of the last successful pull
+}
+
+// New wires a Node to ix and starts it in its configured role. A follower's
+// pull loop starts immediately; stop it with Close or Promote.
+func New(ix *chameleon.DurableIndex, opts Options) *Node {
+	n := &Node{
+		ix:     ix,
+		opts:   opts.withDefaults(),
+		dataCh: make(chan struct{}),
+		ackCh:  make(chan struct{}),
+		snaps:  make(map[uint64]*snapshot),
+	}
+	n.lastProgress.Store(time.Now().UnixNano())
+	if n.opts.ReplicaOf == "" {
+		n.role = chameleon.RolePrimary
+		n.epoch = 1
+		n.baseSeq = ix.CommitSeq()
+		ix.SetCommitHook(n.commitHook)
+	} else {
+		n.role = chameleon.RoleFollower
+		ctx, cancel := context.WithCancel(context.Background())
+		n.cancel = cancel
+		n.done = make(chan struct{})
+		go n.runFollower(ctx)
+	}
+	return n
+}
+
+// Role reports the node's current role and fencing epoch.
+func (n *Node) Role() (chameleon.ReplRole, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role, n.epoch
+}
+
+// AllowWrites reports whether the server should accept mutations: only a
+// primary may write; followers and fenced ex-primaries reject with
+// chameleon.ErrNotPrimary.
+func (n *Node) AllowWrites() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == chameleon.RolePrimary
+}
+
+// commitHook is installed as the index's commit hook while primary: it runs
+// under the index lock after a batch is durable and applied, appends the
+// batch to the pull ring, and (semi-sync) waits for a follower ack.
+func (n *Node) commitHook(firstSeq uint64, recs []wal.Record) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	if expect := n.baseSeq + uint64(len(n.ring)) + 1; firstSeq != expect {
+		// A batch committed outside the ring's view (the promote window, or
+		// a hook re-install). Drop the ring and restart it at this batch:
+		// followers needing the gap fall back to snapshot bootstrap — a
+		// slower path, never a silent loss.
+		n.ring = n.ring[:0]
+		n.baseSeq = firstSeq - 1
+	}
+	n.ring = append(n.ring, recs...)
+	if over := len(n.ring) - n.opts.RingCap; over > 0 {
+		n.baseSeq += uint64(over)
+		n.ring = append(n.ring[:0], n.ring[over:]...)
+	}
+	close(n.dataCh)
+	n.dataCh = make(chan struct{})
+	semiSync := n.opts.SemiSync && n.role == chameleon.RolePrimary
+	last := firstSeq + uint64(len(recs)) - 1
+	n.mu.Unlock()
+	if !semiSync {
+		return nil
+	}
+	return n.waitAcked(last)
+}
+
+// waitAcked blocks until a follower has acknowledged seq, AckTimeout passes
+// (ErrReplicaLagging), or the node closes (nil: shutdown must not fail
+// locally durable writes).
+func (n *Node) waitAcked(seq uint64) error {
+	deadline := time.Now().Add(n.opts.AckTimeout)
+	for {
+		n.mu.Lock()
+		if n.closed || n.ackedSeq >= seq {
+			n.mu.Unlock()
+			return nil
+		}
+		ch := n.ackCh
+		n.mu.Unlock()
+		d := time.Until(deadline)
+		if d <= 0 {
+			return fmt.Errorf("%w: commit seq %d unacknowledged after %v",
+				chameleon.ErrReplicaLagging, seq, n.opts.AckTimeout)
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// PullReply is ServePull's answer; field semantics match client.PullResult.
+type PullReply struct {
+	FirstSeq       uint64
+	Recs           []wal.Record
+	UpstreamSeq    uint64
+	Epoch          uint64
+	SnapshotNeeded bool
+}
+
+// ServePull answers one REPL_PULL: records from fromSeq (bounded by max),
+// long-polling up to wait when the puller is caught up. peerEpoch is the
+// highest primary epoch the puller knows — learning of a newer one fences
+// this node. Pulling from fromSeq acknowledges every sequence below it.
+func (n *Node) ServePull(ctx context.Context, fromSeq uint64, max int, wait time.Duration, peerEpoch uint64) (PullReply, error) {
+	if fromSeq == 0 {
+		fromSeq = 1
+	}
+	if max <= 0 || max > n.opts.PullMax {
+		max = n.opts.PullMax
+	}
+	deadline := time.Now().Add(wait)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return PullReply{}, ErrNodeClosed
+	}
+	if peerEpoch > n.epoch {
+		n.fenceLocked(peerEpoch)
+	}
+	if ack := fromSeq - 1; ack > n.ackedSeq {
+		n.ackedSeq = ack
+		close(n.ackCh)
+		n.ackCh = make(chan struct{})
+	}
+	n.lastPull = time.Now()
+	for {
+		last := n.baseSeq + uint64(len(n.ring))
+		reply := PullReply{UpstreamSeq: last, Epoch: n.epoch}
+		switch {
+		case fromSeq <= n.baseSeq:
+			// The requested records predate ring retention (or this node is
+			// a follower, whose ring is never fed): bootstrap instead.
+			reply.SnapshotNeeded = true
+			return reply, nil
+		case fromSeq <= last:
+			count := int(last - fromSeq + 1)
+			if count > max {
+				count = max
+			}
+			i := int(fromSeq - n.baseSeq - 1)
+			reply.FirstSeq = fromSeq
+			reply.Recs = append([]wal.Record(nil), n.ring[i:i+count]...)
+			return reply, nil
+		default:
+			// Caught up (or the puller claims records we do not have — its
+			// problem to detect via UpstreamSeq): long-poll for new data.
+			if time.Now().After(deadline) || ctx.Err() != nil {
+				return reply, nil
+			}
+			ch := n.dataCh
+			n.mu.Unlock()
+			t := time.NewTimer(time.Until(deadline))
+			select {
+			case <-ch:
+				t.Stop()
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+			n.mu.Lock()
+			if n.closed {
+				return PullReply{}, ErrNodeClosed
+			}
+		}
+	}
+}
+
+// SnapReply is ServeSnap's answer; field semantics match client.SnapChunk.
+type SnapReply struct {
+	SnapID  uint64
+	AsOfSeq uint64
+	Offset  uint64
+	Total   uint64
+	Data    []byte
+}
+
+// ServeSnap answers one REPL_SNAP. snapID 0 opens a fresh stream — the node
+// snapshots the index's current state into memory and serves it chunk by
+// chunk; the two most recent streams stay cached so a concurrent second
+// bootstrapper does not thrash.
+func (n *Node) ServeSnap(snapID, offset uint64) (SnapReply, error) {
+	if snapID == 0 {
+		var buf bytes.Buffer
+		// Index call first: the index lock must never be taken under n.mu.
+		asOf, _, err := n.ix.SnapshotAt(&buf)
+		if err != nil {
+			return SnapReply{}, err
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return SnapReply{}, ErrNodeClosed
+		}
+		n.nextSnap++
+		s := &snapshot{id: n.nextSnap, asOf: asOf, data: buf.Bytes()}
+		n.snaps[s.id] = s
+		n.snapIDs = append(n.snapIDs, s.id)
+		for len(n.snapIDs) > 2 {
+			delete(n.snaps, n.snapIDs[0])
+			n.snapIDs = n.snapIDs[1:]
+		}
+		n.mu.Unlock()
+		return n.chunk(s, offset)
+	}
+	n.mu.Lock()
+	s := n.snaps[snapID]
+	n.mu.Unlock()
+	if s == nil {
+		return SnapReply{}, fmt.Errorf("%w: id %d", ErrUnknownSnapshot, snapID)
+	}
+	return n.chunk(s, offset)
+}
+
+func (n *Node) chunk(s *snapshot, offset uint64) (SnapReply, error) {
+	total := uint64(len(s.data))
+	if offset > total {
+		return SnapReply{}, fmt.Errorf("%w: offset %d past total %d", ErrUnknownSnapshot, offset, total)
+	}
+	end := offset + uint64(n.opts.SnapChunk)
+	if end > total {
+		end = total
+	}
+	return SnapReply{SnapID: s.id, AsOfSeq: s.asOf, Offset: offset, Total: total,
+		Data: s.data[offset:end]}, nil
+}
+
+// Promote turns a follower into the primary: the pull loop stops, the epoch
+// advances past the old primary's, writes open up, and a best-effort fence
+// RPC tells the old upstream it is deposed (epochs carried on every pull are
+// the real protection — the RPC only shortens the window). Promoting a
+// primary is a no-op; promoting a fenced or diverged node is refused.
+func (n *Node) Promote() (uint64, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, ErrNodeClosed
+	}
+	switch n.role {
+	case chameleon.RolePrimary:
+		e := n.epoch
+		n.mu.Unlock()
+		return e, nil
+	case chameleon.RoleFenced:
+		n.mu.Unlock()
+		return 0, ErrFencedNode
+	}
+	if n.divergedErr != nil {
+		err := n.divergedErr
+		n.mu.Unlock()
+		return 0, fmt.Errorf("refusing to promote a diverged follower: %w", err)
+	}
+	cancel, done := n.cancel, n.done
+	n.cancel, n.done = nil, nil
+	n.mu.Unlock()
+
+	// Stop the pull loop and wait it out so no replicated batch lands after
+	// the role flip.
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
+
+	// Seed the ring at the current commit clock, then install the hook (both
+	// index calls, so outside n.mu). A batch slipping between the two misses
+	// the ring; the hook's resync path degrades that to snapshot bootstrap.
+	seq := n.ix.CommitSeq()
+	n.ix.SetCommitHook(n.commitHook)
+
+	n.mu.Lock()
+	n.epoch++ // strictly exceeds the deposed primary's epoch (adopted from pulls)
+	epoch := n.epoch
+	n.role = chameleon.RolePrimary
+	n.baseSeq = seq
+	n.ring = n.ring[:0]
+	upstream := n.opts.ReplicaOf
+	n.mu.Unlock()
+
+	n.opts.Logf("repl: promoted to primary, epoch %d (commit seq %d)", epoch, seq)
+	go n.fenceUpstream(upstream, epoch)
+	return epoch, nil
+}
+
+// fenceUpstream best-effort tells the old primary it is deposed.
+func (n *Node) fenceUpstream(addr string, epoch uint64) {
+	if addr == "" {
+		return
+	}
+	c, err := n.opts.Dial(addr)
+	if err != nil {
+		n.opts.Logf("repl: fence of old primary %s undeliverable: %v", addr, err)
+		return
+	}
+	defer c.Close() //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, _, err := c.Fence(ctx, epoch); err != nil {
+		n.opts.Logf("repl: fence of old primary %s failed: %v", addr, err)
+		return
+	}
+	n.opts.Logf("repl: old primary %s fenced at epoch %d", addr, epoch)
+}
+
+// Fence delivers a fencing token: if epoch is newer than the node's own, a
+// primary steps down to fenced and a follower adopts the epoch. Returns the
+// node's resulting epoch and role (the caller learns both outcomes).
+func (n *Node) Fence(epoch uint64) (uint64, chameleon.ReplRole) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch > n.epoch {
+		n.fenceLocked(epoch)
+	}
+	return n.epoch, n.role
+}
+
+// fenceLocked applies a strictly newer epoch under n.mu.
+func (n *Node) fenceLocked(epoch uint64) {
+	n.epoch = epoch
+	if n.role == chameleon.RolePrimary {
+		n.role = chameleon.RoleFenced
+		// Release any semi-sync waiters: their writes are locally durable
+		// and the new primary's history will include them iff they were
+		// pulled, which is exactly what the ack wait was measuring. Waking
+		// them via ackCh would falsely ack, so leave them to time out.
+		n.opts.Logf("repl: fenced by epoch %d — writes refused", epoch)
+	}
+}
+
+// Health snapshots replication health for the merged STATS surface.
+func (n *Node) Health() chameleon.ReplHealth {
+	applied := n.ix.CommitSeq() // index call outside n.mu
+	now := time.Now()
+	n.mu.Lock()
+	h := chameleon.ReplHealth{
+		Role:               n.role,
+		Epoch:              n.epoch,
+		AckedSeq:           n.ackedSeq,
+		Reconnects:         n.reconnects.Load(),
+		SnapshotBootstraps: n.bootstraps.Load(),
+		Diverged:           n.divergedErr != nil,
+	}
+	switch n.role {
+	case chameleon.RolePrimary, chameleon.RoleFenced:
+		h.LastApplied = applied
+		h.UpstreamSeq = applied
+		last := n.baseSeq + uint64(len(n.ring))
+		if n.opts.SemiSync && n.role == chameleon.RolePrimary && last > n.ackedSeq {
+			h.Lag = last - n.ackedSeq
+			ref := n.lastPull
+			h.Stalled = ref.IsZero() || now.Sub(ref) > n.opts.StallAfter
+		}
+		h.Connected = !n.lastPull.IsZero() && now.Sub(n.lastPull) <= n.opts.StallAfter
+	case chameleon.RoleFollower:
+		h.LastApplied = applied
+		h.UpstreamSeq = n.upstreamSeq.Load()
+		if h.UpstreamSeq > applied {
+			h.Lag = h.UpstreamSeq - applied
+		}
+		h.Connected = n.connected.Load()
+		h.Stalled = now.Sub(time.Unix(0, n.lastProgress.Load())) > n.opts.StallAfter
+	}
+	n.mu.Unlock()
+	return h
+}
+
+// Close stops the node: the follower loop exits, the commit hook detaches,
+// and semi-sync waiters release (their writes are locally durable).
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	cancel, done := n.cancel, n.done
+	n.cancel, n.done = nil, nil
+	close(n.ackCh)
+	n.ackCh = make(chan struct{})
+	close(n.dataCh)
+	n.dataCh = make(chan struct{})
+	n.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
+	n.ix.SetCommitHook(nil)
+}
+
+// jitteredBackoff draws a full-jitter delay in [min, min+rand(cur-min+1)],
+// used by the follower's reconnect loop.
+func jitteredBackoff(cur, min time.Duration) time.Duration {
+	if cur <= min {
+		return min
+	}
+	return min + time.Duration(rand.Int64N(int64(cur-min)+1))
+}

@@ -1,0 +1,410 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/client"
+	"chameleon/internal/wal"
+)
+
+func openIx(t *testing.T) *chameleon.DurableIndex {
+	t.Helper()
+	d, err := chameleon.OpenDir(t.TempDir(), chameleon.DirOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() }) //nolint:errcheck
+	return d
+}
+
+// newFollowerShell builds a follower-role Node without starting the dial
+// loop, so tests can drive pullLoop with a scripted client.
+func newFollowerShell(ix *chameleon.DurableIndex, opts Options) *Node {
+	n := &Node{
+		ix:     ix,
+		opts:   opts.withDefaults(),
+		dataCh: make(chan struct{}),
+		ackCh:  make(chan struct{}),
+		snaps:  make(map[uint64]*snapshot),
+		role:   chameleon.RoleFollower,
+	}
+	n.lastProgress.Store(time.Now().UnixNano())
+	return n
+}
+
+// fakeClient scripts ReplPull/ReplSnap answers for pullLoop tests.
+type fakeClient struct {
+	pulls []func(fromSeq, epoch uint64) (client.PullResult, error)
+	snap  func(snapID, offset uint64) (client.SnapChunk, error)
+	i     int
+}
+
+var errScriptDone = errors.New("script exhausted")
+
+func (f *fakeClient) ReplPull(_ context.Context, fromSeq uint64, _ int, _ time.Duration, epoch uint64) (client.PullResult, error) {
+	if f.i >= len(f.pulls) {
+		return client.PullResult{}, errScriptDone
+	}
+	fn := f.pulls[f.i]
+	f.i++
+	return fn(fromSeq, epoch)
+}
+
+func (f *fakeClient) ReplSnap(_ context.Context, snapID, offset uint64) (client.SnapChunk, error) {
+	return f.snap(snapID, offset)
+}
+
+func TestPrimaryRingAndServePull(t *testing.T) {
+	ix := openIx(t)
+	n := New(ix, Options{})
+	defer n.Close()
+	if role, epoch := n.Role(); role != chameleon.RolePrimary || epoch != 1 {
+		t.Fatalf("fresh primary: role %v epoch %d", role, epoch)
+	}
+	if !n.AllowWrites() {
+		t.Fatal("primary refuses writes")
+	}
+	for k := uint64(1); k <= 5; k++ {
+		if err := ix.Insert(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pr, err := n.ServePull(context.Background(), 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.SnapshotNeeded || pr.FirstSeq != 1 || len(pr.Recs) != 5 || pr.UpstreamSeq != 5 {
+		t.Fatalf("pull from 1: %+v", pr)
+	}
+	if pr.Recs[2].Key != 3 || pr.Recs[2].Val != 30 {
+		t.Fatalf("record 3 is %+v", pr.Recs[2])
+	}
+	// Pulling from 6 acknowledges 1..5 and long-polls empty.
+	pr, err = n.ServePull(context.Background(), 6, 0, 10*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Recs) != 0 || pr.UpstreamSeq != 5 {
+		t.Fatalf("caught-up pull: %+v", pr)
+	}
+	if h := n.Health(); h.AckedSeq != 5 {
+		t.Fatalf("acked seq %d, want 5 (pulls are acks)", h.AckedSeq)
+	}
+	// max bounds the batch.
+	pr, err = n.ServePull(context.Background(), 1, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Recs) != 2 || pr.FirstSeq != 1 {
+		t.Fatalf("bounded pull: %+v", pr)
+	}
+}
+
+func TestRingTrimForcesSnapshot(t *testing.T) {
+	ix := openIx(t)
+	n := New(ix, Options{RingCap: 4})
+	defer n.Close()
+	for k := uint64(1); k <= 10; k++ {
+		if err := ix.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr, err := n.ServePull(context.Background(), 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.SnapshotNeeded {
+		t.Fatalf("trimmed ring served seq 1: %+v", pr)
+	}
+	// The retained tail is still pullable.
+	pr, err = n.ServePull(context.Background(), 7, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.SnapshotNeeded || pr.FirstSeq != 7 || len(pr.Recs) != 4 {
+		t.Fatalf("tail pull: %+v", pr)
+	}
+}
+
+// TestSemiSyncAckAndLagging pins the ambiguous-fate contract: with no
+// follower pulling, a semi-sync write errors with ErrReplicaLagging yet IS
+// locally durable; with a puller acking, writes succeed.
+func TestSemiSyncAckAndLagging(t *testing.T) {
+	ix := openIx(t)
+	n := New(ix, Options{SemiSync: true, AckTimeout: 50 * time.Millisecond})
+	defer n.Close()
+
+	err := ix.Insert(1, 100)
+	if !errors.Is(err, chameleon.ErrReplicaLagging) {
+		t.Fatalf("unacked semi-sync insert: %v, want ErrReplicaLagging", err)
+	}
+	if v, ok := ix.Lookup(1); !ok || v != 100 {
+		t.Fatal("lagging write is not locally durable — the ambiguous fate must be 'durable, unconfirmed'")
+	}
+
+	// A live puller turns writes green again.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n.ServePull(context.Background(), ix.CommitSeq()+1, 0, 20*time.Millisecond, 0) //nolint:errcheck
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := ix.Insert(2, 200); err == nil {
+			break
+		} else if !errors.Is(err, chameleon.ErrReplicaLagging) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("semi-sync insert never acked despite live puller")
+		}
+	}
+}
+
+func TestCloseReleasesSemiSyncWaiter(t *testing.T) {
+	ix := openIx(t)
+	n := New(ix, Options{SemiSync: true, AckTimeout: 10 * time.Second})
+	done := make(chan error, 1)
+	go func() { done <- ix.Insert(7, 7) }()
+	time.Sleep(20 * time.Millisecond) // let the insert reach waitAcked
+	n.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("insert during close: %v (locally durable writes must not fail on shutdown)", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("semi-sync waiter leaked past Close")
+	}
+}
+
+func TestPromoteFenceStateMachine(t *testing.T) {
+	ix := openIx(t)
+	n := New(ix, Options{})
+	defer n.Close()
+
+	// A stale epoch does not fence.
+	if epoch, role := n.Fence(1); epoch != 1 || role != chameleon.RolePrimary {
+		t.Fatalf("stale fence: epoch %d role %v", epoch, role)
+	}
+	// A newer epoch deposes the primary.
+	if epoch, role := n.Fence(3); epoch != 3 || role != chameleon.RoleFenced {
+		t.Fatalf("fence: epoch %d role %v", epoch, role)
+	}
+	if n.AllowWrites() {
+		t.Fatal("fenced node accepts writes")
+	}
+	if _, err := n.Promote(); !errors.Is(err, ErrFencedNode) {
+		t.Fatalf("promoting fenced node: %v", err)
+	}
+
+	// A follower (shell: no dial loop) promotes: epoch exceeds upstream's.
+	f := newFollowerShell(openIx(t), Options{ReplicaOf: "127.0.0.1:1"})
+	f.epoch = 3 // adopted from pulls
+	defer f.Close()
+	if f.AllowWrites() {
+		t.Fatal("follower accepts writes")
+	}
+	epoch, err := f.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 4 {
+		t.Fatalf("promoted epoch %d, want 4 (> deposed primary's 3)", epoch)
+	}
+	if role, _ := f.Role(); role != chameleon.RolePrimary || !f.AllowWrites() {
+		t.Fatalf("promoted role %v", role)
+	}
+	// Promote is idempotent.
+	if again, err := f.Promote(); err != nil || again != 4 {
+		t.Fatalf("re-promote: epoch %d err %v", again, err)
+	}
+}
+
+func TestServeSnapStreamRestores(t *testing.T) {
+	ix := openIx(t)
+	n := New(ix, Options{SnapChunk: 64})
+	defer n.Close()
+	for k := uint64(1); k <= 200; k++ {
+		if err := ix.Insert(k, k^0xFF); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var blob bytes.Buffer
+	first, err := n.ServeSnap(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.AsOfSeq != 200 || first.Total == 0 {
+		t.Fatalf("snapshot opened: %+v", first)
+	}
+	blob.Write(first.Data)
+	for off := uint64(len(first.Data)); off < first.Total; {
+		ch, err := n.ServeSnap(first.SnapID, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Offset != off || len(ch.Data) == 0 || len(ch.Data) > 64 {
+			t.Fatalf("chunk at %d: offset %d len %d", off, ch.Offset, len(ch.Data))
+		}
+		blob.Write(ch.Data)
+		off += uint64(len(ch.Data))
+	}
+
+	follower := openIx(t)
+	if err := follower.RestoreSnapshot(&blob, first.AsOfSeq); err != nil {
+		t.Fatal(err)
+	}
+	if follower.CommitSeq() != 200 || follower.Len() != 200 {
+		t.Fatalf("restored: seq %d len %d", follower.CommitSeq(), follower.Len())
+	}
+	if v, ok := follower.Lookup(123); !ok || v != 123^0xFF {
+		t.Fatalf("restored lookup: %d %v", v, ok)
+	}
+
+	if _, err := n.ServeSnap(9999, 0); !errors.Is(err, ErrUnknownSnapshot) {
+		t.Fatalf("unknown snap id: %v", err)
+	}
+}
+
+// TestPullLoopAppliesIdempotently drives the follower loop with a scripted
+// upstream: a batch, the same batch re-delivered, then script end. The
+// re-delivery must be a no-op (SeqTracker dedupe), not an error or a
+// double-apply.
+func TestPullLoopAppliesIdempotently(t *testing.T) {
+	ix := openIx(t)
+	n := newFollowerShell(ix, Options{ReplicaOf: "scripted"})
+	batch := func(fromSeq, _ uint64) (client.PullResult, error) {
+		return client.PullResult{FirstSeq: 1, UpstreamSeq: 2, Epoch: 1,
+			Recs: []wal.Record{{Op: wal.OpInsert, Key: 10, Val: 1}, {Op: wal.OpInsert, Key: 20, Val: 2}}}, nil
+	}
+	fc := &fakeClient{pulls: []func(uint64, uint64) (client.PullResult, error){batch, batch}}
+	err := n.pullLoop(context.Background(), fc)
+	if !errors.Is(err, errScriptDone) {
+		t.Fatalf("pull loop ended with %v", err)
+	}
+	if ix.CommitSeq() != 2 || ix.Len() != 2 {
+		t.Fatalf("after redelivery: seq %d len %d", ix.CommitSeq(), ix.Len())
+	}
+	if _, epoch := n.Role(); epoch != 1 {
+		t.Fatalf("adopted epoch %d, want 1", epoch)
+	}
+}
+
+// TestPullLoopFailsStopOnRegression: an upstream whose epoch or commit clock
+// moves backwards is divergence-class — the loop must return errFatal, and
+// failStop must mark health Diverged.
+func TestPullLoopFailsStopOnRegression(t *testing.T) {
+	cases := []struct {
+		name  string
+		pulls []func(uint64, uint64) (client.PullResult, error)
+	}{
+		{"epoch regression", []func(uint64, uint64) (client.PullResult, error){
+			func(uint64, uint64) (client.PullResult, error) {
+				return client.PullResult{UpstreamSeq: 0, Epoch: 5}, nil
+			},
+			func(uint64, uint64) (client.PullResult, error) {
+				return client.PullResult{UpstreamSeq: 0, Epoch: 4}, nil
+			},
+		}},
+		{"upstream seq regression", []func(uint64, uint64) (client.PullResult, error){
+			func(uint64, uint64) (client.PullResult, error) {
+				return client.PullResult{UpstreamSeq: 9, Epoch: 1}, nil
+			},
+			func(uint64, uint64) (client.PullResult, error) {
+				return client.PullResult{UpstreamSeq: 3, Epoch: 1}, nil
+			},
+		}},
+		{"sequence gap", []func(uint64, uint64) (client.PullResult, error){
+			func(uint64, uint64) (client.PullResult, error) {
+				return client.PullResult{FirstSeq: 5, UpstreamSeq: 6, Epoch: 1,
+					Recs: []wal.Record{{Op: wal.OpInsert, Key: 1, Val: 1}}}, nil
+			},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := newFollowerShell(openIx(t), Options{ReplicaOf: "scripted"})
+			err := n.pullLoop(context.Background(), &fakeClient{pulls: tc.pulls})
+			var fe *errFatal
+			if !errors.As(err, &fe) {
+				t.Fatalf("want errFatal, got %v", err)
+			}
+			n.failStop(err)
+			if h := n.Health(); !h.Diverged || h.State() != chameleon.HealthPoisoned {
+				t.Fatalf("post-failstop health: %+v", h)
+			}
+		})
+	}
+}
+
+// TestPullLoopBootstraps: a snapshot-needed pull drives a full chunked
+// bootstrap through RestoreSnapshot, after which pulling resumes from the
+// snapshot's sequence.
+func TestPullLoopBootstraps(t *testing.T) {
+	primary := openIx(t)
+	pn := New(primary, Options{SnapChunk: 128})
+	defer pn.Close()
+	for k := uint64(1); k <= 100; k++ {
+		if err := primary.Insert(k, k+1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ix := openIx(t)
+	n := newFollowerShell(ix, Options{ReplicaOf: "scripted"})
+	var resumedFrom uint64
+	fc := &fakeClient{
+		pulls: []func(uint64, uint64) (client.PullResult, error){
+			func(uint64, uint64) (client.PullResult, error) {
+				return client.PullResult{UpstreamSeq: 100, Epoch: 1, SnapshotNeeded: true}, nil
+			},
+			func(fromSeq, _ uint64) (client.PullResult, error) {
+				resumedFrom = fromSeq
+				return client.PullResult{FirstSeq: 101, UpstreamSeq: 101, Epoch: 1,
+					Recs: []wal.Record{{Op: wal.OpInsert, Key: 500, Val: 501}}}, nil
+			},
+		},
+		snap: func(snapID, offset uint64) (client.SnapChunk, error) {
+			sr, err := pn.ServeSnap(snapID, offset)
+			if err != nil {
+				return client.SnapChunk{}, err
+			}
+			return client.SnapChunk{SnapID: sr.SnapID, AsOfSeq: sr.AsOfSeq,
+				Offset: sr.Offset, Total: sr.Total, Data: sr.Data}, nil
+		},
+	}
+	err := n.pullLoop(context.Background(), fc)
+	if !errors.Is(err, errScriptDone) {
+		t.Fatal(err)
+	}
+	if resumedFrom != 101 {
+		t.Fatalf("post-bootstrap pull resumed from %d, want 101", resumedFrom)
+	}
+	if ix.CommitSeq() != 101 || ix.Len() != 101 {
+		t.Fatalf("bootstrapped follower: seq %d len %d", ix.CommitSeq(), ix.Len())
+	}
+	if v, ok := ix.Lookup(42); !ok || v != 1042 {
+		t.Fatalf("bootstrapped lookup: %d %v", v, ok)
+	}
+	if n.bootstraps.Load() != 1 {
+		t.Fatalf("bootstraps %d, want 1", n.bootstraps.Load())
+	}
+	if h := n.Health(); h.Diverged {
+		t.Fatalf("unexpected divergence: %+v", h)
+	}
+}

@@ -1,0 +1,457 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/client"
+	"chameleon/internal/netfault"
+	"chameleon/internal/repl"
+	"chameleon/internal/server"
+	"chameleon/internal/wire"
+)
+
+// End-to-end replication tests: HELLO negotiation at the socket level, the
+// primary/follower pair over real servers, snapshot bootstrap, read-your-
+// writes tokens, and the fault-injected failover soak whose oracle is the
+// acceptance criterion for DESIGN.md §12.
+
+// replPair is a primary server and a follower server replicating from it
+// through a netfault proxy, with a client dialed to each.
+type replPair struct {
+	primaryIx, followerIx     *chameleon.DurableIndex
+	primaryNode, followerNode *repl.Node
+	primary, follower         *server.Server
+	proxy                     *netfault.Proxy
+	pc, fc                    *client.Client
+}
+
+// startReplPair wires primary ← proxy ← follower and dials both servers.
+// popts/fopts default sensibly for tests (fast pulls, fast reconnects).
+func startReplPair(t *testing.T, popts, fopts repl.Options) *replPair {
+	t.Helper()
+	rp := &replPair{}
+	rp.primaryIx = openIx(t, t.TempDir(), chameleon.DirOptions{})
+	rp.primaryNode = repl.New(rp.primaryIx, popts)
+	rp.primary = startServer(t, rp.primaryIx, server.Options{Repl: rp.primaryNode})
+
+	proxy, err := netfault.New(rp.primary.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.proxy = proxy
+
+	fopts.ReplicaOf = proxy.Addr()
+	if fopts.PullWait == 0 {
+		fopts.PullWait = 100 * time.Millisecond
+	}
+	if fopts.ReconnectMin == 0 {
+		fopts.ReconnectMin = 10 * time.Millisecond
+	}
+	if fopts.ReconnectMax == 0 {
+		fopts.ReconnectMax = 100 * time.Millisecond
+	}
+	rp.followerIx = openIx(t, t.TempDir(), chameleon.DirOptions{})
+	rp.followerNode = repl.New(rp.followerIx, fopts)
+	rp.follower = startServer(t, rp.followerIx, server.Options{Repl: rp.followerNode})
+
+	rp.pc = dialClient(t, rp.primary, client.Options{})
+	rp.fc = dialClient(t, rp.follower, client.Options{})
+
+	t.Cleanup(func() {
+		rp.pc.Close() //nolint:errcheck
+		rp.fc.Close() //nolint:errcheck
+		rp.followerNode.Close()
+		rp.primaryNode.Close()
+		rp.follower.Close() //nolint:errcheck
+		rp.primary.Close()  //nolint:errcheck
+		proxy.Close()
+		rp.followerIx.Close() //nolint:errcheck
+		rp.primaryIx.Close()  //nolint:errcheck
+	})
+	return rp
+}
+
+// waitFollowerSeq polls the follower index until its commit clock reaches
+// seq or the deadline passes.
+func waitFollowerSeq(t *testing.T, ix *chameleon.DurableIndex, seq uint64, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for ix.CommitSeq() < seq {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at seq %d, want %d", ix.CommitSeq(), seq)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHelloVersionMismatch drives the raw socket: a HELLO with an alien
+// protocol version must get the typed rejection and then a hangup — fail
+// fast, never decode garbage mid-stream.
+func TestHelloVersionMismatch(t *testing.T) {
+	ix := openIx(t, t.TempDir(), chameleon.DirOptions{})
+	defer ix.Close() //nolint:errcheck
+	s := startServer(t, ix, server.Options{})
+	defer s.Close() //nolint:errcheck
+
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close() //nolint:errcheck
+	frame := wire.AppendRequest(nil, &wire.Request{
+		ID: 1, Op: wire.OpHello, Version: 99, Features: wire.LocalFeatures,
+	})
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		t.Fatalf("reading mismatch reply: %v", err)
+	}
+	res, err := wire.DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || res.Err != wire.ErrCodeVersionMismatch {
+		t.Fatalf("HELLO v99 answered %+v, want ErrCodeVersionMismatch", res)
+	}
+	// The server hangs up after the rejection.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := wire.ReadFrame(nc); err == nil {
+		t.Fatal("server kept the mismatched connection open")
+	}
+}
+
+// TestReplOpsRequireNegotiation: the REPL_* family is fenced twice — a
+// server without replication refuses outright, and a replication-enabled
+// server refuses connections that skipped HELLO. Both come back as typed
+// malformed rejections, not hangs or internal errors.
+func TestReplOpsRequireNegotiation(t *testing.T) {
+	ctx := context.Background()
+
+	// No replication configured: typed refusal.
+	ix := openIx(t, t.TempDir(), chameleon.DirOptions{})
+	defer ix.Close() //nolint:errcheck
+	s := startServer(t, ix, server.Options{})
+	defer s.Close() //nolint:errcheck
+	c := dialClient(t, s, client.Options{})
+	defer c.Close() //nolint:errcheck
+	_, err := c.ReplPull(ctx, 1, 10, 0, 0)
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.ErrCodeMalformed {
+		t.Fatalf("REPL_PULL without replication: %v, want ErrCodeMalformed", err)
+	}
+
+	// Replication configured, but the connection never negotiated FeatRepl.
+	node := repl.New(ix, repl.Options{})
+	defer node.Close()
+	s2 := startServer(t, ix, server.Options{Repl: node})
+	defer s2.Close() //nolint:errcheck
+	legacy := dialClient(t, s2, client.Options{NoHello: true})
+	defer legacy.Close() //nolint:errcheck
+	_, err = legacy.ReplPull(ctx, 1, 10, 0, 0)
+	if !errors.As(err, &re) || re.Code != wire.ErrCodeMalformed {
+		t.Fatalf("REPL_PULL without HELLO: %v, want ErrCodeMalformed", err)
+	}
+
+	// A negotiated client on the same server works.
+	good := dialClient(t, s2, client.Options{})
+	defer good.Close() //nolint:errcheck
+	if _, err := good.ReplPull(ctx, 1, 10, 0, 0); err != nil {
+		t.Fatalf("negotiated REPL_PULL: %v", err)
+	}
+}
+
+// TestReplicationCatchUpAndReadYourWrites: the bread-and-butter pair. Writes
+// land on the primary, the follower converges, write replies carry commit-
+// sequence tokens, and GetAtLeast on the follower blocks until the token's
+// write is visible — read-your-writes across the replication gap. Writes to
+// the follower bounce with ErrNotPrimary.
+func TestReplicationCatchUpAndReadYourWrites(t *testing.T) {
+	rp := startReplPair(t, repl.Options{}, repl.Options{})
+	ctx := context.Background()
+
+	const n = 200
+	for k := uint64(1); k <= n; k++ {
+		if err := rp.pc.Insert(ctx, k, valOf(k)); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	if got := rp.pc.LastSeq(); got != n {
+		t.Fatalf("client seq token = %d, want %d", got, n)
+	}
+
+	// Read-your-writes: ask the follower for the last write at its token.
+	v, found, err := rp.fc.GetAtLeast(ctx, n, rp.pc.LastSeq(), 5*time.Second)
+	if err != nil || !found || v != valOf(n) {
+		t.Fatalf("GetAtLeast(%d, seq %d) = %d,%v,%v", uint64(n), rp.pc.LastSeq(), v, found, err)
+	}
+	waitFollowerSeq(t, rp.followerIx, n, 10*time.Second)
+
+	// Fail-fast WaitSeq: a token far beyond the stream with no wait budget.
+	if _, err := rp.fc.WaitSeq(ctx, n+1000, 0); !errors.Is(err, chameleon.ErrReplicaLagging) {
+		t.Fatalf("WaitSeq(fail-fast) = %v, want ErrReplicaLagging", err)
+	}
+
+	// The follower is read-only.
+	if err := rp.fc.Insert(ctx, 7777, 1); !errors.Is(err, chameleon.ErrNotPrimary) {
+		t.Fatalf("Insert on follower: %v, want ErrNotPrimary", err)
+	}
+
+	// Stats surfaces the replication fields on both sides.
+	ps, _, err := rp.pc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.ReplRole != "primary" || ps.ReplEpoch != 1 || ps.CommitSeq != n {
+		t.Fatalf("primary stats = role %q epoch %d seq %d", ps.ReplRole, ps.ReplEpoch, ps.CommitSeq)
+	}
+	fs, _, err := rp.fc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.ReplRole != "follower" || !fs.ReplConnected || fs.ReplLastApplied != n {
+		t.Fatalf("follower stats = %+v", fs)
+	}
+}
+
+// TestSnapshotBootstrapConvergence: a follower born after the primary's ring
+// has already trimmed its history cannot catch up record-by-record; it must
+// bootstrap from a streamed snapshot over the wire and then tail the ring.
+func TestSnapshotBootstrapConvergence(t *testing.T) {
+	ix := openIx(t, t.TempDir(), chameleon.DirOptions{})
+	defer ix.Close() //nolint:errcheck
+	node := repl.New(ix, repl.Options{RingCap: 32, SnapChunk: 1024})
+	defer node.Close()
+	s := startServer(t, ix, server.Options{Repl: node})
+	defer s.Close() //nolint:errcheck
+
+	const n = 500 // far beyond the 32-record ring
+	pc := dialClient(t, s, client.Options{})
+	defer pc.Close() //nolint:errcheck
+	ctx := context.Background()
+	for k := uint64(1); k <= n; k++ {
+		if err := pc.Insert(ctx, k, valOf(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fix := openIx(t, t.TempDir(), chameleon.DirOptions{})
+	defer fix.Close() //nolint:errcheck
+	fnode := repl.New(fix, repl.Options{
+		ReplicaOf:    s.Addr().String(),
+		PullWait:     100 * time.Millisecond,
+		ReconnectMin: 10 * time.Millisecond,
+		ReconnectMax: 100 * time.Millisecond,
+	})
+	defer fnode.Close()
+
+	waitFollowerSeq(t, fix, n, 15*time.Second)
+	if h := fnode.Health(); h.SnapshotBootstraps == 0 {
+		t.Fatalf("follower caught up without a snapshot bootstrap: %+v", h)
+	}
+	if fix.Len() != n {
+		t.Fatalf("follower Len = %d, want %d", fix.Len(), n)
+	}
+	for _, k := range []uint64{1, 250, n} {
+		if v, ok := fix.Lookup(k); !ok || v != valOf(k) {
+			t.Fatalf("follower Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+
+	// The stream stays live after bootstrap: one more write tails through.
+	if err := pc.Insert(ctx, n+1, valOf(n+1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFollowerSeq(t, fix, n+1, 10*time.Second)
+}
+
+// keyFate classifies every submitted write for the failover oracle.
+type keyFate int
+
+const (
+	fateAcked  keyFate = iota // nil error: must survive failover
+	fateAbsent                // typed retryable rejection: guaranteed no durable effect
+	fateMaybe                 // transport error / replica-lagging: fate unknown
+)
+
+// TestFailoverSoak is the fault-injected failover oracle (the tentpole's
+// acceptance test). A semi-sync primary takes writes while the follower's
+// replication link suffers drops, delays, and corrupted frames; then the
+// link partitions, the follower is promoted, and the deposed primary is
+// fenced. The oracle:
+//
+//   - every acked write reads back on the promoted follower (semi-sync means
+//     an ack implies the follower applied it),
+//   - every key present on the promoted follower was actually submitted (no
+//     phantoms),
+//   - writes rejected with a retryable typed error left no durable trace,
+//   - link faults never diverge the follower (frame CRCs turn corruption
+//     into reconnects),
+//   - the deposed primary refuses writes once fenced, and the promoted
+//     follower accepts them.
+func TestFailoverSoak(t *testing.T) {
+	rp := startReplPair(t,
+		repl.Options{SemiSync: true, AckTimeout: time.Second},
+		repl.Options{StallAfter: time.Second},
+	)
+	ctx := context.Background()
+
+	var (
+		mu    sync.Mutex
+		fates = make(map[uint64]keyFate)
+		vals  = make(map[uint64]uint64)
+	)
+	classify := func(key uint64, err error) {
+		f := fateMaybe
+		switch {
+		case err == nil:
+			f = fateAcked
+		case errors.Is(err, chameleon.ErrReplicaLagging):
+			f = fateMaybe // durable locally, unconfirmed remotely
+		default:
+			var re *wire.RemoteError
+			if errors.As(err, &re) && re.Retryable() {
+				f = fateAbsent
+			}
+		}
+		mu.Lock()
+		fates[key] = f
+		vals[key] = valOf(key)
+		mu.Unlock()
+	}
+
+	// Writers: 3 goroutines on disjoint key ranges, each write on a fresh
+	// deadline so a dead link surfaces as an error rather than a stall.
+	const soak = 2 * time.Second
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := dialClient(t, rp.primary, client.Options{MaxRetries: 1})
+			defer wc.Close() //nolint:errcheck
+			for k := uint64(w)*1_000_000 + 1; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				wctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+				classify(k, wc.Insert(wctx, k, valOf(k)))
+				cancel()
+			}
+		}(w)
+	}
+
+	// Fault injector: cycle drops, delay, and corruption on the link.
+	faultDone := make(chan struct{})
+	go func() {
+		defer close(faultDone)
+		deadline := time.Now().Add(soak)
+		for i := 0; time.Now().Before(deadline); i++ {
+			switch i % 4 {
+			case 0:
+				rp.proxy.DropConns()
+			case 1:
+				rp.proxy.SetDelay(20 * time.Millisecond)
+			case 2:
+				rp.proxy.CorruptChunks(1)
+			case 3:
+				rp.proxy.SetDelay(0)
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+		rp.proxy.SetDelay(0)
+	}()
+	<-faultDone
+
+	// Partition, let a few more writes land in the ambiguous window, then
+	// stop the writers.
+	rp.proxy.Partition(true)
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Failover: promote the follower over the wire while the old primary is
+	// unreachable from it.
+	epoch, role, err := rp.fc.Promote(ctx)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if role != chameleon.RolePrimary || epoch != 2 {
+		t.Fatalf("Promote = role %v epoch %d, want primary epoch 2", role, epoch)
+	}
+
+	// Oracle 1: link faults never diverged the follower.
+	if h := rp.followerNode.Health(); h.Diverged {
+		t.Fatalf("follower diverged during link faults: %+v", h)
+	}
+
+	// Oracle 2: every acked write survives the failover, with its exact
+	// value; every retryable-rejected write left no trace.
+	mu.Lock()
+	defer mu.Unlock()
+	var acked, absent, maybe int
+	for k, f := range fates {
+		v, ok := rp.followerIx.Lookup(k)
+		switch f {
+		case fateAcked:
+			acked++
+			if !ok || v != vals[k] {
+				t.Fatalf("acked write %d lost across failover (found=%v val=%d)", k, ok, v)
+			}
+		case fateAbsent:
+			absent++
+			if ok {
+				t.Fatalf("retryable-rejected write %d appeared on the follower", k)
+			}
+		case fateMaybe:
+			maybe++
+		}
+	}
+	if acked == 0 {
+		t.Fatal("soak produced zero acked writes; the oracle proved nothing")
+	}
+	t.Logf("soak fates: %d acked, %d guaranteed-absent, %d ambiguous", acked, absent, maybe)
+
+	// Oracle 3: no phantoms — everything on the promoted follower was
+	// actually submitted.
+	phantom := 0
+	rp.followerIx.Range(0, ^uint64(0), func(k, v uint64) bool {
+		if _, submitted := fates[k]; !submitted {
+			phantom++
+		}
+		return true
+	})
+	if phantom > 0 {
+		t.Fatalf("%d phantom keys on the promoted follower", phantom)
+	}
+
+	// Oracle 4: the new primary accepts writes; the deposed one, once the
+	// fencing epoch reaches it, refuses them.
+	if err := rp.fc.Insert(ctx, 42_000_000, 42); err != nil {
+		t.Fatalf("write on promoted follower: %v", err)
+	}
+	rp.proxy.Partition(false)
+	if _, _, err := rp.pc.Fence(ctx, epoch); err != nil {
+		t.Fatalf("Fence(old primary, %d): %v", epoch, err)
+	}
+	if err := rp.pc.Insert(ctx, 43_000_000, 43); !errors.Is(err, chameleon.ErrNotPrimary) {
+		t.Fatalf("write on deposed primary: %v, want ErrNotPrimary", err)
+	}
+	ps, _, err := rp.pc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.ReplRole != "fenced" || ps.ReplEpoch != epoch {
+		t.Fatalf("deposed primary stats = role %q epoch %d, want fenced epoch %d", ps.ReplRole, ps.ReplEpoch, epoch)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"chameleon"
+	"chameleon/internal/repl"
 	"chameleon/internal/wire"
 )
 
@@ -55,6 +56,11 @@ type Index interface {
 	WALSize() int64
 	Health() chameleon.Health
 	Err() error
+	// CommitSeq/WaitSeq expose the commit clock behind sequence tokens and
+	// GET_SEQ (read-your-writes on a follower). Both handles provide them;
+	// the sharded CommitSeq is a monotonic sum, not a cross-shard order.
+	CommitSeq() uint64
+	WaitSeq(ctx context.Context, seq uint64) error
 }
 
 // shardedIndex is the optional surface a sharded handle adds; STATS reports
@@ -88,6 +94,14 @@ type Options struct {
 	// OwnsIndex makes Shutdown checkpoint and close the index after the
 	// drain. cmd/chameleon-serve sets it; tests that reuse the index don't.
 	OwnsIndex bool
+	// Repl attaches a replication controller: REPL_* / PROMOTE ops dispatch
+	// into it, writes are gated on its role (followers and fenced
+	// ex-primaries reject with ErrCodeNotPrimary), HELLO advertises FeatRepl,
+	// and STATS grows the repl_* fields. Nil = replication off.
+	Repl *repl.Node
+	// MaxPullWait caps a REPL_PULL/GET_SEQ long-poll so a drain is never
+	// stuck behind one (default 30s).
+	MaxPullWait time.Duration
 }
 
 // maxRangePairs keeps a full RANGE response inside one MaxFrame.
@@ -123,6 +137,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DiskFullRetryMS == 0 {
 		o.DiskFullRetryMS = 200
+	}
+	if o.MaxPullWait <= 0 {
+		o.MaxPullWait = 30 * time.Second
 	}
 	return o
 }
@@ -358,6 +375,10 @@ type conn struct {
 	slots    chan struct{}
 	handlers sync.WaitGroup
 	wdone    chan struct{}
+	// features holds the HELLO-negotiated feature bits (0 until a HELLO
+	// succeeds — a pre-negotiation client keeps the exact legacy byte
+	// stream: no sequence tokens ever appear on its replies).
+	features atomic.Uint64
 }
 
 func (c *conn) run() {
@@ -397,6 +418,18 @@ func (c *conn) run() {
 			c.out <- &wire.Response{ID: id, Op: wire.OpPing, Err: wire.ErrCodeMalformed, Msg: derr.Error()}
 			continue
 		}
+		// HELLO is handled inline, before any pipelined handler can race the
+		// feature bits: a version mismatch answers with the typed code and
+		// hangs up (fail-fast — nothing after a failed negotiation can be
+		// interpreted safely).
+		if req.Op == wire.OpHello {
+			res := c.srv.handleHello(c, req)
+			c.out <- res
+			if !res.OK {
+				break
+			}
+			continue
+		}
 		// Pipelining: take an in-flight slot (blocking the reader is the
 		// backpressure) and execute concurrently. Responses are matched by
 		// id, so completion order is free to differ from arrival order.
@@ -404,7 +437,7 @@ func (c *conn) run() {
 		c.handlers.Add(1)
 		go func() {
 			defer c.handlers.Done()
-			c.out <- c.srv.dispatch(c.srv.baseCtx, req)
+			c.out <- c.srv.dispatch(c.srv.baseCtx, c, req)
 			<-c.slots
 		}()
 	}
@@ -446,8 +479,71 @@ func (c *conn) writer() {
 	}
 }
 
+// handleHello answers protocol negotiation. A version mismatch is the one
+// hard failure: the typed code goes back and the caller hangs up the
+// connection. On success the connection's feature set becomes the
+// intersection of what the client offered and what this server grants.
+func (s *Server) handleHello(c *conn, req *wire.Request) *wire.Response {
+	s.requests.Add(1)
+	res := &wire.Response{ID: req.ID, Op: wire.OpHello, OK: true}
+	if req.Version != wire.ProtocolVersion {
+		s.reqErrors.Add(1)
+		res.OK = false
+		res.Err = wire.ErrCodeVersionMismatch
+		res.Msg = fmt.Sprintf("server speaks protocol v%d, client offered v%d", wire.ProtocolVersion, req.Version)
+		return res
+	}
+	granted := wire.FeatSeqTokens
+	if s.opts.Repl != nil {
+		granted |= wire.FeatRepl
+	}
+	feats := req.Features & granted
+	c.features.Store(feats)
+	res.Version = wire.ProtocolVersion
+	res.Features = feats
+	if s.opts.Repl != nil {
+		role, epoch := s.opts.Repl.Role()
+		res.Role, res.Epoch = byte(role), epoch
+	}
+	return res
+}
+
+// addSeqToken stamps a successful write reply with the commit clock on
+// token-negotiated connections. Pre-HELLO connections get the byte-identical
+// legacy reply — HasSeq stays false.
+func (s *Server) addSeqToken(c *conn, res *wire.Response) *wire.Response {
+	if res.OK && c.features.Load()&wire.FeatSeqTokens != 0 {
+		res.Seq = s.ix.CommitSeq()
+		res.HasSeq = true
+	}
+	return res
+}
+
+// writeGateErr refuses mutations on a node that is not the primary.
+func (s *Server) writeGateErr() error {
+	if s.opts.Repl != nil && !s.opts.Repl.AllowWrites() {
+		role, epoch := s.opts.Repl.Role()
+		return fmt.Errorf("%w: node is %s (epoch %d)", chameleon.ErrNotPrimary, role, epoch)
+	}
+	return nil
+}
+
+// pollCtx bounds a long-poll by the request's WaitMS, capped at MaxPullWait
+// so a drain never waits behind one.
+func (s *Server) pollCtx(ctx context.Context, waitMS uint32) (context.Context, context.CancelFunc, time.Duration) {
+	wait := time.Duration(waitMS) * time.Millisecond
+	if wait > s.opts.MaxPullWait {
+		wait = s.opts.MaxPullWait
+	}
+	if wait <= 0 {
+		return ctx, func() {}, 0
+	}
+	cctx, cancel := context.WithTimeout(ctx, wait+time.Second)
+	return cctx, cancel, wait
+}
+
 // dispatch executes one request against the index and builds its response.
-func (s *Server) dispatch(ctx context.Context, req *wire.Request) *wire.Response {
+func (s *Server) dispatch(ctx context.Context, c *conn, req *wire.Request) *wire.Response {
 	s.requests.Add(1)
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
@@ -479,10 +575,19 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Request) *wire.Response
 			return true
 		})
 	case wire.OpInsert:
-		return s.fail(res, s.ix.InsertCtx(ctx, req.Key, req.Val))
+		if err := s.writeGateErr(); err != nil {
+			return s.fail(res, err)
+		}
+		return s.addSeqToken(c, s.fail(res, s.ix.InsertCtx(ctx, req.Key, req.Val)))
 	case wire.OpDelete:
-		return s.fail(res, s.ix.DeleteCtx(ctx, req.Key))
+		if err := s.writeGateErr(); err != nil {
+			return s.fail(res, err)
+		}
+		return s.addSeqToken(c, s.fail(res, s.ix.DeleteCtx(ctx, req.Key)))
 	case wire.OpBatch:
+		if err := s.writeGateErr(); err != nil {
+			return s.fail(res, err)
+		}
 		res.BatchErrs = s.runBatch(ctx, req.Batch)
 		for _, code := range res.BatchErrs {
 			if code != wire.ErrCodeNone {
@@ -490,9 +595,88 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Request) *wire.Response
 				break
 			}
 		}
+		return s.addSeqToken(c, res)
+	case wire.OpGetSeq:
+		return s.handleGetSeq(ctx, req, res)
+	case wire.OpReplPull, wire.OpReplSnap, wire.OpReplFence, wire.OpPromote:
+		return s.handleRepl(ctx, c, req, res)
 	default:
 		// DecodeRequest only emits known opcodes; this is future-proofing.
 		return s.fail(res, wire.ErrMalformed)
+	}
+	return res
+}
+
+// handleGetSeq waits (bounded) for the commit clock to reach the requested
+// sequence — read-your-writes against a follower. WaitMS 0 is a fail-fast
+// probe; a wait that expires surfaces the typed lagging code.
+func (s *Server) handleGetSeq(ctx context.Context, req *wire.Request, res *wire.Response) *wire.Response {
+	if req.Seq > 0 && s.ix.CommitSeq() < req.Seq {
+		wctx, cancel, wait := s.pollCtx(ctx, req.WaitMS)
+		if wait <= 0 {
+			return s.fail(res, fmt.Errorf("%w: commit seq %d behind requested %d",
+				chameleon.ErrReplicaLagging, s.ix.CommitSeq(), req.Seq))
+		}
+		err := s.waitSeqBounded(wctx, req.Seq, wait)
+		cancel()
+		if err != nil {
+			return s.fail(res, err)
+		}
+	}
+	res.Seq = s.ix.CommitSeq()
+	return res
+}
+
+// waitSeqBounded runs WaitSeq with a hard deadline, translating expiry into
+// the lagging sentinel (the caller asked "are you caught up within d"; "no"
+// is a typed answer, not a transport failure).
+func (s *Server) waitSeqBounded(ctx context.Context, seq uint64, d time.Duration) error {
+	wctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	err := s.ix.WaitSeq(wctx, seq)
+	if err != nil && wctx.Err() != nil && ctx.Err() == nil {
+		return fmt.Errorf("%w: commit seq %d not reached within %v", chameleon.ErrReplicaLagging, seq, d)
+	}
+	return err
+}
+
+// handleRepl dispatches the replication opcodes into the node.
+func (s *Server) handleRepl(ctx context.Context, c *conn, req *wire.Request, res *wire.Response) *wire.Response {
+	node := s.opts.Repl
+	if node == nil {
+		return s.fail(res, fmt.Errorf("%w: replication not enabled on this server", wire.ErrMalformed))
+	}
+	if c.features.Load()&wire.FeatRepl == 0 {
+		return s.fail(res, fmt.Errorf("%w: %s requires a HELLO negotiating FeatRepl", wire.ErrMalformed, req.Op))
+	}
+	switch req.Op {
+	case wire.OpReplPull:
+		wctx, cancel, wait := s.pollCtx(ctx, req.WaitMS)
+		pr, err := node.ServePull(wctx, req.Seq, int(req.Limit), wait, req.Epoch)
+		cancel()
+		if err != nil {
+			return s.fail(res, err)
+		}
+		res.FirstSeq, res.Recs = pr.FirstSeq, pr.Recs
+		res.UpstreamSeq, res.Epoch = pr.UpstreamSeq, pr.Epoch
+		res.SnapshotNeeded = pr.SnapshotNeeded
+	case wire.OpReplSnap:
+		sr, err := node.ServeSnap(req.SnapID, req.Seq)
+		if err != nil {
+			return s.fail(res, err)
+		}
+		res.SnapID, res.AsOfSeq = sr.SnapID, sr.AsOfSeq
+		res.Offset, res.Total, res.Snap = sr.Offset, sr.Total, sr.Data
+	case wire.OpReplFence:
+		epoch, role := node.Fence(req.Epoch)
+		res.Epoch, res.Role = epoch, byte(role)
+	case wire.OpPromote:
+		epoch, err := node.Promote()
+		if err != nil {
+			return s.fail(res, err)
+		}
+		role, _ := node.Role()
+		res.Epoch, res.Role = epoch, byte(role)
 	}
 	return res
 }
@@ -609,6 +793,23 @@ func (s *Server) statsJSON() []byte {
 		for _, shh := range sh.ShardHealths() {
 			reply.ShardStates = append(reply.ShardStates, shh.State.String())
 		}
+	}
+	reply.CommitSeq = s.ix.CommitSeq()
+	if node := s.opts.Repl; node != nil {
+		rh := node.Health()
+		merged := chameleon.MergeReplHealth(h, rh)
+		reply.ReplRole = rh.Role.String()
+		reply.ReplEpoch = rh.Epoch
+		reply.ReplState = merged.State.String()
+		reply.ReplLastApplied = rh.LastApplied
+		reply.ReplUpstreamSeq = rh.UpstreamSeq
+		reply.ReplLag = rh.Lag
+		reply.ReplAckedSeq = rh.AckedSeq
+		reply.ReplConnected = rh.Connected
+		reply.ReplReconnects = rh.Reconnects
+		reply.ReplSnapshotBootstraps = rh.SnapshotBootstraps
+		reply.ReplStalled = rh.Stalled
+		reply.ReplDiverged = rh.Diverged
 	}
 	for _, b := range chameleon.FsyncBucketBounds {
 		reply.FsyncBounds = append(reply.FsyncBounds, b.String())

@@ -1,0 +1,92 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSeqTrackerDedupe covers the re-delivery cases a reconnecting follower
+// produces: exact resume, partial overlap, full duplicate, and the
+// zero-length batch.
+func TestSeqTrackerDedupe(t *testing.T) {
+	var tr SeqTracker
+
+	// First delivery: seqs 1..4.
+	skip, err := tr.Admit(1, 4)
+	if err != nil || skip != 0 {
+		t.Fatalf("Admit(1,4) = (%d, %v), want (0, nil)", skip, err)
+	}
+	if tr.Applied != 4 || tr.NextSeq() != 5 {
+		t.Fatalf("after 1..4: Applied=%d NextSeq=%d", tr.Applied, tr.NextSeq())
+	}
+
+	// Full re-delivery of already-applied history: everything skipped, no
+	// state change.
+	skip, err = tr.Admit(2, 3)
+	if err != nil || skip != 3 {
+		t.Fatalf("Admit(2,3) = (%d, %v), want (3, nil)", skip, err)
+	}
+	if tr.Applied != 4 {
+		t.Fatalf("full duplicate advanced Applied to %d", tr.Applied)
+	}
+
+	// Partial overlap: batch 3..7 after applying 1..4 must skip 2 (seqs 3,4)
+	// and apply 5..7.
+	skip, err = tr.Admit(3, 5)
+	if err != nil || skip != 2 {
+		t.Fatalf("Admit(3,5) = (%d, %v), want (2, nil)", skip, err)
+	}
+	if tr.Applied != 7 {
+		t.Fatalf("after overlap: Applied=%d, want 7", tr.Applied)
+	}
+
+	// Exact resume.
+	skip, err = tr.Admit(8, 1)
+	if err != nil || skip != 0 {
+		t.Fatalf("Admit(8,1) = (%d, %v), want (0, nil)", skip, err)
+	}
+
+	// Empty batch is a no-op.
+	if skip, err = tr.Admit(99, 0); err != nil || skip != 0 {
+		t.Fatalf("Admit(99,0) = (%d, %v), want (0, nil)", skip, err)
+	}
+	if tr.Applied != 8 {
+		t.Fatalf("empty batch changed Applied to %d", tr.Applied)
+	}
+}
+
+// TestSeqTrackerGap proves a batch that skips history is refused without
+// state change — the divergence-prevention half of the contract.
+func TestSeqTrackerGap(t *testing.T) {
+	tr := SeqTracker{Applied: 10}
+	skip, err := tr.Admit(12, 4)
+	if !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("Admit(12,4) after 10 = (%d, %v), want ErrSeqGap", skip, err)
+	}
+	if tr.Applied != 10 {
+		t.Fatalf("gap changed Applied to %d", tr.Applied)
+	}
+	// The boundary case is not a gap: 11 is exactly next.
+	if _, err := tr.Admit(11, 2); err != nil {
+		t.Fatalf("Admit(11,2) after 10: %v", err)
+	}
+	if tr.Applied != 12 {
+		t.Fatalf("Applied=%d, want 12", tr.Applied)
+	}
+}
+
+// TestSeqTrackerSnapshotResume covers the bootstrap path: a tracker seeded
+// from a snapshot as-of seq S dedupes deliveries at or below S.
+func TestSeqTrackerSnapshotResume(t *testing.T) {
+	tr := SeqTracker{Applied: 1000}
+	if got := tr.NextSeq(); got != 1001 {
+		t.Fatalf("NextSeq after snapshot seed = %d, want 1001", got)
+	}
+	skip, err := tr.Admit(998, 6) // 998..1003: 3 duplicates, 3 fresh
+	if err != nil || skip != 3 {
+		t.Fatalf("Admit(998,6) = (%d, %v), want (3, nil)", skip, err)
+	}
+	if tr.Applied != 1003 {
+		t.Fatalf("Applied=%d, want 1003", tr.Applied)
+	}
+}

@@ -43,6 +43,12 @@ func CodeFor(err error) ErrCode {
 		return ErrCodeDuplicateKey
 	case errors.Is(err, chameleon.ErrKeyNotFound):
 		return ErrCodeKeyNotFound
+	case errors.Is(err, chameleon.ErrNotPrimary):
+		return ErrCodeNotPrimary
+	case errors.Is(err, chameleon.ErrReplicaLagging):
+		return ErrCodeLagging
+	case errors.Is(err, ErrMalformed):
+		return ErrCodeMalformed
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return ErrCodeCancelled
 	}
@@ -84,6 +90,10 @@ func (e *RemoteError) Unwrap() error {
 		return chameleon.ErrKeyNotFound
 	case ErrCodeCancelled:
 		return context.Canceled
+	case ErrCodeNotPrimary:
+		return chameleon.ErrNotPrimary
+	case ErrCodeLagging:
+		return chameleon.ErrReplicaLagging
 	}
 	return nil
 }

@@ -1,0 +1,39 @@
+package wire
+
+// HELLO is the first frame a feature-aware client (or replication follower)
+// sends on a fresh connection: its protocol version and the feature bits it
+// implements. The server replies with its own version and the negotiated
+// intersection, plus its replication role and epoch so a redirecting client
+// learns the topology for free.
+//
+// Compatibility is deliberately asymmetric so old and new binaries interop
+// without a flag day:
+//
+//   - Old client → new server: no HELLO is ever sent. The connection runs
+//     with zero features — in particular no commit-sequence tokens, so
+//     responses are byte-identical to the pre-HELLO protocol.
+//   - New client → old server: the old server answers the unknown opcode
+//     with ErrCodeMalformed; the client treats that reply as "features =
+//     none" and proceeds on the legacy protocol.
+//   - Version mismatch (both sides speak HELLO but different versions): the
+//     server rejects with the typed ErrCodeVersionMismatch and closes, so a
+//     mismatched pair fails fast instead of decoding garbage mid-stream.
+const (
+	// ProtocolVersion is the wire version this build speaks. Version 1 is
+	// the implicit pre-HELLO protocol (it never appears in a HELLO frame);
+	// version 2 added HELLO itself, commit-sequence tokens, and the REPL_*
+	// family.
+	ProtocolVersion uint16 = 2
+
+	// FeatSeqTokens: INSERT/DELETE/BATCH OK responses carry the commit
+	// sequence the write landed at (Response.Seq/HasSeq) — the
+	// read-your-writes token.
+	FeatSeqTokens uint64 = 1 << 0
+	// FeatRepl: the REPL_* opcode family is served (pull, snapshot
+	// streaming, fence, promote, GET_SEQ).
+	FeatRepl uint64 = 1 << 1
+
+	// LocalFeatures is the full feature set this build implements; a HELLO
+	// negotiation lands on the intersection of both sides' sets.
+	LocalFeatures = FeatSeqTokens | FeatRepl
+)

@@ -38,6 +38,25 @@ type StatsReply struct {
 	Shards      int      `json:"shards,omitempty"`
 	ShardStates []string `json:"shard_states,omitempty"`
 
+	// Replication: role/epoch locate the node in the topology (absent when
+	// replication is not configured); CommitSeq is the node's commit clock;
+	// the repl_* gauges mirror chameleon.ReplHealth (lag and last-applied on
+	// a follower, acked-seq on a primary). ReplState is the merged
+	// worst-wins state (MergeReplHealth) — the one field to alarm on.
+	ReplRole               string `json:"repl_role,omitempty"`
+	ReplEpoch              uint64 `json:"repl_epoch,omitempty"`
+	ReplState              string `json:"repl_state,omitempty"`
+	CommitSeq              uint64 `json:"commit_seq,omitempty"`
+	ReplLastApplied        uint64 `json:"repl_last_applied,omitempty"`
+	ReplUpstreamSeq        uint64 `json:"repl_upstream_seq,omitempty"`
+	ReplLag                uint64 `json:"repl_lag,omitempty"`
+	ReplAckedSeq           uint64 `json:"repl_acked_seq,omitempty"`
+	ReplConnected          bool   `json:"repl_connected,omitempty"`
+	ReplReconnects         uint64 `json:"repl_reconnects,omitempty"`
+	ReplSnapshotBootstraps uint64 `json:"repl_snapshot_bootstraps,omitempty"`
+	ReplStalled            bool   `json:"repl_stalled,omitempty"`
+	ReplDiverged           bool   `json:"repl_diverged,omitempty"`
+
 	// Server-side counters: current and lifetime connections, requests by
 	// outcome, current in-flight requests, and drain status.
 	Conns      int     `json:"conns"`

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"chameleon/internal/wal"
 )
 
 // Op tags a request frame.
@@ -53,6 +55,37 @@ const (
 	OpStats Op = 0x06
 	// OpPing is a liveness no-op. No body.
 	OpPing Op = 0x07
+	// OpHello negotiates protocol version and features; see hello.go. Body:
+	// [2] version [8] feature bits. Reply body: [2] version [8] features
+	// [1] role [8] epoch. A pre-HELLO server answers with ErrCodeMalformed
+	// (unknown opcode), which clients treat as "no features".
+	OpHello Op = 0x08
+
+	// The REPL_* family (0x10+) is the replication stream; see
+	// internal/repl. All of it is feature-gated behind FeatRepl.
+
+	// OpReplPull asks the primary for committed records. Body: [8] fromSeq
+	// [4] max [4] waitMS [8] epoch (the puller's view of the primary epoch;
+	// 0 = unknown). The pull doubles as the acknowledgement: asking from
+	// fromSeq confirms everything below it is applied. Reply body:
+	// [8] firstSeq [8] upstreamSeq [8] epoch [1] flags (bit0 =
+	// snapshot-needed: fromSeq predates retention) [4] count,
+	// count × ([1] op [8] key [8] val).
+	OpReplPull Op = 0x10
+	// OpReplSnap streams a bootstrap snapshot chunk. Body: [8] snapID
+	// (0 = open a fresh snapshot) [8] offset. Reply body: [8] snapID
+	// [8] asOfSeq [8] offset [8] total [4] len, [len] chunk bytes.
+	OpReplSnap Op = 0x11
+	// OpReplFence tells a node a higher epoch exists: it must stop acting
+	// as primary. Body: [8] epoch. Reply body: [8] epoch [1] role.
+	OpReplFence Op = 0x12
+	// OpPromote makes a follower the new primary (epoch+1) — the admin
+	// failover op. No body. Reply body: [8] epoch [1] role.
+	OpPromote Op = 0x13
+	// OpGetSeq reports the node's commit sequence, optionally waiting until
+	// it reaches a target (the read-your-writes wait). Body: [8] seq
+	// (0 = no wait) [4] waitMS. Reply body: [8] seq.
+	OpGetSeq Op = 0x14
 )
 
 // String names the opcode for errors and traces.
@@ -72,6 +105,18 @@ func (o Op) String() string {
 		return "STATS"
 	case OpPing:
 		return "PING"
+	case OpHello:
+		return "HELLO"
+	case OpReplPull:
+		return "REPL_PULL"
+	case OpReplSnap:
+		return "REPL_SNAP"
+	case OpReplFence:
+		return "REPL_FENCE"
+	case OpPromote:
+		return "PROMOTE"
+	case OpGetSeq:
+		return "GET_SEQ"
 	}
 	return fmt.Sprintf("Op(0x%02x)", byte(o))
 }
@@ -117,6 +162,19 @@ const (
 	ErrCodeConnLimit ErrCode = 9
 	// ErrCodeInternal: anything else; see the message.
 	ErrCodeInternal ErrCode = 10
+	// ErrCodeVersionMismatch: the peer's HELLO carried a protocol version
+	// this node does not speak. Sent in the HELLO reply; the connection is
+	// then closed. Not retryable against the same binary.
+	ErrCodeVersionMismatch ErrCode = 11
+	// ErrCodeNotPrimary: a write (or replication-control op) was sent to a
+	// node that is a follower or has been fenced. Redirect to the current
+	// primary; retrying here fails identically.
+	ErrCodeNotPrimary ErrCode = 12
+	// ErrCodeLagging: the required commit sequence was not reached in time —
+	// a semi-sync write whose replication ack timed out (durable locally,
+	// fate after failover ambiguous) or a GET_SEQ wait that expired. NOT
+	// retry-safe for writes: the op may already be durable.
+	ErrCodeLagging ErrCode = 13
 )
 
 // Retryable reports whether the code guarantees the request had no durable
@@ -157,6 +215,12 @@ func (c ErrCode) String() string {
 		return "conn-limit"
 	case ErrCodeInternal:
 		return "internal"
+	case ErrCodeVersionMismatch:
+		return "version-mismatch"
+	case ErrCodeNotPrimary:
+		return "not-primary"
+	case ErrCodeLagging:
+		return "lagging"
 	}
 	return fmt.Sprintf("ErrCode(%d)", byte(c))
 }
@@ -212,10 +276,23 @@ type Request struct {
 	// Key/Val carry GET/INSERT/DELETE operands; RANGE reuses Key=lo,
 	// Val=hi.
 	Key, Val uint64
-	// Limit caps a RANGE response's pair count (0 = server default).
+	// Limit caps a RANGE response's pair count (0 = server default) and a
+	// REPL_PULL's record count.
 	Limit uint32
 	// Batch carries OpBatch's mutations.
 	Batch []BatchOp
+
+	// Version/Features carry HELLO's negotiation offer (see hello.go).
+	Version  uint16
+	Features uint64
+	// Seq is REPL_PULL's from-sequence, GET_SEQ's wait target, and
+	// REPL_SNAP's chunk offset. WaitMS bounds a long-poll (REPL_PULL,
+	// GET_SEQ); Epoch carries the fencing token (REPL_PULL, REPL_FENCE);
+	// SnapID names an open snapshot stream (REPL_SNAP).
+	Seq    uint64
+	WaitMS uint32
+	Epoch  uint64
+	SnapID uint64
 }
 
 // Response is a decoded server→client message. Op echoes the request's
@@ -237,6 +314,39 @@ type Response struct {
 	BatchErrs []ErrCode
 	// Stats answers STATS with a JSON document (see StatsReply).
 	Stats []byte
+
+	// Seq is the commit-sequence token: on INSERT/DELETE/BATCH OK replies it
+	// is present only when HasSeq is set (the server adds it exactly on
+	// HELLO-negotiated connections with FeatSeqTokens, so pre-HELLO clients
+	// never see an unexpected body); on GET_SEQ replies it is always present.
+	Seq    uint64
+	HasSeq bool
+
+	// Version/Features/Role/Epoch answer HELLO (Role mirrors
+	// chameleon.ReplRole's numeric values; Epoch is the fencing token).
+	// Role/Epoch also answer REPL_FENCE and PROMOTE.
+	Version  uint16
+	Features uint64
+	Role     byte
+	Epoch    uint64
+
+	// REPL_PULL reply: Recs are the committed records starting at commit
+	// sequence FirstSeq; UpstreamSeq is the primary's commit sequence at
+	// reply time (the lag reference); SnapshotNeeded means the requested
+	// from-sequence predates WAL retention and the puller must bootstrap via
+	// REPL_SNAP.
+	Recs           []wal.Record
+	FirstSeq       uint64
+	UpstreamSeq    uint64
+	SnapshotNeeded bool
+
+	// REPL_SNAP reply: chunk Snap of a snapshot stream SnapID consistent
+	// as-of AsOfSeq, covering [Offset, Offset+len(Snap)) of Total bytes.
+	Snap    []byte
+	SnapID  uint64
+	AsOfSeq uint64
+	Offset  uint64
+	Total   uint64
 
 	// Err/RetryAfterMS/Msg describe a failed request. RetryAfterMS is the
 	// server's backoff hint for retryable codes.
@@ -276,15 +386,32 @@ func AppendRequest(dst []byte, r *Request) []byte {
 			payload = binary.LittleEndian.AppendUint64(payload, b.Key)
 			payload = binary.LittleEndian.AppendUint64(payload, b.Val)
 		}
-	case OpStats, OpPing:
+	case OpStats, OpPing, OpPromote:
 		// no body
+	case OpHello:
+		payload = binary.LittleEndian.AppendUint16(payload, r.Version)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Features)
+	case OpReplPull:
+		payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
+		payload = binary.LittleEndian.AppendUint32(payload, r.Limit)
+		payload = binary.LittleEndian.AppendUint32(payload, r.WaitMS)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Epoch)
+	case OpReplSnap:
+		payload = binary.LittleEndian.AppendUint64(payload, r.SnapID)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
+	case OpReplFence:
+		payload = binary.LittleEndian.AppendUint64(payload, r.Epoch)
+	case OpGetSeq:
+		payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
+		payload = binary.LittleEndian.AppendUint32(payload, r.WaitMS)
 	}
 	return appendFrame(dst, payload)
 }
 
 // AppendResponse encodes r as one complete frame onto dst.
 func AppendResponse(dst []byte, r *Response) []byte {
-	size := msgHeader + 1 + 8 + len(r.Pairs)*pairSize + len(r.BatchErrs) + len(r.Stats) + len(r.Msg)
+	size := msgHeader + 1 + 8 + len(r.Pairs)*pairSize + len(r.BatchErrs) + len(r.Stats) + len(r.Msg) +
+		len(r.Recs)*batchOpSize + len(r.Snap) + 40
 	payload := make([]byte, 0, size)
 	if !r.OK {
 		payload = append(payload, statusErr)
@@ -326,10 +453,51 @@ func AppendResponse(dst []byte, r *Response) []byte {
 		for _, c := range r.BatchErrs {
 			payload = append(payload, byte(c))
 		}
+		if r.HasSeq {
+			payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
+		}
 	case OpStats:
 		payload = append(payload, r.Stats...)
-	case OpInsert, OpDelete, OpPing:
+	case OpInsert, OpDelete:
+		// The commit-sequence token is the only body, and only when
+		// negotiated: legacy replies stay empty.
+		if r.HasSeq {
+			payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
+		}
+	case OpPing:
 		// no body
+	case OpHello:
+		payload = binary.LittleEndian.AppendUint16(payload, r.Version)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Features)
+		payload = append(payload, r.Role)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Epoch)
+	case OpReplPull:
+		payload = binary.LittleEndian.AppendUint64(payload, r.FirstSeq)
+		payload = binary.LittleEndian.AppendUint64(payload, r.UpstreamSeq)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Epoch)
+		var flags byte
+		if r.SnapshotNeeded {
+			flags |= 1
+		}
+		payload = append(payload, flags)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.Recs)))
+		for _, rec := range r.Recs {
+			payload = append(payload, byte(rec.Op))
+			payload = binary.LittleEndian.AppendUint64(payload, rec.Key)
+			payload = binary.LittleEndian.AppendUint64(payload, rec.Val)
+		}
+	case OpReplSnap:
+		payload = binary.LittleEndian.AppendUint64(payload, r.SnapID)
+		payload = binary.LittleEndian.AppendUint64(payload, r.AsOfSeq)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Offset)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Total)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.Snap)))
+		payload = append(payload, r.Snap...)
+	case OpReplFence, OpPromote:
+		payload = binary.LittleEndian.AppendUint64(payload, r.Epoch)
+		payload = append(payload, r.Role)
+	case OpGetSeq:
+		payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
 	}
 	return appendFrame(dst, payload)
 }
@@ -459,10 +627,41 @@ func DecodeRequest(payload []byte) (*Request, error) {
 			}
 			body = body[batchOpSize:]
 		}
-	case OpStats, OpPing:
+	case OpStats, OpPing, OpPromote:
 		if len(body) != 0 {
 			return nil, fmt.Errorf("%w: %s carries a body", ErrMalformed, r.Op)
 		}
+	case OpHello:
+		if len(body) != 10 {
+			return nil, fmt.Errorf("%w: HELLO body %d bytes", ErrMalformed, len(body))
+		}
+		r.Version = binary.LittleEndian.Uint16(body)
+		r.Features = binary.LittleEndian.Uint64(body[2:])
+	case OpReplPull:
+		if len(body) != 24 {
+			return nil, fmt.Errorf("%w: REPL_PULL body %d bytes", ErrMalformed, len(body))
+		}
+		r.Seq = binary.LittleEndian.Uint64(body)
+		r.Limit = binary.LittleEndian.Uint32(body[8:])
+		r.WaitMS = binary.LittleEndian.Uint32(body[12:])
+		r.Epoch = binary.LittleEndian.Uint64(body[16:])
+	case OpReplSnap:
+		if len(body) != 16 {
+			return nil, fmt.Errorf("%w: REPL_SNAP body %d bytes", ErrMalformed, len(body))
+		}
+		r.SnapID = binary.LittleEndian.Uint64(body)
+		r.Seq = binary.LittleEndian.Uint64(body[8:])
+	case OpReplFence:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("%w: REPL_FENCE body %d bytes", ErrMalformed, len(body))
+		}
+		r.Epoch = binary.LittleEndian.Uint64(body)
+	case OpGetSeq:
+		if len(body) != 12 {
+			return nil, fmt.Errorf("%w: GET_SEQ body %d bytes", ErrMalformed, len(body))
+		}
+		r.Seq = binary.LittleEndian.Uint64(body)
+		r.WaitMS = binary.LittleEndian.Uint32(body[8:])
 	default:
 		return nil, fmt.Errorf("%w: unknown opcode 0x%02x", ErrMalformed, payload[0])
 	}
@@ -536,7 +735,15 @@ func DecodeResponse(payload []byte) (*Response, error) {
 		}
 		count := binary.LittleEndian.Uint32(body)
 		body = body[4:]
-		if int(count) != len(body) {
+		// The per-op codes may be followed by an 8-byte commit-sequence
+		// token (HELLO-negotiated conns only; see Response.Seq).
+		switch int64(len(body)) {
+		case int64(count):
+		case int64(count) + 8:
+			r.Seq = binary.LittleEndian.Uint64(body[count:])
+			r.HasSeq = true
+			body = body[:count]
+		default:
 			return nil, fmt.Errorf("%w: BATCH reply count %d vs %d body bytes", ErrMalformed, count, len(body))
 		}
 		if count == 0 {
@@ -548,10 +755,84 @@ func DecodeResponse(payload []byte) (*Response, error) {
 		}
 	case OpStats:
 		r.Stats = append([]byte(nil), body...)
-	case OpInsert, OpDelete, OpPing:
+	case OpInsert, OpDelete:
+		// Empty = legacy reply; 8 bytes = the commit-sequence token.
+		switch len(body) {
+		case 0:
+		case 8:
+			r.Seq = binary.LittleEndian.Uint64(body)
+			r.HasSeq = true
+		default:
+			return nil, fmt.Errorf("%w: %s reply body %d bytes", ErrMalformed, r.Op, len(body))
+		}
+	case OpPing:
 		if len(body) != 0 {
 			return nil, fmt.Errorf("%w: %s reply carries a body", ErrMalformed, r.Op)
 		}
+	case OpHello:
+		if len(body) != 19 {
+			return nil, fmt.Errorf("%w: HELLO reply body %d bytes", ErrMalformed, len(body))
+		}
+		r.Version = binary.LittleEndian.Uint16(body)
+		r.Features = binary.LittleEndian.Uint64(body[2:])
+		r.Role = body[10]
+		r.Epoch = binary.LittleEndian.Uint64(body[11:])
+	case OpReplPull:
+		if len(body) < 29 || body[24] > 1 {
+			return nil, fmt.Errorf("%w: REPL_PULL reply body %d bytes", ErrMalformed, len(body))
+		}
+		r.FirstSeq = binary.LittleEndian.Uint64(body)
+		r.UpstreamSeq = binary.LittleEndian.Uint64(body[8:])
+		r.Epoch = binary.LittleEndian.Uint64(body[16:])
+		r.SnapshotNeeded = body[24] == 1
+		count := binary.LittleEndian.Uint32(body[25:])
+		body = body[29:]
+		if int64(count)*batchOpSize != int64(len(body)) {
+			return nil, fmt.Errorf("%w: REPL_PULL count %d vs %d body bytes", ErrMalformed, count, len(body))
+		}
+		if count == 0 {
+			break
+		}
+		r.Recs = make([]wal.Record, count)
+		for i := range r.Recs {
+			op := wal.Op(body[0])
+			if op != wal.OpInsert && op != wal.OpDelete {
+				return nil, fmt.Errorf("%w: REPL_PULL record op 0x%02x", ErrMalformed, byte(op))
+			}
+			r.Recs[i] = wal.Record{
+				Op:  op,
+				Key: binary.LittleEndian.Uint64(body[1:]),
+				Val: binary.LittleEndian.Uint64(body[9:]),
+			}
+			body = body[batchOpSize:]
+		}
+	case OpReplSnap:
+		if len(body) < 36 {
+			return nil, fmt.Errorf("%w: REPL_SNAP reply body %d bytes", ErrMalformed, len(body))
+		}
+		r.SnapID = binary.LittleEndian.Uint64(body)
+		r.AsOfSeq = binary.LittleEndian.Uint64(body[8:])
+		r.Offset = binary.LittleEndian.Uint64(body[16:])
+		r.Total = binary.LittleEndian.Uint64(body[24:])
+		clen := binary.LittleEndian.Uint32(body[32:])
+		body = body[36:]
+		if int64(clen) != int64(len(body)) {
+			return nil, fmt.Errorf("%w: REPL_SNAP chunk %d vs %d body bytes", ErrMalformed, clen, len(body))
+		}
+		if clen > 0 {
+			r.Snap = append([]byte(nil), body...)
+		}
+	case OpReplFence, OpPromote:
+		if len(body) != 9 {
+			return nil, fmt.Errorf("%w: %s reply body %d bytes", ErrMalformed, r.Op, len(body))
+		}
+		r.Epoch = binary.LittleEndian.Uint64(body)
+		r.Role = body[8]
+	case OpGetSeq:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("%w: GET_SEQ reply body %d bytes", ErrMalformed, len(body))
+		}
+		r.Seq = binary.LittleEndian.Uint64(body)
 	default:
 		return nil, fmt.Errorf("%w: reply for unknown opcode 0x%02x", ErrMalformed, byte(r.Op))
 	}

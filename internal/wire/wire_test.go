@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"chameleon"
+	"chameleon/internal/wal"
 )
 
 // requestCases is every request shape the protocol defines, used by both
@@ -28,6 +29,12 @@ func requestCases() []*Request {
 		{ID: 6, Op: OpStats},
 		{ID: 7, Op: OpPing},
 		{ID: ^uint64(0), Op: OpGet, Key: ^uint64(0)},
+		{ID: 8, Op: OpHello, Version: ProtocolVersion, Features: LocalFeatures},
+		{ID: 9, Op: OpReplPull, Seq: 1000, Limit: 512, WaitMS: 250, Epoch: 3},
+		{ID: 10, Op: OpReplSnap, SnapID: 7, Seq: 1 << 20},
+		{ID: 11, Op: OpReplFence, Epoch: 4},
+		{ID: 12, Op: OpPromote},
+		{ID: 13, Op: OpGetSeq, Seq: 999, WaitMS: 100},
 	}
 }
 
@@ -45,6 +52,23 @@ func responseCases() []*Response {
 		{ID: 10, Op: OpInsert, Err: ErrCodeOverloaded, RetryAfterMS: 5, Msg: "queue full"},
 		{ID: 11, Op: OpInsert, Err: ErrCodeDiskFull, RetryAfterMS: 100},
 		{ID: 0, Op: OpPing, Err: ErrCodeConnLimit, Msg: "connection limit"},
+		{ID: 12, Op: OpInsert, OK: true, Seq: 4242, HasSeq: true},
+		{ID: 13, Op: OpDelete, OK: true, Seq: 4243, HasSeq: true},
+		{ID: 14, Op: OpBatch, OK: true, BatchErrs: []ErrCode{ErrCodeNone, ErrCodeKeyNotFound}, Seq: 4250, HasSeq: true},
+		{ID: 15, Op: OpHello, OK: true, Version: ProtocolVersion, Features: FeatSeqTokens, Role: 1, Epoch: 2},
+		{ID: 16, Op: OpHello, Err: ErrCodeVersionMismatch, Msg: "speak v2"},
+		{ID: 17, Op: OpReplPull, OK: true, FirstSeq: 100, UpstreamSeq: 103, Epoch: 2, Recs: []wal.Record{
+			{Op: wal.OpInsert, Key: 1, Val: 2},
+			{Op: wal.OpDelete, Key: 3},
+			{Op: wal.OpInsert, Key: ^uint64(0), Val: 9},
+		}},
+		{ID: 18, Op: OpReplPull, OK: true, FirstSeq: 5, UpstreamSeq: 900, Epoch: 2, SnapshotNeeded: true},
+		{ID: 19, Op: OpReplSnap, OK: true, SnapID: 7, AsOfSeq: 880, Offset: 4096, Total: 1 << 16, Snap: []byte{1, 2, 3, 4}},
+		{ID: 20, Op: OpReplFence, OK: true, Epoch: 5, Role: 3},
+		{ID: 21, Op: OpPromote, OK: true, Epoch: 6, Role: 1},
+		{ID: 22, Op: OpGetSeq, OK: true, Seq: 1234},
+		{ID: 23, Op: OpInsert, Err: ErrCodeNotPrimary, Msg: "fenced at epoch 4"},
+		{ID: 24, Op: OpInsert, Err: ErrCodeLagging, RetryAfterMS: 50},
 	}
 }
 

@@ -1,0 +1,336 @@
+package chameleon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"chameleon/internal/faultfs"
+	"chameleon/internal/wal"
+)
+
+// This file is the DurableIndex's replication surface: commit-sequence
+// numbers, the primary-side commit hook, the follower-side ordered replay
+// path, and consistent snapshot streaming. The wire protocol and the
+// replication state machine live in internal/wire and internal/repl; this
+// layer only guarantees that commit sequences are monotonic, durable across
+// restarts (the seq.meta sidecar), and that replicated batches apply in
+// exactly the order the upstream committed them.
+
+// ErrReplDivergence is returned by ReplicateBatch when a replicated record
+// cannot replay cleanly against local state (inserting a key that is already
+// present, deleting one that is absent, or an unknown op). The histories have
+// forked: applying anyway would silently serve wrong data, so the batch is
+// rejected before anything is logged — the local index is unchanged and
+// stays readable, but the replication link must fail-stop.
+var ErrReplDivergence = errors.New("chameleon: replicated batch diverges from local state")
+
+// seqMetaName is the sidecar mapping snapshot sequence → commit sequence. It
+// is rewritten (tmp + fsync + rename) immediately before each checkpoint's
+// snapshot rename, so the checkpoint's single directory fsync seals both
+// files together. Recovery adds the replayed WAL record count to the chosen
+// snapshot's entry; a snapshot missing from the map (pre-replication
+// directories, or the narrow crash window where the snapshot rename
+// persisted but the sidecar rename did not) falls back to the replayed count
+// alone — commit sequences may then regress, which followers detect and
+// fail-stop on rather than silently re-numbering history.
+const seqMetaName = "seq.meta"
+
+// readSeqMeta loads the sidecar, tolerating absence and corruption: both
+// mean "no recorded commit sequences" (the legacy fallback documented on
+// seqMetaName), never a failed open.
+func readSeqMeta(fsys faultfs.FS, dir string) map[uint64]uint64 {
+	meta := make(map[uint64]uint64)
+	f, err := fsys.OpenFile(filepath.Join(dir, seqMetaName), os.O_RDONLY, 0)
+	if err != nil {
+		return meta
+	}
+	data, err := io.ReadAll(f)
+	f.Close() //nolint:errcheck
+	if err != nil {
+		return meta
+	}
+	var raw map[string]uint64
+	if json.Unmarshal(data, &raw) != nil {
+		return meta
+	}
+	for k, v := range raw {
+		if seq, err := strconv.ParseUint(k, 10, 64); err == nil {
+			meta[seq] = v
+		}
+	}
+	return meta
+}
+
+// writeSeqMetaLocked persists d.seqMeta with the snapshot discipline
+// (temp file, fsync, rename). The caller's subsequent SyncDir makes the
+// rename durable. Callers hold d.mu.
+func (d *DurableIndex) writeSeqMetaLocked() error {
+	raw := make(map[string]uint64, len(d.seqMeta))
+	for k, v := range d.seqMeta {
+		raw[strconv.FormatUint(k, 10)] = v
+	}
+	data, err := json.Marshal(raw)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(d.dir, seqMetaName)
+	tmp := path + ".tmp"
+	f, err := d.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()        //nolint:errcheck
+		d.fs.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()        //nolint:errcheck
+		d.fs.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		d.fs.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := d.fs.Rename(tmp, path); err != nil {
+		d.fs.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	return nil
+}
+
+// CommitSeq reports the number of records ever durably committed through
+// this index — the monotonic commit-sequence clock replication is built on.
+// Record k of history carries sequence k (1-based); a follower's CommitSeq
+// is therefore exactly the highest upstream sequence it has applied, because
+// replicated records apply 1:1 in commit order. The value survives restarts
+// via the seq.meta sidecar plus WAL replay counting.
+func (d *DurableIndex) CommitSeq() uint64 { return d.commitSeq.Load() }
+
+// seqWaitChan returns the current broadcast channel for commit-sequence
+// advancement, lazily created so zero-value-adjacent tests don't need setup.
+func (d *DurableIndex) seqWaitChan() chan struct{} {
+	d.seqWaitMu.Lock()
+	defer d.seqWaitMu.Unlock()
+	if d.seqWaitCh == nil {
+		d.seqWaitCh = make(chan struct{})
+	}
+	return d.seqWaitCh
+}
+
+// broadcastSeq wakes every WaitSeq waiter (close-and-replace, like the
+// admission space channel). Called after every commit-sequence advance and
+// on any transition that makes further waiting pointless (close, poison).
+func (d *DurableIndex) broadcastSeq() {
+	d.seqWaitMu.Lock()
+	if d.seqWaitCh != nil {
+		close(d.seqWaitCh)
+	}
+	d.seqWaitCh = make(chan struct{})
+	d.seqWaitMu.Unlock()
+}
+
+// advanceCommitSeq moves the commit clock forward by n just-applied records
+// and wakes waiters. Callers hold d.mu (commit and replication both advance
+// under it, so the clock is monotonic).
+func (d *DurableIndex) advanceCommitSeq(n uint64) {
+	d.commitSeq.Add(n)
+	d.broadcastSeq()
+}
+
+// WaitSeq blocks until CommitSeq reaches seq, the context dies, or the
+// handle stops being able to advance (closed or poisoned — reported via the
+// handle's terminal error rather than a hang). It is the read-your-writes
+// primitive: a client holding a commit-sequence token from the primary calls
+// WaitSeq(token) on a follower before reading.
+func (d *DurableIndex) WaitSeq(ctx context.Context, seq uint64) error {
+	for {
+		ch := d.seqWaitChan()
+		if d.commitSeq.Load() >= seq {
+			return nil
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// SetCommitHook installs fn to run inside every successful group commit,
+// after the batch is durable and applied but before its writers are acked,
+// with the batch's records and the commit sequence of the first one. A
+// non-nil return from fn is reported to every writer in the batch *instead
+// of* nil — the write is durable locally and applied, but the hook's
+// condition (in practice: replication acknowledgement) was not met. This is
+// the documented exception to the two-state cancellation contract: a write
+// failed by the hook has ambiguous fate from the client's perspective and
+// must be treated as "may exist".
+//
+// The hook runs under the index's commit lock: it serializes against
+// checkpoints and Close, and it must not call back into the index.
+func (d *DurableIndex) SetCommitHook(fn func(firstSeq uint64, recs []wal.Record) error) {
+	d.mu.Lock()
+	d.commitHook = fn
+	d.mu.Unlock()
+}
+
+// ReplicateBatch is the follower-side write path: it applies records the
+// upstream committed as sequences [firstSeq, firstSeq+len(recs)-1], logging
+// them through this index's own WAL first so a follower's durability is as
+// strong as a primary's. Unlike Insert/Delete it bypasses the group-commit
+// queue — replicated history must apply in exactly upstream order, and the
+// batch is already formed.
+//
+// Re-delivery is safe: records at or below the local commit sequence are
+// duplicates of applied history and are skipped (the reconnect story — a
+// follower re-pulls from its last applied sequence and may receive overlap).
+// A batch that starts beyond the next expected sequence is refused with
+// wal.ErrSeqGap, and a record that cannot replay cleanly is refused with
+// ErrReplDivergence — in both cases nothing is logged or applied, so the
+// local index stays consistent and readable while the replication link
+// fail-stops.
+func (d *DurableIndex) ReplicateBatch(firstSeq uint64, recs []wal.Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.usableLocked(); err != nil {
+		return err
+	}
+	tr := wal.SeqTracker{Applied: d.commitSeq.Load()}
+	skip, err := tr.Admit(firstSeq, len(recs))
+	if err != nil {
+		return err
+	}
+	fresh := recs[skip:]
+	if len(fresh) == 0 {
+		return nil
+	}
+
+	// Validate the whole suffix before logging anything. Replicated records
+	// replayed in order against a faithful copy of upstream state can never
+	// be rejected — the upstream validated them before logging. A rejection
+	// here therefore proves local state is not a faithful copy, and logging
+	// first would either materialize the divergence on disk or force a
+	// poison; refusing up front keeps the index clean.
+	overlay := make(map[uint64]bool, len(fresh))
+	for i, r := range fresh {
+		seq := firstSeq + uint64(skip) + uint64(i)
+		present, known := overlay[r.Key]
+		if !known {
+			_, present = d.ix.Lookup(r.Key)
+		}
+		switch r.Op {
+		case wal.OpInsert:
+			if present {
+				return fmt.Errorf("%w: seq %d inserts key %d which is already present", ErrReplDivergence, seq, r.Key)
+			}
+		case wal.OpDelete:
+			if !present {
+				return fmt.Errorf("%w: seq %d deletes key %d which is absent", ErrReplDivergence, seq, r.Key)
+			}
+		default:
+			return fmt.Errorf("%w: seq %d has unknown op %d", ErrReplDivergence, seq, r.Op)
+		}
+		overlay[r.Key] = r.Op == wal.OpInsert
+	}
+
+	start := time.Now()
+	err = d.log.AppendAll(fresh)
+	d.observeFsync(time.Since(start))
+	if err != nil {
+		if errors.Is(err, wal.ErrDiskFull) {
+			d.diskFullBatches.Add(1)
+		} else {
+			d.walErrv.Store(errBox{err})
+		}
+		d.degraded.Store(true)
+		return err
+	}
+	d.degraded.Store(false)
+	d.walErrv.Store(errBox{})
+	d.batches.Add(1)
+	d.batchedOps.Add(uint64(len(fresh)))
+
+	for _, r := range fresh {
+		var aerr error
+		switch r.Op {
+		case wal.OpInsert:
+			aerr = d.ix.Insert(r.Key, r.Val)
+		case wal.OpDelete:
+			aerr = d.ix.Delete(r.Key)
+		}
+		if aerr != nil {
+			// Validated above, so this can only be an internal failure after
+			// the records are durable: memory and disk may now disagree.
+			d.poisonLocked(fmt.Errorf("replicated apply: %w", aerr))
+			return d.fail
+		}
+	}
+	d.advanceCommitSeq(uint64(len(fresh)))
+	return nil
+}
+
+// SnapshotAt streams a consistent snapshot of the current contents to w and
+// reports the commit sequence it is as-of. It holds the commit lock for the
+// duration, so no batch can commit mid-stream: the bytes written correspond
+// exactly to the returned sequence. Used by the primary to bootstrap
+// followers that are behind WAL retention.
+func (d *DurableIndex) SnapshotAt(w io.Writer) (asOfSeq uint64, n int64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, 0, ErrIndexClosed
+	}
+	if d.fail != nil {
+		// A poisoned index still serves reads, but its memory may not match
+		// any durable state — shipping it to a follower would replicate the
+		// divergence.
+		return 0, 0, d.fail
+	}
+	n, err = d.ix.WriteTo(w)
+	if err != nil {
+		return 0, n, err
+	}
+	return d.commitSeq.Load(), n, nil
+}
+
+// RestoreSnapshot replaces the index's contents with a snapshot streamed
+// from an upstream (the bootstrap half of SnapshotAt) and adopts asOfSeq as
+// the local commit sequence, then checkpoints so the restored state and its
+// sequence are durable together. On a decode failure the in-memory index is
+// unchanged (core.ReadFrom installs nothing on error); on a checkpoint
+// failure the handle is poisoned, exactly like BulkLoad — the restored
+// memory state would otherwise have no durable counterpart.
+func (d *DurableIndex) RestoreSnapshot(r io.Reader, asOfSeq uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.usableLocked(); err != nil {
+		return err
+	}
+	if _, err := d.ix.inner.ReadFrom(r); err != nil {
+		return err
+	}
+	// inner.ReadFrom stops any running retrainer; restart it like openDirFS
+	// does, so a bootstrap mid-life doesn't silently end maintenance.
+	if d.opts.RetrainEvery > 0 {
+		d.ix.inner.StartRetrainer(d.opts.RetrainEvery)
+	}
+	d.commitSeq.Store(asOfSeq)
+	if err := d.checkpointLocked(); err != nil {
+		d.poisonLocked(fmt.Errorf("snapshot-restore checkpoint: %w", err))
+		return d.fail
+	}
+	d.broadcastSeq()
+	return nil
+}

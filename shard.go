@@ -708,6 +708,40 @@ func (s *ShardedIndex) WALSize() int64 {
 	return n
 }
 
+// CommitSeq sums the shards' commit-sequence clocks. The sum is monotonic
+// (each shard's clock is), so it works as a read-your-writes token: a write
+// acked by any shard advances the sum past every token issued before it.
+// There is no cross-shard ordering claim — replication v1 ships unsharded —
+// but the token contract ("wait until at least this much history is
+// committed") holds.
+func (s *ShardedIndex) CommitSeq() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.CommitSeq()
+	}
+	return n
+}
+
+// WaitSeq blocks until the summed CommitSeq reaches seq, the context dies,
+// or the handle stops advancing. Because the target is a sum, no single
+// shard's broadcast is the right wake-up signal, so waiting polls at a
+// short interval instead.
+func (s *ShardedIndex) WaitSeq(ctx context.Context, seq uint64) error {
+	for {
+		if s.CommitSeq() >= seq {
+			return nil
+		}
+		if err := s.Err(); err != nil {
+			return err
+		}
+		select {
+		case <-time.After(time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
 // Stats aggregates structural metrics across shards: maxima for the bounds,
 // key-count-weighted means for the averages, sums for the counts.
 func (s *ShardedIndex) Stats() Stats {
