@@ -63,6 +63,11 @@ type Options struct {
 	// recovery. Zero means one per available CPU; 1 forces the serial path.
 	// The built structure is bit-identical for any worker count.
 	Workers int
+	// LockedReads disables the versioned optimistic read path (DESIGN.md
+	// §13): every Lookup/Range takes the shared interval lock instead of a
+	// seqlock-validated lock-free probe. Benchmarking baseline and escape
+	// hatch; leave false in production.
+	LockedReads bool
 }
 
 // Agents carries trained RL agents loaded from disk.
@@ -113,6 +118,7 @@ func New(opts Options) *Index {
 		RetrainEvery:         opts.RetrainEvery,
 		ReconstructThreshold: opts.ReconstructThreshold,
 		Workers:              opts.Workers,
+		LockedReads:          opts.LockedReads,
 	}
 	if a := opts.UseTrainedAgents; a != nil {
 		cfg.Dare = a.DARE
@@ -149,6 +155,17 @@ func (ix *Index) BulkLoad(keys, vals []uint64) error {
 
 // Lookup returns the value stored for key.
 func (ix *Index) Lookup(key uint64) (uint64, bool) { return ix.inner.Lookup(key) }
+
+// LookupBatch resolves keys[i] into vals[i], found[i] against one tree
+// snapshot — the batched form the server's GET coalescing uses. vals and
+// found must be at least len(keys) long.
+func (ix *Index) LookupBatch(keys, vals []uint64, found []bool) {
+	ix.inner.LookupBatch(keys, vals, found)
+}
+
+// ReadFallbacks reports how many lookups exhausted their optimistic retries
+// and fell back to the shared interval lock (always 0 under LockedReads).
+func (ix *Index) ReadFallbacks() uint64 { return ix.inner.ReadFallbacks() }
 
 // Insert adds key→val; it returns ErrDuplicateKey if key is present.
 func (ix *Index) Insert(key, val uint64) error { return ix.inner.Insert(key, val) }

@@ -974,6 +974,19 @@ func (d *DurableIndex) Lookup(key uint64) (uint64, bool) {
 	return d.ix.Lookup(key)
 }
 
+// LookupBatch resolves keys[i] into vals[i], found[i] against one tree
+// snapshot. After Close every key reports clean not-found, matching Lookup.
+// vals and found must be at least len(keys) long.
+func (d *DurableIndex) LookupBatch(keys, vals []uint64, found []bool) {
+	if d.readsClosed.Load() {
+		for i := range keys {
+			vals[i], found[i] = 0, false
+		}
+		return
+	}
+	d.ix.LookupBatch(keys, vals, found)
+}
+
 // Range calls fn for every key in [lo, hi] in ascending order until fn
 // returns false.
 func (d *DurableIndex) Range(lo, hi uint64, fn func(key, val uint64) bool) {

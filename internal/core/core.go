@@ -86,6 +86,10 @@ type Config struct {
 	// (bit-identical results either way — parallelism only reorders work
 	// across disjoint key ranges, never what is computed).
 	Workers int
+	// LockedReads disables the versioned optimistic read path: every Lookup
+	// and Range takes the shared interval lock, as before DESIGN.md §13.
+	// Intended for benchmarking the locked baseline and as an escape hatch.
+	LockedReads bool
 }
 
 // Defaults returns cfg with unset fields filled in.
@@ -226,6 +230,20 @@ type Index struct {
 	// competing with an overloaded foreground write path. Explicit
 	// RetrainPass calls are not gated — a caller asking directly gets a pass.
 	retrainPaused atomic.Bool
+
+	// gcache is the model cache of DESIGN.md §13: fully resolved hot-key
+	// answers, each validated against its interval's seqlock version on hit.
+	// gcand holds each slot's candidate key for two-touch admission: a key
+	// is only cached (allocated + published) after its second sighting, so
+	// cold uniform streams never pay per-lookup allocation.
+	gcache [gcSlots]atomic.Pointer[gcEntry]
+	gcand  [gcSlots]atomic.Uint64
+
+	// fallbackReads counts lookups that exhausted their optimistic retries
+	// and took the shared lock. Optimistic hits are deliberately not counted
+	// (a shared hit counter would bounce between cores exactly like the lock
+	// word this path removes).
+	fallbackReads atomic.Uint64
 }
 
 var _ index.RangeIndex = (*Index)(nil)
@@ -320,8 +338,14 @@ func (ix *Index) buildTree(keys, vals []uint64) *tree {
 
 // installTree publishes a snapshot and resets the per-build counters. The
 // caller must hold rebuildMu exclusively (or be the constructor, before the
-// index is shared).
+// index is shared). Before publication it enforces the lock-table sizing
+// invariant: every snapshot carries a table of len(gates)+1 slots, so
+// distinct live interval IDs never alias by modulo (aliased IDs would
+// false-conflict — two unrelated hot intervals serializing on one slot).
 func (ix *Index) installTree(t *tree, n int) {
+	if t.locks == nil || t.locks.Len() < len(t.gates)+1 {
+		t.locks = ilock.New(len(t.gates) + 1)
+	}
 	ix.tree.Store(t)
 	ix.count.Store(int64(n))
 	ix.baseN.Store(int64(n))

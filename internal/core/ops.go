@@ -26,7 +26,7 @@ func (t *tree) descend(k uint64, write bool) (*node, *gate, uint64) {
 			} else {
 				t.locks.LockRead(id)
 			}
-			n = n.children[j] // re-read under the lock: retrain swaps this slot
+			n = gateChild(n, j) // re-read under the lock: retrain swaps this slot
 			for n.leaf == nil {
 				n = n.children[route(k, n)]
 			}
@@ -43,17 +43,8 @@ func (t *tree) descend(k uint64, write bool) (*node, *gate, uint64) {
 	return n, nil, id
 }
 
-// Lookup implements index.Index with the paper's O(H_C + 1) path: exact
-// inner routing (Eq. 1), then a conflict-degree-bounded probe in the EBH
-// leaf, under a shared read lock so concurrent lookups on the same interval
-// proceed together.
-func (ix *Index) Lookup(k uint64) (uint64, bool) {
-	t := ix.tree.Load()
-	leaf, _, id := t.descend(k, false)
-	v, ok := leaf.leaf.Lookup(k)
-	t.locks.UnlockRead(id)
-	return v, ok
-}
+// Lookup lives in readpath.go: the optimistic seqlock read with the locked
+// descend as fallback.
 
 // Insert implements index.Index: an in-place EBH insert (expected O(m·τ))
 // under the interval's exclusive write lock. The shared rebuild hold keeps
@@ -140,26 +131,43 @@ func (ix *Index) Range(lo, hi uint64, fn func(key, val uint64) bool) {
 			}
 		}
 	}
+	// guardedCollect scans one interval's subtree under its lock ID,
+	// optimistically first (probe with no lock, validate the seqlock
+	// version, roll the output back and retry locked if a writer raced us —
+	// the same protocol as Lookup, amortized over a whole subtree), unless
+	// Config.LockedReads forces the locked baseline.
 	var walk func(n *node, guarded bool)
+	guardedCollect := func(resolve func() *node, id uint64) {
+		if !ix.cfg.LockedReads {
+			mark := len(out)
+			if ver, ok := t.locks.ReadBegin(id); ok {
+				walk(resolve(), true)
+				if t.locks.ReadValidate(id, ver) {
+					return
+				}
+			}
+			out = out[:mark] // discard the possibly-torn partial collect
+		}
+		t.locks.LockRead(id)
+		// Resolve again under the lock: the retrainer may have swapped the
+		// gate's child slot since the optimistic attempt.
+		walk(resolve(), true)
+		t.locks.UnlockRead(id)
+	}
 	walk = func(n *node, guarded bool) {
 		if n.leaf != nil {
 			if guarded {
 				collect(n)
 				return
 			}
-			fid := t.fallbackID()
-			t.locks.LockRead(fid)
-			collect(n)
-			t.locks.UnlockRead(fid)
+			guardedCollect(func() *node { return n }, t.fallbackID())
 			return
 		}
 		jLo, jHi := route(lo, n), route(hi, n)
 		for j := jLo; j <= jHi; j++ {
 			if !guarded && n.gateBase != noGate {
-				id := n.gateBase + uint64(j)
-				t.locks.LockRead(id)
-				walk(n.children[j], true)
-				t.locks.UnlockRead(id)
+				j := j
+				guardedCollect(func() *node { return gateChild(n, j) }, n.gateBase+uint64(j))
 			} else {
 				walk(n.children[j], guarded)
 			}

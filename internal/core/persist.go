@@ -128,7 +128,7 @@ func snapshotTree(t *tree) (*wireNode, int, error) {
 			if !guarded && nd.gateBase != noGate {
 				id := nd.gateBase + uint64(j)
 				t.locks.LockRead(id)
-				c := nd.children[j] // re-read under the lock: retrain swaps this slot
+				c := gateChild(nd, j) // re-read under the lock: retrain swaps this slot
 				cw, err := enc(c, true)
 				t.locks.UnlockRead(id)
 				if err != nil {

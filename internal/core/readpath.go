@@ -1,0 +1,197 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// This file is the versioned optimistic read path (the BLI recipe, DESIGN.md
+// §13): lookups snapshot the interval's seqlock version, probe the EBH leaf
+// with no lock traffic at all, and validate the version afterwards. A probe
+// that raced a writer or the retrainer fails validation and retries; after
+// optimisticRetries failures the reader falls back to the shared interval
+// lock, so a write-saturated interval degrades to exactly the old locked
+// behavior instead of livelocking.
+//
+// What makes the lock-free probe safe:
+//
+//   - Everything ABOVE the gate level is immutable for the lifetime of a
+//     tree snapshot, so the upper walk needs no protection at all.
+//   - The gate's child slot is the ONE pointer the retrainer swaps in place;
+//     it is accessed through gateChild/setGateChild (atomic) on every side.
+//   - Below the gate, inner nodes are immutable (structural retrains build a
+//     fresh subtree off-line and swap the gate slot); leaf slabs are accessed
+//     atomically inside package ebh.
+//   - A reader may therefore observe a half-applied mutation, but never tear
+//     a value, and validation discards anything observed during an exclusive
+//     section.
+
+// optimisticRetries bounds how many times a lookup re-probes after a version
+// miss before taking the shared lock.
+const optimisticRetries = 4
+
+// gateChild atomically loads inner node n's j-th child. Only gate child
+// slots are ever swapped after publication, but the atomic load costs
+// nothing on the architectures we run on, so the read path uses it for every
+// re-read that could race the retrainer.
+func gateChild(n *node, j int) *node {
+	p := (*unsafe.Pointer)(unsafe.Pointer(&n.children[j]))
+	return (*node)(atomic.LoadPointer(p))
+}
+
+// setGateChild atomically swaps inner node n's j-th child; the caller must
+// hold the interval's Retraining-Lock.
+func setGateChild(n *node, j int, c *node) {
+	p := (*unsafe.Pointer)(unsafe.Pointer(&n.children[j]))
+	atomic.StorePointer(p, unsafe.Pointer(c))
+}
+
+// gcSlots sizes the model cache; a power of two so the multiplicative hash's
+// top bits index it directly.
+const gcSlots = 128
+
+// gcEntry is one model-cache entry: the fully resolved answer for one hot
+// key, valid exactly as long as the tree snapshot is current AND the
+// interval's seqlock version is unchanged since the (validated) read that
+// produced it. Entries are immutable once published.
+type gcEntry struct {
+	t     *tree
+	g     *gate
+	key   uint64
+	val   uint64
+	ver   uint32
+	found bool
+}
+
+func gcSlot(k uint64) int {
+	return int((k * 0x9E3779B97F4A7C15) >> 57) // top 7 bits → [0, 128)
+}
+
+// Lookup implements index.Index with the paper's O(H_C + 1) path: exact
+// inner routing (Eq. 1), then a conflict-degree-bounded probe in the EBH
+// leaf — executed optimistically under the interval seqlock, with the shared
+// read lock as the bounded-retry fallback. Config.LockedReads forces the old
+// always-locked behavior (the harness uses it as the A/B baseline).
+func (ix *Index) Lookup(k uint64) (uint64, bool) {
+	t := ix.tree.Load()
+	if ix.cfg.LockedReads {
+		return ix.lockedLookup(t, k)
+	}
+	return ix.lookupOn(t, k)
+}
+
+// LookupBatch resolves keys[i] into vals[i], found[i], loading the tree
+// snapshot once for the whole batch — the server's GET coalescing calls this
+// so a pipelined burst pays one snapshot load and shares the hot-key cache.
+// vals and found must be at least len(keys) long.
+func (ix *Index) LookupBatch(keys []uint64, vals []uint64, found []bool) {
+	t := ix.tree.Load()
+	if ix.cfg.LockedReads {
+		for i, k := range keys {
+			vals[i], found[i] = ix.lockedLookup(t, k)
+		}
+		return
+	}
+	for i, k := range keys {
+		vals[i], found[i] = ix.lookupOn(t, k)
+	}
+}
+
+// lookupOn runs one optimistic lookup against a loaded snapshot.
+func (ix *Index) lookupOn(t *tree, k uint64) (uint64, bool) {
+	// Model cache: if this exact key resolved recently and its interval's
+	// version is untouched, the cached answer is still THE answer — no
+	// walk, no probe. ReadBegin alone suffices: we read no shared leaf
+	// memory, so there is nothing to validate after the fact.
+	si := gcSlot(k)
+	slot := &ix.gcache[si]
+	resident := slot.Load()
+	if resident != nil && resident.key == k && resident.t == t {
+		if ver, ok := t.locks.ReadBegin(resident.g.id); ok && ver == resident.ver {
+			return resident.val, resident.found
+		}
+	}
+
+	// Upper walk: immutable above the gate level, no protection needed.
+	n := t.root
+	for n.leaf == nil && n.gateBase == noGate {
+		n = n.children[route(k, n)]
+	}
+
+	if n.leaf != nil {
+		// Gateless path (empty or degenerate tree): the fallback interval
+		// guards this leaf.
+		id := t.fallbackID()
+		for try := 0; try < optimisticRetries; try++ {
+			if try > 0 {
+				runtime.Gosched()
+			}
+			ver, ok := t.locks.ReadBegin(id)
+			if !ok {
+				continue
+			}
+			v, found := n.leaf.Lookup(k)
+			if t.locks.ReadValidate(id, ver) {
+				return v, found
+			}
+		}
+		return ix.fallbackLookup(t, k)
+	}
+
+	j := route(k, n)
+	g := t.gates[n.gateBase+uint64(j)]
+	for try := 0; try < optimisticRetries; try++ {
+		if try > 0 {
+			runtime.Gosched()
+		}
+		ver, ok := t.locks.ReadBegin(g.id)
+		if !ok {
+			continue
+		}
+		c := gateChild(n, j)
+		for c.leaf == nil {
+			c = c.children[route(k, c)]
+		}
+		v, found := c.leaf.Lookup(k)
+		if t.locks.ReadValidate(g.id, ver) {
+			// Two-touch admission: allocating and publishing a cache entry
+			// per lookup would cost more than it saves on cold keys (one
+			// heap object + a GC write barrier each), so a key is cached
+			// only once it has been seen twice in its slot — a stale
+			// resident for the same key, or a matching candidate mark. Cold
+			// keys pay one plain atomic store; hot keys are cached from
+			// their second access on.
+			if (resident != nil && resident.key == k) || ix.gcand[si].Load() == k {
+				slot.Store(&gcEntry{t: t, g: g, key: k, val: v, found: found, ver: ver})
+			} else {
+				ix.gcand[si].Store(k)
+			}
+			return v, found
+		}
+	}
+	return ix.fallbackLookup(t, k)
+}
+
+// lockedLookup is the pre-seqlock read path: descend under the shared
+// interval lock. It serves Config.LockedReads and the retry-exhaustion
+// fallback.
+func (ix *Index) lockedLookup(t *tree, k uint64) (uint64, bool) {
+	leaf, _, id := t.descend(k, false)
+	v, ok := leaf.leaf.Lookup(k)
+	t.locks.UnlockRead(id)
+	return v, ok
+}
+
+// fallbackLookup is lockedLookup plus accounting; it is deliberately the
+// ONLY place the read path touches a shared counter — counting every
+// optimistic hit would reintroduce the cache-line bouncing this path exists
+// to remove.
+func (ix *Index) fallbackLookup(t *tree, k uint64) (uint64, bool) {
+	ix.fallbackReads.Add(1)
+	return ix.lockedLookup(t, k)
+}
+
+// ReadFallbacks reports how many lookups exhausted their optimistic retries
+// and fell back to the shared interval lock since the index was created.
+func (ix *Index) ReadFallbacks() uint64 { return ix.fallbackReads.Load() }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chameleon/internal/dataset"
+	"chameleon/internal/ilock"
+)
+
+const tornSalt = 0x9E3779B97F4A7C15
+
+// TestOptimisticTornReadOracle is the seqlock oracle of DESIGN.md §13: N
+// optimistic readers race writers churning half the key space plus forced
+// light/structural retrains and full reconstructions. Every value the read
+// path returns must be exactly key^salt — a torn probe (key from one write,
+// value from another, or a half-applied rescatter) can produce nothing of
+// that shape. Stable keys must always be found; keys never inserted must
+// never be found (no phantoms). Run under -race: the race detector
+// additionally proves every racing access is atomic.
+func TestOptimisticTornReadOracle(t *testing.T) {
+	const n = 20_000
+	// Stable keys: even multiples of 4. Churn keys: multiples of 4 plus 2
+	// (inserted and deleted forever). Odd keys: never present (phantoms).
+	base := make([]uint64, n)
+	for i := range base {
+		base[i] = uint64(i) * 4
+	}
+	vals := make([]uint64, n)
+	for i, k := range base {
+		vals[i] = k ^ tornSalt
+	}
+	ix := New(Config{ReconstructThreshold: -1})
+	if err := ix.BulkLoad(base, vals); err != nil {
+		t.Fatal(err)
+	}
+
+	dur := 1200 * time.Millisecond
+	if testing.Short() {
+		dur = 250 * time.Millisecond
+	}
+	deadline := time.Now().Add(dur)
+	stop := make(chan struct{})
+	time.AfterFunc(time.Until(deadline), func() { close(stop) })
+
+	var wg sync.WaitGroup
+	var lookups atomic.Uint64
+
+	const writers = 2
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 7))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(n))*4 + 2
+				if err := ix.Insert(k, k^tornSalt); err == nil {
+					ix.Delete(k) //nolint:errcheck
+				}
+			}
+		}(w)
+	}
+
+	// Forced maintenance: light+structural retrain passes and periodic full
+	// reconstructions, so optimistic readers race every kind of swap.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ix.RetrainPass()
+			if i%5 == 4 {
+				ix.Reconstruct()
+			}
+			i++
+		}
+	}()
+
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r) + 99))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch rng.Intn(3) {
+				case 0: // stable key: must be found with the exact value
+					k := uint64(rng.Intn(n)) * 4
+					v, ok := ix.Lookup(k)
+					if !ok {
+						t.Errorf("stable key %d not found", k)
+						return
+					}
+					if v != k^tornSalt {
+						t.Errorf("TORN READ: key %d returned %#x, want %#x", k, v, k^tornSalt)
+						return
+					}
+				case 1: // churn key: may or may not exist, value must match
+					k := uint64(rng.Intn(n))*4 + 2
+					if v, ok := ix.Lookup(k); ok && v != k^tornSalt {
+						t.Errorf("TORN READ: churn key %d returned %#x, want %#x", k, v, k^tornSalt)
+						return
+					}
+				default: // phantom: never inserted, must never be found
+					k := uint64(rng.Intn(4*n))&^1 + 1
+					if v, ok := ix.Lookup(k); ok {
+						t.Errorf("PHANTOM: absent key %d returned %#x", k, v)
+						return
+					}
+				}
+				lookups.Add(1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if lookups.Load() == 0 {
+		t.Fatal("oracle performed no lookups")
+	}
+	t.Logf("oracle: %d validated lookups, %d fallbacks", lookups.Load(), ix.ReadFallbacks())
+}
+
+// TestLookupFallbackOnHeldWriteLock pins a key's interval under an exclusive
+// write lock and checks that an optimistic Lookup exhausts its retries,
+// takes the locked fallback (blocking until release), still returns the
+// right answer, and accounts the fallback.
+func TestLookupFallbackOnHeldWriteLock(t *testing.T) {
+	keys := dataset.Uniform(50_000, 11)
+	ix := New(Config{ReconstructThreshold: -1})
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	k := keys[len(keys)/2]
+
+	// Find the interval guarding k the same way the read path does.
+	tr := ix.tree.Load()
+	n := tr.root
+	for n.leaf == nil && n.gateBase == noGate {
+		n = n.children[route(k, n)]
+	}
+	id := tr.fallbackID()
+	if n.leaf == nil {
+		id = n.gateBase + uint64(route(k, n))
+	}
+
+	tr.locks.LockWrite(id)
+	before := ix.ReadFallbacks()
+	got := make(chan [2]uint64, 1)
+	go func() {
+		v, ok := ix.Lookup(k)
+		f := uint64(0)
+		if ok {
+			f = 1
+		}
+		got <- [2]uint64{v, f}
+	}()
+	// The lookup must be blocked in the locked fallback now, not returning
+	// a value probed during the exclusive section.
+	select {
+	case r := <-got:
+		tr.locks.UnlockWrite(id)
+		t.Fatalf("Lookup returned (%d, %v) while the interval was write-locked", r[0], r[1] == 1)
+	case <-time.After(50 * time.Millisecond):
+	}
+	tr.locks.UnlockWrite(id)
+	select {
+	case r := <-got:
+		if r[1] != 1 || r[0] != k {
+			t.Fatalf("fallback Lookup = (%d, %v), want (%d, true)", r[0], r[1] == 1, k)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Lookup never completed after the write lock was released")
+	}
+	if after := ix.ReadFallbacks(); after <= before {
+		t.Fatalf("ReadFallbacks = %d, want > %d (retry exhaustion must be accounted)", after, before)
+	}
+}
+
+// TestLockedReadsConfig forces the locked baseline and checks lookups still
+// answer correctly and never touch the optimistic machinery's fallback
+// counter (they ARE the locked path).
+func TestLockedReadsConfig(t *testing.T) {
+	keys := dataset.Uniform(10_000, 5)
+	ix := New(Config{LockedReads: true, ReconstructThreshold: -1})
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:100] {
+		if v, ok := ix.Lookup(k); !ok || v != k {
+			t.Fatalf("Lookup(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := ix.Lookup(keys[len(keys)-1] + 12345); ok {
+		t.Fatal("absent key found")
+	}
+	if ix.ReadFallbacks() != 0 {
+		t.Fatalf("locked reads incremented the fallback counter: %d", ix.ReadFallbacks())
+	}
+}
+
+// TestInstallTreeSizesLockTable is the satellite regression for the modulo
+// aliasing hazard: every published snapshot must carry a lock table of
+// len(gates)+1 slots so two distinct live intervals can never share a slot
+// (and falsely serialize). It checks the invariant across bulk load and
+// reconstruction, and that installTree repairs a deliberately undersized
+// table.
+func TestInstallTreeSizesLockTable(t *testing.T) {
+	keys := dataset.Uniform(80_000, 3)
+	ix := New(Config{ReconstructThreshold: -1})
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	check := func(when string) {
+		tr := ix.tree.Load()
+		if got, want := tr.locks.Len(), len(tr.gates)+1; got != want {
+			t.Fatalf("%s: lock table has %d slots for %d gates, want %d", when, got, len(tr.gates), want)
+		}
+	}
+	check("after BulkLoad")
+	ix.Reconstruct()
+	check("after Reconstruct")
+
+	// installTree must repair an undersized table rather than publish
+	// aliased intervals.
+	tr := ix.tree.Load()
+	if len(tr.gates) < 2 {
+		t.Skip("tree too small to alias")
+	}
+	broken := &tree{root: tr.root, gates: tr.gates, h: tr.h, locks: ilock.New(1)}
+	ix.rebuildMu.Lock()
+	ix.installTree(broken, ix.Len())
+	ix.rebuildMu.Unlock()
+	check("after installing an undersized table")
+}

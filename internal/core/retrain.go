@@ -213,7 +213,7 @@ func (ix *Index) retrainLight(t *tree, g *gate) {
 			walk(c)
 		}
 	}
-	walk(g.parent.children[g.slot])
+	walk(gateChild(g.parent, g.slot))
 	g.keys.Store(int64(n))
 	g.updates.Store(0)
 	ix.retrains.Add(1)
@@ -229,7 +229,7 @@ func (ix *Index) retrainStructural(t *tree, g *gate) {
 	start := time.Now()
 	t.locks.LockRetrain(g.id)
 	defer t.locks.UnlockRetrain(g.id)
-	old := g.parent.children[g.slot]
+	old := gateChild(g.parent, g.slot)
 	var ks, vs []uint64
 	var collect func(nd *node)
 	collect = func(nd *node) {
@@ -243,7 +243,10 @@ func (ix *Index) retrainStructural(t *tree, g *gate) {
 	}
 	collect(old)
 	sortPairs(ks, vs)
-	g.parent.children[g.slot] = ix.buildLower(ks, vs, g.lo, g.hi, t.h, t.h)
+	// Atomic store: optimistic readers load this slot with no lock held
+	// (their seqlock validation catches the swap, but the pointer itself
+	// must never tear).
+	setGateChild(g.parent, g.slot, ix.buildLower(ks, vs, g.lo, g.hi, t.h, t.h))
 	g.keys.Store(int64(len(ks)))
 	g.updates.Store(0)
 	ix.retrains.Add(1)
@@ -408,7 +411,7 @@ func (ix *Index) LocalSkewness() float64 {
 			if !guarded && nd.gateBase != noGate {
 				id := nd.gateBase + uint64(j)
 				t.locks.LockRead(id)
-				walk(nd.children[j], true)
+				walk(gateChild(nd, j), true)
 				t.locks.UnlockRead(id)
 			} else {
 				walk(nd.children[j], guarded)

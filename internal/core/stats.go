@@ -43,7 +43,7 @@ func (ix *Index) Stats() index.Stats {
 				// the retrainer swaps it.
 				id := n.gateBase + uint64(j)
 				t.locks.LockRead(id)
-				visit(n.children[j], depth+1, true)
+				visit(gateChild(n, j), depth+1, true)
 				t.locks.UnlockRead(id)
 			} else {
 				visit(n.children[j], depth+1, guarded)
@@ -81,7 +81,7 @@ func (ix *Index) Bytes() int {
 			if !guarded && n.gateBase != noGate {
 				id := n.gateBase + uint64(j)
 				t.locks.LockRead(id)
-				visit(n.children[j], true)
+				visit(gateChild(n, j), true)
 				t.locks.UnlockRead(id)
 			} else {
 				visit(n.children[j], guarded)

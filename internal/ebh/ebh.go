@@ -5,12 +5,28 @@
 // the collision probability stays below a target τ, which is what flattens
 // locally skewed key runs into near-uniform slot occupancy.
 //
-// Keys and values live in flat uint64 slabs with a bitmap for occupancy, so
-// a leaf costs the garbage collector two pointers regardless of how many
-// keys it holds — the Go-specific concern called out in DESIGN.md §4.
+// Layout (cache-conscious, BLI-style): keys and values are interleaved in one
+// flat slab — key at slot 2i, value at 2i+1 — so the probe that finds a key
+// has its value on the same cache line, and a 64-slot occupancy word covers
+// the whole probe window of a well-trained leaf. The slab costs the garbage
+// collector two pointers regardless of how many keys it holds — the
+// Go-specific concern called out in DESIGN.md §4.
+//
+// Concurrency: the geometry (interval, capacity, hash factors, slabs) lives
+// in an immutable probe struct published through an atomic pointer; rebuilds
+// construct a fresh probe off-line and swap it in. Live slab words and the
+// conflict degree are accessed atomically on both sides. That makes Lookup
+// safe to run with NO lock at all, provided the caller brackets it with the
+// interval seqlock (ilock.ReadBegin/ReadValidate): a probe that raced a
+// writer may return a stale or missing answer, but never a torn one, and the
+// failed validation discards it. Mutators still require the caller to hold
+// the interval's exclusive lock, exactly as before.
 package ebh
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // DefaultAlpha is the hash factor α of Eq. (2); the paper's worked example
 // uses 131.
@@ -44,28 +60,58 @@ func CapacityFor(n int, tau float64) int {
 	return c
 }
 
-// Node is one EBH leaf. The zero value is not usable; construct with New.
-type Node struct {
+// probe is the immutable geometry of one trained leaf: interval, capacity,
+// cached hash factors, and the slot slabs. A rebuild or re-scatter builds a
+// new probe and publishes it through Node.p; the slab CONTENTS of a live
+// probe still change in place (put/clear under the interval's exclusive
+// lock), which is why every slab access is atomic.
+type probe struct {
 	lo, hi uint64 // key interval [lo, hi] this leaf is responsible for
-	alpha  float64
-	tau    float64
 
-	c    int // capacity (number of slots)
-	n    int // stored keys
-	cd   int // conflict degree: max offset of any stored key (Definition 2)
-	keys []uint64
-	vals []uint64
-	occ  []uint64 // occupancy bitmap, 1 bit per slot
+	c int // capacity (number of key slots)
+
+	// cd is the conflict degree: max offset of any stored key
+	// (Definition 2). It grows in place under the writer lock and is read
+	// lock-free, hence atomic.
+	cd atomic.Int32
 
 	// Cached hash factors: scale = α·c/(hi−lo), cf = float64(c),
 	// invC = 1/cf. home() is the hottest path in the index; precomputing
 	// these and wrapping with Trunc instead of math.Mod is ~3× faster.
 	scale, cf, invC float64
 
+	slots []atomic.Uint64 // interleaved: key at [2i], value at [2i+1]
+	occ   []atomic.Uint64 // occupancy bitmap, 1 bit per key slot
+}
+
+// Node is one EBH leaf. The zero value is not usable; construct with New.
+type Node struct {
+	p     atomic.Pointer[probe]
+	alpha float64
+	tau   float64
+
+	n int // stored keys; mutated and read only under the interval lock
+
 	// saturated marks a distribution the hash cannot flatten within the
 	// conflict-degree bound, suppressing futile re-scatter attempts until
 	// the next capacity growth.
 	saturated bool
+}
+
+// newProbe allocates a probe for capacity c over [lo, hi] with hash factor
+// alpha. The slabs start empty.
+func newProbe(lo, hi uint64, c int, alpha float64) *probe {
+	pr := &probe{
+		lo: lo, hi: hi, c: c,
+		slots: make([]atomic.Uint64, 2*c),
+		occ:   make([]atomic.Uint64, (c+63)/64),
+	}
+	pr.cf = float64(c)
+	pr.invC = 1 / pr.cf
+	if span := hi - lo; span > 0 {
+		pr.scale = alpha * pr.cf / float64(span)
+	}
+	return pr
 }
 
 // New creates a leaf covering the key interval [lo, hi] sized for expected
@@ -85,27 +131,9 @@ func New(lo, hi uint64, expected int, tau, alpha float64) *Node {
 	if c < 8 {
 		c = 8
 	}
-	nd := &Node{
-		lo: lo, hi: hi,
-		alpha: alpha, tau: tau,
-		c:    c,
-		keys: make([]uint64, c),
-		vals: make([]uint64, c),
-		occ:  make([]uint64, (c+63)/64),
-	}
-	nd.refit()
+	nd := &Node{alpha: alpha, tau: tau}
+	nd.p.Store(newProbe(lo, hi, c, alpha))
 	return nd
-}
-
-// refit recomputes the cached hash factors after lo/hi/c change.
-func (nd *Node) refit() {
-	nd.cf = float64(nd.c)
-	nd.invC = 1 / nd.cf
-	if span := nd.hi - nd.lo; span > 0 {
-		nd.scale = nd.alpha * nd.cf / float64(span)
-	} else {
-		nd.scale = 0
-	}
 }
 
 // NewFromSorted builds a leaf and bulk-inserts the given sorted keys. The
@@ -117,17 +145,18 @@ func NewFromSorted(lo, hi uint64, keys, vals []uint64, tau, alpha float64) *Node
 		lo, hi = keys[0], keys[len(keys)-1]
 	}
 	n := New(lo, hi, len(keys), tau, alpha)
+	pr := n.p.Load()
 	for i, k := range keys {
 		v := k
 		if vals != nil {
 			v = vals[i]
 		}
-		n.place(k, v)
+		n.place(pr, k, v)
 	}
 	// One re-scatter attempt if bulk placement blew the probe bound.
-	if n.cd > maxConflictDegree {
+	if int(pr.cd.Load()) > maxConflictDegree {
 		n.rebuild(2 * n.n)
-		if n.cd > maxConflictDegree {
+		if int(n.p.Load().cd.Load()) > maxConflictDegree {
 			n.saturated = true
 		}
 	}
@@ -135,16 +164,19 @@ func NewFromSorted(lo, hi uint64, keys, vals []uint64, tau, alpha float64) *Node
 }
 
 // Interval reports the key range [lo, hi] this leaf covers.
-func (nd *Node) Interval() (lo, hi uint64) { return nd.lo, nd.hi }
+func (nd *Node) Interval() (lo, hi uint64) {
+	pr := nd.p.Load()
+	return pr.lo, pr.hi
+}
 
 // Len reports the number of stored keys.
 func (nd *Node) Len() int { return nd.n }
 
 // Cap reports the slot capacity.
-func (nd *Node) Cap() int { return nd.c }
+func (nd *Node) Cap() int { return nd.p.Load().c }
 
 // ConflictDegree reports the recorded maximum offset cd.
-func (nd *Node) ConflictDegree() int { return nd.cd }
+func (nd *Node) ConflictDegree() int { return int(nd.p.Load().cd.Load()) }
 
 // home computes P̂ via Eq. (2): α·(c/(uk−lk)·(k−lk)) mod c, using the cached
 // scale and a Trunc-based wrap (equivalent to math.Mod for the non-negative
@@ -153,18 +185,18 @@ func (nd *Node) ConflictDegree() int { return nd.cd }
 // image loses the low bits, quantizing distinct keys onto the same clamped
 // edge slots. Stored keys are always inside the interval (Insert extends it
 // first), so clamping only affects probes for absent keys.
-func (nd *Node) home(k uint64) int {
-	if nd.scale == 0 || k <= nd.lo {
+func (pr *probe) home(k uint64) int {
+	if pr.scale == 0 || k <= pr.lo {
 		return 0
 	}
-	if k > nd.hi {
-		k = nd.hi
+	if k > pr.hi {
+		k = pr.hi
 	}
-	x := nd.scale * float64(k-nd.lo)
-	x -= math.Trunc(x*nd.invC) * nd.cf
+	x := pr.scale * float64(k-pr.lo)
+	x -= math.Trunc(x*pr.invC) * pr.cf
 	i := int(x)
-	if i >= nd.c {
-		i = nd.c - 1
+	if i >= pr.c {
+		i = pr.c - 1
 	}
 	if i < 0 {
 		i = 0
@@ -172,46 +204,90 @@ func (nd *Node) home(k uint64) int {
 	return i
 }
 
-func (nd *Node) occupied(i int) bool { return nd.occ[i>>6]&(1<<(uint(i)&63)) != 0 }
-func (nd *Node) setOcc(i int)        { nd.occ[i>>6] |= 1 << (uint(i) & 63) }
-func (nd *Node) clrOcc(i int)        { nd.occ[i>>6] &^= 1 << (uint(i) & 63) }
+func (pr *probe) occupied(i int) bool {
+	return pr.occ[uint(i)>>6].Load()&(1<<(uint(i)&63)) != 0
+}
+// setOcc/clrOcc are load+store rather than atomic RMW: mutators hold the
+// interval's exclusive lock, so no two of them race, and the store itself is
+// atomic for the benefit of lock-free readers.
+func (pr *probe) setOcc(i int) {
+	w := &pr.occ[uint(i)>>6]
+	w.Store(w.Load() | 1<<(uint(i)&63))
+}
+func (pr *probe) clrOcc(i int) {
+	w := &pr.occ[uint(i)>>6]
+	w.Store(w.Load() &^ (1 << (uint(i) & 63)))
+}
+
+func (pr *probe) key(i int) uint64 { return pr.slots[uint(i)<<1].Load() }
+func (pr *probe) val(i int) uint64 { return pr.slots[uint(i)<<1|1].Load() }
+
+// hit reports whether slot i holds exactly key k, as a branch-free
+// combination of the occupancy bit and the key comparison: the two loads
+// land on (at most) two cache lines, and no data-dependent branch sits in
+// the probe loop for the predictor to miss on.
+func (pr *probe) hit(i int, k uint64) bool {
+	bit := pr.occ[uint(i)>>6].Load() >> (uint(i) & 63) & 1
+	eq := pr.slots[uint(i)<<1].Load() ^ k
+	// z is 1 iff eq == 0, computed without a comparison branch.
+	z := ((eq | -eq) >> 63) ^ 1
+	return bit&z != 0
+}
 
 // slotAt wraps a signed slot index into [0, c).
-func (nd *Node) slotAt(i int) int {
-	i %= nd.c
+func (pr *probe) slotAt(i int) int {
+	i %= pr.c
 	if i < 0 {
-		i += nd.c
+		i += pr.c
 	}
 	return i
 }
 
-// find returns the slot holding key, or −1. It scans outward from the home
+// search returns the slot holding key, or −1. It scans outward from the home
 // slot up to the conflict degree, exactly the bounded search of Section III:
 // "if the linear scanning process exceeds [P̂−cd, P̂+cd], then k is not in
-// the node".
-func (nd *Node) find(k uint64) int {
-	if nd.n == 0 {
-		return -1
-	}
-	h := nd.home(k)
-	if nd.occupied(h) && nd.keys[h] == k {
+// the node". The scan keeps two cursors and wraps them with a conditional
+// add/subtract instead of a modulo, so the loop body is three predictable
+// branches and two probe loads per direction.
+func (pr *probe) search(k uint64) int {
+	h := pr.home(k)
+	if pr.hit(h, k) {
 		return h
 	}
-	for d := 1; d <= nd.cd; d++ {
-		if i := nd.slotAt(h + d); nd.occupied(i) && nd.keys[i] == k {
-			return i
+	cd := int(pr.cd.Load())
+	c := pr.c
+	up, down := h, h
+	for d := 0; d < cd; d++ {
+		up++
+		if up == c {
+			up = 0
 		}
-		if i := nd.slotAt(h - d); nd.occupied(i) && nd.keys[i] == k {
-			return i
+		if pr.hit(up, k) {
+			return up
+		}
+		down--
+		if down < 0 {
+			down = c - 1
+		}
+		if pr.hit(down, k) {
+			return down
 		}
 	}
 	return -1
 }
 
-// Lookup returns the value stored for k.
+// find returns the slot holding key in the current probe, or −1.
+func (nd *Node) find(k uint64) (*probe, int) {
+	pr := nd.p.Load()
+	return pr, pr.search(k)
+}
+
+// Lookup returns the value stored for k. It is safe to call with no lock
+// held when bracketed by the interval seqlock; see the package comment.
 func (nd *Node) Lookup(k uint64) (uint64, bool) {
-	if i := nd.find(k); i >= 0 {
-		return nd.vals[i], true
+	pr := nd.p.Load()
+	if i := pr.search(k); i >= 0 {
+		return pr.val(i), true
 	}
 	return 0, false
 }
@@ -223,11 +299,12 @@ func (nd *Node) Lookup(k uint64) (uint64, bool) {
 // (e.g. a dense cluster plus a far outlier) marks the node saturated and is
 // served with a wide probe window instead of unbounded growth.
 func (nd *Node) Insert(k, v uint64) bool {
-	if nd.find(k) >= 0 {
+	pr := nd.p.Load()
+	if pr.search(k) >= 0 {
 		return false
 	}
-	needCap := nd.c < CapacityFor(nd.n+1, nd.tau)
-	if k < nd.lo || k > nd.hi {
+	needCap := pr.c < CapacityFor(nd.n+1, nd.tau)
+	if k < pr.lo || k > pr.hi {
 		// Out-of-interval key (the routing cell is wider than the fitted
 		// [lo, hi], or a rebuild refit the interval to the stored min/max):
 		// extend the interval to cover it BEFORE hashing — k−lo on a key
@@ -236,7 +313,7 @@ func (nd *Node) Insert(k, v uint64) bool {
 		// so a monotone stream of out-of-interval inserts re-scatters
 		// O(log n) times, not every insert; α keeps keys well spread over a
 		// wider-than-data interval.
-		lo, hi := nd.lo, nd.hi
+		lo, hi := pr.lo, pr.hi
 		span := hi - lo
 		if k < lo {
 			ext := span
@@ -261,8 +338,9 @@ func (nd *Node) Insert(k, v uint64) bool {
 			}
 		}
 		if nd.n == 0 {
-			nd.lo, nd.hi = lo, hi
-			nd.refit()
+			// Re-publish at the same capacity over the wider interval; the
+			// slabs are empty, so nothing needs re-placing.
+			nd.p.Store(newProbe(lo, hi, pr.c, nd.alpha))
 		} else {
 			// Grow capacity with the interval so the occupied region keeps
 			// its slot density: doubling the span alone would halve the slot
@@ -281,36 +359,38 @@ func (nd *Node) Insert(k, v uint64) bool {
 			nd.rescatter(exp, lo, hi)
 			needCap = false
 		}
+		pr = nd.p.Load()
 	}
 	if needCap {
 		nd.rebuild(2 * (nd.n + 1))
+		pr = nd.p.Load()
 	}
-	nd.place(k, v)
-	if nd.cd > maxConflictDegree && !nd.saturated {
+	nd.place(pr, k, v)
+	if int(pr.cd.Load()) > maxConflictDegree && !nd.saturated {
 		nd.rebuild(2 * nd.n)
-		if nd.cd > maxConflictDegree {
+		if int(nd.p.Load().cd.Load()) > maxConflictDegree {
 			nd.saturated = true
 		}
 	}
 	return true
 }
 
-// place stores a key assumed absent. It probes within the conflict-degree
-// bound first and falls back to an unbounded probe — capacity always exceeds
-// the population, so a free slot exists within c/2+1 steps. It never
-// rebuilds; Insert owns that policy.
-func (nd *Node) place(k, v uint64) {
-	h := nd.home(k)
-	limit := nd.c/2 + 1
+// place stores a key assumed absent into pr. It probes within the
+// conflict-degree bound first and falls back to an unbounded probe —
+// capacity always exceeds the population, so a free slot exists within
+// c/2+1 steps. It never rebuilds; Insert owns that policy.
+func (nd *Node) place(pr *probe, k, v uint64) {
+	h := pr.home(k)
+	limit := pr.c/2 + 1
 	for d := 0; d <= limit; d++ {
-		i := nd.slotAt(h + d)
-		if !nd.occupied(i) {
-			nd.put(i, k, v, d)
+		i := pr.slotAt(h + d)
+		if !pr.occupied(i) {
+			nd.put(pr, i, k, v, d)
 			return
 		}
 		if d > 0 {
-			if j := nd.slotAt(h - d); !nd.occupied(j) {
-				nd.put(j, k, v, d)
+			if j := pr.slotAt(h - d); !pr.occupied(j) {
+				nd.put(pr, j, k, v, d)
 				return
 			}
 		}
@@ -318,24 +398,27 @@ func (nd *Node) place(k, v uint64) {
 	panic("ebh: no free slot despite capacity > population")
 }
 
-func (nd *Node) put(i int, k, v uint64, d int) {
-	nd.keys[i] = k
-	nd.vals[i] = v
-	nd.setOcc(i)
+func (nd *Node) put(pr *probe, i int, k, v uint64, d int) {
+	// Value before key before occupancy bit: an optimistic reader that races
+	// this (and will fail validation anyway) can match the key only after
+	// the value is in place.
+	pr.slots[uint(i)<<1|1].Store(v)
+	pr.slots[uint(i)<<1].Store(k)
+	pr.setOcc(i)
 	nd.n++
-	if d > nd.cd {
-		nd.cd = d
+	if int32(d) > pr.cd.Load() {
+		pr.cd.Store(int32(d))
 	}
 }
 
 // Delete removes k, reporting whether it was present. The conflict degree is
 // left as is (it remains a valid upper bound); rebuilds re-derive it.
 func (nd *Node) Delete(k uint64) bool {
-	i := nd.find(k)
+	pr, i := nd.find(k)
 	if i < 0 {
 		return false
 	}
-	nd.clrOcc(i)
+	pr.clrOcc(i)
 	nd.n--
 	return true
 }
@@ -347,14 +430,15 @@ func (nd *Node) Delete(k uint64) bool {
 // degenerates the hash. The paper's Fig. 14 discussion notes EBH retraining
 // needs no sorting — this is that operation.
 func (nd *Node) rebuild(expected int) {
-	lo, hi := nd.lo, nd.hi
+	pr := nd.p.Load()
+	lo, hi := pr.lo, pr.hi
 	if nd.n > 0 {
 		first := true
-		for i := 0; i < nd.c; i++ {
-			if !nd.occupied(i) {
+		for i := 0; i < pr.c; i++ {
+			if !pr.occupied(i) {
 				continue
 			}
-			k := nd.keys[i]
+			k := pr.key(i)
 			if first {
 				lo, hi = k, k
 				first = false
@@ -373,30 +457,27 @@ func (nd *Node) rebuild(expected int) {
 
 // rescatter re-creates the slot array like rebuild but keeps the given hash
 // interval instead of refitting it to the stored keys — the Insert path uses
-// it to extend the interval over an out-of-range key with slack.
+// it to extend the interval over an out-of-range key with slack. The new
+// probe is filled off-line and published atomically, so a concurrent
+// optimistic reader sees either the old slabs or the finished new ones.
 func (nd *Node) rescatter(expected int, lo, hi uint64) {
 	if expected < nd.n {
 		expected = nd.n
 	}
-	oldKeys, oldVals, oldOcc, oldC := nd.keys, nd.vals, nd.occ, nd.c
-	nd.lo, nd.hi = lo, hi
+	old := nd.p.Load()
 	c := CapacityFor(expected, nd.tau)
 	if c < 8 {
 		c = 8
 	}
-	nd.c = c
+	np := newProbe(lo, hi, c, nd.alpha)
 	nd.n = 0
-	nd.cd = 0
 	nd.saturated = false
-	nd.refit()
-	nd.keys = make([]uint64, c)
-	nd.vals = make([]uint64, c)
-	nd.occ = make([]uint64, (c+63)/64)
-	for i := 0; i < oldC; i++ {
-		if oldOcc[i>>6]&(1<<(uint(i)&63)) != 0 {
-			nd.place(oldKeys[i], oldVals[i])
+	for i := 0; i < old.c; i++ {
+		if old.occupied(i) {
+			nd.place(np, old.key(i), old.val(i))
 		}
 	}
+	nd.p.Store(np)
 }
 
 // Retrain rebuilds the leaf at the Theorem 1 capacity for its current
@@ -416,36 +497,40 @@ func (nd *Node) RetrainFor(expected int) {
 }
 
 // AppendEntries appends every stored (key, value) pair to dst in slot order
-// (unordered by key) and returns the extended slices.
+// (unordered by key) and returns the extended slices. Like Lookup, it is
+// safe to run lock-free when bracketed by the interval seqlock.
 func (nd *Node) AppendEntries(dstK, dstV []uint64) ([]uint64, []uint64) {
-	for i := 0; i < nd.c; i++ {
-		if nd.occupied(i) {
-			dstK = append(dstK, nd.keys[i])
-			dstV = append(dstV, nd.vals[i])
+	pr := nd.p.Load()
+	for i := 0; i < pr.c; i++ {
+		if pr.occupied(i) {
+			dstK = append(dstK, pr.key(i))
+			dstV = append(dstV, pr.val(i))
 		}
 	}
 	return dstK, dstV
 }
 
-// Bytes estimates resident size: slot slabs, bitmap, and the struct header.
+// Bytes estimates resident size: slot slab, bitmap, and the struct headers.
 func (nd *Node) Bytes() int {
-	return 16*nd.c + 8*len(nd.occ) + 96
+	pr := nd.p.Load()
+	return 16*pr.c + 8*len(pr.occ) + 128
 }
 
 // ErrorStats recomputes the true placement errors (|P̂ − P| per key) for
 // Table V: the maximum and mean offset over all stored keys.
 func (nd *Node) ErrorStats() (maxErr int, sumErr float64) {
-	for i := 0; i < nd.c; i++ {
-		if !nd.occupied(i) {
+	pr := nd.p.Load()
+	for i := 0; i < pr.c; i++ {
+		if !pr.occupied(i) {
 			continue
 		}
-		h := nd.home(nd.keys[i])
+		h := pr.home(pr.key(i))
 		d := i - h
 		if d < 0 {
 			d = -d
 		}
 		// Placement wraps modulo c; take the shorter circular distance.
-		if alt := nd.c - d; alt < d {
+		if alt := pr.c - d; alt < d {
 			d = alt
 		}
 		if d > maxErr {

@@ -36,11 +36,8 @@ func TestPaperHashExample(t *testing.T) {
 	// Section III worked example: D={3,4,5,6,7,9,11}, c=10, α=131, interval
 	// [3, 11]: predicted positions 0,3,7,1,5,2,7 and conflict degree 1.
 	nd := New(3, 11, 1, 0.45, 131)
-	nd.c = 10
-	nd.keys = make([]uint64, 10)
-	nd.vals = make([]uint64, 10)
-	nd.occ = make([]uint64, 1)
-	nd.refit()
+	nd.p.Store(newProbe(3, 11, 10, 131))
+	pr := nd.p.Load()
 	// The paper lists 0,3,7,1,5,2,7; for k=11 its own formula evaluates to
 	// 131·(10/8·8) mod 10 = 1310 mod 10 = 0, so we check 0 there (the listed
 	// 7 appears to be a typo — the example's conflict degree of 1 holds
@@ -48,7 +45,7 @@ func TestPaperHashExample(t *testing.T) {
 	want := []int{0, 3, 7, 1, 5, 2, 0}
 	keys := []uint64{3, 4, 5, 6, 7, 9, 11}
 	for i, k := range keys {
-		if got := nd.home(k); got != want[i] {
+		if got := pr.home(k); got != want[i] {
 			t.Errorf("home(%d) = %d, want %d", k, got, want[i])
 		}
 	}

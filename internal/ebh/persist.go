@@ -10,6 +10,8 @@ import (
 
 // wire is the gob form of a leaf. The slot arrays are stored verbatim so a
 // loaded leaf answers queries with the exact learned layout (no re-hashing).
+// The on-disk shape keeps separate Keys/Vals arrays for format stability;
+// the in-memory interleaved slab is converted at this boundary.
 type wire struct {
 	Lo, Hi     uint64
 	Alpha, Tau float64
@@ -21,13 +23,24 @@ type wire struct {
 
 // MarshalBinary encodes the leaf for persistence.
 func (nd *Node) MarshalBinary() ([]byte, error) {
+	pr := nd.p.Load()
+	keys := make([]uint64, pr.c)
+	vals := make([]uint64, pr.c)
+	for i := 0; i < pr.c; i++ {
+		keys[i] = pr.key(i)
+		vals[i] = pr.val(i)
+	}
+	occ := make([]uint64, len(pr.occ))
+	for i := range pr.occ {
+		occ[i] = pr.occ[i].Load()
+	}
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(wire{
-		Lo: nd.lo, Hi: nd.hi,
+		Lo: pr.lo, Hi: pr.hi,
 		Alpha: nd.alpha, Tau: nd.tau,
-		C: nd.c, N: nd.n, CD: nd.cd,
+		C: pr.c, N: nd.n, CD: int(pr.cd.Load()),
 		Saturated: nd.saturated,
-		Keys:      nd.keys, Vals: nd.vals, Occ: nd.occ,
+		Keys:      keys, Vals: vals, Occ: occ,
 	})
 	return buf.Bytes(), err
 }
@@ -74,11 +87,18 @@ func (nd *Node) UnmarshalBinary(data []byte) error {
 	if occupied != w.N {
 		return fmt.Errorf("ebh: corrupt leaf encoding (n=%d but %d occupied slots)", w.N, occupied)
 	}
-	nd.lo, nd.hi = w.Lo, w.Hi
 	nd.alpha, nd.tau = w.Alpha, w.Tau
-	nd.c, nd.n, nd.cd = w.C, w.N, w.CD
+	nd.n = w.N
 	nd.saturated = w.Saturated
-	nd.keys, nd.vals, nd.occ = w.Keys, w.Vals, w.Occ
-	nd.refit()
+	pr := newProbe(w.Lo, w.Hi, w.C, w.Alpha)
+	pr.cd.Store(int32(w.CD))
+	for i := 0; i < w.C; i++ {
+		pr.slots[uint(i)<<1].Store(w.Keys[i])
+		pr.slots[uint(i)<<1|1].Store(w.Vals[i])
+	}
+	for i, word := range w.Occ {
+		pr.occ[i].Store(word)
+	}
+	nd.p.Store(pr)
 	return nil
 }

@@ -1,6 +1,8 @@
 package ebh
 
 import (
+	"bytes"
+	"encoding/gob"
 	"testing"
 )
 
@@ -43,11 +45,11 @@ func TestUnmarshalRejectsInvariantViolations(t *testing.T) {
 	for k := uint64(0); k < 1<<20; k += 1 << 15 {
 		nd.Insert(k, k)
 	}
-	valid := wire{
-		Lo: nd.lo, Hi: nd.hi, Alpha: nd.alpha, Tau: nd.tau,
-		C: nd.c, N: nd.n, CD: nd.cd, Saturated: nd.saturated,
-		Keys: nd.keys, Vals: nd.vals, Occ: nd.occ,
+	blob, err := nd.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
 	}
+	valid := decodeWire(t, blob)
 	cases := map[string]func(*wire){
 		"zero capacity":      func(w *wire) { w.C = 0; w.Keys, w.Vals, w.Occ = nil, nil, nil },
 		"negative capacity":  func(w *wire) { w.C = -4 },
@@ -97,16 +99,20 @@ func nan() float64 {
 
 func encodeWire(t *testing.T, w wire) []byte {
 	t.Helper()
-	nd := Node{
-		lo: w.Lo, hi: w.Hi, alpha: w.Alpha, tau: w.Tau,
-		c: w.C, n: w.N, cd: w.CD, saturated: w.Saturated,
-		keys: w.Keys, vals: w.Vals, occ: w.Occ,
-	}
-	blob, err := nd.MarshalBinary()
-	if err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
 		t.Fatal(err)
 	}
-	return blob
+	return buf.Bytes()
+}
+
+func decodeWire(t *testing.T, blob []byte) wire {
+	t.Helper()
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	return w
 }
 
 func TestUnmarshalGarbage(t *testing.T) {

@@ -1,0 +1,377 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/client"
+	"chameleon/internal/dataset"
+	"chameleon/internal/report"
+	"chameleon/internal/server"
+)
+
+// Read measures the optimistic read path (DESIGN.md §13) against its two
+// reference points: the always-locked baseline (Options.LockedReads) and a
+// raw Go map as the no-structure floor. The local sweep crosses
+// {optimistic, locked, map} × {1, 4 readers} × {0, 2 writers} × {uniform,
+// hot-16 keys} and reports per-op p50/p99/p999 plus the retry-exhaustion
+// fallback count; the remote point pushes depth-16 pipelined GETs through a
+// real loopback server so the server-side GET coalescing shows up in both
+// the percentiles and the get_batches counters. Emits BENCH_read.json;
+// CHAMELEON_BENCH_JSON overrides the path ("off" skips it).
+func Read(cfg Config) []*report.Table {
+	cfg = cfg.Defaults()
+	dur := cfg.Conc.Duration
+	if dur <= 0 {
+		dur = 400 * time.Millisecond
+	}
+	keys := dataset.Generate(dataset.FACE, cfg.N, cfg.Seed)
+
+	out := &readReport{
+		Experiment: "read",
+		Seed:       cfg.Seed,
+		N:          cfg.N,
+		DurationS:  dur.Seconds(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("read — lookup path comparison (%s per point, N=%d)", dur, cfg.N),
+		Cols:  []string{"mode", "dist", "readers", "writers", "ops/s", "p50", "p99", "p999", "fallbacks"},
+	}
+
+	for _, mode := range []string{"optimistic", "locked", "map"} {
+		// One build per mode: the sweep points reuse the index (rebuilding
+		// per point would cost a full DARE training run each and measure
+		// nothing different — the read path has no cross-point state beyond
+		// the model cache, whose carry-over is the workload being modeled).
+		tgt := buildReadTarget(keys, mode)
+		for _, dist := range []string{"uniform", "hot"} {
+			for _, readers := range []int{1, 4} {
+				for _, writers := range []int{0, 2} {
+					if mode == "map" && writers > 0 {
+						// The map floor is a plain unsynchronized map; it
+						// has no writer story and exists only to price the
+						// index structure itself.
+						continue
+					}
+					row := runReadPoint(tgt, keys, mode, dist, readers, writers, dur, cfg.Seed)
+					out.Rows = append(out.Rows, row)
+					t.AddRow(
+						row.Mode, row.Dist, fmt.Sprint(row.Readers), fmt.Sprint(row.Writers),
+						report.F2(row.OpsPerSec),
+						report.NsF(row.NsP50), report.NsF(row.NsP99), report.NsF(row.NsP999),
+						fmt.Sprint(row.Fallbacks),
+					)
+				}
+			}
+		}
+	}
+
+	rt, remote := runRemoteGetPoint(keys, dur, cfg.Seed)
+	out.Remote = remote
+	saveRead(out)
+	return []*report.Table{t, rt}
+}
+
+// saveRead writes BENCH_read.json (or CHAMELEON_BENCH_JSON's override).
+func saveRead(out *readReport) {
+	path := os.Getenv("CHAMELEON_BENCH_JSON")
+	if path == "" {
+		path = "BENCH_read.json"
+	}
+	if path != "off" {
+		if err := report.SaveJSON(path, out); err != nil {
+			fmt.Fprintf(os.Stderr, "read: saving %s: %v\n", path, err)
+		}
+	}
+}
+
+// readReport is the BENCH_read.json schema.
+type readReport struct {
+	Experiment string     `json:"experiment"`
+	Seed       uint64     `json:"seed"`
+	N          int        `json:"n"`
+	DurationS  float64    `json:"duration_s"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Rows       []readRow  `json:"rows"`
+	Remote     *remoteGet `json:"remote_get,omitempty"`
+}
+
+type readRow struct {
+	Mode      string  `json:"mode"` // optimistic | locked | map
+	Dist      string  `json:"dist"` // uniform | hot
+	Readers   int     `json:"readers"`
+	Writers   int     `json:"writers"`
+	Ops       uint64  `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	NsP50     float64 `json:"ns_p50"`
+	NsP99     float64 `json:"ns_p99"`
+	NsP999    float64 `json:"ns_p999"`
+	Fallbacks uint64  `json:"fallbacks"`
+}
+
+// remoteGet is the depth-16 pipelined remote GET point: the coalescing
+// counters come from the server's own STATS surface.
+type remoteGet struct {
+	Conns        int     `json:"conns"`
+	Depth        int     `json:"pipeline_depth"`
+	Ops          uint64  `json:"ops"`
+	Seconds      float64 `json:"seconds"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P50US        float64 `json:"p50_us"`
+	P99US        float64 `json:"p99_us"`
+	P999US       float64 `json:"p999_us"`
+	GetBatches   uint64  `json:"get_batches"`
+	BatchedGets  uint64  `json:"batched_gets"`
+	MeanGetBatch float64 `json:"mean_get_batch"`
+}
+
+// pctNs computes a percentile (ns) over a sorted latency slice.
+func pctNs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return float64(sorted[int(p*float64(len(sorted)-1))].Nanoseconds())
+}
+
+// readTarget is one mode's built lookup surface, shared across its sweep
+// points.
+type readTarget struct {
+	lookup    func(k uint64) (uint64, bool)
+	write     func(k uint64) // nil for the map floor
+	fallbacks func() uint64
+}
+
+func buildReadTarget(keys []uint64, mode string) readTarget {
+	if mode == "map" {
+		m := make(map[uint64]uint64, len(keys))
+		for _, k := range keys {
+			m[k] = k
+		}
+		return readTarget{
+			lookup:    func(k uint64) (uint64, bool) { v, ok := m[k]; return v, ok },
+			fallbacks: func() uint64 { return 0 },
+		}
+	}
+	ix := chameleon.New(chameleon.Options{Seed: 1, LockedReads: mode == "locked"})
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		panic(err)
+	}
+	return readTarget{
+		lookup: ix.Lookup,
+		write: func(k uint64) {
+			if ix.Insert(k, k) == nil {
+				ix.Delete(k) //nolint:errcheck
+			}
+		},
+		fallbacks: ix.ReadFallbacks,
+	}
+}
+
+// runReadPoint drives one local sweep point. Readers sample every 16th
+// lookup's latency (timing every op would measure the clock, not the
+// index); writers churn a disjoint fresh-key range so seqlock versions
+// actually move under the readers.
+func runReadPoint(tgt readTarget, keys []uint64, mode, dist string, readers, writers int, dur time.Duration, seed uint64) readRow {
+	lookup, write, fallbacks := tgt.lookup, tgt.write, tgt.fallbacks
+
+	// Probe set: uniform draws over the whole key set, or 16 hot keys.
+	probe := keys
+	if dist == "hot" {
+		hot := make([]uint64, 16)
+		for i := range hot {
+			hot[i] = keys[(i*len(keys))/len(hot)+7]
+		}
+		probe = hot
+	}
+
+	fb0 := fallbacks()
+	stop := make(chan struct{})
+	time.AfterFunc(dur, func() { close(stop) })
+	var wg sync.WaitGroup
+	var ops atomic.Uint64
+	lats := make([][]time.Duration, readers)
+
+	if write != nil {
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := splitmix(seed ^ (uint64(w)+1)*0x9E3779B9)
+				base := uint64(0xC0FFEE)<<32 | uint64(w)<<24
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					write(base + rng()%(1<<20))
+				}
+			}(w)
+		}
+	}
+
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := splitmix(seed + uint64(r)*0x9E37)
+			mine := make([]time.Duration, 0, 1<<14)
+			var n uint64
+			for {
+				select {
+				case <-stop:
+					lats[r] = mine
+					ops.Add(n)
+					return
+				default:
+				}
+				k := probe[rng()%uint64(len(probe))]
+				if n&15 == 0 {
+					t0 := time.Now()
+					lookup(k)
+					mine = append(mine, time.Since(t0))
+				} else {
+					lookup(k)
+				}
+				n++
+			}
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return readRow{
+		Mode: mode, Dist: dist, Readers: readers, Writers: writers,
+		Ops: ops.Load(), Seconds: elapsed.Seconds(),
+		OpsPerSec: float64(ops.Load()) / elapsed.Seconds(),
+		NsP50:     pctNs(all, 0.50), NsP99: pctNs(all, 0.99), NsP999: pctNs(all, 0.999),
+		Fallbacks: fallbacks() - fb0,
+	}
+}
+
+// runRemoteGetPoint preloads a durable index, serves it over loopback TCP,
+// and drives 16 closed-loop GET workers down one connection — the shape
+// that exercises the server's GET coalescing (consecutive pipelined GETs
+// drained into one LookupBatch call).
+func runRemoteGetPoint(keys []uint64, dur time.Duration, seed uint64) (*report.Table, *remoteGet) {
+	dir, err := os.MkdirTemp("", "chameleon-read-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck
+	ix, err := chameleon.OpenDir(dir, chameleon.DirOptions{
+		Sync: chameleon.SyncNone, MaxPending: 4096, BlockOnFull: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Preload a slice of the dataset so GETs hit real resident keys.
+	n := len(keys)
+	if n > 100_000 {
+		n = 100_000
+	}
+	for _, k := range keys[:n] {
+		if err := ix.Insert(k, k^0x5bd1e995); err != nil {
+			panic(err)
+		}
+	}
+
+	srv := server.New(ix, server.Options{OwnsIndex: true})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	go srv.Serve() //nolint:errcheck
+
+	const depth = 16
+	c, err := client.Dial(srv.Addr().String(), client.Options{Conns: 1, MaxPipeline: depth})
+	if err != nil {
+		panic(err)
+	}
+	before, _, err := c.Stats(context.Background())
+	if err != nil {
+		panic(err)
+	}
+
+	stop := make(chan struct{})
+	time.AfterFunc(dur, func() { close(stop) })
+	var wg sync.WaitGroup
+	var ops atomic.Uint64
+	lats := make([][]time.Duration, depth)
+	start := time.Now()
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := splitmix(seed + uint64(w)*13)
+			mine := make([]time.Duration, 0, 1<<12)
+			for {
+				select {
+				case <-stop:
+					lats[w] = mine
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, _, err := c.Get(context.Background(), keys[rng()%uint64(n)]); err != nil {
+					return
+				}
+				mine = append(mine, time.Since(t0))
+				ops.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	after, _, err := c.Stats(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	c.Close() //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx) //nolint:errcheck
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	r := &remoteGet{
+		Conns: 1, Depth: depth,
+		Ops: ops.Load(), Seconds: elapsed.Seconds(),
+		OpsPerSec: float64(ops.Load()) / elapsed.Seconds(),
+		P50US:     pctNs(all, 0.50) / 1e3, P99US: pctNs(all, 0.99) / 1e3, P999US: pctNs(all, 0.999) / 1e3,
+		GetBatches:  after.GetBatches - before.GetBatches,
+		BatchedGets: after.BatchedGets - before.BatchedGets,
+	}
+	if r.GetBatches > 0 {
+		r.MeanGetBatch = float64(r.BatchedGets) / float64(r.GetBatches)
+	}
+	t := &report.Table{
+		Title: "read — remote pipelined GETs (1 conn × depth 16, loopback TCP)",
+		Cols:  []string{"ops/s", "p50", "p99", "p999", "get batches", "batched gets", "mean batch"},
+	}
+	t.AddRow(
+		report.F2(r.OpsPerSec),
+		report.NsF(r.P50US*1e3), report.NsF(r.P99US*1e3), report.NsF(r.P999US*1e3),
+		fmt.Sprint(r.GetBatches), fmt.Sprint(r.BatchedGets), report.F2(r.MeanGetBatch),
+	)
+	return t, r
+}

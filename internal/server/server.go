@@ -47,6 +47,10 @@ import (
 // ranges fan out onto independent WAL/fsync pipelines for free.
 type Index interface {
 	Lookup(key uint64) (uint64, bool)
+	// LookupBatch resolves keys[i] into vals[i], found[i] against one tree
+	// snapshot; the server's GET coalescing executes a pipelined burst
+	// through it. All three slices are at least len(keys) long.
+	LookupBatch(keys, vals []uint64, found []bool)
 	Range(lo, hi uint64, fn func(key, val uint64) bool)
 	InsertCtx(ctx context.Context, key, val uint64) error
 	DeleteCtx(ctx context.Context, key uint64) error
@@ -168,6 +172,12 @@ type Server struct {
 	requests   atomic.Uint64
 	reqErrors  atomic.Uint64
 	inFlight   atomic.Int64
+
+	// GET coalescing counters: getBatches counts multi-GET handler runs,
+	// batchedGets the GETs they carried (so batchedGets/getBatches is the
+	// mean coalesced depth; single GETs appear in neither).
+	getBatches  atomic.Uint64
+	batchedGets atomic.Uint64
 }
 
 // New wraps ix — a *chameleon.DurableIndex or *chameleon.ShardedIndex — in
@@ -387,7 +397,17 @@ func (c *conn) run() {
 	go c.writer()
 
 	br := bufio.NewReaderSize(c.nc, 64<<10)
+	// getBatch accumulates consecutive pipelined GETs; they are flushed as
+	// one coalesced handler the moment the reader would otherwise block (no
+	// complete frame left in the buffer), a non-GET arrives, or the batch
+	// hits the pipeline cap. Coalescing therefore never ADDS latency — a
+	// lone GET is dispatched on the very next loop iteration.
+	var getBatch []*wire.Request
 	for {
+		if len(getBatch) > 0 && !wire.FullFrameBuffered(br) {
+			c.dispatchGets(getBatch)
+			getBatch = nil
+		}
 		if idle := c.srv.opts.IdleTimeout; idle > 0 {
 			c.nc.SetReadDeadline(time.Now().Add(idle)) //nolint:errcheck
 		}
@@ -430,6 +450,20 @@ func (c *conn) run() {
 			}
 			continue
 		}
+		if req.Op == wire.OpGet {
+			getBatch = append(getBatch, req)
+			if len(getBatch) >= c.srv.opts.MaxPipeline {
+				c.dispatchGets(getBatch)
+				getBatch = nil
+			}
+			continue
+		}
+		// A non-GET flushes any pending coalesced GETs first, so replies
+		// stay roughly arrival-ordered and nothing is held across a write.
+		if len(getBatch) > 0 {
+			c.dispatchGets(getBatch)
+			getBatch = nil
+		}
 		// Pipelining: take an in-flight slot (blocking the reader is the
 		// backpressure) and execute concurrently. Responses are matched by
 		// id, so completion order is free to differ from arrival order.
@@ -441,10 +475,69 @@ func (c *conn) run() {
 			<-c.slots
 		}()
 	}
+	// Accepted-but-unflushed GETs (the loop broke on drain or a stream
+	// error) still get their responses.
+	if len(getBatch) > 0 {
+		c.dispatchGets(getBatch)
+	}
 	c.handlers.Wait() // every accepted request gets its response...
 	close(c.out)      // ...then the writer flushes the tail and exits
 	<-c.wdone
 	c.nc.Close() //nolint:errcheck
+}
+
+// dispatchGets executes a run of pipelined GETs. A single GET takes the
+// ordinary per-request path; two or more share ONE in-flight slot and ONE
+// handler goroutine, resolve against one tree-snapshot load via
+// Index.LookupBatch, and their replies land on c.out back-to-back so the
+// coalescing writer flushes them with one syscall.
+func (c *conn) dispatchGets(reqs []*wire.Request) {
+	if len(reqs) == 1 {
+		req := reqs[0]
+		c.slots <- struct{}{}
+		c.handlers.Add(1)
+		go func() {
+			defer c.handlers.Done()
+			c.out <- c.srv.dispatch(c.srv.baseCtx, c, req)
+			<-c.slots
+		}()
+		return
+	}
+	c.slots <- struct{}{}
+	c.handlers.Add(1)
+	go func() {
+		defer c.handlers.Done()
+		c.srv.handleGetBatch(c, reqs)
+		<-c.slots
+	}()
+}
+
+// handleGetBatch is the coalesced form of dispatch's OpGet arm: one
+// readability check and one LookupBatch for the whole run, then a response
+// per request in arrival order.
+func (s *Server) handleGetBatch(c *conn, reqs []*wire.Request) {
+	n := len(reqs)
+	s.requests.Add(uint64(n))
+	s.inFlight.Add(int64(n))
+	defer s.inFlight.Add(-int64(n))
+	s.getBatches.Add(1)
+	s.batchedGets.Add(uint64(n))
+	if err := s.readableErr(); err != nil {
+		for _, req := range reqs {
+			c.out <- s.fail(&wire.Response{ID: req.ID, Op: req.Op, OK: true}, err)
+		}
+		return
+	}
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	found := make([]bool, n)
+	for i, req := range reqs {
+		keys[i] = req.Key
+	}
+	s.ix.LookupBatch(keys, vals, found)
+	for i, req := range reqs {
+		c.out <- &wire.Response{ID: req.ID, Op: req.Op, OK: true, Val: vals[i], Found: found[i]}
+	}
 }
 
 // writer encodes and sends responses, coalescing: it flushes only when the
@@ -781,6 +874,8 @@ func (s *Server) statsJSON() []byte {
 		TotalConns:      s.totalConns.Load(),
 		Requests:        s.requests.Load(),
 		ReqErrors:       s.reqErrors.Load(),
+		GetBatches:      s.getBatches.Load(),
+		BatchedGets:     s.batchedGets.Load(),
 		InFlight:        int(s.inFlight.Load()),
 		Draining:        draining,
 		UptimeSec:       time.Since(s.start).Seconds(),

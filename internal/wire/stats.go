@@ -26,6 +26,11 @@ type StatsReply struct {
 	BatchedOps      uint64   `json:"batched_ops"`
 	MaxBatch        int      `json:"max_batch"`
 	DiskFullBatches uint64   `json:"disk_full_batches"`
+	// GET coalescing (server-side read batching): GetBatches counts
+	// multi-GET handler runs, BatchedGets the GETs they carried. Omitted
+	// when zero for byte-compatibility with pre-batching clients.
+	GetBatches  uint64 `json:"get_batches,omitempty"`
+	BatchedGets uint64 `json:"batched_gets,omitempty"`
 	FsyncHist       []uint64 `json:"fsync_hist"`
 	FsyncBounds     []string `json:"fsync_bounds"`
 	RetrainPauses   uint64   `json:"retrain_pauses"`

@@ -26,6 +26,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -526,6 +527,28 @@ func DecodeFrame(data []byte) (payload []byte, n int, err error) {
 		return nil, 0, ErrFrameCRC
 	}
 	return payload, frameHeader + int(plen), nil
+}
+
+// FullFrameBuffered reports whether br's buffer already holds one complete
+// frame, so the next ReadFrame is guaranteed not to block on the socket. A
+// buffered header whose length prefix is invalid (zero or over MaxFrame)
+// also reports true: ReadFrame will consume it and surface the framing error
+// without blocking. The server's GET coalescing uses this to decide whether
+// to keep accumulating a pipelined burst or flush what it has before the
+// reader would sleep.
+func FullFrameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < frameHeader {
+		return false
+	}
+	hdr, err := br.Peek(frameHeader)
+	if err != nil {
+		return false
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:])
+	if plen == 0 || plen > MaxFrame {
+		return true // ReadFrame will fail fast on this header; no blocking
+	}
+	return br.Buffered() >= frameHeader+int(plen)
 }
 
 // ReadFrame reads one frame's payload from r. The allocation is bounded by

@@ -1,0 +1,98 @@
+package chameleon_test
+
+// Read-path micro-benchmarks for the optimistic seqlock lookup (DESIGN.md
+// §13): the versioned lock-free path vs the always-locked baseline
+// (Options.LockedReads) vs a raw Go map as the no-structure floor, serial
+// and with RunParallel. The full read experiment with percentiles, writer
+// interference, and remote pipelined GETs is `-exp read` (BENCH_read.json).
+
+import (
+	"testing"
+
+	"chameleon"
+	"chameleon/internal/dataset"
+	"chameleon/internal/harness"
+)
+
+func buildReadBench(b *testing.B, locked bool) *chameleon.Index {
+	b.Helper()
+	keys := dataset.Generate(dataset.FACE, 200_000, 42)
+	ix := chameleon.New(chameleon.Options{Seed: 1, LockedReads: locked})
+	if err := ix.BulkLoad(keys, nil); err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func benchLookupPath(b *testing.B, locked bool) {
+	ix := buildReadBench(b, locked)
+	keys := dataset.Generate(dataset.FACE, 200_000, 42)
+	probes := harness.Probes(keys, 1<<16, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(probes[i&(1<<16-1)])
+	}
+}
+
+// BenchmarkLookupOptimistic is the default versioned lock-free read path.
+func BenchmarkLookupOptimistic(b *testing.B) { benchLookupPath(b, false) }
+
+// BenchmarkLookupLocked forces the pre-optimization shared-lock read path;
+// the delta against BenchmarkLookupOptimistic is the seqlock win.
+func BenchmarkLookupLocked(b *testing.B) { benchLookupPath(b, true) }
+
+// BenchmarkLookupMap is the floor: a plain map probe with zero index
+// structure, ordering, or concurrency safety.
+func BenchmarkLookupMap(b *testing.B) {
+	keys := dataset.Generate(dataset.FACE, 200_000, 42)
+	m := make(map[uint64]uint64, len(keys))
+	for _, k := range keys {
+		m[k] = k
+	}
+	probes := harness.Probes(keys, 1<<16, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m[probes[i&(1<<16-1)]]
+	}
+}
+
+func benchLookupParallel(b *testing.B, locked bool) {
+	ix := buildReadBench(b, locked)
+	keys := dataset.Generate(dataset.FACE, 200_000, 42)
+	probes := harness.Probes(keys, 1<<16, 7)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ix.Lookup(probes[i&(1<<16-1)])
+			i++
+		}
+	})
+}
+
+// BenchmarkLookupOptimisticParallel exercises reader scaling: optimistic
+// readers share nothing, while the locked baseline bounces every interval's
+// lock word between readers.
+func BenchmarkLookupOptimisticParallel(b *testing.B) { benchLookupParallel(b, false) }
+func BenchmarkLookupLockedParallel(b *testing.B)     { benchLookupParallel(b, true) }
+
+func benchLookupHot(b *testing.B, locked bool) {
+	ix := buildReadBench(b, locked)
+	keys := dataset.Generate(dataset.FACE, 200_000, 42)
+	// 16 hot keys spread across the keyspace: small enough that the model
+	// cache holds them all, the shape of a skewed read-mostly workload.
+	hot := make([]uint64, 16)
+	for i := range hot {
+		hot[i] = keys[(i*len(keys))/len(hot)+7]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(hot[i&15])
+	}
+}
+
+// BenchmarkLookupHotOptimistic measures the model-cache fast path: a cached
+// hot key costs one seqlock version check and zero tree or leaf memory
+// touches. BenchmarkLookupHotLocked pays the full locked descend every time.
+func BenchmarkLookupHotOptimistic(b *testing.B) { benchLookupHot(b, false) }
+func BenchmarkLookupHotLocked(b *testing.B)     { benchLookupHot(b, true) }

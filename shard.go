@@ -491,6 +491,19 @@ func (s *ShardedIndex) DeleteCtx(ctx context.Context, key uint64) error {
 // Lookup routes the point query to key's shard.
 func (s *ShardedIndex) Lookup(key uint64) (uint64, bool) { return s.shard(key).Lookup(key) }
 
+// LookupBatch resolves keys[i] into vals[i], found[i], routing every key off
+// ONE router snapshot so a batch observes a single consistent shard layout
+// even if a BulkLoad re-partitions mid-flight. Keys are not re-grouped into
+// per-shard sub-batches: at server batch sizes the routing snapshot and the
+// per-shard tree loads dominate, and each shard's own read path is already
+// lock-free.
+func (s *ShardedIndex) LookupBatch(keys, vals []uint64, found []bool) {
+	rt := s.rt.Load()
+	for i, k := range keys {
+		vals[i], found[i] = s.shards[rt.route(k)].Lookup(k)
+	}
+}
+
 // Range calls fn for every key in [lo, hi] in ascending order until fn
 // returns false, stitching per-shard scans in shard order. Shards partition
 // the key space in ascending ranges and each shard's Range is ascending, so
