@@ -21,11 +21,17 @@
 //
 // Replication (DESIGN.md §12): -replica-of starts the node as a follower of
 // the given primary; it rejects writes and serves reads while pulling the
-// primary's commit stream. SIGUSR1 (or the wire PROMOTE op) promotes it to
-// primary. A primary must opt in with -repl (implied by -repl-semisync) to
-// accept follower pulls; -repl-semisync makes each write wait for a follower ack (bounded
-// by -repl-ack-timeout). Replication v1 is unsharded: -replica-of combined
-// with -shards (or a sharded directory) is rejected at startup.
+// primary's commit stream. A primary must opt in with -repl (implied by
+// -repl-semisync) to accept follower pulls; -repl-semisync makes each write
+// wait for a follower ack (bounded by -repl-ack-timeout). Sharded layouts
+// replicate too (DESIGN.md §14): a sharded node runs one replication stream
+// per shard, and its follower must be started with the same shard count.
+//
+// Failover (DESIGN.md §14): -failover-auto runs the failure detector beside
+// a follower — when the primary is both silent on the pull stream and
+// unresponsive to direct probes, the follower fences and promotes itself.
+// SIGUSR1 (or the wire PROMOTE op) remains the manual path. A node that was
+// fenced stays fenced across restarts (the repl.meta sidecar).
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 
 	"chameleon"
 	"chameleon/internal/client"
+	"chameleon/internal/failover"
 	"chameleon/internal/repl"
 	"chameleon/internal/server"
 )
@@ -58,9 +65,13 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
 		stats        = flag.Bool("stats", false, "dial -addr, print one-line STATS JSON, exit")
 		replEnable   = flag.Bool("repl", false, "enable replication as primary (serve follower pulls); implied by -replica-of and -repl-semisync")
-		replicaOf    = flag.String("replica-of", "", "follow this primary address (read-only until promoted via SIGUSR1 or the wire PROMOTE op)")
+		replicaOf    = flag.String("replica-of", "", "follow this primary address (read-only until promoted via -failover-auto, SIGUSR1, or the wire PROMOTE op)")
 		semiSync     = flag.Bool("repl-semisync", false, "primary: block each write's ack until a follower acknowledged it")
 		ackTimeout   = flag.Duration("repl-ack-timeout", 2*time.Second, "semi-sync wait bound; on expiry the write errors replica-lagging but stays locally durable")
+		autoFailover = flag.Bool("failover-auto", false, "follower: run the failure detector and self-promote when the primary is dead")
+		suspectAfter = flag.Duration("failover-suspect", 2*time.Second, "pull-stall threshold before the detector starts probing the primary")
+		probeEvery   = flag.Duration("failover-probe-interval", 500*time.Millisecond, "failure-detector probe interval")
+		probeCount   = flag.Int("failover-probes", 3, "consecutive failed probes (while stalled) that declare the primary dead")
 	)
 	flag.Parse()
 
@@ -93,8 +104,8 @@ func main() {
 		os.Exit(1)
 	}
 	replOn := *replEnable || *replicaOf != "" || *semiSync
-	if replOn && (*shards > 1 || chameleon.IsShardedDir(*dir)) {
-		fmt.Fprintln(os.Stderr, "chameleon-serve: replication v1 is unsharded; drop -replica-of/-repl/-repl-semisync or -shards")
+	if *autoFailover && *replicaOf == "" {
+		fmt.Fprintln(os.Stderr, "chameleon-serve: -failover-auto needs -replica-of (only a follower can fail over)")
 		os.Exit(2)
 	}
 
@@ -123,21 +134,37 @@ func main() {
 
 	var node *repl.Node
 	if replOn {
-		di := ix.(*chameleon.DurableIndex) // replOn already excluded sharded layouts
-		node = repl.New(di, repl.Options{
+		ropts := repl.Options{
 			ReplicaOf:  *replicaOf,
 			SemiSync:   *semiSync,
 			AckTimeout: *ackTimeout,
 			Logf: func(format string, args ...any) {
 				fmt.Printf("chameleon-serve: "+format+"\n", args...)
 			},
-		})
+		}
+		switch ci := ix.(type) {
+		case *chameleon.ShardedIndex:
+			node = repl.NewSharded(ci, ropts)
+		case *chameleon.DurableIndex:
+			node = repl.New(ci, ropts)
+		}
 		role, epoch := node.Role()
 		if *replicaOf != "" {
-			layout = fmt.Sprintf("%s of %s, epoch %d", role, *replicaOf, epoch)
+			layout = fmt.Sprintf("%s (%s) of %s, epoch %d", role, layout, *replicaOf, epoch)
 		} else {
-			layout = fmt.Sprintf("%s, epoch %d", role, epoch)
+			layout = fmt.Sprintf("%s (%s), epoch %d", role, layout, epoch)
 		}
+	}
+	var det *failover.Detector
+	if *autoFailover {
+		det = failover.Start(node, failover.Options{
+			SuspectAfter:  *suspectAfter,
+			ProbeInterval: *probeEvery,
+			Probes:        *probeCount,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("chameleon-serve: "+format+"\n", args...)
+			},
+		})
 	}
 	srv := server.New(ix, server.Options{
 		MaxConns:    *maxConns,
@@ -176,6 +203,9 @@ func main() {
 				continue
 			}
 			fmt.Printf("chameleon-serve: %v — draining (budget %s)\n", sig, *drainTimeout)
+			if det != nil {
+				det.Stop()
+			}
 			if node != nil {
 				node.Close() // stop pulling/acking before the index goes away
 			}

@@ -261,6 +261,12 @@ type ReplHealth struct {
 	// be rebuilt; it will not heal.
 	Stalled  bool
 	Diverged bool
+
+	// ShardLags, on a sharded node, is the per-shard staleness vector: for a
+	// follower, each shard's upstream commit clock minus its local one; for a
+	// primary, each shard's ring head minus its acked cursor. Nil on
+	// unsharded nodes.
+	ShardLags []uint64
 }
 
 // State maps replication health onto the HealthState scale: divergence is as

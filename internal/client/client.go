@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chameleon"
 	"chameleon/internal/wire"
 )
 
@@ -113,6 +114,25 @@ type errConnBroken struct{ cause error }
 func (e *errConnBroken) Error() string { return fmt.Sprintf("client: connection broken: %v", e.cause) }
 func (e *errConnBroken) Unwrap() error { return e.cause }
 
+// IsConnBroken reports whether err is a pooled-connection transport failure —
+// the call's outcome is ambiguous (it may or may not have executed). The
+// failover pool treats it as "this server may be dead: re-resolve".
+func IsConnBroken(err error) bool {
+	var e *errConnBroken
+	return errors.As(err, &e)
+}
+
+// IsNotPrimary reports whether err is the server's typed not-primary
+// rejection. It is NOT retryable in place (the node will not become primary
+// by asking again — do() never retries it); the correct reaction is the
+// failover pool's: re-resolve which node is primary and re-issue there. The
+// rejection guarantees the mutation had no durable effect, so re-issuing is
+// always safe.
+func IsNotPrimary(err error) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) && re.Code == wire.ErrCodeNotPrimary
+}
+
 // Client is a pooled, pipelined connection to one server. Safe for
 // concurrent use by any number of goroutines.
 type Client struct {
@@ -132,6 +152,12 @@ type Client struct {
 	// lastSeq is the highest commit-sequence token observed on any reply: the
 	// client's read-your-writes watermark (see LastSeq).
 	lastSeq atomic.Uint64
+	// role/epoch are the server's replication role and fencing epoch as
+	// announced in the latest successful HELLO (zero when legacy or
+	// replication is off). A snapshot from negotiation time, not live state —
+	// the failover pool re-dials to refresh it.
+	role  atomic.Uint32
+	epoch atomic.Uint64
 
 	mu    sync.Mutex // guards pool slots during dial/redial
 	conns []*conn
@@ -216,8 +242,19 @@ func (c *Client) hello(cn *conn) error {
 	}
 	// Intersect defensively: a feature is on only when both sides claim it.
 	c.features.Store(res.Features & wire.LocalFeatures)
+	c.role.Store(uint32(res.Role))
+	c.epoch.Store(res.Epoch)
 	return nil
 }
+
+// ServerRole reports the server's replication role as of the latest HELLO
+// (RoleNone when legacy, negotiation is off, or replication is off).
+func (c *Client) ServerRole() chameleon.ReplRole {
+	return chameleon.ReplRole(c.role.Load())
+}
+
+// ServerEpoch reports the server's fencing epoch as of the latest HELLO.
+func (c *Client) ServerEpoch() uint64 { return c.epoch.Load() }
 
 // Features reports the server-granted feature bits from negotiation (0 when
 // the server is legacy or negotiation is disabled).

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -19,6 +20,21 @@ type fakeServer struct {
 	ln       net.Listener
 	requests atomic.Uint64
 	handle   func(*wire.Request) *wire.Response
+
+	connMu sync.Mutex
+	conns  []net.Conn
+}
+
+// kill closes the listener and every accepted connection — the whole server
+// drops off the network, as a crashed process would.
+func (fs *fakeServer) kill() {
+	fs.ln.Close() //nolint:errcheck
+	fs.connMu.Lock()
+	defer fs.connMu.Unlock()
+	for _, nc := range fs.conns {
+		nc.Close() //nolint:errcheck
+	}
+	fs.conns = nil
 }
 
 func newFakeServer(t *testing.T, handle func(*wire.Request) *wire.Response) *fakeServer {
@@ -34,6 +50,9 @@ func newFakeServer(t *testing.T, handle func(*wire.Request) *wire.Response) *fak
 			if err != nil {
 				return
 			}
+			fs.connMu.Lock()
+			fs.conns = append(fs.conns, nc)
+			fs.connMu.Unlock()
 			go fs.serveConn(nc)
 		}
 	}()

@@ -1,0 +1,293 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/wire"
+)
+
+// ErrNoPrimary is returned when a resolve sweep found no reachable node
+// claiming the primary role (and retries were exhausted).
+var ErrNoPrimary = errors.New("client: no reachable primary in the pool")
+
+// FailoverOptions tunes a FailoverClient. Addrs is required.
+type FailoverOptions struct {
+	// Addrs is the candidate pool: every node that might be (or become) the
+	// primary. Order is irrelevant; the resolve sweep dials them all.
+	Addrs []string
+	// Client tunes the per-node connection (pool size, pipeline, timeouts).
+	Client Options
+	// MaxResolves bounds how many resolve sweeps one operation may burn
+	// through before giving up (default 8). Each failed sweep sleeps a
+	// full-jitter backoff, so the worst-case stall is roughly the sum of the
+	// backoff windows — bounded, never an infinite hang.
+	MaxResolves int
+	// BackoffMin/BackoffMax bound the full-jitter sleep between resolve
+	// sweeps (defaults 25ms and 1s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Logf, when set, receives failover lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+func (o FailoverOptions) withDefaults() FailoverOptions {
+	if o.MaxResolves <= 0 {
+		o.MaxResolves = 8
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 25 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// FailoverClient is a client over a pool of replica addresses that follows
+// the primary role around: operations run against the node it currently
+// believes is primary, and two signals trigger a re-resolve — the typed
+// not-primary rejection (the node was deposed or never was primary; the
+// write had no durable effect, so re-issuing is safe) and a broken
+// connection (the node may be dead; chameleon's mutations are idempotent
+// upserts/deletes, so re-issuing an ambiguous-fate write on the new primary
+// is also safe — at worst it re-applies a write that already landed).
+//
+// A resolve sweep dials every address, reads each node's role and epoch from
+// HELLO, and adopts the primary with the HIGHEST epoch: during a failover
+// window an unfenced old primary and the freshly promoted one can both claim
+// the role, and the epoch ordering is exactly what disambiguates them.
+//
+// The commit-sequence watermark (LastSeq) is pool-level: it survives primary
+// switches, so read-your-writes via GetAtLeast keeps working across a
+// failover. Safe for concurrent use.
+type FailoverClient struct {
+	opts FailoverOptions
+
+	lastSeq   atomic.Uint64
+	failovers atomic.Uint64
+	closed    atomic.Bool
+
+	mu      sync.Mutex
+	cur     *Client
+	curAddr string
+}
+
+// DialPool builds a FailoverClient and resolves the initial primary.
+func DialPool(opts FailoverOptions) (*FailoverClient, error) {
+	if len(opts.Addrs) == 0 {
+		return nil, errors.New("client: failover pool needs at least one address")
+	}
+	f := &FailoverClient{opts: opts.withDefaults()}
+	ctx, cancel := context.WithTimeout(context.Background(), f.opts.Client.withDefaults().DialTimeout*time.Duration(len(opts.Addrs)))
+	defer cancel()
+	if _, err := f.primary(ctx); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Primary reports the address currently believed to host the primary ("" if
+// unresolved).
+func (f *FailoverClient) Primary() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.curAddr
+}
+
+// Failovers counts how many times the pool switched primaries (including
+// re-resolves that landed on the same address after a reconnect).
+func (f *FailoverClient) Failovers() uint64 { return f.failovers.Load() }
+
+// LastSeq is the pool-level read-your-writes watermark: the highest commit
+// sequence observed on any reply from any primary this pool has used.
+func (f *FailoverClient) LastSeq() uint64 { return f.lastSeq.Load() }
+
+func (f *FailoverClient) noteSeq(seq uint64) {
+	for {
+		cur := f.lastSeq.Load()
+		if seq <= cur || f.lastSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// primary returns the cached primary connection, resolving one if absent.
+func (f *FailoverClient) primary(ctx context.Context) (*Client, error) {
+	if f.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if f.cur != nil {
+		return f.cur, nil
+	}
+	c, addr, err := f.resolveLocked(ctx)
+	if err != nil {
+		return nil, err
+	}
+	f.cur, f.curAddr = c, addr
+	f.failovers.Add(1)
+	f.opts.Logf("client: primary resolved to %s (epoch %d)", addr, c.ServerEpoch())
+	return c, nil
+}
+
+// resolveLocked sweeps the pool once: dial everything, keep the
+// highest-epoch node claiming primary, close the rest.
+func (f *FailoverClient) resolveLocked(ctx context.Context) (*Client, string, error) {
+	var best *Client
+	var bestAddr string
+	var lastErr error
+	for _, addr := range f.opts.Addrs {
+		if ctx.Err() != nil {
+			break
+		}
+		c, err := Dial(addr, f.opts.Client)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if c.ServerRole() == chameleon.RolePrimary &&
+			(best == nil || c.ServerEpoch() > best.ServerEpoch()) {
+			if best != nil {
+				best.Close() //nolint:errcheck
+			}
+			best, bestAddr = c, addr
+			continue
+		}
+		c.Close() //nolint:errcheck
+	}
+	if best == nil {
+		if lastErr != nil {
+			return nil, "", fmt.Errorf("%w (last dial error: %v)", ErrNoPrimary, lastErr)
+		}
+		return nil, "", ErrNoPrimary
+	}
+	return best, bestAddr, nil
+}
+
+// invalidate drops the cached primary if it is still the one the caller
+// failed against (a concurrent caller may already have re-resolved).
+func (f *FailoverClient) invalidate(c *Client) {
+	if c == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.cur == c {
+		f.cur, f.curAddr = nil, ""
+		f.mu.Unlock()
+		c.Close() //nolint:errcheck
+		return
+	}
+	f.mu.Unlock()
+}
+
+// needsFailover classifies an operation error: true means "the node I talked
+// to is not (or no longer) the primary, or may be dead — find the real one".
+func needsFailover(err error) bool {
+	return IsNotPrimary(err) || IsConnBroken(err)
+}
+
+// withPrimary runs op against the current primary, re-resolving (with
+// bounded full-jitter backoff) on not-primary and broken-connection errors.
+// Every other error — typed rejections, context expiry — returns unchanged:
+// those are answers, not topology changes.
+func (f *FailoverClient) withPrimary(ctx context.Context, op func(c *Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt < f.opts.MaxResolves; attempt++ {
+		if attempt > 0 {
+			window := f.opts.BackoffMax
+			// Cap the shift: past ~30 doublings the window is pinned at max
+			// anyway, and an unchecked shift would overflow negative.
+			if shift := attempt - 1; shift < 30 {
+				if w := f.opts.BackoffMin << uint(shift); w > 0 && w < window {
+					window = w
+				}
+			}
+			t := time.NewTimer(time.Duration(rand.Int64N(int64(window) + 1)))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("%w (last failover error: %v)", ctx.Err(), lastErr)
+			}
+		}
+		c, err := f.primary(ctx)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) || ctx.Err() != nil {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		err = op(c)
+		if err == nil {
+			f.noteSeq(c.LastSeq())
+			return nil
+		}
+		if !needsFailover(err) {
+			return err
+		}
+		lastErr = err
+		f.opts.Logf("client: primary %s rejected/broke (%v); re-resolving", f.Primary(), err)
+		f.invalidate(c)
+	}
+	return fmt.Errorf("client: failover attempts exhausted: %w", lastErr)
+}
+
+// Get looks up key on the current primary.
+func (f *FailoverClient) Get(ctx context.Context, key uint64) (val uint64, found bool, err error) {
+	err = f.withPrimary(ctx, func(c *Client) error {
+		val, found, err = c.Get(ctx, key)
+		return err
+	})
+	return val, found, err
+}
+
+// Insert adds key→val on the current primary, following the role across
+// failovers. A nil return means the write is durable on a node that was
+// primary when it acked.
+func (f *FailoverClient) Insert(ctx context.Context, key, val uint64) error {
+	return f.withPrimary(ctx, func(c *Client) error { return c.Insert(ctx, key, val) })
+}
+
+// Delete removes key on the current primary, with Insert's contract.
+func (f *FailoverClient) Delete(ctx context.Context, key uint64) error {
+	return f.withPrimary(ctx, func(c *Client) error { return c.Delete(ctx, key) })
+}
+
+// Range scans [lo, hi] on the current primary.
+func (f *FailoverClient) Range(ctx context.Context, lo, hi uint64, limit int) (pairs []wire.Pair, more bool, err error) {
+	err = f.withPrimary(ctx, func(c *Client) error {
+		pairs, more, err = c.Range(ctx, lo, hi, limit)
+		return err
+	})
+	return pairs, more, err
+}
+
+// Close tears down the pool's current connection.
+func (f *FailoverClient) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	f.mu.Lock()
+	c := f.cur
+	f.cur, f.curAddr = nil, ""
+	f.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}

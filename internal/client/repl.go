@@ -30,6 +30,14 @@ type PullResult struct {
 	Epoch          uint64
 	SnapshotNeeded bool
 	Recs           []wal.Record
+
+	// Shard-pull extras (ReplShardPull only). Gen is the primary's shard
+	// manifest generation; when ManifestChanged is set the caller's view of
+	// the layout is stale and Bounds carries the primary's boundary array
+	// (possibly nil for a single-shard layout).
+	Gen             uint64
+	Bounds          []uint64
+	ManifestChanged bool
 }
 
 // SnapChunk is one REPL_SNAP answer: Data covers [Offset, Offset+len(Data))
@@ -91,6 +99,52 @@ func (c *Client) ReplPull(ctx context.Context, fromSeq uint64, max int, wait tim
 // Offset+len(Data) == Total.
 func (c *Client) ReplSnap(ctx context.Context, snapID, offset uint64) (SnapChunk, error) {
 	res, err := c.do(ctx, &wire.Request{Op: wire.OpReplSnap, SnapID: snapID, Seq: offset})
+	if err != nil {
+		return SnapChunk{}, err
+	}
+	return SnapChunk{
+		SnapID:  res.SnapID,
+		AsOfSeq: res.AsOfSeq,
+		Offset:  res.Offset,
+		Total:   res.Total,
+		Data:    res.Snap,
+	}, nil
+}
+
+// ReplShardPull is ReplPull against one shard's replication stream of a
+// sharded server (REPL_SHARD_PULL, FeatShardRepl). gen is the caller's view
+// of the shard manifest generation; pass 0 to force the reply to carry the
+// current generation and boundary array (ManifestChanged set).
+func (c *Client) ReplShardPull(ctx context.Context, shard int, fromSeq uint64, max int, wait time.Duration, epoch, gen uint64) (PullResult, error) {
+	if max < 0 {
+		max = 0
+	}
+	lim := uint32(math.MaxUint32)
+	if uint64(max) <= math.MaxUint32 {
+		lim = uint32(max)
+	}
+	res, err := c.do(ctx, &wire.Request{Op: wire.OpReplShardPull, Shard: uint32(shard),
+		Seq: fromSeq, Limit: lim, WaitMS: clampMS(wait), Epoch: epoch, Gen: gen})
+	if err != nil {
+		return PullResult{}, err
+	}
+	return PullResult{
+		FirstSeq:        res.FirstSeq,
+		UpstreamSeq:     res.UpstreamSeq,
+		Epoch:           res.Epoch,
+		SnapshotNeeded:  res.SnapshotNeeded,
+		Recs:            res.Recs,
+		Gen:             res.Gen,
+		Bounds:          res.Bounds,
+		ManifestChanged: res.ManifestChanged,
+	}, nil
+}
+
+// ReplShardSnap is ReplSnap against one shard's snapshot stream of a sharded
+// server (REPL_SHARD_SNAP, FeatShardRepl).
+func (c *Client) ReplShardSnap(ctx context.Context, shard int, snapID, offset uint64) (SnapChunk, error) {
+	res, err := c.do(ctx, &wire.Request{Op: wire.OpReplShardSnap, Shard: uint32(shard),
+		SnapID: snapID, Seq: offset})
 	if err != nil {
 		return SnapChunk{}, err
 	}

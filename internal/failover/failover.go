@@ -1,0 +1,221 @@
+// Package failover is the operator-free promotion path: a Detector runs
+// beside every follower's replication node, watches the primary, and
+// promotes the follower when the primary is dead — no SIGUSR1, no human in
+// the loop.
+//
+// Deciding "dead" is the whole problem, and the detector is deliberately
+// conservative, requiring BOTH signals before acting:
+//
+//  1. The replication pull has stalled: the node's last-progress clock is
+//     older than SuspectAfter. A healthy-but-quiet primary still answers
+//     long-polls (empty pulls count as progress), so a stall means the link
+//     is not delivering — but says nothing about whose fault that is.
+//  2. Direct probes of the primary fail Probes consecutive times: the
+//     detector dials a fresh connection and PINGs on every probe interval
+//     while suspicion lasts. One successful probe resets the count —
+//     hysteresis, so a flapping link must stay bad for the full window
+//     rather than accumulate old grudges.
+//
+// Requiring both keeps the failure modes honest: a stalled pull with a
+// reachable primary (slow disk, paused retrainer, an asymmetric partition
+// that breaks only the pull path) does NOT promote — a live primary with a
+// lagging follower must never gain a second primary, because a promotion the
+// old primary never learns about is a split brain. A reachable-but-deposed
+// primary is the failover client's problem, not the detector's.
+//
+// When the verdict is death, the sequence is catch-up-then-fence: the pull
+// loop has been draining the primary the whole time (by declaration time
+// there is nothing left to pull from a dead peer), the detector best-effort
+// delivers a REPL_FENCE at the epoch it is about to claim (shortening the
+// split-brain window if the primary is actually alive-but-unpullable), then
+// promotes the local node — which persists the new epoch durably BEFORE
+// accepting the first write, and repeats the fence itself. Correctness never
+// rests on the fence RPCs landing: epochs carried on every pull and probe
+// fence a resurrected primary the moment any newer-epoch peer talks to it.
+package failover
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/client"
+	"chameleon/internal/repl"
+)
+
+// Options tunes a Detector. The zero value works for a node with default
+// replication options.
+type Options struct {
+	// Upstream is the primary address to probe; defaults to the node's own
+	// replica-of address.
+	Upstream string
+	// SuspectAfter is how stale the node's pull-progress clock must be
+	// before the detector starts counting probe failures (default 2s). Keep
+	// it well above the pull long-poll interval, or a healthy idle link
+	// looks suspicious.
+	SuspectAfter time.Duration
+	// ProbeInterval is the detector's tick (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one dial+PING probe (default ProbeInterval).
+	ProbeTimeout time.Duration
+	// Probes is how many consecutive failed probes (while stalled) declare
+	// the primary dead (default 3). With the defaults, failover triggers
+	// roughly SuspectAfter + Probes×ProbeInterval ≈ 3.5s after the primary
+	// stops answering.
+	Probes int
+	// Dial overrides how probes reach the primary (tests).
+	Dial func(addr string) (*client.Client, error)
+	// OnPromoted, when set, is called after a successful automatic promotion
+	// with the new epoch, how long the primary had been silent when death
+	// was declared, and how long the promotion itself took.
+	OnPromoted func(epoch uint64, silence, promote time.Duration)
+	// Logf, when set, receives detector lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults(node *repl.Node) Options {
+	if o.Upstream == "" {
+		o.Upstream = node.Upstream()
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 2 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.ProbeInterval
+	}
+	if o.Probes <= 0 {
+		o.Probes = 3
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string) (*client.Client, error) {
+			return client.Dial(addr, client.Options{Conns: 1, DialTimeout: o.ProbeTimeout})
+		}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Detector watches one follower's primary and promotes on death. Create
+// with Start, dispose with Stop.
+type Detector struct {
+	node       *repl.Node
+	opts       Options
+	cancel     context.CancelFunc
+	done       chan struct{}
+	promotions atomic.Uint64
+}
+
+// Start begins watching. The detector retires on its own after promoting,
+// after the node leaves the follower role by other means, or after the node
+// diverges (a diverged follower must never become primary: its history is
+// not a prefix of the true one).
+func Start(node *repl.Node, opts Options) *Detector {
+	d := &Detector{node: node, opts: opts.withDefaults(node)}
+	ctx, cancel := context.WithCancel(context.Background())
+	d.cancel = cancel
+	d.done = make(chan struct{})
+	go d.run(ctx)
+	return d
+}
+
+// Promotions reports how many automatic promotions this detector performed
+// (0 or 1; the detector retires after one).
+func (d *Detector) Promotions() uint64 { return d.promotions.Load() }
+
+// Stop halts the detector and waits for its loop to exit.
+func (d *Detector) Stop() {
+	d.cancel()
+	<-d.done
+}
+
+func (d *Detector) run(ctx context.Context) {
+	defer close(d.done)
+	fails := 0
+	tick := time.NewTicker(d.opts.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if role, _ := d.node.Role(); role != chameleon.RoleFollower {
+			d.opts.Logf("failover: node is %v, detector retiring", role)
+			return
+		}
+		if d.node.Health().Diverged {
+			d.opts.Logf("failover: node diverged; never promoting — detector retiring")
+			return
+		}
+		silence := time.Since(d.node.LastProgress())
+		if silence < d.opts.SuspectAfter {
+			fails = 0
+			continue
+		}
+		if d.probe(ctx) {
+			// The primary answers even though the pull is stalled: whatever is
+			// wrong (slow pulls, an asymmetric partition), it is not a dead
+			// primary, and promoting beside a live one is a split brain.
+			fails = 0
+			continue
+		}
+		fails++
+		d.opts.Logf("failover: primary %s silent %v, probe %d/%d failed",
+			d.opts.Upstream, silence.Round(time.Millisecond), fails, d.opts.Probes)
+		if fails < d.opts.Probes {
+			continue
+		}
+		d.failover(ctx, silence)
+		return
+	}
+}
+
+// probe dials the primary fresh and PINGs it; true means alive. A fresh
+// connection per probe, deliberately: a cached one could be the single
+// broken path while the server is fine.
+func (d *Detector) probe(ctx context.Context) bool {
+	c, err := d.opts.Dial(d.opts.Upstream)
+	if err != nil {
+		return false
+	}
+	defer c.Close() //nolint:errcheck
+	pctx, cancel := context.WithTimeout(ctx, d.opts.ProbeTimeout)
+	defer cancel()
+	return c.Ping(pctx) == nil
+}
+
+// failover runs the catch-up-then-fence sequence. Catch-up is already done:
+// the pull loop drained the primary until it died. The pre-promotion fence
+// is best-effort and expected to fail against a dead peer.
+func (d *Detector) failover(ctx context.Context, silence time.Duration) {
+	_, epoch := d.node.Role()
+	d.opts.Logf("failover: declaring primary %s dead (silent %v); fencing and promoting",
+		d.opts.Upstream, silence.Round(time.Millisecond))
+	if c, err := d.opts.Dial(d.opts.Upstream); err == nil {
+		fctx, cancel := context.WithTimeout(ctx, d.opts.ProbeTimeout)
+		c.Fence(fctx, epoch+1) //nolint:errcheck
+		cancel()
+		c.Close() //nolint:errcheck
+	}
+	start := time.Now()
+	newEpoch, err := d.node.Promote()
+	if err != nil {
+		// Lost a race (another path promoted/fenced the node) or divergence
+		// surfaced at the last moment; either way this detector is done.
+		d.opts.Logf("failover: promotion failed: %v", err)
+		return
+	}
+	took := time.Since(start)
+	d.promotions.Add(1)
+	d.opts.Logf("failover: promoted to primary at epoch %d (silence %v, promotion %v)",
+		newEpoch, silence.Round(time.Millisecond), took.Round(time.Millisecond))
+	if d.opts.OnPromoted != nil {
+		d.opts.OnPromoted(newEpoch, silence, took)
+	}
+}

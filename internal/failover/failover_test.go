@@ -1,0 +1,210 @@
+package failover_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/client"
+	"chameleon/internal/failover"
+	"chameleon/internal/netfault"
+	"chameleon/internal/repl"
+	"chameleon/internal/server"
+)
+
+func openIx(t *testing.T) *chameleon.DurableIndex {
+	t.Helper()
+	d, err := chameleon.OpenDir(t.TempDir(), chameleon.DirOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() }) //nolint:errcheck
+	return d
+}
+
+func startServer(t *testing.T, ix server.Index, sopts server.Options) *server.Server {
+	t.Helper()
+	s := server.New(ix, sopts)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve() //nolint:errcheck
+	t.Cleanup(func() { s.Close() }) //nolint:errcheck
+	return s
+}
+
+// pair is a primary and a follower replicating from it through a netfault
+// proxy, so tests can kill the link (and the primary) on demand.
+type pair struct {
+	primaryIx, followerIx     *chameleon.DurableIndex
+	primaryNode, followerNode *repl.Node
+	primary, follower         *server.Server
+	proxy                     *netfault.Proxy
+}
+
+func startPair(t *testing.T) *pair {
+	t.Helper()
+	p := &pair{}
+	p.primaryIx = openIx(t)
+	p.primaryNode = repl.New(p.primaryIx, repl.Options{})
+	t.Cleanup(p.primaryNode.Close)
+	p.primary = startServer(t, p.primaryIx, server.Options{Repl: p.primaryNode})
+
+	proxy, err := netfault.New(p.primary.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.proxy = proxy
+	t.Cleanup(proxy.Close)
+
+	p.followerIx = openIx(t)
+	p.followerNode = repl.New(p.followerIx, repl.Options{
+		ReplicaOf:    proxy.Addr(),
+		PullWait:     50 * time.Millisecond,
+		ReconnectMin: 10 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+	})
+	t.Cleanup(p.followerNode.Close)
+	p.follower = startServer(t, p.followerIx, server.Options{Repl: p.followerNode})
+	return p
+}
+
+// fastOpts is a detector tuned for test time scales; probes go through the
+// proxy so a partition kills both the pull path and the probe path.
+func fastOpts(p *pair) failover.Options {
+	return failover.Options{
+		Upstream:      p.proxy.Addr(),
+		SuspectAfter:  200 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+		Probes:        3,
+	}
+}
+
+// TestDetectorPromotesOnDeadPrimary: partition the primary away; the
+// detector must declare death, promote the follower (epoch 2), and open it
+// for writes — and every write acked by the primary before the partition
+// must read back on the new primary.
+func TestDetectorPromotesOnDeadPrimary(t *testing.T) {
+	p := startPair(t)
+	ctx := context.Background()
+	pc, err := client.Dial(p.primary.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close() //nolint:errcheck
+
+	const n = 100
+	for k := uint64(1); k <= n; k++ {
+		if err := pc.Insert(ctx, k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.followerIx.CommitSeq() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at %d", p.followerIx.CommitSeq())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	promoted := make(chan uint64, 1)
+	opts := fastOpts(p)
+	opts.OnPromoted = func(epoch uint64, _, _ time.Duration) { promoted <- epoch }
+	d := failover.Start(p.followerNode, opts)
+	defer d.Stop()
+
+	p.proxy.Partition(true)
+	select {
+	case epoch := <-promoted:
+		if epoch != 2 {
+			t.Fatalf("promoted at epoch %d, want 2", epoch)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("detector never promoted a partitioned-away follower")
+	}
+	if d.Promotions() != 1 {
+		t.Fatalf("promotions = %d", d.Promotions())
+	}
+	if role, epoch := p.followerNode.Role(); role != chameleon.RolePrimary || epoch != 2 {
+		t.Fatalf("post-failover role %v epoch %d", role, epoch)
+	}
+
+	// The promoted node serves every pre-partition write and accepts new ones.
+	for _, k := range []uint64{1, n / 2, n} {
+		if v, ok := p.followerIx.Lookup(k); !ok || v != k*3 {
+			t.Fatalf("acked write %d lost across auto-failover (%d, %v)", k, v, ok)
+		}
+	}
+	fc, err := client.Dial(p.follower.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close() //nolint:errcheck
+	if err := fc.Insert(ctx, 9999, 1); err != nil {
+		t.Fatalf("write on auto-promoted node: %v", err)
+	}
+
+	// Heal the partition: the first fence to reach the deposed primary must
+	// shut its writes down.
+	p.proxy.Partition(false)
+	if _, role := p.primaryNode.Fence(2); role != chameleon.RoleFenced {
+		t.Fatalf("deposed primary role %v, want fenced", role)
+	}
+	if err := pc.Insert(ctx, 10000, 1); !errors.Is(err, chameleon.ErrNotPrimary) {
+		t.Fatalf("write on deposed primary: %v, want ErrNotPrimary", err)
+	}
+}
+
+// TestDetectorHoldsWhilePrimaryAlive: a reachable primary must never be
+// failed over, even when the detector's thresholds are tight enough that an
+// idle pull link flirts with the stall clock.
+func TestDetectorHoldsWhilePrimaryAlive(t *testing.T) {
+	p := startPair(t)
+	d := failover.Start(p.followerNode, fastOpts(p))
+	defer d.Stop()
+
+	time.Sleep(time.Second) // many multiples of SuspectAfter + probe window
+	if n := d.Promotions(); n != 0 {
+		t.Fatalf("detector promoted %d times beside a live primary", n)
+	}
+	if role, _ := p.followerNode.Role(); role != chameleon.RoleFollower {
+		t.Fatalf("follower role %v", role)
+	}
+}
+
+// TestDetectorHoldsOnAsymmetricStall: the pull path is stalled (partition at
+// the proxy) but the primary itself still answers probes on its real
+// address. Promotion would be a split brain; the detector must hold.
+func TestDetectorHoldsOnAsymmetricStall(t *testing.T) {
+	p := startPair(t)
+	opts := fastOpts(p)
+	opts.Upstream = p.primary.Addr().String() // probe the real server, not the proxy
+	d := failover.Start(p.followerNode, opts)
+	defer d.Stop()
+
+	p.proxy.Partition(true) // pull stalls; the primary is alive and probeable
+	time.Sleep(time.Second)
+	if n := d.Promotions(); n != 0 {
+		t.Fatalf("detector promoted %d times while the primary answered probes", n)
+	}
+	if role, _ := p.followerNode.Role(); role != chameleon.RoleFollower {
+		t.Fatalf("follower role %v", role)
+	}
+}
+
+// TestDetectorRetiresOffFollower: once the node is promoted by other means,
+// the detector notices and retires instead of double-promoting.
+func TestDetectorRetiresOffFollower(t *testing.T) {
+	p := startPair(t)
+	d := failover.Start(p.followerNode, fastOpts(p))
+	defer d.Stop()
+	if _, err := p.followerNode.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Second) // give a buggy detector ample time to misfire
+	if n := d.Promotions(); n != 0 {
+		t.Fatalf("detector promoted %d times on a manually promoted node", n)
+	}
+}

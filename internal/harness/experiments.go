@@ -37,6 +37,7 @@ var Experiments = []struct {
 	{"serve", "remote serving over TCP: conns × pipeline-depth closed-loop sweep (emits BENCH_serve.json)", Serve},
 	{"shard", "range-partitioned shards: insert and mixed throughput vs shard count (emits BENCH_shard.json)", Shard},
 	{"repl", "primary/follower replication: ack latency, lag, read-your-writes, failover time (emits BENCH_repl.json)", Repl},
+	{"failover", "automatic failover: crash the primary, detector promotes, pool client follows (emits BENCH_failover.json)", Failover},
 	{"read", "optimistic vs locked vs raw-map lookup percentiles, plus depth-16 pipelined remote GETs (emits BENCH_read.json)", Read},
 }
 

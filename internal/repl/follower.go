@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"slices"
 	"time"
 
 	"chameleon"
@@ -24,18 +26,35 @@ func fatalf(format string, args ...any) error {
 	return &errFatal{err: fmt.Errorf(format, args...)}
 }
 
+// errManifest signals a shard pull observed a layout the follower does not
+// hold: the sync loop adopts it and re-bootstraps every shard. Not a
+// failure — a coordination signal that unwinds the per-shard pullers.
+type errManifest struct {
+	gen    uint64
+	bounds []uint64
+}
+
+func (e *errManifest) Error() string {
+	return fmt.Sprintf("repl: upstream shard layout changed (gen %d)", e.gen)
+}
+
 // runFollower is the follower's life: dial upstream, pull until the link or
 // the protocol fails, reconnect with jittered bounded backoff — forever,
 // until promoted, closed, or diverged.
-func (n *Node) runFollower(ctx context.Context) {
-	defer close(n.done)
+func (n *Node) runFollower(ctx context.Context, done chan struct{}) {
+	defer close(done) // passed in: Promote/Close nil the field before waiting on it
+
 	backoff := n.opts.ReconnectMin
 	for ctx.Err() == nil {
 		c, err := n.opts.Dial(n.opts.ReplicaOf)
 		if err == nil {
 			n.connected.Store(true)
 			n.opts.Logf("repl: following %s", n.opts.ReplicaOf)
-			err = n.pullLoop(ctx, c)
+			if n.sharded {
+				err = n.shardSyncLoop(ctx, c)
+			} else {
+				err = n.pullLoop(ctx, c)
+			}
 			c.Close() //nolint:errcheck
 			n.connected.Store(false)
 		}
@@ -70,9 +89,28 @@ func (n *Node) runFollower(ctx context.Context) {
 	}
 }
 
-// pullLoop drives one connection: pull, validate, apply, repeat. A nil
-// return means the context ended; a plain error means reconnect; an errFatal
-// means divergence fail-stop.
+// adoptEpoch validates and adopts a pulled epoch (grow-only), persisting an
+// advance durably before any record at that epoch is applied.
+func (n *Node) adoptEpoch(peer uint64) error {
+	n.mu.Lock()
+	if peer < n.epoch {
+		e := n.epoch
+		n.mu.Unlock()
+		return fatalf("upstream epoch regressed %d -> %d", e, peer)
+	}
+	changed := peer > n.epoch
+	n.epoch = peer
+	fenced := n.role == chameleon.RoleFenced
+	n.mu.Unlock()
+	if changed {
+		n.persistRepl(peer, fenced)
+	}
+	return nil
+}
+
+// pullLoop drives one connection for an unsharded follower: pull, validate,
+// apply, repeat. A nil return means the context ended; a plain error means
+// reconnect; an errFatal means divergence fail-stop.
 func (n *Node) pullLoop(ctx context.Context, c replClient) error {
 	healthy := false
 	for ctx.Err() == nil {
@@ -94,14 +132,9 @@ func (n *Node) pullLoop(ctx context.Context, c replClient) error {
 		// The upstream's epoch may only grow (a new primary was promoted and
 		// the old address now hosts it, or fencing advanced it); a regression
 		// means the address is answered by something with amnesia.
-		n.mu.Lock()
-		if pr.Epoch < n.epoch {
-			e := n.epoch
-			n.mu.Unlock()
-			return fatalf("upstream epoch regressed %d -> %d", e, pr.Epoch)
+		if err := n.adoptEpoch(pr.Epoch); err != nil {
+			return err
 		}
-		n.epoch = pr.Epoch
-		n.mu.Unlock()
 
 		// The upstream's commit clock may only grow, and must never be
 		// behind ours: either means committed history vanished upstream.
@@ -121,7 +154,7 @@ func (n *Node) pullLoop(ctx context.Context, c replClient) error {
 			continue
 		}
 		if len(pr.Recs) > 0 {
-			if err := n.ix.ReplicateBatch(pr.FirstSeq, pr.Recs); err != nil {
+			if err := n.ix.ReplicateShardBatch(0, pr.FirstSeq, pr.Recs); err != nil {
 				if errors.Is(err, chameleon.ErrReplDivergence) || errors.Is(err, wal.ErrSeqGap) {
 					return fatalf("replicated batch at seq %d: %w", pr.FirstSeq, err)
 				}
@@ -146,16 +179,176 @@ type replClient interface {
 	ReplSnap(ctx context.Context, snapID, offset uint64) (client.SnapChunk, error)
 }
 
+// shardReplClient is replClient's sharded sibling: per-shard pulls carrying
+// the manifest generation, per-shard snapshot streams.
+type shardReplClient interface {
+	ReplShardPull(ctx context.Context, shard int, fromSeq uint64, max int, wait time.Duration, epoch, gen uint64) (client.PullResult, error)
+	ReplShardSnap(ctx context.Context, shard int, snapID, offset uint64) (client.SnapChunk, error)
+}
+
+// shardSyncLoop drives one connection for a sharded follower: one pull loop
+// per shard over the pipelined connection, plus manifest coordination. When
+// any puller observes a layout change (errManifest), all pullers unwind, the
+// follower adopts the new boundary array, re-bootstraps every shard (an
+// upstream re-shard rewrote contents without advancing clocks — the streams
+// alone cannot express it), and the pullers restart. The very first round
+// pulls with gen 0 so the upstream always answers with its layout: a freshly
+// initialized follower's generation can collide with the primary's while the
+// boundary arrays differ.
+func (n *Node) shardSyncLoop(ctx context.Context, c shardReplClient) error {
+	forceManifest := true
+	for ctx.Err() == nil {
+		sctx, cancel := context.WithCancel(ctx)
+		errc := make(chan error, len(n.streams))
+		for i := range n.streams {
+			go func(i int, force bool) {
+				errc <- n.shardPullLoop(sctx, c, i, force)
+			}(i, forceManifest && i == 0)
+		}
+		var first error
+		for range n.streams {
+			if e := <-errc; e != nil && first == nil {
+				first = e
+				cancel()
+			}
+		}
+		cancel()
+		if ctx.Err() != nil {
+			return nil
+		}
+		forceManifest = false
+		var mc *errManifest
+		if errors.As(first, &mc) {
+			if err := n.adoptLayout(ctx, c, mc); err != nil {
+				return err
+			}
+			continue
+		}
+		return first
+	}
+	return nil
+}
+
+// shardPullLoop replicates one shard's stream: pull, validate, apply,
+// repeat, mirroring pullLoop's checks per shard. Returns errManifest when
+// the upstream's layout view differs from the local one.
+func (n *Node) shardPullLoop(ctx context.Context, c shardReplClient, shard int, forceManifest bool) error {
+	st := n.streams[shard]
+	healthy := false
+	for ctx.Err() == nil {
+		n.mu.Lock()
+		epoch := n.epoch
+		n.mu.Unlock()
+		gen := n.ix.ManifestGen()
+		peerGen := gen
+		if forceManifest {
+			peerGen = 0
+		}
+		from := n.ix.ShardCommitSeq(shard) + 1
+		pctx, cancel := context.WithTimeout(ctx, n.opts.PullWait+5*time.Second)
+		pr, err := c.ReplShardPull(pctx, shard, from, n.opts.PullMax, n.opts.PullWait, epoch, peerGen)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		forceManifest = false
+		n.lastProgress.Store(time.Now().UnixNano())
+
+		if err := n.adoptEpoch(pr.Epoch); err != nil {
+			return err
+		}
+
+		if pr.ManifestChanged && (pr.Gen != gen || !slices.Equal(pr.Bounds, n.ix.Bounds())) {
+			return &errManifest{gen: pr.Gen, bounds: pr.Bounds}
+		}
+
+		if prev := st.upstream.Load(); pr.UpstreamSeq < prev {
+			return fatalf("shard %d: upstream commit seq regressed %d -> %d", shard, prev, pr.UpstreamSeq)
+		}
+		if pr.UpstreamSeq < from-1 {
+			return fatalf("shard %d: upstream commit seq %d behind local %d: local history is not a prefix of upstream's", shard, pr.UpstreamSeq, from-1)
+		}
+		st.upstream.Store(pr.UpstreamSeq)
+
+		if pr.SnapshotNeeded {
+			if err := n.bootstrapShard(ctx, c, shard); err != nil {
+				return err
+			}
+			healthy = true
+			continue
+		}
+		if len(pr.Recs) > 0 {
+			if err := n.ix.ReplicateShardBatch(shard, pr.FirstSeq, pr.Recs); err != nil {
+				if errors.Is(err, chameleon.ErrReplDivergence) || errors.Is(err, wal.ErrSeqGap) {
+					return fatalf("shard %d: replicated batch at seq %d: %w", shard, pr.FirstSeq, err)
+				}
+				return err
+			}
+		}
+		if !healthy {
+			healthy = true
+			n.opts.Logf("repl: shard %d caught up to %s at seq %d (epoch %d)", shard, n.opts.ReplicaOf, pr.UpstreamSeq, pr.Epoch)
+		}
+	}
+	return nil
+}
+
+// adoptLayout installs an upstream shard layout and re-bootstraps every
+// shard from it. A shard-count mismatch is divergence-class: the processes
+// were configured with different -shards and no amount of retrying converges
+// them.
+func (n *Node) adoptLayout(ctx context.Context, c shardReplClient, mc *errManifest) error {
+	if len(mc.bounds) != len(n.streams)-1 {
+		return fatalf("upstream has %d shards, local node has %d: shard counts must match", len(mc.bounds)+1, len(n.streams))
+	}
+	n.opts.Logf("repl: adopting upstream shard layout gen %d; re-bootstrapping %d shards", mc.gen, len(n.streams))
+	if err := n.ix.AdoptManifest(mc.gen, mc.bounds); err != nil {
+		return fmt.Errorf("repl: adopting shard manifest gen %d: %w", mc.gen, err)
+	}
+	for i := range n.streams {
+		if err := n.bootstrapShard(ctx, c, i); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		// The old stream cursor is meaningless under the new layout.
+		n.streams[i].upstream.Store(n.ix.ShardCommitSeq(i))
+	}
+	return nil
+}
+
 // bootstrap streams a full snapshot from upstream and installs it, replacing
 // local state and jumping the commit clock to the snapshot's as-of sequence.
 func (n *Node) bootstrap(ctx context.Context, c replClient) error {
-	n.bootstraps.Add(1)
 	n.opts.Logf("repl: bootstrapping from snapshot (local seq %d)", n.ix.CommitSeq())
+	return n.bootstrapStream(ctx, 0,
+		func(ctx context.Context, id, offset uint64) (client.SnapChunk, error) {
+			return c.ReplSnap(ctx, id, offset)
+		})
+}
+
+// bootstrapShard is bootstrap for one shard of a sharded follower.
+func (n *Node) bootstrapShard(ctx context.Context, c shardReplClient, shard int) error {
+	n.opts.Logf("repl: bootstrapping shard %d from snapshot (local seq %d)", shard, n.ix.ShardCommitSeq(shard))
+	return n.bootstrapStream(ctx, shard,
+		func(ctx context.Context, id, offset uint64) (client.SnapChunk, error) {
+			return c.ReplShardSnap(ctx, shard, id, offset)
+		})
+}
+
+// bootstrapStream drives one snapshot stream to completion and installs it
+// into shard. fetch abstracts over the solo and sharded snapshot ops.
+func (n *Node) bootstrapStream(ctx context.Context, shard int, fetch func(ctx context.Context, id, offset uint64) (client.SnapChunk, error)) error {
+	n.bootstraps.Add(1)
 	var buf bytes.Buffer
 	var id, offset, asOf uint64
 	for {
 		cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
-		ch, err := c.ReplSnap(cctx, id, offset)
+		ch, err := fetch(cctx, id, offset)
 		cancel()
 		if err != nil {
 			return err // transport or expired stream: reconnect restarts fresh
@@ -178,13 +371,13 @@ func (n *Node) bootstrap(ctx context.Context, c replClient) error {
 			return fmt.Errorf("repl: empty snapshot chunk before total %d at offset %d", ch.Total, offset)
 		}
 	}
-	if err := n.ix.RestoreSnapshot(&buf, asOf); err != nil {
+	if err := n.ix.RestoreShardSnapshot(shard, io.Reader(&buf), asOf); err != nil {
 		// A corrupt stream fails validation with the index unchanged —
 		// retryable over a fresh connection. A poisoned/closed index is
 		// terminal and runFollower stops on it.
 		return fmt.Errorf("repl: installing snapshot: %w", err)
 	}
-	n.opts.Logf("repl: snapshot installed, commit seq %d", asOf)
+	n.opts.Logf("repl: snapshot installed, shard %d commit seq %d", shard, asOf)
 	return nil
 }
 

@@ -10,7 +10,7 @@
 //     surfaces chameleon.ErrReplicaLagging — the documented ambiguous-fate
 //     exception: the write IS durable locally but unconfirmed remotely).
 //   - Follower: a background loop pulls from the upstream address, applies
-//     batches through DurableIndex.ReplicateBatch (idempotent under
+//     batches through the index's ordered replay path (idempotent under
 //     re-delivery), bootstraps from a streamed snapshot when it is too far
 //     behind the ring, and reconnects with jittered backoff when the link
 //     fails. Any divergence — a sequence gap, an apply conflict, an upstream
@@ -22,13 +22,26 @@
 //     steps down and refuses writes (AllowWrites false → the server rejects
 //     with chameleon.ErrNotPrimary). Epochs, not timeouts, are the
 //     correctness mechanism; the best-effort fence RPC after promotion just
-//     shortens the window.
+//     shortens the window. Epoch and fencing verdict are persisted (the
+//     repl.meta sidecar) before they take effect, so a deposed primary that
+//     restarts stays fenced instead of resurrecting at a stale epoch.
+//
+// Sharded replication: a Node built with NewSharded drives one replication
+// stream per shard — per-shard rings on the primary, per-shard pull loops on
+// the follower — through the same state machine, with ONE role and ONE epoch
+// for the whole node (split-brain is a node-level property; shards fail over
+// together). The shard manifest travels the stream too: every shard-pull
+// reply carries the primary's layout generation, and a follower observing a
+// new generation adopts the boundary array and re-bootstraps every shard
+// (an upstream re-shard rewrote shard contents without advancing commit
+// clocks, so the per-shard streams alone cannot express it).
 //
 // Topology is a star (v1): followers replicate from one primary; chained
 // followers are not supported (a follower answers ServePull with
 // snapshot-needed only). Lock order: the index's internal lock is acquired
 // OUTSIDE Node.mu (the commit hook arrives holding it and takes Node.mu), so
-// Node methods must never call into the index while holding Node.mu.
+// Node methods must never call into the index while holding Node.mu — in
+// particular repl.meta persistence happens after Node.mu is released.
 package repl
 
 import (
@@ -36,6 +49,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
@@ -71,8 +85,8 @@ type Options struct {
 	// errors with chameleon.ErrReplicaLagging but remains locally durable.
 	AckTimeout time.Duration
 	// RingCap is how many committed records the primary retains for pull
-	// catch-up (default 65536); a follower further behind bootstraps from a
-	// snapshot.
+	// catch-up, per shard (default 65536); a follower further behind
+	// bootstraps from a snapshot.
 	RingCap int
 	// PullMax caps records per pull reply (default 4096).
 	PullMax int
@@ -83,7 +97,8 @@ type Options struct {
 	SnapChunk int
 	// StallAfter is the health threshold: a primary with unacked semi-sync
 	// commits and no pull for this long, or a follower with no successful
-	// pull for this long, reports Stalled (default 5s).
+	// pull for this long, reports Stalled. Default 2×PullWait — two missed
+	// heartbeats, the degraded threshold operators alarm on.
 	StallAfter time.Duration
 	// ReconnectMin/ReconnectMax bound the follower's jittered redial backoff
 	// (defaults 50ms and 2s).
@@ -113,7 +128,7 @@ func (o Options) withDefaults() Options {
 		o.SnapChunk = 256 << 10
 	}
 	if o.StallAfter <= 0 {
-		o.StallAfter = 5 * time.Second
+		o.StallAfter = 2 * o.PullWait
 	}
 	if o.ReconnectMin <= 0 {
 		o.ReconnectMin = 50 * time.Millisecond
@@ -132,31 +147,94 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// replIndex is the slice of a durable index the state machine drives: one
+// commit clock, hook, replay path, and snapshot stream per shard, plus the
+// layout manifest and the persisted role sidecar. An unsharded DurableIndex
+// fits through the soloIndex adapter (one shard, no manifest); a
+// ShardedIndex implements it directly.
+type replIndex interface {
+	Shards() int
+	ShardCommitSeq(i int) uint64
+	SetShardCommitHook(i int, fn func(firstSeq uint64, recs []wal.Record) error)
+	ReplicateShardBatch(i int, firstSeq uint64, recs []wal.Record) error
+	ShardSnapshotAt(i int, w io.Writer) (asOfSeq uint64, n int64, err error)
+	RestoreShardSnapshot(i int, r io.Reader, asOfSeq uint64) error
+	ManifestGen() uint64
+	Bounds() []uint64
+	AdoptManifest(gen uint64, bounds []uint64) error
+	LoadReplState() (epoch uint64, fenced bool)
+	SaveReplState(epoch uint64, fenced bool) error
+	CommitSeq() uint64
+	Err() error
+}
+
+// soloIndex adapts an unsharded DurableIndex to the one-shard view.
+type soloIndex struct{ d *chameleon.DurableIndex }
+
+func (s soloIndex) Shards() int                { return 1 }
+func (s soloIndex) ShardCommitSeq(int) uint64  { return s.d.CommitSeq() }
+func (s soloIndex) ManifestGen() uint64        { return 0 }
+func (s soloIndex) Bounds() []uint64           { return nil }
+func (s soloIndex) AdoptManifest(uint64, []uint64) error { return nil }
+func (s soloIndex) CommitSeq() uint64          { return s.d.CommitSeq() }
+func (s soloIndex) Err() error                 { return s.d.Err() }
+func (s soloIndex) SetShardCommitHook(_ int, fn func(uint64, []wal.Record) error) {
+	s.d.SetCommitHook(fn)
+}
+func (s soloIndex) ReplicateShardBatch(_ int, firstSeq uint64, recs []wal.Record) error {
+	return s.d.ReplicateBatch(firstSeq, recs)
+}
+func (s soloIndex) ShardSnapshotAt(_ int, w io.Writer) (uint64, int64, error) {
+	return s.d.SnapshotAt(w)
+}
+func (s soloIndex) RestoreShardSnapshot(_ int, r io.Reader, asOfSeq uint64) error {
+	return s.d.RestoreSnapshot(r, asOfSeq)
+}
+func (s soloIndex) LoadReplState() (uint64, bool)        { return s.d.LoadReplState() }
+func (s soloIndex) SaveReplState(e uint64, f bool) error { return s.d.SaveReplState(e, f) }
+
 // snapshot is one cached snapshot stream the primary serves chunks from.
 type snapshot struct {
-	id   uint64
-	asOf uint64
-	data []byte
+	id    uint64
+	shard int
+	asOf  uint64
+	data  []byte
+}
+
+// shardStream is one shard's replication state: the primary-side pull ring
+// and ack cursor, the snapshot-stream LRU, and the follower-side upstream
+// clock. Ring fields are guarded by Node.mu.
+type shardStream struct {
+	baseSeq  uint64        // commit seq of the last record NOT in ring
+	ring     []wal.Record  // ring[i] carries seq baseSeq+1+i
+	ackedSeq uint64        // highest seq acknowledged by any follower pull
+	dataCh   chan struct{} // closed+replaced when the ring grows
+	snapIDs  []uint64      // open stream ids, oldest first (LRU of 2)
+	upstream atomic.Uint64 // follower: upstream clock as of the last pull
 }
 
 // Node is a server's replication controller. Safe for concurrent use.
 type Node struct {
-	ix   *chameleon.DurableIndex
-	opts Options
+	ix      replIndex
+	sharded bool
+	opts    Options
 
 	mu       sync.Mutex
 	closed   bool
 	role     chameleon.ReplRole
 	epoch    uint64
-	baseSeq  uint64        // commit seq of the last record NOT in ring
-	ring     []wal.Record  // ring[i] carries seq baseSeq+1+i
-	ackedSeq uint64        // highest seq acknowledged by any follower pull
-	lastPull time.Time     // primary-side stall clock
-	dataCh   chan struct{} // closed+replaced when the ring grows
-	ackCh    chan struct{} // closed+replaced when ackedSeq advances
+	streams  []*shardStream
+	lastPull time.Time     // primary-side stall clock (any shard)
+	ackCh    chan struct{} // closed+replaced when any ackedSeq advances
 	snaps    map[uint64]*snapshot
-	snapIDs  []uint64 // open stream ids, oldest first (LRU of 2)
 	nextSnap uint64
+
+	// persistMu serializes repl.meta writes and guards the persisted-state
+	// mirror; it is taken with Node.mu NOT held (the sidecar write is an
+	// index call).
+	persistMu       sync.Mutex
+	persistedEpoch  uint64
+	persistedFenced bool
 
 	// Follower-loop state (see follower.go).
 	cancel       context.CancelFunc
@@ -165,34 +243,87 @@ type Node struct {
 	connected    atomic.Bool
 	reconnects   atomic.Uint64
 	bootstraps   atomic.Uint64
-	upstreamSeq  atomic.Uint64
-	lastProgress atomic.Int64 // unixnano of the last successful pull
+	upstreamSeq  atomic.Uint64 // solo follower: upstream clock (sharded sums streams)
+	lastProgress atomic.Int64  // unixnano of the last successful pull
 }
 
-// New wires a Node to ix and starts it in its configured role. A follower's
-// pull loop starts immediately; stop it with Close or Promote.
+// New wires a Node to an unsharded index and starts it in its configured
+// role. A follower's pull loop starts immediately; stop it with Close or
+// Promote. A persisted fenced verdict (repl.meta) overrides the configured
+// role: a restarted deposed primary stays fenced.
 func New(ix *chameleon.DurableIndex, opts Options) *Node {
+	return newNode(soloIndex{ix}, false, opts)
+}
+
+// NewSharded wires a Node to a sharded index: one replication stream per
+// shard behind one role and one epoch. The follower's upstream must be a
+// sharded primary with the same shard count.
+func NewSharded(ix *chameleon.ShardedIndex, opts Options) *Node {
+	return newNode(ix, true, opts)
+}
+
+func newNode(ix replIndex, sharded bool, opts Options) *Node {
 	n := &Node{
-		ix:     ix,
-		opts:   opts.withDefaults(),
-		dataCh: make(chan struct{}),
-		ackCh:  make(chan struct{}),
-		snaps:  make(map[uint64]*snapshot),
+		ix:      ix,
+		sharded: sharded,
+		opts:    opts.withDefaults(),
+		ackCh:   make(chan struct{}),
+		snaps:   make(map[uint64]*snapshot),
+	}
+	n.streams = make([]*shardStream, ix.Shards())
+	for i := range n.streams {
+		n.streams[i] = &shardStream{dataCh: make(chan struct{})}
 	}
 	n.lastProgress.Store(time.Now().UnixNano())
-	if n.opts.ReplicaOf == "" {
+
+	epoch, fenced := ix.LoadReplState()
+	n.persistedEpoch, n.persistedFenced = epoch, fenced
+	switch {
+	case fenced:
+		// The durable verdict wins over flags: a deposed primary restarted
+		// with its old -repl (or even -replica-of) comes back fenced.
+		n.role = chameleon.RoleFenced
+		n.epoch = epoch
+		n.opts.Logf("repl: starting fenced at epoch %d (persisted verdict); writes refused", epoch)
+	case n.opts.ReplicaOf == "":
 		n.role = chameleon.RolePrimary
-		n.epoch = 1
-		n.baseSeq = ix.CommitSeq()
-		ix.SetCommitHook(n.commitHook)
-	} else {
+		if epoch == 0 {
+			epoch = 1
+		}
+		n.epoch = epoch
+		for i, st := range n.streams {
+			st.baseSeq = ix.ShardCommitSeq(i)
+			ix.SetShardCommitHook(i, n.commitHook(i))
+		}
+		n.persistRepl(epoch, false)
+	default:
 		n.role = chameleon.RoleFollower
+		n.epoch = epoch
 		ctx, cancel := context.WithCancel(context.Background())
 		n.cancel = cancel
 		n.done = make(chan struct{})
-		go n.runFollower(ctx)
+		go n.runFollower(ctx, n.done)
 	}
 	return n
+}
+
+// persistRepl durably records (epoch, fenced) via the index's repl.meta
+// sidecar if it is newer than what is already persisted. Never called with
+// Node.mu held (lock order: index locks outside Node.mu). A write failure is
+// logged, not fatal: the in-memory state machine still enforces the epoch,
+// only restart protection is weakened — and the next transition retries.
+func (n *Node) persistRepl(epoch uint64, fenced bool) {
+	n.persistMu.Lock()
+	defer n.persistMu.Unlock()
+	if epoch < n.persistedEpoch ||
+		(epoch == n.persistedEpoch && (fenced == n.persistedFenced || n.persistedFenced)) {
+		return // never regress, never un-fence at the same epoch
+	}
+	if err := n.ix.SaveReplState(epoch, fenced); err != nil {
+		n.opts.Logf("repl: persisting epoch %d (fenced=%v) failed: %v", epoch, fenced, err)
+		return
+	}
+	n.persistedEpoch, n.persistedFenced = epoch, fenced
 }
 
 // Role reports the node's current role and fencing epoch.
@@ -211,47 +342,58 @@ func (n *Node) AllowWrites() bool {
 	return n.role == chameleon.RolePrimary
 }
 
-// commitHook is installed as the index's commit hook while primary: it runs
-// under the index lock after a batch is durable and applied, appends the
-// batch to the pull ring, and (semi-sync) waits for a follower ack.
-func (n *Node) commitHook(firstSeq uint64, recs []wal.Record) error {
-	n.mu.Lock()
-	if n.closed {
+// Shards reports how many replication streams the node drives.
+func (n *Node) Shards() int { return len(n.streams) }
+
+// Sharded reports whether the node replicates a sharded index (shard-tagged
+// wire ops, manifest shipping).
+func (n *Node) Sharded() bool { return n.sharded }
+
+// commitHook builds shard's commit hook: it runs under the index lock after
+// a batch is durable and applied, appends the batch to the shard's pull
+// ring, and (semi-sync) waits for a follower ack.
+func (n *Node) commitHook(shard int) func(uint64, []wal.Record) error {
+	return func(firstSeq uint64, recs []wal.Record) error {
+		st := n.streams[shard]
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return nil
+		}
+		if expect := st.baseSeq + uint64(len(st.ring)) + 1; firstSeq != expect {
+			// A batch committed outside the ring's view (the promote window, or
+			// a hook re-install). Drop the ring and restart it at this batch:
+			// followers needing the gap fall back to snapshot bootstrap — a
+			// slower path, never a silent loss.
+			st.ring = st.ring[:0]
+			st.baseSeq = firstSeq - 1
+		}
+		st.ring = append(st.ring, recs...)
+		if over := len(st.ring) - n.opts.RingCap; over > 0 {
+			st.baseSeq += uint64(over)
+			st.ring = append(st.ring[:0], st.ring[over:]...)
+		}
+		close(st.dataCh)
+		st.dataCh = make(chan struct{})
+		semiSync := n.opts.SemiSync && n.role == chameleon.RolePrimary
+		last := firstSeq + uint64(len(recs)) - 1
 		n.mu.Unlock()
-		return nil
+		if !semiSync {
+			return nil
+		}
+		return n.waitAcked(shard, last)
 	}
-	if expect := n.baseSeq + uint64(len(n.ring)) + 1; firstSeq != expect {
-		// A batch committed outside the ring's view (the promote window, or
-		// a hook re-install). Drop the ring and restart it at this batch:
-		// followers needing the gap fall back to snapshot bootstrap — a
-		// slower path, never a silent loss.
-		n.ring = n.ring[:0]
-		n.baseSeq = firstSeq - 1
-	}
-	n.ring = append(n.ring, recs...)
-	if over := len(n.ring) - n.opts.RingCap; over > 0 {
-		n.baseSeq += uint64(over)
-		n.ring = append(n.ring[:0], n.ring[over:]...)
-	}
-	close(n.dataCh)
-	n.dataCh = make(chan struct{})
-	semiSync := n.opts.SemiSync && n.role == chameleon.RolePrimary
-	last := firstSeq + uint64(len(recs)) - 1
-	n.mu.Unlock()
-	if !semiSync {
-		return nil
-	}
-	return n.waitAcked(last)
 }
 
-// waitAcked blocks until a follower has acknowledged seq, AckTimeout passes
-// (ErrReplicaLagging), or the node closes (nil: shutdown must not fail
-// locally durable writes).
-func (n *Node) waitAcked(seq uint64) error {
+// waitAcked blocks until a follower has acknowledged seq on shard,
+// AckTimeout passes (ErrReplicaLagging), or the node closes (nil: shutdown
+// must not fail locally durable writes).
+func (n *Node) waitAcked(shard int, seq uint64) error {
+	st := n.streams[shard]
 	deadline := time.Now().Add(n.opts.AckTimeout)
 	for {
 		n.mu.Lock()
-		if n.closed || n.ackedSeq >= seq {
+		if n.closed || st.ackedSeq >= seq {
 			n.mu.Unlock()
 			return nil
 		}
@@ -278,13 +420,56 @@ type PullReply struct {
 	UpstreamSeq    uint64
 	Epoch          uint64
 	SnapshotNeeded bool
+	// Shard-pull extras: the layout generation, and the boundary array when
+	// the peer's generation view is stale (ManifestChanged).
+	Gen             uint64
+	Bounds          []uint64
+	ManifestChanged bool
 }
 
-// ServePull answers one REPL_PULL: records from fromSeq (bounded by max),
-// long-polling up to wait when the puller is caught up. peerEpoch is the
-// highest primary epoch the puller knows — learning of a newer one fences
-// this node. Pulling from fromSeq acknowledges every sequence below it.
+// maybeFence applies a strictly newer peer epoch and persists the verdict
+// before the caller proceeds — a pull or fence RPC carrying a newer epoch
+// must depose this node durably, not just in memory.
+func (n *Node) maybeFence(peerEpoch uint64) {
+	n.mu.Lock()
+	if peerEpoch <= n.epoch {
+		n.mu.Unlock()
+		return
+	}
+	n.fenceLocked(peerEpoch)
+	epoch, fenced := n.epoch, n.role == chameleon.RoleFenced
+	n.mu.Unlock()
+	n.persistRepl(epoch, fenced)
+}
+
+// ServePull answers one REPL_PULL (the unsharded wire op): shard 0's stream,
+// with no manifest section. See ServeShardPull.
 func (n *Node) ServePull(ctx context.Context, fromSeq uint64, max int, wait time.Duration, peerEpoch uint64) (PullReply, error) {
+	pr, err := n.ServeShardPull(ctx, 0, fromSeq, max, wait, peerEpoch, n.ix.ManifestGen())
+	pr.Gen, pr.Bounds, pr.ManifestChanged = 0, nil, false
+	return pr, err
+}
+
+// ServeShardPull answers one pull against shard's stream: records from
+// fromSeq (bounded by max), long-polling up to wait when the puller is
+// caught up. peerEpoch is the highest primary epoch the puller knows —
+// learning of a newer one fences this node (durably). peerGen is the
+// puller's view of the shard-manifest generation: when it is stale (or 0 =
+// unknown), the reply carries the current generation and boundary array so
+// layout changes ship through the stream. Pulling from fromSeq acknowledges
+// every sequence below it.
+func (n *Node) ServeShardPull(ctx context.Context, shard int, fromSeq uint64, max int, wait time.Duration, peerEpoch, peerGen uint64) (PullReply, error) {
+	if shard < 0 || shard >= len(n.streams) {
+		return PullReply{}, fmt.Errorf("repl: shard %d out of range (node has %d)", shard, len(n.streams))
+	}
+	n.maybeFence(peerEpoch)
+	// Layout reads are index calls — resolved before taking Node.mu.
+	gen := n.ix.ManifestGen()
+	var bounds []uint64
+	manifestChanged := peerGen != gen || peerGen == 0
+	if manifestChanged {
+		bounds = n.ix.Bounds()
+	}
 	if fromSeq == 0 {
 		fromSeq = 1
 	}
@@ -292,25 +477,24 @@ func (n *Node) ServePull(ctx context.Context, fromSeq uint64, max int, wait time
 		max = n.opts.PullMax
 	}
 	deadline := time.Now().Add(wait)
+	st := n.streams[shard]
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
 		return PullReply{}, ErrNodeClosed
 	}
-	if peerEpoch > n.epoch {
-		n.fenceLocked(peerEpoch)
-	}
-	if ack := fromSeq - 1; ack > n.ackedSeq {
-		n.ackedSeq = ack
+	if ack := fromSeq - 1; ack > st.ackedSeq {
+		st.ackedSeq = ack
 		close(n.ackCh)
 		n.ackCh = make(chan struct{})
 	}
 	n.lastPull = time.Now()
 	for {
-		last := n.baseSeq + uint64(len(n.ring))
-		reply := PullReply{UpstreamSeq: last, Epoch: n.epoch}
+		last := st.baseSeq + uint64(len(st.ring))
+		reply := PullReply{UpstreamSeq: last, Epoch: n.epoch,
+			Gen: gen, Bounds: bounds, ManifestChanged: manifestChanged}
 		switch {
-		case fromSeq <= n.baseSeq:
+		case fromSeq <= st.baseSeq:
 			// The requested records predate ring retention (or this node is
 			// a follower, whose ring is never fed): bootstrap instead.
 			reply.SnapshotNeeded = true
@@ -320,9 +504,9 @@ func (n *Node) ServePull(ctx context.Context, fromSeq uint64, max int, wait time
 			if count > max {
 				count = max
 			}
-			i := int(fromSeq - n.baseSeq - 1)
+			i := int(fromSeq - st.baseSeq - 1)
 			reply.FirstSeq = fromSeq
-			reply.Recs = append([]wal.Record(nil), n.ring[i:i+count]...)
+			reply.Recs = append([]wal.Record(nil), st.ring[i:i+count]...)
 			return reply, nil
 		default:
 			// Caught up (or the puller claims records we do not have — its
@@ -330,7 +514,7 @@ func (n *Node) ServePull(ctx context.Context, fromSeq uint64, max int, wait time
 			if time.Now().After(deadline) || ctx.Err() != nil {
 				return reply, nil
 			}
-			ch := n.dataCh
+			ch := st.dataCh
 			n.mu.Unlock()
 			t := time.NewTimer(time.Until(deadline))
 			select {
@@ -357,30 +541,40 @@ type SnapReply struct {
 	Data    []byte
 }
 
-// ServeSnap answers one REPL_SNAP. snapID 0 opens a fresh stream — the node
-// snapshots the index's current state into memory and serves it chunk by
-// chunk; the two most recent streams stay cached so a concurrent second
-// bootstrapper does not thrash.
+// ServeSnap answers one REPL_SNAP (the unsharded wire op): shard 0's
+// snapshot stream. See ServeShardSnap.
 func (n *Node) ServeSnap(snapID, offset uint64) (SnapReply, error) {
+	return n.ServeShardSnap(0, snapID, offset)
+}
+
+// ServeShardSnap answers one snapshot-chunk request against shard. snapID 0
+// opens a fresh stream — the node snapshots the shard's current state into
+// memory and serves it chunk by chunk; each shard's two most recent streams
+// stay cached so a concurrent second bootstrapper does not thrash.
+func (n *Node) ServeShardSnap(shard int, snapID, offset uint64) (SnapReply, error) {
+	if shard < 0 || shard >= len(n.streams) {
+		return SnapReply{}, fmt.Errorf("repl: shard %d out of range (node has %d)", shard, len(n.streams))
+	}
 	if snapID == 0 {
 		var buf bytes.Buffer
 		// Index call first: the index lock must never be taken under n.mu.
-		asOf, _, err := n.ix.SnapshotAt(&buf)
+		asOf, _, err := n.ix.ShardSnapshotAt(shard, &buf)
 		if err != nil {
 			return SnapReply{}, err
 		}
+		st := n.streams[shard]
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
 			return SnapReply{}, ErrNodeClosed
 		}
 		n.nextSnap++
-		s := &snapshot{id: n.nextSnap, asOf: asOf, data: buf.Bytes()}
+		s := &snapshot{id: n.nextSnap, shard: shard, asOf: asOf, data: buf.Bytes()}
 		n.snaps[s.id] = s
-		n.snapIDs = append(n.snapIDs, s.id)
-		for len(n.snapIDs) > 2 {
-			delete(n.snaps, n.snapIDs[0])
-			n.snapIDs = n.snapIDs[1:]
+		st.snapIDs = append(st.snapIDs, s.id)
+		for len(st.snapIDs) > 2 {
+			delete(n.snaps, st.snapIDs[0])
+			st.snapIDs = st.snapIDs[1:]
 		}
 		n.mu.Unlock()
 		return n.chunk(s, offset)
@@ -388,8 +582,8 @@ func (n *Node) ServeSnap(snapID, offset uint64) (SnapReply, error) {
 	n.mu.Lock()
 	s := n.snaps[snapID]
 	n.mu.Unlock()
-	if s == nil {
-		return SnapReply{}, fmt.Errorf("%w: id %d", ErrUnknownSnapshot, snapID)
+	if s == nil || s.shard != shard {
+		return SnapReply{}, fmt.Errorf("%w: id %d (shard %d)", ErrUnknownSnapshot, snapID, shard)
 	}
 	return n.chunk(s, offset)
 }
@@ -408,10 +602,12 @@ func (n *Node) chunk(s *snapshot, offset uint64) (SnapReply, error) {
 }
 
 // Promote turns a follower into the primary: the pull loop stops, the epoch
-// advances past the old primary's, writes open up, and a best-effort fence
-// RPC tells the old upstream it is deposed (epochs carried on every pull are
-// the real protection — the RPC only shortens the window). Promoting a
-// primary is a no-op; promoting a fenced or diverged node is refused.
+// advances past the old primary's (persisted before the role flips, so a
+// crash cannot resurrect the pre-promotion state), writes open up, and a
+// best-effort fence RPC tells the old upstream it is deposed (epochs carried
+// on every pull are the real protection — the RPC only shortens the window).
+// Promoting a primary is a no-op; promoting a fenced or diverged node is
+// refused.
 func (n *Node) Promote() (uint64, error) {
 	n.mu.Lock()
 	if n.closed {
@@ -434,6 +630,7 @@ func (n *Node) Promote() (uint64, error) {
 	}
 	cancel, done := n.cancel, n.done
 	n.cancel, n.done = nil, nil
+	epoch := n.epoch + 1 // strictly exceeds the deposed primary's (adopted from pulls)
 	n.mu.Unlock()
 
 	// Stop the pull loop and wait it out so no replicated batch lands after
@@ -445,22 +642,37 @@ func (n *Node) Promote() (uint64, error) {
 		<-done
 	}
 
-	// Seed the ring at the current commit clock, then install the hook (both
-	// index calls, so outside n.mu). A batch slipping between the two misses
-	// the ring; the hook's resync path degrades that to snapshot bootstrap.
-	seq := n.ix.CommitSeq()
-	n.ix.SetCommitHook(n.commitHook)
+	// Persist the new epoch BEFORE accepting the first write at it: a crash
+	// right after an acked write must restart into epoch ≥ the one that
+	// acked it.
+	n.persistRepl(epoch, false)
+
+	// Seed each ring at its shard's commit clock, then install the hooks
+	// (index calls, so outside n.mu). A batch slipping between the two
+	// misses its ring; the hook's resync path degrades that to snapshot
+	// bootstrap.
+	seqs := make([]uint64, len(n.streams))
+	for i := range n.streams {
+		seqs[i] = n.ix.ShardCommitSeq(i)
+	}
+	for i := range n.streams {
+		n.ix.SetShardCommitHook(i, n.commitHook(i))
+	}
 
 	n.mu.Lock()
-	n.epoch++ // strictly exceeds the deposed primary's epoch (adopted from pulls)
-	epoch := n.epoch
+	if epoch > n.epoch {
+		n.epoch = epoch
+	}
+	epoch = n.epoch
 	n.role = chameleon.RolePrimary
-	n.baseSeq = seq
-	n.ring = n.ring[:0]
+	for i, st := range n.streams {
+		st.baseSeq = seqs[i]
+		st.ring = st.ring[:0]
+	}
 	upstream := n.opts.ReplicaOf
 	n.mu.Unlock()
 
-	n.opts.Logf("repl: promoted to primary, epoch %d (commit seq %d)", epoch, seq)
+	n.opts.Logf("repl: promoted to primary, epoch %d (commit seq %d)", epoch, n.ix.CommitSeq())
 	go n.fenceUpstream(upstream, epoch)
 	return epoch, nil
 }
@@ -486,18 +698,19 @@ func (n *Node) fenceUpstream(addr string, epoch uint64) {
 }
 
 // Fence delivers a fencing token: if epoch is newer than the node's own, a
-// primary steps down to fenced and a follower adopts the epoch. Returns the
-// node's resulting epoch and role (the caller learns both outcomes).
+// primary steps down to fenced (durably) and a follower adopts the epoch.
+// Returns the node's resulting epoch and role (the caller learns both
+// outcomes).
 func (n *Node) Fence(epoch uint64) (uint64, chameleon.ReplRole) {
+	n.maybeFence(epoch)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if epoch > n.epoch {
-		n.fenceLocked(epoch)
-	}
 	return n.epoch, n.role
 }
 
-// fenceLocked applies a strictly newer epoch under n.mu.
+// fenceLocked applies a strictly newer epoch under n.mu. Callers persist the
+// transition via persistRepl after releasing the lock (maybeFence does
+// both).
 func (n *Node) fenceLocked(epoch uint64) {
 	n.epoch = epoch
 	if n.role == chameleon.RolePrimary {
@@ -510,15 +723,29 @@ func (n *Node) fenceLocked(epoch uint64) {
 	}
 }
 
-// Health snapshots replication health for the merged STATS surface.
+// Health snapshots replication health for the merged STATS surface. On a
+// sharded node ShardLags carries the per-shard staleness vector (follower:
+// upstream clock − applied; primary: ring head − acked).
 func (n *Node) Health() chameleon.ReplHealth {
-	applied := n.ix.CommitSeq() // index call outside n.mu
+	// Index calls outside n.mu.
+	applied := n.ix.CommitSeq()
+	var shardApplied []uint64
+	if n.sharded {
+		shardApplied = make([]uint64, len(n.streams))
+		for i := range shardApplied {
+			shardApplied[i] = n.ix.ShardCommitSeq(i)
+		}
+	}
 	now := time.Now()
 	n.mu.Lock()
+	var acked uint64
+	for _, st := range n.streams {
+		acked += st.ackedSeq
+	}
 	h := chameleon.ReplHealth{
 		Role:               n.role,
 		Epoch:              n.epoch,
-		AckedSeq:           n.ackedSeq,
+		AckedSeq:           acked,
 		Reconnects:         n.reconnects.Load(),
 		SnapshotBootstraps: n.bootstraps.Load(),
 		Diverged:           n.divergedErr != nil,
@@ -527,16 +754,42 @@ func (n *Node) Health() chameleon.ReplHealth {
 	case chameleon.RolePrimary, chameleon.RoleFenced:
 		h.LastApplied = applied
 		h.UpstreamSeq = applied
-		last := n.baseSeq + uint64(len(n.ring))
-		if n.opts.SemiSync && n.role == chameleon.RolePrimary && last > n.ackedSeq {
-			h.Lag = last - n.ackedSeq
+		var lag uint64
+		for _, st := range n.streams {
+			if last := st.baseSeq + uint64(len(st.ring)); last > st.ackedSeq {
+				lag += last - st.ackedSeq
+			}
+		}
+		if n.opts.SemiSync && n.role == chameleon.RolePrimary && lag > 0 {
+			h.Lag = lag
 			ref := n.lastPull
 			h.Stalled = ref.IsZero() || now.Sub(ref) > n.opts.StallAfter
+		}
+		if n.sharded {
+			h.ShardLags = make([]uint64, len(n.streams))
+			for i, st := range n.streams {
+				if last := st.baseSeq + uint64(len(st.ring)); last > st.ackedSeq {
+					h.ShardLags[i] = last - st.ackedSeq
+				}
+			}
 		}
 		h.Connected = !n.lastPull.IsZero() && now.Sub(n.lastPull) <= n.opts.StallAfter
 	case chameleon.RoleFollower:
 		h.LastApplied = applied
-		h.UpstreamSeq = n.upstreamSeq.Load()
+		if n.sharded {
+			var up uint64
+			h.ShardLags = make([]uint64, len(n.streams))
+			for i, st := range n.streams {
+				u := st.upstream.Load()
+				up += u
+				if u > shardApplied[i] {
+					h.ShardLags[i] = u - shardApplied[i]
+				}
+			}
+			h.UpstreamSeq = up
+		} else {
+			h.UpstreamSeq = n.upstreamSeq.Load()
+		}
 		if h.UpstreamSeq > applied {
 			h.Lag = h.UpstreamSeq - applied
 		}
@@ -547,7 +800,16 @@ func (n *Node) Health() chameleon.ReplHealth {
 	return h
 }
 
-// Close stops the node: the follower loop exits, the commit hook detaches,
+// LastProgress reports when the follower's pull loop last made progress —
+// the stall clock the failure detector reads.
+func (n *Node) LastProgress() time.Time {
+	return time.Unix(0, n.lastProgress.Load())
+}
+
+// Upstream reports the address this node follows ("" for a primary).
+func (n *Node) Upstream() string { return n.opts.ReplicaOf }
+
+// Close stops the node: the follower loop exits, the commit hooks detach,
 // and semi-sync waiters release (their writes are locally durable).
 func (n *Node) Close() {
 	n.mu.Lock()
@@ -560,8 +822,10 @@ func (n *Node) Close() {
 	n.cancel, n.done = nil, nil
 	close(n.ackCh)
 	n.ackCh = make(chan struct{})
-	close(n.dataCh)
-	n.dataCh = make(chan struct{})
+	for _, st := range n.streams {
+		close(st.dataCh)
+		st.dataCh = make(chan struct{})
+	}
 	n.mu.Unlock()
 	if cancel != nil {
 		cancel()
@@ -569,7 +833,9 @@ func (n *Node) Close() {
 	if done != nil {
 		<-done
 	}
-	n.ix.SetCommitHook(nil)
+	for i := range n.streams {
+		n.ix.SetShardCommitHook(i, nil)
+	}
 }
 
 // jitteredBackoff draws a full-jitter delay in [min, min+rand(cur-min+1)],

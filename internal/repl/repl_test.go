@@ -26,12 +26,12 @@ func openIx(t *testing.T) *chameleon.DurableIndex {
 // loop, so tests can drive pullLoop with a scripted client.
 func newFollowerShell(ix *chameleon.DurableIndex, opts Options) *Node {
 	n := &Node{
-		ix:     ix,
-		opts:   opts.withDefaults(),
-		dataCh: make(chan struct{}),
-		ackCh:  make(chan struct{}),
-		snaps:  make(map[uint64]*snapshot),
-		role:   chameleon.RoleFollower,
+		ix:      soloIndex{ix},
+		opts:    opts.withDefaults(),
+		ackCh:   make(chan struct{}),
+		snaps:   make(map[uint64]*snapshot),
+		role:    chameleon.RoleFollower,
+		streams: []*shardStream{{dataCh: make(chan struct{})}},
 	}
 	n.lastProgress.Store(time.Now().UnixNano())
 	return n

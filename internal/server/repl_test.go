@@ -10,6 +10,7 @@ import (
 
 	"chameleon"
 	"chameleon/internal/client"
+	"chameleon/internal/failover"
 	"chameleon/internal/netfault"
 	"chameleon/internal/repl"
 	"chameleon/internal/server"
@@ -272,6 +273,242 @@ func TestSnapshotBootstrapConvergence(t *testing.T) {
 	waitFollowerSeq(t, fix, n+1, 10*time.Second)
 }
 
+// shardedReplPair is the sharded analogue of replPair: a sharded primary and
+// a sharded follower (same shard count) replicating through a netfault proxy,
+// one pull stream per shard.
+type shardedReplPair struct {
+	primaryIx, followerIx     *chameleon.ShardedIndex
+	primaryNode, followerNode *repl.Node
+	primary, follower         *server.Server
+	proxy                     *netfault.Proxy
+	pc, fc                    *client.Client
+}
+
+func startShardedReplPair(t *testing.T, shards int, popts, fopts repl.Options) *shardedReplPair {
+	t.Helper()
+	rp := &shardedReplPair{}
+	var err error
+	rp.primaryIx, err = chameleon.OpenShardedDir(t.TempDir(), chameleon.ShardDirOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.primaryNode = repl.NewSharded(rp.primaryIx, popts)
+	rp.primary = startServer(t, rp.primaryIx, server.Options{Repl: rp.primaryNode})
+
+	proxy, err := netfault.New(rp.primary.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.proxy = proxy
+
+	fopts.ReplicaOf = proxy.Addr()
+	if fopts.PullWait == 0 {
+		fopts.PullWait = 100 * time.Millisecond
+	}
+	if fopts.ReconnectMin == 0 {
+		fopts.ReconnectMin = 10 * time.Millisecond
+	}
+	if fopts.ReconnectMax == 0 {
+		fopts.ReconnectMax = 100 * time.Millisecond
+	}
+	rp.followerIx, err = chameleon.OpenShardedDir(t.TempDir(), chameleon.ShardDirOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.followerNode = repl.NewSharded(rp.followerIx, fopts)
+	rp.follower = startServer(t, rp.followerIx, server.Options{Repl: rp.followerNode})
+
+	rp.pc = dialClient(t, rp.primary, client.Options{})
+	rp.fc = dialClient(t, rp.follower, client.Options{})
+
+	t.Cleanup(func() {
+		rp.pc.Close() //nolint:errcheck
+		rp.fc.Close() //nolint:errcheck
+		rp.followerNode.Close()
+		rp.primaryNode.Close()
+		rp.follower.Close() //nolint:errcheck
+		rp.primary.Close()  //nolint:errcheck
+		proxy.Close()
+		rp.followerIx.Close() //nolint:errcheck
+		rp.primaryIx.Close()  //nolint:errcheck
+	})
+	return rp
+}
+
+// waitShardedConverged polls until the follower's manifest generation and
+// bounds match the primary's and every shard's commit clock has caught up.
+func waitShardedConverged(t *testing.T, rp *shardedReplPair, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		ok := rp.followerIx.ManifestGen() == rp.primaryIx.ManifestGen() &&
+			equalBounds(rp.followerIx.Bounds(), rp.primaryIx.Bounds())
+		if ok {
+			for i := 0; i < rp.primaryIx.Shards(); i++ {
+				if rp.followerIx.ShardCommitSeq(i) < rp.primaryIx.ShardCommitSeq(i) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && rp.followerIx.Len() == rp.primaryIx.Len() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sharded follower never converged: gen %d/%d len %d/%d bounds %v/%v",
+				rp.followerIx.ManifestGen(), rp.primaryIx.ManifestGen(),
+				rp.followerIx.Len(), rp.primaryIx.Len(),
+				rp.followerIx.Bounds(), rp.primaryIx.Bounds())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func equalBounds(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedReplicationConverges: the sharded bread-and-butter. Writes route
+// across all shards on the primary; the follower pulls every shard's stream
+// and converges, per-shard lag surfaces in STATS, and the follower stays
+// read-only.
+func TestShardedReplicationConverges(t *testing.T) {
+	const shards = 4
+	rp := startShardedReplPair(t, shards, repl.Options{}, repl.Options{})
+	ctx := context.Background()
+
+	// Spread keys over the whole key space so every shard sees traffic.
+	const n = 400
+	for j := uint64(1); j <= n; j++ {
+		k := j * 0x9E3779B97F4A7C15 // odd multiplier: bijective, uniform
+		if err := rp.pc.Insert(ctx, k, valOf(k)); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	waitShardedConverged(t, rp, 15*time.Second)
+
+	for j := uint64(1); j <= n; j++ {
+		k := j * 0x9E3779B97F4A7C15
+		if v, ok := rp.followerIx.Lookup(k); !ok || v != valOf(k) {
+			t.Fatalf("follower Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		if got, want := rp.followerIx.ShardCommitSeq(i), rp.primaryIx.ShardCommitSeq(i); got != want {
+			t.Fatalf("shard %d follower seq %d, primary %d", i, got, want)
+		}
+	}
+
+	// STATS carries the per-shard lag vector on both roles.
+	fs, _, err := rp.fc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.ReplRole != "follower" || len(fs.ReplShardLagSeqs) != shards {
+		t.Fatalf("follower stats: role %q shard lags %v", fs.ReplRole, fs.ReplShardLagSeqs)
+	}
+	for i, lag := range fs.ReplShardLagSeqs {
+		if lag != 0 {
+			t.Fatalf("converged follower reports lag %d on shard %d", lag, i)
+		}
+	}
+	ps, _, err := rp.pc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.ReplRole != "primary" || len(ps.ReplShardLagSeqs) != shards {
+		t.Fatalf("primary stats: role %q shard lags %v", ps.ReplRole, ps.ReplShardLagSeqs)
+	}
+
+	if err := rp.fc.Insert(ctx, 7777, 1); !errors.Is(err, chameleon.ErrNotPrimary) {
+		t.Fatalf("Insert on sharded follower: %v, want ErrNotPrimary", err)
+	}
+}
+
+// TestShardedManifestReshardConvergence (the boundary-replication test):
+// BulkLoad on the primary rewrites the manifest — new generation, new
+// equi-depth bounds — while the follower is still mid-catch-up on the old
+// layout. The follower must notice the generation change, adopt the new
+// layout, re-bootstrap every shard, and converge to exactly the bulk-loaded
+// contents under the new bounds.
+func TestShardedManifestReshardConvergence(t *testing.T) {
+	const shards = 4
+	rp := startShardedReplPair(t, shards,
+		repl.Options{},
+		repl.Options{PullWait: 50 * time.Millisecond},
+	)
+	ctx := context.Background()
+
+	// Slow the link so the follower is genuinely mid-catch-up when the
+	// re-shard lands.
+	rp.proxy.SetDelay(10 * time.Millisecond)
+	const seed = 300
+	for j := uint64(1); j <= seed; j++ {
+		k := j * 0x9E3779B97F4A7C15
+		if err := rp.pc.Insert(ctx, k, valOf(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Re-shard: skewed keys so the equi-depth bounds move far from the
+	// uniform initial split. BulkLoad requires quiescent writers; the seeding
+	// loop above has returned.
+	const bulk = 1000
+	keys := make([]uint64, bulk)
+	vals := make([]uint64, bulk)
+	for i := range keys {
+		keys[i] = uint64(i) * (1 << 20) // all in the lowest sliver of key space
+		vals[i] = valOf(keys[i])
+	}
+	oldBounds := rp.primaryIx.Bounds()
+	if err := rp.primaryIx.BulkLoad(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if gen := rp.primaryIx.ManifestGen(); gen != 2 {
+		t.Fatalf("primary gen after BulkLoad = %d, want 2", gen)
+	}
+	if equalBounds(rp.primaryIx.Bounds(), oldBounds) {
+		t.Fatalf("BulkLoad of skewed keys kept bounds %v; the test exercises nothing", oldBounds)
+	}
+
+	rp.proxy.SetDelay(0)
+	waitShardedConverged(t, rp, 20*time.Second)
+
+	// The follower holds exactly the bulk-loaded contents: every loaded key
+	// with its value, nothing else (the pre-load seed keys are gone).
+	if got := rp.followerIx.Len(); got != bulk {
+		t.Fatalf("follower Len = %d, want %d", got, bulk)
+	}
+	for _, i := range []int{0, bulk / 2, bulk - 1} {
+		if v, ok := rp.followerIx.Lookup(keys[i]); !ok || v != vals[i] {
+			t.Fatalf("follower Lookup(%d) = %d,%v, want %d", keys[i], v, ok, vals[i])
+		}
+	}
+
+	// The stream stays live across the adoption: a fresh write tails through.
+	if err := rp.pc.Insert(ctx, 42, 4242); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v, ok := rp.followerIx.Lookup(42); ok && v == 4242 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("post-reshard write never reached the follower")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // keyFate classifies every submitted write for the failover oracle.
 type keyFate int
 
@@ -453,5 +690,297 @@ func TestFailoverSoak(t *testing.T) {
 	}
 	if ps.ReplRole != "fenced" || ps.ReplEpoch != epoch {
 		t.Fatalf("deposed primary stats = role %q epoch %d, want fenced epoch %d", ps.ReplRole, ps.ReplEpoch, epoch)
+	}
+}
+
+// TestShardedFailoverSoak is the sharded tentpole oracle. Phase 1: seed
+// writes across all shards, then BulkLoad a re-shard (new generation, new
+// bounds) while the follower is still catching up — the manifest itself is a
+// replicated, fenced commit point. Phase 2: fault-injected writers (drops,
+// delay, corruption on the link) against the semi-sync primary. Phase 3:
+// partition the primary away and let the failure detector promote the
+// follower automatically. The oracle, per shard:
+//
+//   - every write acked after the re-shard reads back on the promoted
+//     follower with its exact value,
+//   - every retryable-rejected write left no trace,
+//   - no phantoms: everything present was either bulk-loaded or submitted,
+//   - the follower's manifest generation and bounds match the primary's, and
+//     it never diverged,
+//   - the promoted follower accepts writes at epoch 2; the deposed primary,
+//     once fenced, refuses them.
+func TestShardedFailoverSoak(t *testing.T) {
+	const shards = 4
+	rp := startShardedReplPair(t, shards,
+		repl.Options{SemiSync: true, AckTimeout: time.Second},
+		repl.Options{PullWait: 50 * time.Millisecond, StallAfter: time.Second},
+	)
+	ctx := context.Background()
+
+	// Phase 1: seed traffic, then re-shard mid-catch-up.
+	const seed = 200
+	for j := uint64(1); j <= seed; j++ {
+		k := j * 0x9E3779B97F4A7C15
+		if err := rp.pc.Insert(ctx, k, valOf(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const bulk = 1024
+	bulkSet := make(map[uint64]uint64, bulk)
+	keys := make([]uint64, bulk)
+	vals := make([]uint64, bulk)
+	for i := range keys {
+		// Spread over the full key space so the soak writers below (hashed
+		// uniform keys) exercise every post-re-shard shard.
+		keys[i] = uint64(i)*(1<<54) + 5
+		vals[i] = valOf(keys[i])
+		bulkSet[keys[i]] = vals[i]
+	}
+	if err := rp.primaryIx.BulkLoad(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	waitShardedConverged(t, rp, 20*time.Second)
+
+	// Phase 2: fault-injected soak. Writer keys are hash-spread so every
+	// post-re-shard shard sees traffic; any (astronomically unlikely)
+	// collision with the bulk-loaded set is skipped outright so the two
+	// oracles never claim the same key.
+	var (
+		mu    sync.Mutex
+		fates = make(map[uint64]keyFate)
+		wvals = make(map[uint64]uint64)
+	)
+	classify := func(key uint64, err error) {
+		f := fateMaybe
+		switch {
+		case err == nil:
+			f = fateAcked
+		case errors.Is(err, chameleon.ErrReplicaLagging):
+			f = fateMaybe
+		default:
+			var re *wire.RemoteError
+			if errors.As(err, &re) && re.Retryable() {
+				f = fateAbsent
+			}
+		}
+		mu.Lock()
+		fates[key] = f
+		wvals[key] = valOf(key)
+		mu.Unlock()
+	}
+
+	const soak = 2 * time.Second
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := dialClient(t, rp.primary, client.Options{MaxRetries: 1})
+			defer wc.Close() //nolint:errcheck
+			for j := uint64(1); ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (j*3+uint64(w)+1)*0x9E3779B97F4A7C15 + 1 // uniform, disjoint across writers
+				if _, isBulk := bulkSet[k]; isBulk {
+					continue
+				}
+				wctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+				classify(k, wc.Insert(wctx, k, valOf(k)))
+				cancel()
+			}
+		}(w)
+	}
+
+	faultDone := make(chan struct{})
+	go func() {
+		defer close(faultDone)
+		deadline := time.Now().Add(soak)
+		for i := 0; time.Now().Before(deadline); i++ {
+			switch i % 4 {
+			case 0:
+				rp.proxy.DropConns()
+			case 1:
+				rp.proxy.SetDelay(20 * time.Millisecond)
+			case 2:
+				rp.proxy.CorruptChunks(1)
+			case 3:
+				rp.proxy.SetDelay(0)
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+		rp.proxy.SetDelay(0)
+	}()
+	<-faultDone
+
+	// Phase 3: partition and let the detector do the promotion — no operator.
+	promoted := make(chan uint64, 1)
+	det := failover.Start(rp.followerNode, failover.Options{
+		Upstream:      rp.proxy.Addr(),
+		SuspectAfter:  300 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+		Probes:        3,
+		OnPromoted:    func(epoch uint64, _, _ time.Duration) { promoted <- epoch },
+	})
+	defer det.Stop()
+	rp.proxy.Partition(true)
+	time.Sleep(300 * time.Millisecond) // ambiguous-window writes
+	close(stop)
+	wg.Wait()
+
+	select {
+	case epoch := <-promoted:
+		if epoch != 2 {
+			t.Fatalf("auto-promoted at epoch %d, want 2", epoch)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("detector never promoted the sharded follower")
+	}
+	if role, epoch := rp.followerNode.Role(); role != chameleon.RolePrimary || epoch != 2 {
+		t.Fatalf("post-failover role %v epoch %d", role, epoch)
+	}
+
+	// Oracle: layout converged, never diverged.
+	if h := rp.followerNode.Health(); h.Diverged {
+		t.Fatalf("sharded follower diverged during link faults: %+v", h)
+	}
+	if fg, pg := rp.followerIx.ManifestGen(), rp.primaryIx.ManifestGen(); fg != pg {
+		t.Fatalf("manifest generation diverged: follower %d, primary %d", fg, pg)
+	}
+	if !equalBounds(rp.followerIx.Bounds(), rp.primaryIx.Bounds()) {
+		t.Fatalf("bounds diverged: follower %v, primary %v", rp.followerIx.Bounds(), rp.primaryIx.Bounds())
+	}
+
+	// Oracle: exists-iff-acked, accounted per shard so a localized stream bug
+	// names its shard.
+	bounds := rp.followerIx.Bounds()
+	shardOf := func(k uint64) int {
+		i := 0
+		for i < len(bounds) && k >= bounds[i] {
+			i++
+		}
+		return i
+	}
+	ackedBy := make([]int, shards)
+	mu.Lock()
+	defer mu.Unlock()
+	var acked, absent, maybe int
+	for k, f := range fates {
+		v, ok := rp.followerIx.Lookup(k)
+		switch f {
+		case fateAcked:
+			acked++
+			ackedBy[shardOf(k)]++
+			if !ok || v != wvals[k] {
+				t.Fatalf("acked write %d (shard %d) lost across sharded failover (found=%v val=%d)",
+					k, shardOf(k), ok, v)
+			}
+		case fateAbsent:
+			absent++
+			if ok {
+				t.Fatalf("retryable-rejected write %d (shard %d) appeared on the follower", k, shardOf(k))
+			}
+		case fateMaybe:
+			maybe++
+		}
+	}
+	if acked == 0 {
+		t.Fatal("soak produced zero acked writes; the oracle proved nothing")
+	}
+	t.Logf("sharded soak fates: %d acked %v, %d guaranteed-absent, %d ambiguous", acked, ackedBy, absent, maybe)
+
+	// Oracle: bulk-loaded contents survived the catch-up and the failover.
+	for _, i := range []int{0, bulk / 2, bulk - 1} {
+		if v, ok := rp.followerIx.Lookup(keys[i]); !ok || v != vals[i] {
+			t.Fatalf("bulk-loaded key %d lost (found=%v val=%d)", keys[i], ok, v)
+		}
+	}
+
+	// Oracle: no phantoms anywhere in the key space.
+	phantom := 0
+	rp.followerIx.Range(0, ^uint64(0), func(k, v uint64) bool {
+		if _, isBulk := bulkSet[k]; isBulk {
+			return true
+		}
+		if _, submitted := fates[k]; !submitted {
+			phantom++
+		}
+		return true
+	})
+	if phantom > 0 {
+		t.Fatalf("%d phantom keys on the promoted sharded follower", phantom)
+	}
+
+	// Oracle: the new primary accepts writes; the deposed one, fenced, refuses.
+	if err := rp.fc.Insert(ctx, 42_000_000, 42); err != nil {
+		t.Fatalf("write on auto-promoted sharded follower: %v", err)
+	}
+	rp.proxy.Partition(false)
+	if _, _, err := rp.pc.Fence(ctx, 2); err != nil {
+		t.Fatalf("Fence(old primary, 2): %v", err)
+	}
+	if err := rp.pc.Insert(ctx, 43_000_000, 43); !errors.Is(err, chameleon.ErrNotPrimary) {
+		t.Fatalf("write on deposed sharded primary: %v, want ErrNotPrimary", err)
+	}
+}
+
+// TestFencedNodeStaysFencedAcrossRestart (the repl.meta regression test): a
+// node fenced at epoch E, restarted from the same directory, must come back
+// fenced — Promote refuses with ErrFencedNode and writes bounce with
+// ErrNotPrimary. Without the sidecar a restarted deposed primary would boot
+// as a fresh epoch-1 primary and split the brain.
+func TestFencedNodeStaysFencedAcrossRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	ix := openIx(t, dir, chameleon.DirOptions{})
+	node := repl.New(ix, repl.Options{})
+	if _, role := node.Fence(7); role != chameleon.RoleFenced {
+		t.Fatalf("Fence(7) left role %v", role)
+	}
+	node.Close()
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: same directory, fresh node with primary-shaped options.
+	ix2 := openIx(t, dir, chameleon.DirOptions{})
+	node2 := repl.New(ix2, repl.Options{})
+	defer node2.Close()
+	if role, epoch := node2.Role(); role != chameleon.RoleFenced || epoch != 7 {
+		t.Fatalf("restarted node role %v epoch %d, want fenced epoch 7", role, epoch)
+	}
+	if _, err := node2.Promote(); !errors.Is(err, repl.ErrFencedNode) {
+		t.Fatalf("Promote on restarted fenced node: %v, want ErrFencedNode", err)
+	}
+	s := startServer(t, ix2, server.Options{Repl: node2})
+	c := dialClient(t, s, client.Options{})
+	defer c.Close() //nolint:errcheck
+	if err := c.Insert(ctx, 1, 1); !errors.Is(err, chameleon.ErrNotPrimary) {
+		t.Fatalf("write on restarted fenced node: %v, want ErrNotPrimary", err)
+	}
+
+	// A follower that adopted an epoch resumes at it after restart, rather
+	// than regressing to zero and accepting a stale primary's stream.
+	fdir := t.TempDir()
+	fix := openIx(t, fdir, chameleon.DirOptions{})
+	fnode := repl.New(fix, repl.Options{ReplicaOf: "127.0.0.1:1"}) // never connects
+	if _, err := fnode.Promote(); err != nil {
+		t.Fatal(err) // promote persists epoch 1+1... from epoch 0 base
+	}
+	_, epoch := fnode.Role()
+	fnode.Close()
+	if err := fix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fix2 := openIx(t, fdir, chameleon.DirOptions{})
+	defer fix2.Close() //nolint:errcheck
+	fnode2 := repl.New(fix2, repl.Options{})
+	defer fnode2.Close()
+	if role, e2 := fnode2.Role(); role != chameleon.RolePrimary || e2 != epoch {
+		t.Fatalf("restarted promoted node role %v epoch %d, want primary epoch %d", role, e2, epoch)
 	}
 }

@@ -32,8 +32,12 @@ const (
 	// FeatRepl: the REPL_* opcode family is served (pull, snapshot
 	// streaming, fence, promote, GET_SEQ).
 	FeatRepl uint64 = 1 << 1
+	// FeatShardRepl: the shard-tagged replication ops are served
+	// (REPL_SHARD_PULL, REPL_SHARD_SNAP) — per-shard commit streams plus
+	// manifest-generation shipping for sharded followers.
+	FeatShardRepl uint64 = 1 << 2
 
 	// LocalFeatures is the full feature set this build implements; a HELLO
 	// negotiation lands on the intersection of both sides' sets.
-	LocalFeatures = FeatSeqTokens | FeatRepl
+	LocalFeatures = FeatSeqTokens | FeatRepl | FeatShardRepl
 )

@@ -61,6 +61,11 @@ type StatsReply struct {
 	ReplSnapshotBootstraps uint64 `json:"repl_snapshot_bootstraps,omitempty"`
 	ReplStalled            bool   `json:"repl_stalled,omitempty"`
 	ReplDiverged           bool   `json:"repl_diverged,omitempty"`
+	// ReplShardLagSeqs is the per-shard lag vector of a sharded follower
+	// (upstream seq minus last applied, in shard order); ReplLagSeqs mirrors
+	// the aggregate so dashboards have one name for both layouts.
+	ReplShardLagSeqs []uint64 `json:"repl_shard_lag_seqs,omitempty"`
+	ReplLagSeqs      uint64   `json:"repl_lag_seqs,omitempty"`
 
 	// Server-side counters: current and lifetime connections, requests by
 	// outcome, current in-flight requests, and drain status.

@@ -87,6 +87,22 @@ const (
 	// it reaches a target (the read-your-writes wait). Body: [8] seq
 	// (0 = no wait) [4] waitMS. Reply body: [8] seq.
 	OpGetSeq Op = 0x14
+
+	// OpReplShardPull is OpReplPull addressed to one shard of a sharded
+	// primary, feature-gated behind FeatShardRepl. Body: [4] shard
+	// [8] fromSeq [4] max [4] waitMS [8] epoch [8] gen (the puller's view of
+	// the shard-manifest generation; 0 = unknown, forces a manifest reply).
+	// Reply body: [8] firstSeq [8] upstreamSeq [8] epoch [8] gen [1] flags
+	// (bit0 = snapshot-needed, bit1 = manifest-changed) [4] count,
+	// count × ([1] op [8] key [8] val); when bit1 is set the records are
+	// followed by [4] nbounds, nbounds × [8] bound — the primary's current
+	// shard boundaries, shipped so re-sharding travels the stream.
+	OpReplShardPull Op = 0x15
+	// OpReplShardSnap streams a bootstrap snapshot chunk for one shard.
+	// Body: [4] shard [8] snapID (0 = open) [8] offset. Reply body is
+	// OpReplSnap's: [8] snapID [8] asOfSeq [8] offset [8] total [4] len,
+	// [len] chunk bytes.
+	OpReplShardSnap Op = 0x16
 )
 
 // String names the opcode for errors and traces.
@@ -118,6 +134,10 @@ func (o Op) String() string {
 		return "PROMOTE"
 	case OpGetSeq:
 		return "GET_SEQ"
+	case OpReplShardPull:
+		return "REPL_SHARD_PULL"
+	case OpReplShardSnap:
+		return "REPL_SHARD_SNAP"
 	}
 	return fmt.Sprintf("Op(0x%02x)", byte(o))
 }
@@ -294,6 +314,11 @@ type Request struct {
 	WaitMS uint32
 	Epoch  uint64
 	SnapID uint64
+	// Shard addresses one partition of a sharded primary
+	// (REPL_SHARD_PULL, REPL_SHARD_SNAP); Gen is the puller's view of the
+	// shard-manifest generation (REPL_SHARD_PULL, 0 = unknown).
+	Shard uint32
+	Gen   uint64
 }
 
 // Response is a decoded server→client message. Op echoes the request's
@@ -340,6 +365,14 @@ type Response struct {
 	FirstSeq       uint64
 	UpstreamSeq    uint64
 	SnapshotNeeded bool
+
+	// REPL_SHARD_PULL reply extras: Gen is the primary's shard-manifest
+	// generation; when ManifestChanged is set Bounds carries the primary's
+	// current shard boundaries (len = shards-1, possibly empty for one
+	// shard) and the puller must adopt them before applying more records.
+	Gen             uint64
+	Bounds          []uint64
+	ManifestChanged bool
 
 	// REPL_SNAP reply: chunk Snap of a snapshot stream SnapID consistent
 	// as-of AsOfSeq, covering [Offset, Offset+len(Snap)) of Total bytes.
@@ -405,6 +438,17 @@ func AppendRequest(dst []byte, r *Request) []byte {
 	case OpGetSeq:
 		payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
 		payload = binary.LittleEndian.AppendUint32(payload, r.WaitMS)
+	case OpReplShardPull:
+		payload = binary.LittleEndian.AppendUint32(payload, r.Shard)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
+		payload = binary.LittleEndian.AppendUint32(payload, r.Limit)
+		payload = binary.LittleEndian.AppendUint32(payload, r.WaitMS)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Epoch)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Gen)
+	case OpReplShardSnap:
+		payload = binary.LittleEndian.AppendUint32(payload, r.Shard)
+		payload = binary.LittleEndian.AppendUint64(payload, r.SnapID)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
 	}
 	return appendFrame(dst, payload)
 }
@@ -412,7 +456,7 @@ func AppendRequest(dst []byte, r *Request) []byte {
 // AppendResponse encodes r as one complete frame onto dst.
 func AppendResponse(dst []byte, r *Response) []byte {
 	size := msgHeader + 1 + 8 + len(r.Pairs)*pairSize + len(r.BatchErrs) + len(r.Stats) + len(r.Msg) +
-		len(r.Recs)*batchOpSize + len(r.Snap) + 40
+		len(r.Recs)*batchOpSize + len(r.Snap) + len(r.Bounds)*8 + 48
 	payload := make([]byte, 0, size)
 	if !r.OK {
 		payload = append(payload, statusErr)
@@ -487,7 +531,32 @@ func AppendResponse(dst []byte, r *Response) []byte {
 			payload = binary.LittleEndian.AppendUint64(payload, rec.Key)
 			payload = binary.LittleEndian.AppendUint64(payload, rec.Val)
 		}
-	case OpReplSnap:
+	case OpReplShardPull:
+		payload = binary.LittleEndian.AppendUint64(payload, r.FirstSeq)
+		payload = binary.LittleEndian.AppendUint64(payload, r.UpstreamSeq)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Epoch)
+		payload = binary.LittleEndian.AppendUint64(payload, r.Gen)
+		var flags byte
+		if r.SnapshotNeeded {
+			flags |= 1
+		}
+		if r.ManifestChanged {
+			flags |= 2
+		}
+		payload = append(payload, flags)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.Recs)))
+		for _, rec := range r.Recs {
+			payload = append(payload, byte(rec.Op))
+			payload = binary.LittleEndian.AppendUint64(payload, rec.Key)
+			payload = binary.LittleEndian.AppendUint64(payload, rec.Val)
+		}
+		if r.ManifestChanged {
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.Bounds)))
+			for _, b := range r.Bounds {
+				payload = binary.LittleEndian.AppendUint64(payload, b)
+			}
+		}
+	case OpReplSnap, OpReplShardSnap:
 		payload = binary.LittleEndian.AppendUint64(payload, r.SnapID)
 		payload = binary.LittleEndian.AppendUint64(payload, r.AsOfSeq)
 		payload = binary.LittleEndian.AppendUint64(payload, r.Offset)
@@ -685,6 +754,23 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		}
 		r.Seq = binary.LittleEndian.Uint64(body)
 		r.WaitMS = binary.LittleEndian.Uint32(body[8:])
+	case OpReplShardPull:
+		if len(body) != 36 {
+			return nil, fmt.Errorf("%w: REPL_SHARD_PULL body %d bytes", ErrMalformed, len(body))
+		}
+		r.Shard = binary.LittleEndian.Uint32(body)
+		r.Seq = binary.LittleEndian.Uint64(body[4:])
+		r.Limit = binary.LittleEndian.Uint32(body[12:])
+		r.WaitMS = binary.LittleEndian.Uint32(body[16:])
+		r.Epoch = binary.LittleEndian.Uint64(body[20:])
+		r.Gen = binary.LittleEndian.Uint64(body[28:])
+	case OpReplShardSnap:
+		if len(body) != 20 {
+			return nil, fmt.Errorf("%w: REPL_SHARD_SNAP body %d bytes", ErrMalformed, len(body))
+		}
+		r.Shard = binary.LittleEndian.Uint32(body)
+		r.SnapID = binary.LittleEndian.Uint64(body[4:])
+		r.Seq = binary.LittleEndian.Uint64(body[12:])
 	default:
 		return nil, fmt.Errorf("%w: unknown opcode 0x%02x", ErrMalformed, payload[0])
 	}
@@ -829,9 +915,61 @@ func DecodeResponse(payload []byte) (*Response, error) {
 			}
 			body = body[batchOpSize:]
 		}
-	case OpReplSnap:
+	case OpReplShardPull:
+		if len(body) < 37 || body[32] > 3 {
+			return nil, fmt.Errorf("%w: REPL_SHARD_PULL reply body %d bytes", ErrMalformed, len(body))
+		}
+		r.FirstSeq = binary.LittleEndian.Uint64(body)
+		r.UpstreamSeq = binary.LittleEndian.Uint64(body[8:])
+		r.Epoch = binary.LittleEndian.Uint64(body[16:])
+		r.Gen = binary.LittleEndian.Uint64(body[24:])
+		r.SnapshotNeeded = body[32]&1 != 0
+		r.ManifestChanged = body[32]&2 != 0
+		count := binary.LittleEndian.Uint32(body[33:])
+		body = body[37:]
+		recBytes := int64(count) * batchOpSize
+		if recBytes > int64(len(body)) {
+			return nil, fmt.Errorf("%w: REPL_SHARD_PULL count %d vs %d body bytes", ErrMalformed, count, len(body))
+		}
+		if count > 0 {
+			r.Recs = make([]wal.Record, count)
+			for i := range r.Recs {
+				op := wal.Op(body[0])
+				if op != wal.OpInsert && op != wal.OpDelete {
+					return nil, fmt.Errorf("%w: REPL_SHARD_PULL record op 0x%02x", ErrMalformed, byte(op))
+				}
+				r.Recs[i] = wal.Record{
+					Op:  op,
+					Key: binary.LittleEndian.Uint64(body[1:]),
+					Val: binary.LittleEndian.Uint64(body[9:]),
+				}
+				body = body[batchOpSize:]
+			}
+		}
+		if !r.ManifestChanged {
+			if len(body) != 0 {
+				return nil, fmt.Errorf("%w: REPL_SHARD_PULL trailing %d bytes", ErrMalformed, len(body))
+			}
+			break
+		}
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: REPL_SHARD_PULL bounds header %d bytes", ErrMalformed, len(body))
+		}
+		nbounds := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		if int64(nbounds)*8 != int64(len(body)) {
+			return nil, fmt.Errorf("%w: REPL_SHARD_PULL bounds %d vs %d body bytes", ErrMalformed, nbounds, len(body))
+		}
+		if nbounds > 0 {
+			r.Bounds = make([]uint64, nbounds)
+			for i := range r.Bounds {
+				r.Bounds[i] = binary.LittleEndian.Uint64(body)
+				body = body[8:]
+			}
+		}
+	case OpReplSnap, OpReplShardSnap:
 		if len(body) < 36 {
-			return nil, fmt.Errorf("%w: REPL_SNAP reply body %d bytes", ErrMalformed, len(body))
+			return nil, fmt.Errorf("%w: %s reply body %d bytes", ErrMalformed, r.Op, len(body))
 		}
 		r.SnapID = binary.LittleEndian.Uint64(body)
 		r.AsOfSeq = binary.LittleEndian.Uint64(body[8:])

@@ -35,6 +35,9 @@ func requestCases() []*Request {
 		{ID: 11, Op: OpReplFence, Epoch: 4},
 		{ID: 12, Op: OpPromote},
 		{ID: 13, Op: OpGetSeq, Seq: 999, WaitMS: 100},
+		{ID: 14, Op: OpReplShardPull, Shard: 3, Seq: 2000, Limit: 256, WaitMS: 100, Epoch: 5, Gen: 2},
+		{ID: 15, Op: OpReplShardPull, Shard: 0, Seq: 1, Gen: 0},
+		{ID: 16, Op: OpReplShardSnap, Shard: 2, SnapID: 9, Seq: 1 << 18},
 	}
 }
 
@@ -69,6 +72,15 @@ func responseCases() []*Response {
 		{ID: 22, Op: OpGetSeq, OK: true, Seq: 1234},
 		{ID: 23, Op: OpInsert, Err: ErrCodeNotPrimary, Msg: "fenced at epoch 4"},
 		{ID: 24, Op: OpInsert, Err: ErrCodeLagging, RetryAfterMS: 50},
+		{ID: 25, Op: OpReplShardPull, OK: true, FirstSeq: 50, UpstreamSeq: 60, Epoch: 3, Gen: 4, Recs: []wal.Record{
+			{Op: wal.OpInsert, Key: 11, Val: 12},
+			{Op: wal.OpDelete, Key: 13},
+		}},
+		{ID: 26, Op: OpReplShardPull, OK: true, FirstSeq: 1, UpstreamSeq: 90, Epoch: 3, Gen: 5,
+			ManifestChanged: true, Bounds: []uint64{1000, 2000, 3000}},
+		{ID: 27, Op: OpReplShardPull, OK: true, FirstSeq: 7, UpstreamSeq: 7, Epoch: 2, Gen: 1,
+			SnapshotNeeded: true, ManifestChanged: true},
+		{ID: 28, Op: OpReplShardSnap, OK: true, SnapID: 9, AsOfSeq: 55, Offset: 0, Total: 128, Snap: []byte{9, 8, 7}},
 	}
 }
 

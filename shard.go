@@ -47,6 +47,10 @@ type ShardedIndex struct {
 	// exactly like DurableIndex.BulkLoad — the atomic swap keeps concurrent
 	// readers memory-safe, not linearizable across the reload).
 	rt atomic.Pointer[shardRouter]
+	// gen mirrors the durable manifest's layout generation; manMu serializes
+	// manifest rewrites (BulkLoad re-shard vs. follower AdoptManifest).
+	gen   atomic.Uint64
+	manMu sync.Mutex
 }
 
 // ShardDirOptions configures OpenShardedDir. The embedded DirOptions apply to
@@ -74,11 +78,16 @@ const (
 )
 
 // shardManifest is the on-disk layout record: without it, nothing says which
-// key range lives in which shard directory.
+// key range lives in which shard directory. Gen is the layout generation —
+// it increments every time the boundary array is rewritten (BulkLoad
+// re-shard, follower adoption), so replication can detect a boundary change
+// without comparing arrays. Manifests written before generations existed
+// decode as Gen 0 and are normalized to 1 on read.
 type shardManifest struct {
 	Version int      `json:"version"`
 	Shards  int      `json:"shards"`
 	Bounds  []uint64 `json:"bounds"`
+	Gen     uint64   `json:"gen,omitempty"`
 }
 
 func shardDirName(i int) string { return fmt.Sprintf("%s%04d", shardDirPrefix, i) }
@@ -196,6 +205,7 @@ func openShardedDirFS(dir string, opts ShardDirOptions, fsys faultfs.FS) (*Shard
 	}
 	s := &ShardedIndex{dir: dir, fs: fsys}
 	s.rt.Store(newShardRouter(man.Bounds))
+	s.gen.Store(man.Gen)
 	if err := s.openShards(man.Shards, opts.DirOptions); err != nil {
 		return nil, err
 	}
@@ -261,10 +271,11 @@ func initShardedDir(dir string, opts ShardDirOptions, fsys faultfs.FS) (*Sharded
 			return nil, fmt.Errorf("chameleon: migrating unsharded directory: %w", err)
 		}
 	}
-	if err := writeShardManifest(fsys, dir, shardManifest{Version: 1, Shards: opts.Shards, Bounds: bounds}); err != nil {
+	if err := writeShardManifest(fsys, dir, shardManifest{Version: 1, Shards: opts.Shards, Bounds: bounds, Gen: 1}); err != nil {
 		s.Close() //nolint:errcheck
 		return nil, err
 	}
+	s.gen.Store(1)
 	if hasLegacy {
 		// The manifest is durable and every shard has checkpointed its slice:
 		// the unsharded files are now garbage. Removal is best-effort — a
@@ -398,6 +409,9 @@ func readShardManifest(fsys faultfs.FS, dir string) (*shardManifest, error) {
 	}
 	if err := validateBounds(man.Bounds, man.Shards); err != nil {
 		return nil, fmt.Errorf("chameleon: shard manifest: %w", err)
+	}
+	if man.Gen == 0 {
+		man.Gen = 1 // pre-generation manifests count as the first layout
 	}
 	return &man, nil
 }
@@ -557,12 +571,17 @@ func (s *ShardedIndex) BulkLoad(keys, vals []uint64) error {
 			return err // non-ascending keys surface here before any shard loads
 		}
 	}
+	s.manMu.Lock()
+	gen := s.gen.Load() + 1
 	if err := writeShardManifest(s.fs, s.dir, shardManifest{
-		Version: 1, Shards: len(s.shards), Bounds: bounds,
+		Version: 1, Shards: len(s.shards), Bounds: bounds, Gen: gen,
 	}); err != nil {
+		s.manMu.Unlock()
 		return err
 	}
 	s.rt.Store(newShardRouter(bounds))
+	s.gen.Store(gen)
+	s.manMu.Unlock()
 	return s.loadPartitioned(keys, vals, bounds)
 }
 
