@@ -72,6 +72,8 @@ func main() {
 		suspectAfter = flag.Duration("failover-suspect", 2*time.Second, "pull-stall threshold before the detector starts probing the primary")
 		probeEvery   = flag.Duration("failover-probe-interval", 500*time.Millisecond, "failure-detector probe interval")
 		probeCount   = flag.Int("failover-probes", 3, "consecutive failed probes (while stalled) that declare the primary dead")
+		foRank       = flag.Int("failover-rank", 0, "this detector's priority among detector-enabled followers (each must be distinct; rank claims epochs ≡ rank mod group so concurrent promotions can never collide)")
+		foPeers      = flag.String("failover-peers", "", "comma-separated addresses of the OTHER detector-enabled followers (checked before promoting, fenced after)")
 	)
 	flag.Parse()
 
@@ -157,10 +159,18 @@ func main() {
 	}
 	var det *failover.Detector
 	if *autoFailover {
+		var peers []string
+		for _, p := range strings.Split(*foPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
 		det = failover.Start(node, failover.Options{
 			SuspectAfter:  *suspectAfter,
 			ProbeInterval: *probeEvery,
 			Probes:        *probeCount,
+			Rank:          *foRank,
+			Peers:         peers,
 			Logf: func(format string, args ...any) {
 				fmt.Printf("chameleon-serve: "+format+"\n", args...)
 			},

@@ -145,7 +145,12 @@ func (f *FailoverClient) primary(ctx context.Context) (*Client, error) {
 }
 
 // resolveLocked sweeps the pool once: dial everything, keep the
-// highest-epoch node claiming primary, close the rest.
+// highest-epoch node claiming primary, close the rest. An equal-epoch tie —
+// two nodes both claiming primary at the same epoch, which the failover
+// protocol's rank-unique claims should make impossible — is logged loudly
+// and broken deterministically by lowest address, so every client that can
+// see both nodes converges on the SAME one instead of scattering writes by
+// address order.
 func (f *FailoverClient) resolveLocked(ctx context.Context) (*Client, string, error) {
 	var best *Client
 	var bestAddr string
@@ -159,13 +164,23 @@ func (f *FailoverClient) resolveLocked(ctx context.Context) (*Client, string, er
 			lastErr = err
 			continue
 		}
-		if c.ServerRole() == chameleon.RolePrimary &&
-			(best == nil || c.ServerEpoch() > best.ServerEpoch()) {
-			if best != nil {
-				best.Close() //nolint:errcheck
+		if c.ServerRole() == chameleon.RolePrimary {
+			switch {
+			case best == nil, c.ServerEpoch() > best.ServerEpoch():
+				if best != nil {
+					best.Close() //nolint:errcheck
+				}
+				best, bestAddr = c, addr
+				continue
+			case c.ServerEpoch() == best.ServerEpoch():
+				f.opts.Logf("client: SPLIT BRAIN SUSPECTED: %s and %s both claim primary at epoch %d; tie-breaking to lowest address",
+					bestAddr, addr, c.ServerEpoch())
+				if addr < bestAddr {
+					best.Close() //nolint:errcheck
+					best, bestAddr = c, addr
+					continue
+				}
 			}
-			best, bestAddr = c, addr
-			continue
 		}
 		c.Close() //nolint:errcheck
 	}
@@ -266,6 +281,19 @@ func (f *FailoverClient) Insert(ctx context.Context, key, val uint64) error {
 // Delete removes key on the current primary, with Insert's contract.
 func (f *FailoverClient) Delete(ctx context.Context, key uint64) error {
 	return f.withPrimary(ctx, func(c *Client) error { return c.Delete(ctx, key) })
+}
+
+// GetAtLeast is the pool's read-your-writes lookup: it forwards the
+// pool-level LastSeq watermark to the current primary's seq-gated read, so
+// a Get issued right after a failover waits (up to wait) until the new
+// primary has caught up to every write this pool has seen acknowledged —
+// instead of silently reading a stale pre-failover state.
+func (f *FailoverClient) GetAtLeast(ctx context.Context, key uint64, wait time.Duration) (val uint64, found bool, err error) {
+	err = f.withPrimary(ctx, func(c *Client) error {
+		val, found, err = c.GetAtLeast(ctx, key, f.lastSeq.Load(), wait)
+		return err
+	})
+	return val, found, err
 }
 
 // Range scans [lo, hi] on the current primary.

@@ -3,8 +3,10 @@ package client
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"chameleon"
 	"chameleon/internal/wire"
@@ -14,11 +16,12 @@ import (
 // role/epoch and rejects mutations with not-primary unless it currently
 // claims the primary role — the minimal topology actor for failover tests.
 type roleServer struct {
-	fs      *fakeServer
-	role    atomic.Uint32
-	epoch   atomic.Uint64
-	seq     atomic.Uint64
-	inserts atomic.Uint64
+	fs         *fakeServer
+	role       atomic.Uint32
+	epoch      atomic.Uint64
+	seq        atomic.Uint64
+	inserts    atomic.Uint64
+	lastGetSeq atomic.Uint64
 }
 
 func newRoleServer(t *testing.T, role chameleon.ReplRole, epoch uint64) *roleServer {
@@ -41,6 +44,9 @@ func newRoleServer(t *testing.T, role chameleon.ReplRole, epoch uint64) *roleSer
 			}
 			rs.inserts.Add(1)
 			return &wire.Response{Op: req.Op, OK: true, HasSeq: true, Seq: rs.seq.Add(1)}
+		case wire.OpGetSeq:
+			rs.lastGetSeq.Store(req.Seq)
+			return &wire.Response{Op: req.Op, OK: true, Seq: rs.seq.Load()}
 		default:
 			return okFor(req)
 		}
@@ -214,5 +220,79 @@ func TestFailoverClientNonTopologyErrorsPassThrough(t *testing.T) {
 	}
 	if f.Failovers() != 1 { // the initial resolve only
 		t.Fatalf("Failovers = %d, want 1", f.Failovers())
+	}
+}
+
+// TestEqualEpochTieBreakDeterministic: an equal-epoch dual claim (a state
+// the failover protocol's rank-unique claims should preclude, but which a
+// client must still survive) is broken by lowest address, NOT by Addrs
+// order — so every client converges on the same node instead of scattering
+// writes by the order its pool happened to be configured in.
+func TestEqualEpochTieBreakDeterministic(t *testing.T) {
+	a := newRoleServer(t, chameleon.RolePrimary, 7)
+	b := newRoleServer(t, chameleon.RolePrimary, 7)
+	want := a.addr()
+	if b.addr() < want {
+		want = b.addr()
+	}
+	for _, addrs := range [][]string{
+		{a.addr(), b.addr()},
+		{b.addr(), a.addr()},
+	} {
+		var warned atomic.Bool
+		f, err := DialPool(FailoverOptions{Addrs: addrs, Logf: func(format string, _ ...any) {
+			if strings.Contains(format, "SPLIT BRAIN") {
+				warned.Store(true)
+			}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Primary(); got != want {
+			t.Fatalf("pool %v resolved %q, want lowest address %q", addrs, got, want)
+		}
+		if !warned.Load() {
+			t.Fatal("equal-epoch dual primary resolved without a split-brain warning")
+		}
+		f.Close() //nolint:errcheck
+	}
+}
+
+// TestFailoverClientGetAtLeast: the pool's seq-gated read must forward the
+// pool-level watermark, so read-your-writes holds across a failover switch.
+func TestFailoverClientGetAtLeast(t *testing.T) {
+	a := newRoleServer(t, chameleon.RolePrimary, 1)
+	b := newRoleServer(t, chameleon.RoleFollower, 1)
+	f, err := DialPool(FailoverOptions{Addrs: []string{a.addr(), b.addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck
+	ctx := context.Background()
+
+	for i := uint64(1); i <= 3; i++ {
+		if err := f.Insert(ctx, i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mark := f.LastSeq()
+	if mark == 0 {
+		t.Fatal("watermark never advanced")
+	}
+
+	// A dies (reads are served even by fenced nodes, so only a broken
+	// connection moves a read); B has replicated past the watermark.
+	b.seq.Store(mark + 10)
+	b.setRole(chameleon.RolePrimary, 2)
+	a.fs.kill()
+
+	if _, _, err := f.GetAtLeast(ctx, 1, time.Second); err != nil {
+		t.Fatalf("GetAtLeast across failover: %v", err)
+	}
+	if got := f.Primary(); got != b.addr() {
+		t.Fatalf("GetAtLeast did not follow the failover: primary %q", got)
+	}
+	if got := b.lastGetSeq.Load(); got != mark {
+		t.Fatalf("new primary's seq gate saw %d, want the pool watermark %d", got, mark)
 	}
 }

@@ -1,0 +1,46 @@
+package failover
+
+import "testing"
+
+// TestClaimEpochRankUnique: the whole split-brain argument for concurrent
+// detectors rests on claims being disjoint by construction — for every
+// current epoch, distinct ranks must claim distinct epochs, each strictly
+// greater than the current one and congruent to its rank modulo the group.
+func TestClaimEpochRankUnique(t *testing.T) {
+	peers := []string{"a", "b"} // group of 3
+	for cur := uint64(0); cur <= 50; cur++ {
+		seen := map[uint64]int{}
+		for rank := 0; rank < 3; rank++ {
+			o := Options{Rank: rank, Peers: peers}
+			e := o.claimEpoch(cur)
+			if e <= cur {
+				t.Fatalf("rank %d at cur %d claimed %d (not strictly greater)", rank, cur, e)
+			}
+			if e%3 != uint64(rank) {
+				t.Fatalf("rank %d at cur %d claimed %d ≢ %d (mod 3)", rank, cur, e, rank)
+			}
+			if prev, dup := seen[e]; dup {
+				t.Fatalf("ranks %d and %d both claimed epoch %d at cur %d", prev, rank, e, cur)
+			}
+			seen[e] = rank
+			if e > cur+3 {
+				t.Fatalf("rank %d at cur %d claimed %d, further than one group width away", rank, cur, e)
+			}
+		}
+	}
+	// The default solo configuration degenerates to cur+1 exactly.
+	solo := Options{}
+	for cur := uint64(0); cur <= 10; cur++ {
+		if e := solo.claimEpoch(cur); e != cur+1 {
+			t.Fatalf("solo claim at cur %d = %d, want %d", cur, e, cur+1)
+		}
+	}
+	// A rank configured past the peer count still gets its own residue class.
+	sparse := Options{Rank: 5}
+	if g := sparse.group(); g != 6 {
+		t.Fatalf("sparse group = %d, want 6", g)
+	}
+	if e := sparse.claimEpoch(1); e != 5 || e%6 != 5 {
+		t.Fatalf("sparse claim = %d, want 5", e)
+	}
+}

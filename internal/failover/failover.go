@@ -32,6 +32,20 @@
 // accepting the first write, and repeats the fence itself. Correctness never
 // rests on the fence RPCs landing: epochs carried on every pull and probe
 // fence a resurrected primary the moment any newer-epoch peer talks to it.
+//
+// Several followers may run detectors against the same primary, and the
+// scheme stays split-brain-free because epoch claims are made UNIQUE by
+// construction: each detector is configured with a Rank in a group of
+// Group detectors (Group = len(Peers)+1) and only ever claims epochs
+// congruent to its rank modulo the group size, so two detectors can never
+// claim the same epoch — an equal-epoch dual primary is impossible, and
+// highest-epoch-wins fencing resolves any overlap. Three further layers
+// shrink the overlap window to nearly nothing: ranks act staggered (each
+// rank waits Rank extra probe windows before declaring death, so rank 0
+// normally wins alone), a detector checks its sibling followers right
+// before promoting and stands down if one already claims primary at a
+// newer epoch, and a successful promotion best-effort fences every sibling
+// at the new epoch so a lower-epoch rival steps down at once.
 package failover
 
 import (
@@ -64,6 +78,21 @@ type Options struct {
 	// roughly SuspectAfter + Probes×ProbeInterval ≈ 3.5s after the primary
 	// stops answering.
 	Probes int
+	// Rank orders concurrent detectors. When several followers run
+	// detectors against the same primary, each MUST get a distinct Rank in
+	// [0, len(Peers)+1): the detector only claims epochs congruent to Rank
+	// modulo the group size, so two detectors can never claim the same
+	// epoch — the equal-epoch split brain is impossible by construction.
+	// Rank also staggers action: each rank waits Rank extra probe windows
+	// (Probes×ProbeInterval each) after its own death verdict before
+	// promoting, so rank 0 normally wins alone. Default 0.
+	Rank int
+	// Peers are the OTHER detector-enabled followers' addresses (not the
+	// primary, not this node). The group size for epoch claims is
+	// len(Peers)+1. Right before promoting, the detector probes each peer
+	// and stands down if one already claims primary at a newer epoch; after
+	// promoting, it best-effort fences every peer at the new epoch.
+	Peers []string
 	// Dial overrides how probes reach the primary (tests).
 	Dial func(addr string) (*client.Client, error)
 	// OnPromoted, when set, is called after a successful automatic promotion
@@ -90,6 +119,9 @@ func (o Options) withDefaults(node *repl.Node) Options {
 	if o.Probes <= 0 {
 		o.Probes = 3
 	}
+	if o.Rank < 0 {
+		o.Rank = 0
+	}
 	if o.Dial == nil {
 		o.Dial = func(addr string) (*client.Client, error) {
 			return client.Dial(addr, client.Options{Conns: 1, DialTimeout: o.ProbeTimeout})
@@ -99,6 +131,30 @@ func (o Options) withDefaults(node *repl.Node) Options {
 		o.Logf = func(string, ...any) {}
 	}
 	return o
+}
+
+// group is the epoch-claim modulus: this detector plus its peers. A Rank
+// configured past the peer count still gets a safe (if sparse) residue
+// class of its own.
+func (o Options) group() uint64 {
+	g := len(o.Peers) + 1
+	if o.Rank+1 > g {
+		g = o.Rank + 1
+	}
+	return uint64(g)
+}
+
+// claimEpoch maps the node's current epoch to this detector's next claim:
+// the smallest epoch strictly greater than cur that is congruent to Rank
+// modulo the group size. Distinct ranks claim disjoint residue classes, so
+// no two detectors ever claim the same epoch.
+func (o Options) claimEpoch(cur uint64) uint64 {
+	g, r := o.group(), uint64(o.Rank)
+	e := cur + 1
+	if m := e % g; m != r {
+		e += (r + g - m) % g
+	}
+	return e
 }
 
 // Detector watches one follower's primary and promotes on death. Create
@@ -166,13 +222,24 @@ func (d *Detector) run(ctx context.Context) {
 			continue
 		}
 		fails++
+		// Rank staggers action: each rank waits Rank extra full probe
+		// windows past its own death verdict, so rank 0 normally promotes
+		// alone and higher ranks only act when everyone ahead of them is
+		// dead too (the probes keep running the whole time — a primary that
+		// comes back resets the count).
+		threshold := d.opts.Probes * (1 + d.opts.Rank)
 		d.opts.Logf("failover: primary %s silent %v, probe %d/%d failed",
-			d.opts.Upstream, silence.Round(time.Millisecond), fails, d.opts.Probes)
-		if fails < d.opts.Probes {
+			d.opts.Upstream, silence.Round(time.Millisecond), fails, threshold)
+		if fails < threshold {
 			continue
 		}
-		d.failover(ctx, silence)
-		return
+		if d.failover(ctx, silence) {
+			return
+		}
+		// Transient failure (an undeliverable persist, a lost race that left
+		// the node a follower): keep watching — the loop-top role and
+		// divergence checks retire the detector if the node moved on.
+		fails = 0
 	}
 }
 
@@ -190,32 +257,76 @@ func (d *Detector) probe(ctx context.Context) bool {
 	return c.Ping(pctx) == nil
 }
 
-// failover runs the catch-up-then-fence sequence. Catch-up is already done:
-// the pull loop drained the primary until it died. The pre-promotion fence
-// is best-effort and expected to fail against a dead peer.
-func (d *Detector) failover(ctx context.Context, silence time.Duration) {
+// failover runs the catch-up-then-fence sequence; false means the attempt
+// did not promote and the caller should keep watching. Catch-up is already
+// done: the pull loop drained the primary until it died. The pre-promotion
+// fence is best-effort and expected to fail against a dead peer.
+func (d *Detector) failover(ctx context.Context, silence time.Duration) bool {
+	// A sibling may already have won while this rank waited out its
+	// stagger: a peer claiming primary at a newer epoch means the failover
+	// already happened, and promoting beside it would start a (transient,
+	// epoch-resolved, but pointless) rivalry. Retire instead; re-pointing
+	// this follower at the winner is the operator's move.
+	if addr, peerEpoch, ok := d.peerPromoted(); ok {
+		d.opts.Logf("failover: peer %s already promoted at epoch %d; standing down", addr, peerEpoch)
+		return true
+	}
 	_, epoch := d.node.Role()
-	d.opts.Logf("failover: declaring primary %s dead (silent %v); fencing and promoting",
-		d.opts.Upstream, silence.Round(time.Millisecond))
+	claim := d.opts.claimEpoch(epoch)
+	d.opts.Logf("failover: declaring primary %s dead (silent %v); fencing and promoting (claiming epoch %d)",
+		d.opts.Upstream, silence.Round(time.Millisecond), claim)
 	if c, err := d.opts.Dial(d.opts.Upstream); err == nil {
 		fctx, cancel := context.WithTimeout(ctx, d.opts.ProbeTimeout)
-		c.Fence(fctx, epoch+1) //nolint:errcheck
+		c.Fence(fctx, claim) //nolint:errcheck
 		cancel()
 		c.Close() //nolint:errcheck
 	}
 	start := time.Now()
-	newEpoch, err := d.node.Promote()
+	newEpoch, err := d.node.PromoteWith(d.opts.claimEpoch)
 	if err != nil {
-		// Lost a race (another path promoted/fenced the node) or divergence
-		// surfaced at the last moment; either way this detector is done.
+		// Lost a race (another path promoted/fenced the node), divergence
+		// surfaced at the last moment, or the epoch could not be persisted
+		// (the node resumed following). The caller decides whether to keep
+		// watching.
 		d.opts.Logf("failover: promotion failed: %v", err)
-		return
+		return false
 	}
 	took := time.Since(start)
 	d.promotions.Add(1)
 	d.opts.Logf("failover: promoted to primary at epoch %d (silence %v, promotion %v)",
 		newEpoch, silence.Round(time.Millisecond), took.Round(time.Millisecond))
+	// Fence the sibling followers too: a lower-epoch rival that somehow
+	// promoted concurrently steps down the moment this lands, and plain
+	// followers just adopt the epoch. Best-effort — unique claims plus
+	// highest-epoch-wins resolution are the correctness mechanism.
+	for _, addr := range d.opts.Peers {
+		if c, err := d.opts.Dial(addr); err == nil {
+			fctx, cancel := context.WithTimeout(ctx, d.opts.ProbeTimeout)
+			c.Fence(fctx, newEpoch) //nolint:errcheck
+			cancel()
+			c.Close() //nolint:errcheck
+		}
+	}
 	if d.opts.OnPromoted != nil {
 		d.opts.OnPromoted(newEpoch, silence, took)
 	}
+	return true
+}
+
+// peerPromoted sweeps the sibling followers for one that already claims the
+// primary role at an epoch newer than this node's.
+func (d *Detector) peerPromoted() (addr string, epoch uint64, ok bool) {
+	_, cur := d.node.Role()
+	for _, peer := range d.opts.Peers {
+		c, err := d.opts.Dial(peer)
+		if err != nil {
+			continue
+		}
+		role, e := c.ServerRole(), c.ServerEpoch()
+		c.Close() //nolint:errcheck
+		if role == chameleon.RolePrimary && e > cur {
+			return peer, e, true
+		}
+	}
+	return "", 0, false
 }

@@ -90,20 +90,25 @@ func (n *Node) runFollower(ctx context.Context, done chan struct{}) {
 }
 
 // adoptEpoch validates and adopts a pulled epoch (grow-only), persisting an
-// advance durably before any record at that epoch is applied.
+// advance durably BEFORE it takes effect in memory: a persist failure is a
+// plain reconnect-class error, and since the in-memory epoch did not move,
+// the retry re-attempts the write instead of silently skipping it.
 func (n *Node) adoptEpoch(peer uint64) error {
 	n.mu.Lock()
-	if peer < n.epoch {
-		e := n.epoch
-		n.mu.Unlock()
-		return fatalf("upstream epoch regressed %d -> %d", e, peer)
-	}
-	changed := peer > n.epoch
-	n.epoch = peer
-	fenced := n.role == chameleon.RoleFenced
+	cur, fenced := n.epoch, n.role == chameleon.RoleFenced
 	n.mu.Unlock()
-	if changed {
-		n.persistRepl(peer, fenced)
+	if peer < cur {
+		return fatalf("upstream epoch regressed %d -> %d", cur, peer)
+	}
+	if peer > cur {
+		if err := n.persistRepl(peer, fenced); err != nil {
+			return fmt.Errorf("repl: persisting adopted epoch %d: %w", peer, err)
+		}
+		n.mu.Lock()
+		if peer > n.epoch {
+			n.epoch = peer
+		}
+		n.mu.Unlock()
 	}
 	return nil
 }

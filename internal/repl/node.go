@@ -295,7 +295,9 @@ func newNode(ix replIndex, sharded bool, opts Options) *Node {
 			st.baseSeq = ix.ShardCommitSeq(i)
 			ix.SetShardCommitHook(i, n.commitHook(i))
 		}
-		n.persistRepl(epoch, false)
+		// Startup has no caller to fail into; the in-memory epoch still
+		// governs, and the next transition retries the write.
+		n.persistRepl(epoch, false) //nolint:errcheck
 	default:
 		n.role = chameleon.RoleFollower
 		n.epoch = epoch
@@ -309,21 +311,23 @@ func newNode(ix replIndex, sharded bool, opts Options) *Node {
 
 // persistRepl durably records (epoch, fenced) via the index's repl.meta
 // sidecar if it is newer than what is already persisted. Never called with
-// Node.mu held (lock order: index locks outside Node.mu). A write failure is
-// logged, not fatal: the in-memory state machine still enforces the epoch,
-// only restart protection is weakened — and the next transition retries.
-func (n *Node) persistRepl(epoch uint64, fenced bool) {
+// Node.mu held (lock order: index locks outside Node.mu). A write failure
+// propagates to the caller: a transition that must be durable before it
+// takes effect (promotion, fencing, epoch adoption) aborts or surfaces it —
+// the persisted mirror stays behind, so the next transition retries.
+func (n *Node) persistRepl(epoch uint64, fenced bool) error {
 	n.persistMu.Lock()
 	defer n.persistMu.Unlock()
 	if epoch < n.persistedEpoch ||
 		(epoch == n.persistedEpoch && (fenced == n.persistedFenced || n.persistedFenced)) {
-		return // never regress, never un-fence at the same epoch
+		return nil // never regress, never un-fence at the same epoch
 	}
 	if err := n.ix.SaveReplState(epoch, fenced); err != nil {
 		n.opts.Logf("repl: persisting epoch %d (fenced=%v) failed: %v", epoch, fenced, err)
-		return
+		return err
 	}
 	n.persistedEpoch, n.persistedFenced = epoch, fenced
+	return nil
 }
 
 // Role reports the node's current role and fencing epoch.
@@ -429,17 +433,24 @@ type PullReply struct {
 
 // maybeFence applies a strictly newer peer epoch and persists the verdict
 // before the caller proceeds — a pull or fence RPC carrying a newer epoch
-// must depose this node durably, not just in memory.
-func (n *Node) maybeFence(peerEpoch uint64) {
+// must depose this node durably, not just in memory. The in-memory fence
+// applies even when persistence fails (refusing writes is the safe
+// direction); the error tells the caller durability was NOT achieved, so a
+// restart could resurrect the node at the stale epoch until a later
+// transition retries the write.
+func (n *Node) maybeFence(peerEpoch uint64) error {
 	n.mu.Lock()
 	if peerEpoch <= n.epoch {
 		n.mu.Unlock()
-		return
+		return nil
 	}
 	n.fenceLocked(peerEpoch)
 	epoch, fenced := n.epoch, n.role == chameleon.RoleFenced
 	n.mu.Unlock()
-	n.persistRepl(epoch, fenced)
+	if err := n.persistRepl(epoch, fenced); err != nil {
+		return fmt.Errorf("repl: fenced in memory at epoch %d but persisting the verdict failed: %w", epoch, err)
+	}
+	return nil
 }
 
 // ServePull answers one REPL_PULL (the unsharded wire op): shard 0's stream,
@@ -462,7 +473,12 @@ func (n *Node) ServeShardPull(ctx context.Context, shard int, fromSeq uint64, ma
 	if shard < 0 || shard >= len(n.streams) {
 		return PullReply{}, fmt.Errorf("repl: shard %d out of range (node has %d)", shard, len(n.streams))
 	}
-	n.maybeFence(peerEpoch)
+	if err := n.maybeFence(peerEpoch); err != nil {
+		// The fence stands in memory but is not durable; refuse the pull so
+		// the puller retries (and this path retries the persist) rather than
+		// serving records under an unrecorded epoch.
+		return PullReply{}, err
+	}
 	// Layout reads are index calls — resolved before taking Node.mu.
 	gen := n.ix.ManifestGen()
 	var bounds []uint64
@@ -607,8 +623,26 @@ func (n *Node) chunk(s *snapshot, offset uint64) (SnapReply, error) {
 // best-effort fence RPC tells the old upstream it is deposed (epochs carried
 // on every pull are the real protection — the RPC only shortens the window).
 // Promoting a primary is a no-op; promoting a fenced or diverged node is
-// refused.
-func (n *Node) Promote() (uint64, error) {
+// refused, and a promotion whose epoch cannot be durably recorded fails with
+// the node resuming as a follower.
+func (n *Node) Promote() (uint64, error) { return n.PromoteWith(nil) }
+
+// PromoteWith is Promote with a caller-supplied epoch-claim function: next
+// maps the node's current epoch to the epoch to claim and must return a
+// strictly greater value (claims that do not advance are bumped to cur+1).
+// The failure detector passes a rank-unique claim (epoch ≡ rank mod group)
+// so concurrent detectors on sibling followers can never claim the same
+// epoch. nil claims cur+1.
+//
+// The claim is re-evaluated under the final lock: if a concurrent fence or
+// pull adoption advanced the node's epoch past the claimed value while the
+// pull loop was draining, the claim is recomputed against the newer epoch
+// and re-persisted — the node never becomes primary at an epoch another
+// primary already reached.
+func (n *Node) PromoteWith(next func(cur uint64) uint64) (uint64, error) {
+	if next == nil {
+		next = func(cur uint64) uint64 { return cur + 1 }
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -630,7 +664,6 @@ func (n *Node) Promote() (uint64, error) {
 	}
 	cancel, done := n.cancel, n.done
 	n.cancel, n.done = nil, nil
-	epoch := n.epoch + 1 // strictly exceeds the deposed primary's (adopted from pulls)
 	n.mu.Unlock()
 
 	// Stop the pull loop and wait it out so no replicated batch lands after
@@ -641,11 +674,6 @@ func (n *Node) Promote() (uint64, error) {
 	if done != nil {
 		<-done
 	}
-
-	// Persist the new epoch BEFORE accepting the first write at it: a crash
-	// right after an acked write must restart into epoch ≥ the one that
-	// acked it.
-	n.persistRepl(epoch, false)
 
 	// Seed each ring at its shard's commit clock, then install the hooks
 	// (index calls, so outside n.mu). A batch slipping between the two
@@ -659,11 +687,44 @@ func (n *Node) Promote() (uint64, error) {
 		n.ix.SetShardCommitHook(i, n.commitHook(i))
 	}
 
-	n.mu.Lock()
-	if epoch > n.epoch {
-		n.epoch = epoch
+	// Claim, persist, verify: the new epoch is durable BEFORE the first
+	// write is accepted at it (a crash right after an acked write must
+	// restart into epoch ≥ the one that acked it), and the role flips only
+	// while the claim is still strictly ahead of the node's epoch — a
+	// concurrent Fence or pull adoption in the window forces a re-claim.
+	var epoch uint64
+	for {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return 0, ErrNodeClosed
+		}
+		if n.role == chameleon.RolePrimary { // lost a concurrent-promote race
+			e := n.epoch
+			n.mu.Unlock()
+			return e, nil
+		}
+		cur := n.epoch
+		n.mu.Unlock()
+
+		epoch = next(cur)
+		if epoch <= cur {
+			epoch = cur + 1
+		}
+		if err := n.persistRepl(epoch, false); err != nil {
+			n.resumeFollower()
+			return 0, fmt.Errorf("repl: refusing to promote: persisting epoch %d failed: %w", epoch, err)
+		}
+
+		n.mu.Lock()
+		if n.epoch >= epoch {
+			// A fence or adoption reached epoch first; claim again above it.
+			n.mu.Unlock()
+			continue
+		}
+		break // mu held
 	}
-	epoch = n.epoch
+	n.epoch = epoch
 	n.role = chameleon.RolePrimary
 	for i, st := range n.streams {
 		st.baseSeq = seqs[i]
@@ -675,6 +736,24 @@ func (n *Node) Promote() (uint64, error) {
 	n.opts.Logf("repl: promoted to primary, epoch %d (commit seq %d)", epoch, n.ix.CommitSeq())
 	go n.fenceUpstream(upstream, epoch)
 	return epoch, nil
+}
+
+// resumeFollower unwinds a half-done promotion after a persistence failure:
+// the commit hooks detach and the pull loop restarts, leaving the node a
+// plain follower again.
+func (n *Node) resumeFollower() {
+	for i := range n.streams {
+		n.ix.SetShardCommitHook(i, nil)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.role != chameleon.RoleFollower || n.cancel != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
+	n.done = make(chan struct{})
+	go n.runFollower(ctx, n.done)
 }
 
 // fenceUpstream best-effort tells the old primary it is deposed.
@@ -700,12 +779,14 @@ func (n *Node) fenceUpstream(addr string, epoch uint64) {
 // Fence delivers a fencing token: if epoch is newer than the node's own, a
 // primary steps down to fenced (durably) and a follower adopts the epoch.
 // Returns the node's resulting epoch and role (the caller learns both
-// outcomes).
-func (n *Node) Fence(epoch uint64) (uint64, chameleon.ReplRole) {
-	n.maybeFence(epoch)
+// outcomes). A non-nil error means the fence took effect in memory but
+// could not be durably recorded — the fencing caller must not treat the
+// deposition as surviving a restart.
+func (n *Node) Fence(epoch uint64) (uint64, chameleon.ReplRole, error) {
+	err := n.maybeFence(epoch)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.epoch, n.role
+	return n.epoch, n.role, err
 }
 
 // fenceLocked applies a strictly newer epoch under n.mu. Callers persist the

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -197,11 +198,11 @@ func TestPromoteFenceStateMachine(t *testing.T) {
 	defer n.Close()
 
 	// A stale epoch does not fence.
-	if epoch, role := n.Fence(1); epoch != 1 || role != chameleon.RolePrimary {
+	if epoch, role, _ := n.Fence(1); epoch != 1 || role != chameleon.RolePrimary {
 		t.Fatalf("stale fence: epoch %d role %v", epoch, role)
 	}
 	// A newer epoch deposes the primary.
-	if epoch, role := n.Fence(3); epoch != 3 || role != chameleon.RoleFenced {
+	if epoch, role, _ := n.Fence(3); epoch != 3 || role != chameleon.RoleFenced {
 		t.Fatalf("fence: epoch %d role %v", epoch, role)
 	}
 	if n.AllowWrites() {
@@ -406,5 +407,180 @@ func TestPullLoopBootstraps(t *testing.T) {
 	}
 	if h := n.Health(); h.Diverged {
 		t.Fatalf("unexpected divergence: %+v", h)
+	}
+}
+
+// hookedIx wraps a replIndex with an observable, failable SaveReplState, so
+// tests can interleave with (or break) the repl.meta persistence step.
+type hookedIx struct {
+	replIndex
+	onSave   func(epoch uint64, fenced bool)
+	failSave atomic.Bool
+}
+
+func (h *hookedIx) SaveReplState(epoch uint64, fenced bool) error {
+	if h.failSave.Load() {
+		return errors.New("injected repl.meta write failure")
+	}
+	if h.onSave != nil {
+		h.onSave(epoch, fenced)
+	}
+	return h.replIndex.SaveReplState(epoch, fenced)
+}
+
+// newShellWith is newFollowerShell over an arbitrary replIndex.
+func newShellWith(ix replIndex, opts Options) *Node {
+	n := &Node{
+		ix:      ix,
+		opts:    opts.withDefaults(),
+		ackCh:   make(chan struct{}),
+		snaps:   make(map[uint64]*snapshot),
+		role:    chameleon.RoleFollower,
+		streams: []*shardStream{{dataCh: make(chan struct{})}},
+	}
+	n.lastProgress.Store(time.Now().UnixNano())
+	return n
+}
+
+// TestPromoteReclaimsAfterConcurrentFence: a Fence (or pull adoption) that
+// advances the node's epoch in the window between Promote's persist and its
+// final role flip must force a re-claim — the node must never become primary
+// at an epoch another primary already reached. The hook fires inside the
+// first claim's SaveReplState, simulating the rival landing mid-window.
+func TestPromoteReclaimsAfterConcurrentFence(t *testing.T) {
+	hx := &hookedIx{replIndex: soloIndex{openIx(t)}}
+	n := newShellWith(hx, Options{ReplicaOf: "scripted"})
+	n.epoch = 1 // as if adopted from the deposed primary
+	defer n.Close()
+
+	fired := false
+	hx.onSave = func(epoch uint64, fenced bool) {
+		if fired || fenced {
+			return
+		}
+		fired = true
+		if epoch != 2 {
+			t.Errorf("first claim persisted epoch %d, want 2", epoch)
+		}
+		// A rival's fence applies in memory first (maybeFence order); land it
+		// while the claim of 2 is mid-persist.
+		n.mu.Lock()
+		n.epoch = 5
+		n.mu.Unlock()
+	}
+
+	epoch, err := n.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 6 {
+		t.Fatalf("promoted at epoch %d, want 6 (re-claimed past the rival's 5)", epoch)
+	}
+	if role, e := n.Role(); role != chameleon.RolePrimary || e != 6 {
+		t.Fatalf("post-promote role %v epoch %d", role, e)
+	}
+	if pe, pf := hx.LoadReplState(); pe != 6 || pf {
+		t.Fatalf("persisted state (%d, %v), want (6, false)", pe, pf)
+	}
+}
+
+// TestPromotePersistFailureStaysFollower: when the claimed epoch cannot be
+// durably recorded, Promote must fail and the node must resume as a plain
+// follower (pull loop running, writes refused) — not ack writes at an epoch
+// a restart would forget.
+func TestPromotePersistFailureStaysFollower(t *testing.T) {
+	hx := &hookedIx{replIndex: soloIndex{openIx(t)}}
+	n := newShellWith(hx, Options{
+		ReplicaOf:    "127.0.0.1:1", // unreachable; the resumed loop just backs off
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 20 * time.Millisecond,
+	})
+	n.epoch = 1
+	defer n.Close()
+	hx.failSave.Store(true)
+
+	if _, err := n.Promote(); err == nil {
+		t.Fatal("Promote succeeded despite a failing repl.meta write")
+	}
+	if role, _ := n.Role(); role != chameleon.RoleFollower {
+		t.Fatalf("post-failure role %v, want follower", role)
+	}
+	if n.AllowWrites() {
+		t.Fatal("node accepts writes after a failed promotion")
+	}
+	n.mu.Lock()
+	resumed := n.cancel != nil
+	n.mu.Unlock()
+	if !resumed {
+		t.Fatal("pull loop not resumed after the failed promotion")
+	}
+
+	// The failure is transient: once the sidecar writes again, promotion
+	// goes through at a durably recorded epoch.
+	hx.failSave.Store(false)
+	epoch, err := n.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("recovered promotion epoch %d, want 2", epoch)
+	}
+	if pe, pf := hx.LoadReplState(); pe != 2 || pf {
+		t.Fatalf("persisted state (%d, %v), want (2, false)", pe, pf)
+	}
+}
+
+// TestFencePersistFailureSurfacesButFences: a fence whose repl.meta write
+// fails must still refuse writes (the safe direction) while telling the
+// fencing caller durability was not achieved.
+func TestFencePersistFailureSurfacesButFences(t *testing.T) {
+	hx := &hookedIx{replIndex: soloIndex{openIx(t)}}
+	hx.failSave.Store(true)
+	n := newNode(hx, false, Options{})
+	defer n.Close()
+
+	epoch, role, err := n.Fence(3)
+	if err == nil {
+		t.Fatal("Fence reported success despite a failing repl.meta write")
+	}
+	if epoch != 3 || role != chameleon.RoleFenced {
+		t.Fatalf("fence outcome epoch %d role %v, want 3/fenced", epoch, role)
+	}
+	if n.AllowWrites() {
+		t.Fatal("fenced-in-memory node accepts writes")
+	}
+	// Once the sidecar writes again, the next fencing transition lands
+	// durably (the mirror never advanced past the failure).
+	hx.failSave.Store(false)
+	if _, _, err := n.Fence(4); err != nil {
+		t.Fatal(err)
+	}
+	if pe, pf := hx.LoadReplState(); pe != 4 || !pf {
+		t.Fatalf("persisted state (%d, %v), want (4, true)", pe, pf)
+	}
+}
+
+// TestPromoteWithRankUniqueClaims: PromoteWith's claim function governs the
+// chosen epoch, including across a forced re-claim.
+func TestPromoteWithRankUniqueClaims(t *testing.T) {
+	hx := &hookedIx{replIndex: soloIndex{openIx(t)}}
+	n := newShellWith(hx, Options{ReplicaOf: "scripted"})
+	n.epoch = 1
+	defer n.Close()
+
+	// Rank 1 of group 3: epochs ≡ 1 (mod 3).
+	claim := func(cur uint64) uint64 {
+		e := cur + 1
+		for e%3 != 1 {
+			e++
+		}
+		return e
+	}
+	epoch, err := n.PromoteWith(claim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 4 { // cur 1 → smallest e>1 with e≡1 (mod 3)
+		t.Fatalf("rank claim promoted at %d, want 4", epoch)
 	}
 }

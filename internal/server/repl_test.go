@@ -938,8 +938,8 @@ func TestFencedNodeStaysFencedAcrossRestart(t *testing.T) {
 
 	ix := openIx(t, dir, chameleon.DirOptions{})
 	node := repl.New(ix, repl.Options{})
-	if _, role := node.Fence(7); role != chameleon.RoleFenced {
-		t.Fatalf("Fence(7) left role %v", role)
+	if _, role, err := node.Fence(7); role != chameleon.RoleFenced || err != nil {
+		t.Fatalf("Fence(7) left role %v (err %v)", role, err)
 	}
 	node.Close()
 	if err := ix.Close(); err != nil {

@@ -787,7 +787,12 @@ func (s *Server) handleRepl(ctx context.Context, c *conn, req *wire.Request, res
 		res.SnapID, res.AsOfSeq = sr.SnapID, sr.AsOfSeq
 		res.Offset, res.Total, res.Snap = sr.Offset, sr.Total, sr.Data
 	case wire.OpReplFence:
-		epoch, role := node.Fence(req.Epoch)
+		epoch, role, err := node.Fence(req.Epoch)
+		if err != nil {
+			// The fence holds in memory but was not durably recorded; the
+			// fencing caller must not count on it surviving a restart.
+			return s.fail(res, err)
+		}
 		res.Epoch, res.Role = epoch, byte(role)
 	case wire.OpPromote:
 		epoch, err := node.Promote()
