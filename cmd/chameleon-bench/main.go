@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID (fig1, fig8..fig15, table5, conc, durability, scaling, overload, serve, shard, repl, failover, read) or 'all'")
+		exp     = flag.String("exp", "", "experiment ID (fig1, fig8..fig15, table5, conc, durability, scaling, overload, serve, shard, repl, failover, read, tier) or 'all'")
 		n       = flag.Int("n", 400_000, "dataset cardinality")
 		ops     = flag.Int("ops", 200_000, "mixed-workload operation count")
 		seed    = flag.Uint64("seed", 42, "generator seed")

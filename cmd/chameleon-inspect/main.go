@@ -3,11 +3,22 @@
 // the Table V metrics, size breakdown, height, and local skewness. It is the
 // operational "what does my index look like" tool.
 //
+// With -dir it instead inspects a tiered durable directory: the tier
+// manifest (generation, flushed watermark, live count) and every segment's
+// metadata — level, key range, sequence watermark, learned-model size and
+// error bound, and per-file integrity status. A sharded root recurses into
+// every shard. -check additionally re-verifies each segment end to end
+// (full-file CRC plus a probe of the model against the on-disk keys); -seg
+// dumps one segment file with no manifest cross-check.
+//
 // Usage:
 //
 //	chameleon-inspect -index idx.cham
 //	chameleon-inspect -sosd data/face_1000000.sosd          # build then inspect
 //	chameleon-inspect -sosd data/face_1000000.sosd -save idx.cham
+//	chameleon-inspect -dir /data/chameleon                  # tier manifest + segments
+//	chameleon-inspect -dir /data/chameleon -check           # + CRC/model verification
+//	chameleon-inspect -seg /data/chameleon/seg-0000000000000003.seg
 package main
 
 import (
@@ -27,8 +38,22 @@ func main() {
 		limit     = flag.Int("limit", 0, "max keys to read from the SOSD file (0 = all)")
 		savePath  = flag.String("save", "", "write the (built or loaded) index here")
 		seed      = flag.Uint64("seed", 1, "construction seed")
+		dirPath   = flag.String("dir", "", "tiered durable directory: dump the tier manifest and segment metadata")
+		segPath   = flag.String("seg", "", "single segment file: dump its header and model (no manifest cross-check)")
+		check     = flag.Bool("check", false, "with -dir: re-verify every segment (CRC pass + model probe against on-disk keys)")
 	)
 	flag.Parse()
+
+	if *segPath != "" {
+		inspectSegFile(*segPath)
+		return
+	}
+	if *dirPath != "" {
+		if !inspectTierDir(*dirPath, *check) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var ix *chameleon.Index
 	switch {

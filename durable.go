@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"chameleon/internal/faultfs"
+	"chameleon/internal/segment"
 	"chameleon/internal/wal"
 )
 
@@ -56,6 +57,24 @@ type DirOptions struct {
 	// space (respecting their context deadline) instead of failing fast with
 	// ErrOverloaded.
 	BlockOnFull bool
+
+	// Tiered switches the directory to tiered disk-resident storage
+	// (tier.go): hot writes stay in the in-memory index backed by the WAL,
+	// and a background flusher freezes the memtable into immutable learned-
+	// index segments instead of Checkpoint rewriting monolithic snapshots. A
+	// directory that already has a tier manifest always opens tiered,
+	// regardless of this flag; a legacy directory opened with Tiered set
+	// migrates on its first flush.
+	Tiered bool
+	// MemtableBytes is the approximate in-memory delta size that triggers a
+	// background flush (default 4 MiB). Entries are accounted at 16 bytes.
+	MemtableBytes int64
+	// SegmentEps is the learned-model error bound ε for written segments
+	// (default segment.DefaultEps): a cold lookup preads at most 2ε+1 keys.
+	SegmentEps int
+	// CompactL0 is how many L0 segments accumulate before a compaction
+	// merges them (plus overlapping L1 runs) into L1 (default 4).
+	CompactL0 int
 }
 
 // DurableIndex is an Index whose mutations survive process crashes. Every
@@ -82,6 +101,10 @@ type DurableIndex struct {
 	closed bool
 	fail   error // sticky: set when on-disk and in-memory state may diverge
 
+	// tier is the disk-resident segment tier (tier.go); nil in legacy
+	// snapshot mode. Set once at open, before the handle escapes.
+	tier *tier
+
 	// Replication plumbing (replseq.go). commitSeq counts records ever
 	// durably committed — the monotonic clock replication sequences on; it is
 	// advanced under d.mu and persisted via the seq.meta sidecar (seqMeta,
@@ -91,6 +114,7 @@ type DurableIndex struct {
 	// (close-and-replace under seqWaitMu, which nests inside any other lock).
 	commitSeq  atomic.Uint64
 	seqMeta    map[uint64]uint64
+	seqMetaGen uint64 // newest sidecar generation on disk; next write is gen+1
 	commitHook func(firstSeq uint64, recs []wal.Record) error
 	seqWaitMu  sync.Mutex
 	seqWaitCh  chan struct{}
@@ -234,6 +258,15 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	// A directory with a tier manifest is tiered, whatever the options say:
+	// opening it through the legacy path would ignore the segments entirely.
+	man, err := segment.LoadManifest(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	if man != nil {
+		return openTieredDir(dir, opts, fsys, man)
+	}
 	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -334,15 +367,22 @@ func openDirFS(dir string, opts DirOptions, fsys faultfs.FS) (*DurableIndex, err
 	if opts.RetrainEvery > 0 {
 		ix.inner.StartRetrainer(opts.RetrainEvery)
 	}
+	seqMeta, seqMetaGen := readSeqMeta(fsys, dir)
 	d := &DurableIndex{
 		ix: ix, fs: fsys, dir: dir, log: log, seq: seq, opts: opts,
-		space:   make(chan struct{}),
-		seqMeta: readSeqMeta(fsys, dir),
+		space:      make(chan struct{}),
+		seqMeta:    seqMeta,
+		seqMetaGen: seqMetaGen,
 	}
 	// Commit clock: the chosen snapshot's recorded commit sequence (zero for
 	// pre-replication directories — the documented legacy fallback) plus one
 	// for every record replayed after it.
 	d.commitSeq.Store(d.seqMeta[chosen] + replayed)
+	if opts.Tiered {
+		// Legacy directory explicitly opened tiered: migration. The recovered
+		// state is the memtable; the first flush moves it into an L0 segment.
+		attachEmptyTier(d)
+	}
 	return d, nil
 }
 
@@ -656,7 +696,14 @@ func (d *DurableIndex) commitBatch(batch []*pendingOp) {
 		key := op.rec.Key
 		present, known := overlay[key]
 		if !known {
-			_, present = d.ix.Lookup(key)
+			var verr error
+			present, verr = d.presentLocked(key)
+			if verr != nil {
+				// A segment I/O failure during validation fails this op
+				// without logging it; the handle itself stays usable.
+				op.err = fmt.Errorf("validate: %w", verr)
+				continue
+			}
 		}
 		switch op.rec.Op {
 		case wal.OpInsert:
@@ -714,20 +761,16 @@ func (d *DurableIndex) commitBatch(batch []*pendingOp) {
 	// so any failure means memory no longer matches what was just made
 	// durable — fail-stop.
 	for i, op := range accepted {
-		var err error
-		switch op.rec.Op {
-		case wal.OpInsert:
-			err = d.ix.Insert(op.rec.Key, op.rec.Val)
-		case wal.OpDelete:
-			err = d.ix.Delete(op.rec.Key)
-		}
-		if err != nil {
+		if err := d.applyRecordLocked(op.rec); err != nil {
 			d.poisonLocked(fmt.Errorf("group commit apply: %w", err))
 			for _, rest := range accepted[i:] {
 				rest.err = d.fail
 			}
 			return
 		}
+	}
+	if d.tier != nil {
+		d.tier.maybeSignalFlush()
 	}
 
 	// The batch's records now carry commit sequences [first, first+len-1].
@@ -746,12 +789,15 @@ func (d *DurableIndex) commitBatch(batch []*pendingOp) {
 	}
 }
 
-// BulkLoad rebuilds the index from sorted keys and immediately checkpoints:
-// bulk-loaded data is durable when BulkLoad returns, and the WAL restarts
-// empty. Bulk data never passes through the WAL, so a failed checkpoint
-// leaves it in memory with nothing on disk to recover it from — that failure
-// poisons the handle (fail-stop) rather than letting acked state diverge.
+// BulkLoad rebuilds the index from sorted keys and immediately makes the
+// data durable — in legacy mode as an atomic snapshot, in tiered mode as one
+// fresh L1 segment replacing all tier state (tier.bulkLoad). Bulk data never
+// passes through the WAL, so a failure after the commit point poisons the
+// handle (fail-stop) rather than letting acked state diverge.
 func (d *DurableIndex) BulkLoad(keys, vals []uint64) error {
+	if d.tier != nil {
+		return d.tier.bulkLoad(keys, vals)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.usableLocked(); err != nil {
@@ -771,7 +817,15 @@ func (d *DurableIndex) BulkLoad(keys, vals []uint64) error {
 // fsync, rename, directory fsync), rotates to a fresh WAL, and garbage-
 // collects superseded files. Recovery cost after Checkpoint is one snapshot
 // load; the old log's records are all reflected in the snapshot.
+//
+// In tiered mode Checkpoint is a Flush: the durability contract (everything
+// committed so far is recoverable without the truncated WAL) is the same,
+// but the cost scales with the delta since the last flush, not the full
+// index.
 func (d *DurableIndex) Checkpoint() error {
+	if d.tier != nil {
+		return d.Flush()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.usableLocked(); err != nil {
@@ -945,6 +999,13 @@ func (d *DurableIndex) Close() error {
 	}
 	d.qmu.Unlock()
 
+	// Stop the tier's background flusher before taking d.mu: a flush in
+	// progress needs d.mu to finish, so waiting for it under d.mu would
+	// deadlock.
+	if d.tier != nil {
+		d.tier.stop()
+	}
+
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -954,7 +1015,13 @@ func (d *DurableIndex) Close() error {
 	d.readsClosed.Store(true)
 	d.broadcastSeq() // WaitSeq waiters wake and observe ErrIndexClosed
 	d.ix.inner.StopRetrainer()
-	return d.log.Close()
+	err := d.log.Close()
+	if d.tier != nil {
+		// readsClosed is set: no new cold read can start. The barrier inside
+		// closeReaders drains the in-flight ones, then the files close.
+		d.tier.closeReaders()
+	}
+	return err
 }
 
 // Read-side forwards. Only the non-mutating surface of Index is exposed;
@@ -966,17 +1033,23 @@ func (d *DurableIndex) Close() error {
 // than panicking or serving a handle the caller relinquished; Err and Health
 // distinguish closed from merely empty.
 
-// Lookup returns the value stored for key.
+// Lookup returns the value stored for key. In tiered mode a memtable miss
+// falls through to the frozen run and then the segments, newest first — one
+// model evaluation and one bounded pread per consulted run.
 func (d *DurableIndex) Lookup(key uint64) (uint64, bool) {
 	if d.readsClosed.Load() {
 		return 0, false
+	}
+	if d.tier != nil {
+		return d.tier.lookup(key)
 	}
 	return d.ix.Lookup(key)
 }
 
 // LookupBatch resolves keys[i] into vals[i], found[i] against one tree
-// snapshot. After Close every key reports clean not-found, matching Lookup.
-// vals and found must be at least len(keys) long.
+// snapshot; in tiered mode misses are then resolved against the cold tiers.
+// After Close every key reports clean not-found, matching Lookup. vals and
+// found must be at least len(keys) long.
 func (d *DurableIndex) LookupBatch(keys, vals []uint64, found []bool) {
 	if d.readsClosed.Load() {
 		for i := range keys {
@@ -985,21 +1058,38 @@ func (d *DurableIndex) LookupBatch(keys, vals []uint64, found []bool) {
 		return
 	}
 	d.ix.LookupBatch(keys, vals, found)
+	if d.tier == nil {
+		return
+	}
+	for i := range keys {
+		if !found[i] {
+			vals[i], found[i] = d.tier.lookupCold(keys[i])
+		}
+	}
 }
 
 // Range calls fn for every key in [lo, hi] in ascending order until fn
-// returns false.
+// returns false. In tiered mode the scan stitches a k-way merge across the
+// memtable, the frozen run, and every overlapping segment, with newest-first
+// shadowing and tombstone suppression.
 func (d *DurableIndex) Range(lo, hi uint64, fn func(key, val uint64) bool) {
 	if d.readsClosed.Load() {
+		return
+	}
+	if d.tier != nil {
+		d.tier.rangeMerged(lo, hi, fn)
 		return
 	}
 	d.ix.Range(lo, hi, fn)
 }
 
-// Len reports the number of stored keys.
+// Len reports the number of stored keys (across every tier, in tiered mode).
 func (d *DurableIndex) Len() int {
 	if d.readsClosed.Load() {
 		return 0
+	}
+	if d.tier != nil {
+		return int(d.tier.liveCount.Load())
 	}
 	return d.ix.Len()
 }
@@ -1056,10 +1146,15 @@ func (d *DurableIndex) Reconstructions() int {
 // WriteTo serializes the current contents (read-only; it does not rotate the
 // WAL — use Checkpoint for durable snapshots). Unlike the query surface it
 // returns an explicit error on a closed handle: silently writing an empty
-// snapshot would look like data loss.
+// snapshot would look like data loss. In tiered mode the in-memory format
+// cannot represent the segment tiers, so WriteTo refuses (SnapshotAt streams
+// the full tier instead) rather than silently serializing the memtable only.
 func (d *DurableIndex) WriteTo(w io.Writer) (int64, error) {
 	if d.readsClosed.Load() {
 		return 0, ErrIndexClosed
+	}
+	if d.tier != nil {
+		return 0, fmt.Errorf("%w: WriteTo cannot represent segments; use SnapshotAt", ErrNotTiered)
 	}
 	return d.ix.WriteTo(w)
 }

@@ -116,6 +116,69 @@ type Health struct {
 	// durably committed through this index (see DurableIndex.CommitSeq). On a
 	// follower it equals the highest upstream sequence applied.
 	CommitSeq uint64
+
+	// Tier is the tiered-storage slice of the snapshot; nil when the
+	// directory runs in legacy monolithic-checkpoint mode.
+	Tier *TierHealth
+}
+
+// TierHealth is a point-in-time snapshot of the tiered storage engine: the
+// shape of the disk-resident tier, the volatile tiers awaiting flush, and
+// the flush/compaction/cold-read counters an operator watches to size the
+// memtable and the compaction trigger. All counters are cumulative since
+// OpenDir. On a sharded index the per-shard snapshots are summed (maxima for
+// the last-duration gauges), matching the rest of the Health aggregation.
+type TierHealth struct {
+	// Segments is the published segment-file count; L0Segments of those are
+	// level-0 flush outputs not yet compacted. SegmentBytes is their total
+	// on-disk size.
+	Segments     int
+	L0Segments   int
+	SegmentBytes int64
+
+	// LiveKeys is the exact visible-key count across every tier.
+	// MemtableKeys and DeadKeys are the hot inserts and pending tombstones
+	// the next flush will fold in; FrozenKeys is the size of a capture
+	// currently being flushed (0 when no flush is in flight).
+	LiveKeys     int64
+	MemtableKeys int
+	DeadKeys     int
+	FrozenKeys   int
+
+	// FlushedSeq is the manifest watermark F: every record at or below it is
+	// inside segments, and the WAL is truncated only past it. Gen is the
+	// manifest generation.
+	FlushedSeq uint64
+	Gen        uint64
+
+	// Flushes/Compactions count committed manifest advances of each kind;
+	// the Err counters count failed attempts (each retried — a failed flush
+	// keeps its frozen run in memory). FlushedBytes and CompactBytes are the
+	// segment bytes each path wrote — their ratio against the WAL traffic is
+	// the tier's write amplification.
+	Flushes      uint64
+	FlushErrs    uint64
+	Compactions  uint64
+	CompactErrs  uint64
+	FlushedBytes uint64
+	CompactBytes uint64
+
+	// LastFlushMicros/LastCompactMicros are the wall-clock durations of the
+	// most recent successful flush and compaction.
+	LastFlushMicros   int64
+	LastCompactMicros int64
+
+	// ColdReads counts lookups resolved from a segment (hit or tombstone);
+	// ColdReadErrs counts segment I/O failures on the read path.
+	// ColdRankErrorSum accumulates |model-predicted − actual| rank distance
+	// across cold reads: ColdRankErrorSum/ColdReads is the mean model error,
+	// bounded by the configured ε.
+	ColdReads        uint64
+	ColdReadErrs     uint64
+	ColdRankErrorSum uint64
+
+	// LastFlushErr is the most recent flush failure, nil after any success.
+	LastFlushErr error
 }
 
 // Health reports the durable index's current state and counters. It is safe
@@ -162,7 +225,91 @@ func (d *DurableIndex) Health() Health {
 	h.RetrainPauses = d.retrainPauses.Load()
 	h.RetrainPaused = d.retrainPaused.Load()
 	h.CommitSeq = d.commitSeq.Load()
+	if d.tier != nil {
+		h.Tier = d.tier.health()
+	}
 	return h
+}
+
+// health snapshots the tier's counters. Like Health it reads only atomics
+// plus deadMu (never held across I/O), so a probe answers even while a flush
+// is wedged on disk.
+func (t *tier) health() *TierHealth {
+	th := &TierHealth{
+		LiveKeys:          t.liveCount.Load(),
+		MemtableKeys:      t.d.ix.Len(),
+		FlushedSeq:        t.flushedSeq.Load(),
+		Gen:               t.gen.Load(),
+		Flushes:           t.flushes.Load(),
+		FlushErrs:         t.flushErrs.Load(),
+		Compactions:       t.compactions.Load(),
+		CompactErrs:       t.compactErrs.Load(),
+		FlushedBytes:      t.flushedBytes.Load(),
+		CompactBytes:      t.compactBytes.Load(),
+		LastFlushMicros:   t.lastFlushUS.Load(),
+		LastCompactMicros: t.lastCompactUS.Load(),
+		ColdReads:         t.coldReads.Load(),
+		ColdReadErrs:      t.coldErrs.Load(),
+		ColdRankErrorSum:  t.coldDist.Load(),
+	}
+	t.deadMu.RLock()
+	th.DeadKeys = len(t.dead)
+	t.deadMu.RUnlock()
+	if fr := t.frozen.Load(); fr != nil {
+		th.FrozenKeys = len(fr.keys)
+	}
+	for _, r := range t.segs.Load().readers {
+		m := r.Meta()
+		th.Segments++
+		if m.Level == 0 {
+			th.L0Segments++
+		}
+		th.SegmentBytes += m.Bytes
+	}
+	if b, _ := t.lastFlushErrv.Load().(errBox); b.err != nil {
+		th.LastFlushErr = b.err
+	}
+	return th
+}
+
+// mergeTierHealth folds one shard's tier snapshot into an aggregate (sums
+// for counters and sizes, maxima for the last-duration gauges, first
+// non-nil error).
+func mergeTierHealth(agg *TierHealth, th *TierHealth) *TierHealth {
+	if th == nil {
+		return agg
+	}
+	if agg == nil {
+		agg = &TierHealth{}
+	}
+	agg.Segments += th.Segments
+	agg.L0Segments += th.L0Segments
+	agg.SegmentBytes += th.SegmentBytes
+	agg.LiveKeys += th.LiveKeys
+	agg.MemtableKeys += th.MemtableKeys
+	agg.DeadKeys += th.DeadKeys
+	agg.FrozenKeys += th.FrozenKeys
+	agg.FlushedSeq += th.FlushedSeq
+	agg.Gen += th.Gen
+	agg.Flushes += th.Flushes
+	agg.FlushErrs += th.FlushErrs
+	agg.Compactions += th.Compactions
+	agg.CompactErrs += th.CompactErrs
+	agg.FlushedBytes += th.FlushedBytes
+	agg.CompactBytes += th.CompactBytes
+	if th.LastFlushMicros > agg.LastFlushMicros {
+		agg.LastFlushMicros = th.LastFlushMicros
+	}
+	if th.LastCompactMicros > agg.LastCompactMicros {
+		agg.LastCompactMicros = th.LastCompactMicros
+	}
+	agg.ColdReads += th.ColdReads
+	agg.ColdReadErrs += th.ColdReadErrs
+	agg.ColdRankErrorSum += th.ColdRankErrorSum
+	if agg.LastFlushErr == nil {
+		agg.LastFlushErr = th.LastFlushErr
+	}
+	return agg
 }
 
 // Err reports the terminal condition of the handle: the sticky poison cause,

@@ -181,3 +181,15 @@ func (ix *Index) Range(lo, hi uint64, fn func(key, val uint64) bool) {
 		}
 	}
 }
+
+// AppendPairs appends every stored (key, value) pair to keys/vals in
+// ascending key order and returns the extended slices — the bulk dump the
+// durable tier uses to freeze a memtable into a sorted run.
+func (ix *Index) AppendPairs(keys, vals []uint64) ([]uint64, []uint64) {
+	ix.Range(0, ^uint64(0), func(k, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	return keys, vals
+}

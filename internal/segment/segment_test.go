@@ -1,0 +1,484 @@
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"chameleon/internal/faultfs"
+)
+
+// buildRun makes n strictly-ascending pseudo-random keys with parallel
+// values and every tombEvery-th entry a tombstone (0 disables tombstones).
+func buildRun(n int, seed int64, tombEvery int) (keys, vals []uint64, tombs []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	keys = make([]uint64, n)
+	vals = make([]uint64, n)
+	tombs = make([]bool, n)
+	k := uint64(0)
+	for i := 0; i < n; i++ {
+		k += 1 + uint64(rng.Intn(1000))
+		keys[i] = k
+		vals[i] = k * 3
+		if tombEvery > 0 && i%tombEvery == 0 {
+			tombs[i] = true
+			vals[i] = 0
+		}
+	}
+	return keys, vals, tombs
+}
+
+func createRun(t *testing.T, dir string, keys, vals []uint64, tombs []bool, id, seq uint64, eps int) (Meta, *Reader) {
+	t.Helper()
+	m, err := Create(faultfs.OS, dir, keys, vals, tombs, id, 0, seq, eps)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	r, err := Open(faultfs.OS, filepath.Join(dir, FileName(id)), &m)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return m, r
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	keys, vals, tombs := buildRun(5000, 1, 7)
+	m, r := createRun(t, dir, keys, vals, tombs, 42, 99, 16)
+
+	if m.Count != 5000 || m.MinKey != keys[0] || m.MaxKey != keys[len(keys)-1] || m.Seq != 99 {
+		t.Fatalf("bad meta: %+v", m)
+	}
+	wantLive := uint64(0)
+	for _, tb := range tombs {
+		if !tb {
+			wantLive++
+		}
+	}
+	if m.Live != wantLive {
+		t.Fatalf("live = %d, want %d", m.Live, wantLive)
+	}
+
+	// Every indexed key resolves with the right value/tombstone and an error
+	// distance within ε.
+	for i, k := range keys {
+		val, tomb, ok, dist, err := r.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%d): ok=%v err=%v", k, ok, err)
+		}
+		if tomb != tombs[i] || (!tomb && val != vals[i]) {
+			t.Fatalf("Get(%d) = (%d, %v), want (%d, %v)", k, val, tomb, vals[i], tombs[i])
+		}
+		if dist > m.Eps {
+			t.Fatalf("Get(%d): model error %d > ε %d", k, dist, m.Eps)
+		}
+	}
+	// Absent keys (gaps and out of range) miss cleanly.
+	for i := 0; i < len(keys)-1; i++ {
+		if keys[i]+1 < keys[i+1] {
+			if _, _, ok, _, err := r.Get(keys[i] + 1); ok || err != nil {
+				t.Fatalf("Get(gap %d): ok=%v err=%v", keys[i]+1, ok, err)
+			}
+		}
+	}
+	if _, _, ok, _, _ := r.Get(keys[0] - 1); ok {
+		t.Fatal("hit below min")
+	}
+	if _, _, ok, _, _ := r.Get(keys[len(keys)-1] + 1); ok {
+		t.Fatal("hit above max")
+	}
+
+	// Full iteration reproduces the run exactly.
+	got, err := r.LoadEntries()
+	if err != nil {
+		t.Fatalf("LoadEntries: %v", err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("iterated %d entries, want %d", len(got), len(keys))
+	}
+	for i, e := range got {
+		if e.Key != keys[i] || e.Val != vals[i] || e.Tomb != tombs[i] {
+			t.Fatalf("entry %d = %+v, want (%d,%d,%v)", i, e, keys[i], vals[i], tombs[i])
+		}
+	}
+
+	// The realized model error respects the declared bound.
+	worst, err := r.ModelMaxError()
+	if err != nil {
+		t.Fatalf("ModelMaxError: %v", err)
+	}
+	if worst > m.Eps {
+		t.Fatalf("model max error %d > ε %d", worst, m.Eps)
+	}
+}
+
+func TestSegmentRangeIter(t *testing.T) {
+	dir := t.TempDir()
+	keys, vals, _ := buildRun(2000, 2, 0)
+	_, r := createRun(t, dir, keys, vals, nil, 1, 1, 8)
+
+	collect := func(lo, hi uint64) []uint64 {
+		var out []uint64
+		it := r.Iter(lo, hi)
+		for it.Next() {
+			out = append(out, it.Entry().Key)
+		}
+		if err := it.Err(); err != nil {
+			t.Fatalf("Iter(%d,%d): %v", lo, hi, err)
+		}
+		return out
+	}
+	oracle := func(lo, hi uint64) []uint64 {
+		var out []uint64
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(3))
+	span := keys[len(keys)-1] - keys[0]
+	bounds := [][2]uint64{
+		{0, math.MaxUint64},
+		{keys[0], keys[len(keys)-1]},
+		{keys[0] + 1, keys[len(keys)-1] - 1},
+		{keys[500], keys[500]},
+		{keys[500] + 1, keys[501] - 1}, // possibly-empty gap window
+		{keys[len(keys)-1] + 1, math.MaxUint64},
+		{0, keys[0] - 1},
+	}
+	for i := 0; i < 50; i++ {
+		lo := keys[0] + uint64(rng.Int63n(int64(span)))
+		hi := lo + uint64(rng.Int63n(int64(span/4)+1))
+		bounds = append(bounds, [2]uint64{lo, hi})
+	}
+	for _, b := range bounds {
+		got, want := collect(b[0], b[1]), oracle(b[0], b[1])
+		if len(got) != len(want) {
+			t.Fatalf("Iter(%d,%d): %d keys, want %d", b[0], b[1], len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Iter(%d,%d)[%d] = %d, want %d", b[0], b[1], i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSegmentEmpty(t *testing.T) {
+	dir := t.TempDir()
+	m, r := createRun(t, dir, nil, nil, nil, 7, 5, 0)
+	if m.Count != 0 || m.Live != 0 || m.ModelPieces != 0 {
+		t.Fatalf("bad empty meta: %+v", m)
+	}
+	if _, _, ok, _, err := r.Get(123); ok || err != nil {
+		t.Fatalf("Get on empty: ok=%v err=%v", ok, err)
+	}
+	it := r.Iter(0, math.MaxUint64)
+	if it.Next() {
+		t.Fatal("empty segment iterated an entry")
+	}
+}
+
+func TestSegmentWriterRejectsUnsorted(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, []uint64{3, 2}, []uint64{0, 0}, nil, 1, 0, 1, 0); !errors.Is(err, ErrUnsortedRun) {
+		t.Fatalf("err = %v, want ErrUnsortedRun", err)
+	}
+	if _, err := Write(&buf, []uint64{3, 3}, []uint64{0, 0}, nil, 1, 0, 1, 0); !errors.Is(err, ErrUnsortedRun) {
+		t.Fatalf("duplicate keys: err = %v, want ErrUnsortedRun", err)
+	}
+	if _, err := Write(&buf, []uint64{1}, nil, nil, 1, 0, 1, 0); err == nil {
+		t.Fatal("mismatched sections accepted")
+	}
+}
+
+func TestSegmentDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	keys, vals, tombs := buildRun(300, 4, 5)
+	m, err := Create(faultfs.OS, dir, keys, vals, tombs, 9, 0, 1, 4)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	path := filepath.Join(dir, FileName(9))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		p := filepath.Join(dir, "bad.seg")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(faultfs.OS, p, nil)
+		if err == nil {
+			r.Close()
+			t.Fatalf("%s: corruption not detected", name)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	// A flipped byte anywhere inside the sealed region must fail the CRC (or
+	// an earlier structural check); probe a spread of offsets.
+	for _, off := range []int{0, 9, 20, headerSize + 11, headerSize + 300*8 + 5, len(orig) - footerSize + 1, len(orig) - 3} {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0x40
+		check("flip", mut)
+	}
+	check("truncated header", orig[:headerSize-1])
+	check("truncated tail", orig[:len(orig)-1])
+	check("trailing garbage", append(append([]byte(nil), orig...), 0))
+	check("empty", nil)
+
+	// Manifest disagreement is corruption even when the file itself is fine.
+	bad := m
+	bad.Count++
+	if _, err := Open(faultfs.OS, path, &bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("manifest disagreement: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Gen: 12, FlushedSeq: 3456, LiveCount: 789, NextID: 5,
+		Segments: []Meta{
+			{ID: 2, Level: 0, Count: 10, Live: 9, MinKey: 1, MaxKey: 100, Seq: 3456, Eps: 16, ModelPieces: 1, Bytes: 300},
+			{ID: 4, Level: 1, Count: 20, Live: 20, MinKey: 5, MaxKey: 900, Seq: 3000, Eps: 16, ModelPieces: 2, Bytes: 500},
+		},
+	}
+	data, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gen != m.Gen || got.FlushedSeq != m.FlushedSeq || got.LiveCount != m.LiveCount ||
+		got.NextID != m.NextID || len(got.Segments) != 2 || got.Segments[1] != m.Segments[1] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	// Hostile variants are rejected, never panic.
+	for _, mut := range [][]byte{
+		nil,
+		data[:10],
+		append([]byte("CHAMMANX"), data[8:]...),
+	} {
+		if _, err := DecodeManifest(mut); !errors.Is(err, ErrManifestCorrupt) {
+			t.Fatalf("hostile decode: err = %v", err)
+		}
+	}
+	flip := append([]byte(nil), data...)
+	flip[20] ^= 1
+	if _, err := DecodeManifest(flip); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("flipped body: err = %v", err)
+	}
+}
+
+func TestManifestNewestDecodableWins(t *testing.T) {
+	dir := t.TempDir()
+
+	// No manifest at all: nil, nil.
+	m, err := LoadManifest(faultfs.OS, dir)
+	if err != nil || m != nil {
+		t.Fatalf("empty dir: m=%v err=%v", m, err)
+	}
+
+	for gen := uint64(1); gen <= 3; gen++ {
+		if err := WriteManifest(faultfs.OS, dir, &Manifest{Gen: gen, FlushedSeq: gen * 100, NextID: gen}); err != nil {
+			t.Fatalf("WriteManifest(%d): %v", gen, err)
+		}
+	}
+	m, err = LoadManifest(faultfs.OS, dir)
+	if err != nil || m.Gen != 3 {
+		t.Fatalf("newest: m=%+v err=%v", m, err)
+	}
+
+	// Tear the newest generation: recovery falls back to gen 2.
+	path := filepath.Join(dir, ManifestFileName(3))
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err = LoadManifest(faultfs.OS, dir)
+	if err != nil || m.Gen != 2 {
+		t.Fatalf("fallback: m=%+v err=%v", m, err)
+	}
+
+	// All generations unreadable: corruption, not emptiness.
+	for gen := uint64(1); gen <= 3; gen++ {
+		if err := os.WriteFile(filepath.Join(dir, ManifestFileName(gen)), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadManifest(faultfs.OS, dir); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("all-corrupt: err = %v, want ErrManifestCorrupt", err)
+	}
+}
+
+func TestMergeShadowingAndOrder(t *testing.T) {
+	// Three generations of the same keyspace: newest source wins ties, and
+	// tombstones surface as entries for the consumer to interpret.
+	oldest := NewSliceIter([]Entry{{Key: 1, Val: 10}, {Key: 2, Val: 20}, {Key: 5, Val: 50}, {Key: 9, Val: 90}})
+	middle := NewSliceIter([]Entry{{Key: 2, Val: 21}, {Key: 3, Val: 31}, {Key: 9, Tomb: true}})
+	newest := NewSliceIter([]Entry{{Key: 2, Tomb: true}, {Key: 7, Val: 72}})
+
+	m := NewMerge(newest, middle, oldest)
+	want := []Entry{
+		{Key: 1, Val: 10},
+		{Key: 2, Tomb: true},
+		{Key: 3, Val: 31},
+		{Key: 5, Val: 50},
+		{Key: 7, Val: 72},
+		{Key: 9, Tomb: true},
+	}
+	var got []Entry
+	for m.Next() {
+		got = append(got, m.Entry())
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Nil and empty sources are tolerated.
+	m = NewMerge(nil, NewSliceIter(nil), NewSliceIter([]Entry{{Key: 4, Val: 4}}))
+	if !m.Next() || m.Entry().Key != 4 || m.Next() {
+		t.Fatal("merge with nil/empty sources misbehaved")
+	}
+
+	// An out-of-order source is an error, not silent misordering.
+	m = NewMerge(NewSliceIter([]Entry{{Key: 5}, {Key: 5}}))
+	for m.Next() {
+	}
+	if m.Err() == nil {
+		t.Fatal("out-of-order source not detected")
+	}
+}
+
+func TestMergeAgainstOracle(t *testing.T) {
+	// Random overlapping runs; merged output must match a map-based oracle
+	// applied oldest→newest.
+	rng := rand.New(rand.NewSource(11))
+	const sources = 5
+	its := make([]Iterator, sources)
+	oracle := map[uint64]Entry{}
+	// Build oldest first so newer entries overwrite in the oracle; the merge
+	// takes newest first.
+	runs := make([][]Entry, sources)
+	for s := 0; s < sources; s++ {
+		n := 100 + rng.Intn(400)
+		seen := map[uint64]bool{}
+		var run []Entry
+		for i := 0; i < n; i++ {
+			k := uint64(rng.Intn(1500))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			e := Entry{Key: k, Val: uint64(rng.Int63()), Tomb: rng.Intn(5) == 0}
+			run = append(run, e)
+			oracle[k] = e
+		}
+		sort.Slice(run, func(i, j int) bool { return run[i].Key < run[j].Key })
+		runs[s] = run
+	}
+	for s := 0; s < sources; s++ {
+		its[s] = NewSliceIter(runs[sources-1-s]) // newest first
+	}
+	m := NewMerge(its...)
+	var got []Entry
+	for m.Next() {
+		got = append(got, m.Entry())
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(oracle) {
+		t.Fatalf("merged %d distinct keys, oracle has %d", len(got), len(oracle))
+	}
+	var prev uint64
+	for i, e := range got {
+		if i > 0 && e.Key <= prev {
+			t.Fatalf("merge output not strictly ascending at %d", i)
+		}
+		prev = e.Key
+		if oracle[e.Key] != e {
+			t.Fatalf("key %d: got %+v, oracle %+v", e.Key, e, oracle[e.Key])
+		}
+	}
+}
+
+func TestSegmentMergeAcrossFiles(t *testing.T) {
+	// The same shadowing semantics hold when the sources are real segment
+	// files rather than slices.
+	dir := t.TempDir()
+	k1, v1, _ := buildRun(1000, 21, 0)
+	_, r1 := createRun(t, dir, k1, v1, nil, 1, 10, 16)
+
+	// Newer run overwrites every third key of run 1 and deletes every tenth.
+	var k2, v2 []uint64
+	var t2 []bool
+	for i, k := range k1 {
+		switch {
+		case i%10 == 0:
+			k2 = append(k2, k)
+			v2 = append(v2, 0)
+			t2 = append(t2, true)
+		case i%3 == 0:
+			k2 = append(k2, k)
+			v2 = append(v2, v1[i]+1)
+			t2 = append(t2, false)
+		}
+	}
+	_, r2 := createRun(t, dir, k2, v2, t2, 2, 20, 16)
+
+	m := NewMerge(r2.Iter(0, math.MaxUint64), r1.Iter(0, math.MaxUint64))
+	i := 0
+	for m.Next() {
+		e := m.Entry()
+		if e.Key != k1[i] {
+			t.Fatalf("key %d: got %d, want %d", i, e.Key, k1[i])
+		}
+		switch {
+		case i%10 == 0:
+			if !e.Tomb {
+				t.Fatalf("key %d: tombstone lost", e.Key)
+			}
+		case i%3 == 0:
+			if e.Tomb || e.Val != v1[i]+1 {
+				t.Fatalf("key %d: shadowed value wrong: %+v", e.Key, e)
+			}
+		default:
+			if e.Tomb || e.Val != v1[i] {
+				t.Fatalf("key %d: base value wrong: %+v", e.Key, e)
+			}
+		}
+		i++
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(k1) {
+		t.Fatalf("merged %d keys, want %d", i, len(k1))
+	}
+}

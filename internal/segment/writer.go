@@ -1,0 +1,145 @@
+package segment
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"chameleon/internal/faultfs"
+	"chameleon/internal/pla"
+)
+
+// ErrUnsortedRun is returned by Write when keys are not strictly ascending —
+// a run's sort order is the invariant everything else (the model, the merge,
+// the bounded search) rests on.
+var ErrUnsortedRun = errors.New("segment: run keys not strictly ascending")
+
+// Write encodes one immutable run to w: keys (strictly ascending), parallel
+// values, and parallel tombstone flags (tombs may be nil for an all-live
+// run). The learned model is built here with error bound eps (0 selects
+// DefaultEps) and written after the data so the whole envelope is sealed by
+// one CRC. Returns the Meta the manifest should record. Write does not sync;
+// Create is the durable variant.
+func Write(w io.Writer, keys, vals []uint64, tombs []bool, id uint64, level int, seq uint64, eps int) (Meta, error) {
+	if eps <= 0 {
+		eps = DefaultEps
+	}
+	n := uint64(len(keys))
+	if uint64(len(vals)) != n || (tombs != nil && uint64(len(tombs)) != n) {
+		return Meta{}, fmt.Errorf("segment: mismatched run sections: %d keys, %d vals, %d tombs",
+			len(keys), len(vals), len(tombs))
+	}
+	live := n
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return Meta{}, ErrUnsortedRun
+		}
+	}
+	tombBytes := make([]byte, (n+7)/8)
+	if tombs != nil {
+		for i, t := range tombs {
+			if t {
+				tombBytes[i/8] |= 1 << (i % 8)
+				live--
+			}
+		}
+	}
+	model := pla.Build(keys, eps)
+	m := Meta{
+		ID: id, Level: level, Count: n, Live: live, Seq: seq,
+		Eps: eps, ModelPieces: len(model),
+	}
+	if n > 0 {
+		m.MinKey, m.MaxKey = keys[0], keys[n-1]
+	}
+	m.Bytes = headerSize + int64(n)*16 + int64(len(tombBytes)) + int64(len(model))*pieceSize + footerSize
+
+	crc := crc32.New(castagnoli)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
+
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:], version)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(level))
+	binary.LittleEndian.PutUint64(hdr[16:], n)
+	binary.LittleEndian.PutUint64(hdr[24:], m.MinKey)
+	binary.LittleEndian.PutUint64(hdr[32:], m.MaxKey)
+	binary.LittleEndian.PutUint64(hdr[40:], seq)
+	binary.LittleEndian.PutUint64(hdr[48:], live)
+	binary.LittleEndian.PutUint32(hdr[56:], uint32(eps))
+	binary.LittleEndian.PutUint32(hdr[60:], uint32(len(model)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return Meta{}, err
+	}
+	var u8 [8]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(u8[:], k)
+		if _, err := bw.Write(u8[:]); err != nil {
+			return Meta{}, err
+		}
+	}
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(u8[:], v)
+		if _, err := bw.Write(u8[:]); err != nil {
+			return Meta{}, err
+		}
+	}
+	if _, err := bw.Write(tombBytes); err != nil {
+		return Meta{}, err
+	}
+	var piece [pieceSize]byte
+	for _, p := range model {
+		binary.LittleEndian.PutUint64(piece[:8], p.FirstKey)
+		binary.LittleEndian.PutUint64(piece[8:16], math.Float64bits(p.Slope))
+		binary.LittleEndian.PutUint64(piece[16:], uint64(p.Start))
+		if _, err := bw.Write(piece[:]); err != nil {
+			return Meta{}, err
+		}
+	}
+	// The footer is written past the CRC accumulator: flush the data first
+	// so the digest is complete, then append CRC + end magic directly.
+	if err := bw.Flush(); err != nil {
+		return Meta{}, err
+	}
+	var foot [footerSize]byte
+	binary.LittleEndian.PutUint32(foot[:4], crc.Sum32())
+	copy(foot[4:], magic)
+	if _, err := w.Write(foot[:]); err != nil {
+		return Meta{}, err
+	}
+	return m, nil
+}
+
+// Create writes the run as FileName(id) in dir, fsyncs the file, and closes
+// it. It does NOT SyncDir: the flush/compaction commit protocol seals every
+// new segment's directory entry with one SyncDir immediately before the
+// manifest that references them is written.
+func Create(fsys faultfs.FS, dir string, keys, vals []uint64, tombs []bool, id uint64, level int, seq uint64, eps int) (Meta, error) {
+	path := filepath.Join(dir, FileName(id))
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return Meta{}, err
+	}
+	m, err := Write(f, keys, vals, tombs, id, level, seq, eps)
+	if err != nil {
+		f.Close()         //nolint:errcheck
+		fsys.Remove(path) //nolint:errcheck
+		return Meta{}, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()         //nolint:errcheck
+		fsys.Remove(path) //nolint:errcheck
+		return Meta{}, err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(path) //nolint:errcheck
+		return Meta{}, err
+	}
+	return m, nil
+}

@@ -914,6 +914,33 @@ func (s *Server) statsJSON() []byte {
 	if h.Err != nil {
 		reply.Err = h.Err.Error()
 	}
+	if th := h.Tier; th != nil {
+		reply.Tier = &wire.TierStats{
+			Segments:          th.Segments,
+			L0Segments:        th.L0Segments,
+			SegmentBytes:      th.SegmentBytes,
+			LiveKeys:          th.LiveKeys,
+			MemtableKeys:      th.MemtableKeys,
+			DeadKeys:          th.DeadKeys,
+			FrozenKeys:        th.FrozenKeys,
+			FlushedSeq:        th.FlushedSeq,
+			Gen:               th.Gen,
+			Flushes:           th.Flushes,
+			FlushErrs:         th.FlushErrs,
+			Compactions:       th.Compactions,
+			CompactErrs:       th.CompactErrs,
+			FlushedBytes:      th.FlushedBytes,
+			CompactBytes:      th.CompactBytes,
+			LastFlushMicros:   th.LastFlushMicros,
+			LastCompactMicros: th.LastCompactMicros,
+			ColdReads:         th.ColdReads,
+			ColdReadErrs:      th.ColdReadErrs,
+			ColdRankErrorSum:  th.ColdRankErrorSum,
+		}
+		if th.LastFlushErr != nil {
+			reply.Tier.LastFlushErr = th.LastFlushErr.Error()
+		}
+	}
 	if sh, ok := s.ix.(shardedIndex); ok {
 		reply.Shards = sh.Shards()
 		for _, shh := range sh.ShardHealths() {

@@ -67,6 +67,11 @@ type StatsReply struct {
 	ReplShardLagSeqs []uint64 `json:"repl_shard_lag_seqs,omitempty"`
 	ReplLagSeqs      uint64   `json:"repl_lag_seqs,omitempty"`
 
+	// Tier is the tiered-storage snapshot (segment counts, flush/compaction
+	// counters, cold-read telemetry); absent in legacy checkpoint mode. On a
+	// sharded node it is the cross-shard aggregate.
+	Tier *TierStats `json:"tier,omitempty"`
+
 	// Server-side counters: current and lifetime connections, requests by
 	// outcome, current in-flight requests, and drain status.
 	Conns      int     `json:"conns"`
@@ -76,4 +81,36 @@ type StatsReply struct {
 	InFlight   int     `json:"in_flight"`
 	Draining   bool    `json:"draining"`
 	UptimeSec  float64 `json:"uptime_sec"`
+}
+
+// TierStats mirrors chameleon.TierHealth onto the STATS wire schema (see
+// that type for field semantics).
+type TierStats struct {
+	Segments     int   `json:"segments"`
+	L0Segments   int   `json:"l0_segments"`
+	SegmentBytes int64 `json:"segment_bytes"`
+
+	LiveKeys     int64 `json:"live_keys"`
+	MemtableKeys int   `json:"memtable_keys"`
+	DeadKeys     int   `json:"dead_keys"`
+	FrozenKeys   int   `json:"frozen_keys,omitempty"`
+
+	FlushedSeq uint64 `json:"flushed_seq"`
+	Gen        uint64 `json:"gen"`
+
+	Flushes      uint64 `json:"flushes"`
+	FlushErrs    uint64 `json:"flush_errs,omitempty"`
+	Compactions  uint64 `json:"compactions"`
+	CompactErrs  uint64 `json:"compact_errs,omitempty"`
+	FlushedBytes uint64 `json:"flushed_bytes"`
+	CompactBytes uint64 `json:"compact_bytes"`
+
+	LastFlushMicros   int64 `json:"last_flush_us,omitempty"`
+	LastCompactMicros int64 `json:"last_compact_us,omitempty"`
+
+	ColdReads        uint64 `json:"cold_reads"`
+	ColdReadErrs     uint64 `json:"cold_read_errs,omitempty"`
+	ColdRankErrorSum uint64 `json:"cold_rank_error_sum,omitempty"`
+
+	LastFlushErr string `json:"last_flush_err,omitempty"`
 }

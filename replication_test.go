@@ -96,8 +96,14 @@ func TestCommitSeqLegacyDirectory(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir, "seq.meta")); err != nil {
-		t.Fatal(err)
+	sidecars, err := filepath.Glob(filepath.Join(dir, "seq*.meta"))
+	if err != nil || len(sidecars) == 0 {
+		t.Fatalf("no seq sidecar found to remove (err=%v)", err)
+	}
+	for _, p := range sidecars {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	d2 := openRepl(t, dir)

@@ -1,6 +1,7 @@
 package chameleon
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"time"
 
@@ -31,35 +33,34 @@ import (
 // stays readable, but the replication link must fail-stop.
 var ErrReplDivergence = errors.New("chameleon: replicated batch diverges from local state")
 
-// seqMetaName is the sidecar mapping snapshot sequence → commit sequence. It
-// is rewritten (tmp + fsync + rename) immediately before each checkpoint's
-// snapshot rename, so the checkpoint's single directory fsync seals both
-// files together. Recovery adds the replayed WAL record count to the chosen
-// snapshot's entry; a snapshot missing from the map (pre-replication
-// directories, or the narrow crash window where the snapshot rename
-// persisted but the sidecar rename did not) falls back to the replayed count
-// alone — commit sequences may then regress, which followers detect and
-// fail-stop on rather than silently re-numbering history.
+// seqMetaName is the legacy sidecar name mapping snapshot/rotation sequence
+// → commit sequence. It was rewritten in place (tmp + fsync + rename), which
+// is not crash-safe: losing the directory block after the rename destroys
+// the old version without durably installing the new one. It is still read
+// for directories written by older versions, but never written.
 const seqMetaName = "seq.meta"
 
-// readSeqMeta loads the sidecar, tolerating absence and corruption: both
-// mean "no recorded commit sequences" (the legacy fallback documented on
-// seqMetaName), never a failed open.
-func readSeqMeta(fsys faultfs.FS, dir string) map[uint64]uint64 {
-	meta := make(map[uint64]uint64)
-	f, err := fsys.OpenFile(filepath.Join(dir, seqMetaName), os.O_RDONLY, 0)
-	if err != nil {
-		return meta
-	}
-	data, err := io.ReadAll(f)
-	f.Close() //nolint:errcheck
-	if err != nil {
-		return meta
-	}
+// Current sidecar versions are written under fresh generation-numbered
+// names (seq-<gen>.meta) and the newest decodable one wins, exactly like
+// the tier manifest: a crash can only lose the not-yet-sealed newest file,
+// never a previously durable one. Old generations are garbage-collected
+// after each successful write.
+const (
+	seqMetaPrefix = "seq-"
+	seqMetaSuffix = ".meta"
+)
+
+func seqMetaFileName(gen uint64) string {
+	return fmt.Sprintf("%s%016d%s", seqMetaPrefix, gen, seqMetaSuffix)
+}
+
+// decodeSeqMeta parses one sidecar payload. A nil map means undecodable.
+func decodeSeqMeta(data []byte) map[uint64]uint64 {
 	var raw map[string]uint64
 	if json.Unmarshal(data, &raw) != nil {
-		return meta
+		return nil
 	}
+	meta := make(map[uint64]uint64, len(raw))
 	for k, v := range raw {
 		if seq, err := strconv.ParseUint(k, 10, 64); err == nil {
 			meta[seq] = v
@@ -68,9 +69,56 @@ func readSeqMeta(fsys faultfs.FS, dir string) map[uint64]uint64 {
 	return meta
 }
 
-// writeSeqMetaLocked persists d.seqMeta with the snapshot discipline
-// (temp file, fsync, rename). The caller's subsequent SyncDir makes the
-// rename durable. Callers hold d.mu.
+func readSeqMetaFile(fsys faultfs.FS, path string) map[uint64]uint64 {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil
+	}
+	data, err := io.ReadAll(f)
+	f.Close() //nolint:errcheck
+	if err != nil {
+		return nil
+	}
+	return decodeSeqMeta(data)
+}
+
+// readSeqMeta loads the sidecar: newest decodable generation wins, falling
+// back to the legacy in-place file, tolerating absence and corruption (both
+// mean "no recorded commit sequences" — commit sequences may then regress,
+// which followers detect and fail-stop on rather than silently re-numbering
+// history). The returned generation is the highest seen in the directory,
+// decodable or not, so the next write is guaranteed to be the newest file.
+func readSeqMeta(fsys faultfs.FS, dir string) (map[uint64]uint64, uint64) {
+	var gens []uint64
+	var maxGen uint64
+	if entries, err := fsys.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if g, ok := parseSeq(e.Name(), seqMetaPrefix, seqMetaSuffix); ok {
+				gens = append(gens, g)
+				if g > maxGen {
+					maxGen = g
+				}
+			}
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	for _, g := range gens {
+		if meta := readSeqMetaFile(fsys, filepath.Join(dir, seqMetaFileName(g))); meta != nil {
+			return meta, maxGen
+		}
+	}
+	if meta := readSeqMetaFile(fsys, filepath.Join(dir, seqMetaName)); meta != nil {
+		return meta, maxGen
+	}
+	return make(map[uint64]uint64), maxGen
+}
+
+// writeSeqMetaLocked persists d.seqMeta as a fresh generation file (create,
+// write, fsync). The caller's subsequent SyncDir seals the new directory
+// entry; a crash before that loses only the new generation, and recovery
+// falls back to the previous one — the state the caller's commit point had
+// not yet superseded. Superseded generations (and any legacy in-place file)
+// are removed best-effort after the new file is down. Callers hold d.mu.
 func (d *DurableIndex) writeSeqMetaLocked() error {
 	raw := make(map[string]uint64, len(d.seqMeta))
 	for k, v := range d.seqMeta {
@@ -80,29 +128,36 @@ func (d *DurableIndex) writeSeqMetaLocked() error {
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(d.dir, seqMetaName)
-	tmp := path + ".tmp"
-	f, err := d.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	gen := d.seqMetaGen + 1
+	path := filepath.Join(d.dir, seqMetaFileName(gen))
+	f, err := d.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()        //nolint:errcheck
-		d.fs.Remove(tmp) //nolint:errcheck
+		f.Close()         //nolint:errcheck
+		d.fs.Remove(path) //nolint:errcheck
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()        //nolint:errcheck
-		d.fs.Remove(tmp) //nolint:errcheck
+		f.Close()         //nolint:errcheck
+		d.fs.Remove(path) //nolint:errcheck
 		return err
 	}
 	if err := f.Close(); err != nil {
-		d.fs.Remove(tmp) //nolint:errcheck
+		d.fs.Remove(path) //nolint:errcheck
 		return err
 	}
-	if err := d.fs.Rename(tmp, path); err != nil {
-		d.fs.Remove(tmp) //nolint:errcheck
-		return err
+	d.seqMetaGen = gen
+	for g := gen - 1; g > 0 && g+8 > gen; g-- { // recent stragglers; older ones fell to earlier passes
+		if d.fs.Remove(filepath.Join(d.dir, seqMetaFileName(g))) != nil {
+			break
+		}
+	}
+	if gen == 1 {
+		// First versioned generation in this directory: retire the legacy
+		// in-place file, if any, so it can never shadow a future state.
+		d.fs.Remove(filepath.Join(d.dir, seqMetaName)) //nolint:errcheck
 	}
 	return nil
 }
@@ -228,7 +283,14 @@ func (d *DurableIndex) ReplicateBatch(firstSeq uint64, recs []wal.Record) error 
 		seq := firstSeq + uint64(skip) + uint64(i)
 		present, known := overlay[r.Key]
 		if !known {
-			_, present = d.ix.Lookup(r.Key)
+			var verr error
+			present, verr = d.presentLocked(r.Key)
+			if verr != nil {
+				// A tiered visibility probe can fail on segment I/O. That is a
+				// local fault, not a history fork: report it as itself so the
+				// link retries instead of fail-stopping on divergence.
+				return fmt.Errorf("replicate validate: %w", verr)
+			}
 		}
 		switch r.Op {
 		case wal.OpInsert:
@@ -263,14 +325,7 @@ func (d *DurableIndex) ReplicateBatch(firstSeq uint64, recs []wal.Record) error 
 	d.batchedOps.Add(uint64(len(fresh)))
 
 	for _, r := range fresh {
-		var aerr error
-		switch r.Op {
-		case wal.OpInsert:
-			aerr = d.ix.Insert(r.Key, r.Val)
-		case wal.OpDelete:
-			aerr = d.ix.Delete(r.Key)
-		}
-		if aerr != nil {
+		if aerr := d.applyRecordLocked(r); aerr != nil {
 			// Validated above, so this can only be an internal failure after
 			// the records are durable: memory and disk may now disagree.
 			d.poisonLocked(fmt.Errorf("replicated apply: %w", aerr))
@@ -278,6 +333,9 @@ func (d *DurableIndex) ReplicateBatch(firstSeq uint64, recs []wal.Record) error 
 		}
 	}
 	d.advanceCommitSeq(uint64(len(fresh)))
+	if d.tier != nil {
+		d.tier.maybeSignalFlush()
+	}
 	return nil
 }
 
@@ -285,7 +343,10 @@ func (d *DurableIndex) ReplicateBatch(firstSeq uint64, recs []wal.Record) error 
 // reports the commit sequence it is as-of. It holds the commit lock for the
 // duration, so no batch can commit mid-stream: the bytes written correspond
 // exactly to the returned sequence. Used by the primary to bootstrap
-// followers that are behind WAL retention.
+// followers that are behind WAL retention. A legacy directory streams the
+// learned structure (core.WriteTo); a tiered one streams a CHAMTBN1 segment
+// bundle (see tierrepl.go) — RestoreSnapshot accepts either on either kind
+// of receiver.
 func (d *DurableIndex) SnapshotAt(w io.Writer) (asOfSeq uint64, n int64, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -298,7 +359,11 @@ func (d *DurableIndex) SnapshotAt(w io.Writer) (asOfSeq uint64, n int64, err err
 		// divergence.
 		return 0, 0, d.fail
 	}
-	n, err = d.ix.WriteTo(w)
+	if d.tier != nil {
+		n, err = d.tier.writeBundle(w)
+	} else {
+		n, err = d.ix.WriteTo(w)
+	}
 	if err != nil {
 		return 0, n, err
 	}
@@ -307,24 +372,66 @@ func (d *DurableIndex) SnapshotAt(w io.Writer) (asOfSeq uint64, n int64, err err
 
 // RestoreSnapshot replaces the index's contents with a snapshot streamed
 // from an upstream (the bootstrap half of SnapshotAt) and adopts asOfSeq as
-// the local commit sequence, then checkpoints so the restored state and its
-// sequence are durable together. On a decode failure the in-memory index is
-// unchanged (core.ReadFrom installs nothing on error); on a checkpoint
-// failure the handle is poisoned, exactly like BulkLoad — the restored
-// memory state would otherwise have no durable counterpart.
+// the local commit sequence, making the restored state and its sequence
+// durable together (legacy: a checkpoint; tiered: a fresh L1 segment behind
+// a manifest commit — see tier.restoreFlat). The stream's leading 8 bytes
+// select the decoder, so a tiered follower can bootstrap from a legacy
+// primary and vice versa. On a decode failure the local state is unchanged;
+// on a durability failure after the in-memory install the handle is
+// poisoned, exactly like BulkLoad — the restored state would otherwise have
+// no durable counterpart.
 func (d *DurableIndex) RestoreSnapshot(r io.Reader, asOfSeq uint64) error {
+	br := bufio.NewReader(r)
+	head, _ := br.Peek(8)
+	isBundle := len(head) == 8 && string(head) == bundleMagic
+
+	if d.tier != nil {
+		// Decode to a flat sorted run before taking any locks: a slow or
+		// corrupt stream must not stall commits.
+		var keys, vals []uint64
+		var err error
+		if isBundle {
+			keys, vals, err = readBundleFlat(br)
+		} else {
+			scratch := New(d.opts.Options)
+			if _, err = scratch.inner.ReadFrom(br); err == nil {
+				keys, vals = scratch.AppendPairs(nil, nil)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if err := d.tier.restoreFlat(keys, vals, asOfSeq); err != nil {
+			return err
+		}
+		d.broadcastSeq()
+		return nil
+	}
+
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.usableLocked(); err != nil {
 		return err
 	}
-	if _, err := d.ix.inner.ReadFrom(r); err != nil {
-		return err
-	}
-	// inner.ReadFrom stops any running retrainer; restart it like openDirFS
-	// does, so a bootstrap mid-life doesn't silently end maintenance.
-	if d.opts.RetrainEvery > 0 {
-		d.ix.inner.StartRetrainer(d.opts.RetrainEvery)
+	if isBundle {
+		// Flatten the bundle into the in-memory index; the validated merge
+		// output is strictly ascending, exactly what BulkLoad wants.
+		keys, vals, err := readBundleFlat(br)
+		if err != nil {
+			return err
+		}
+		if err := d.ix.BulkLoad(keys, vals); err != nil {
+			return err
+		}
+	} else {
+		if _, err := d.ix.inner.ReadFrom(br); err != nil {
+			return err
+		}
+		// inner.ReadFrom stops any running retrainer; restart it like openDirFS
+		// does, so a bootstrap mid-life doesn't silently end maintenance.
+		if d.opts.RetrainEvery > 0 {
+			d.ix.inner.StartRetrainer(d.opts.RetrainEvery)
+		}
 	}
 	d.commitSeq.Store(asOfSeq)
 	if err := d.checkpointLocked(); err != nil {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"chameleon/internal/faultfs"
+	"chameleon/internal/segment"
 )
 
 // ShardedIndex range-partitions the key space into N independent DurableIndex
@@ -333,7 +334,10 @@ func removeLegacyUnsharded(dir string, fsys faultfs.FS) {
 	for _, e := range entries {
 		_, isSnap := parseSeq(e.Name(), snapPrefix, snapSuffix)
 		_, isWAL := parseSeq(e.Name(), walPrefix, walSuffix)
-		if isSnap || isWAL {
+		_, isSeg := segment.ParseFileName(e.Name())
+		_, isMan := segment.ParseManifestName(e.Name())
+		_, isSeqMeta := parseSeq(e.Name(), seqMetaPrefix, seqMetaSuffix)
+		if isSnap || isWAL || isSeg || isMan || isSeqMeta || e.Name() == seqMetaName {
 			fsys.Remove(filepath.Join(dir, e.Name())) //nolint:errcheck
 		}
 	}
@@ -676,6 +680,7 @@ func (s *ShardedIndex) Health() Health {
 		}
 		agg.RetrainPauses += h.RetrainPauses
 		agg.RetrainPaused = agg.RetrainPaused || h.RetrainPaused
+		agg.Tier = mergeTierHealth(agg.Tier, h.Tier)
 	}
 	if agg.State == HealthOK && closed == len(s.shards) {
 		agg.State, agg.Err = HealthClosed, ErrIndexClosed
